@@ -1,0 +1,242 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts (one
+// benchmark per table and figure, reporting the headline metric via
+// b.ReportMetric), plus micro-benchmarks of the hot paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The experiments run at a reduced scale per iteration so the suite
+// completes in seconds; cmd/rbaysim -scale full approaches the paper's
+// published scale.
+package rbay_test
+
+import (
+	"testing"
+	"time"
+
+	"rbay"
+	"rbay/internal/experiments"
+	"rbay/internal/sites"
+)
+
+// benchScale keeps per-iteration experiment cost low.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		NodeCounts:     []int{256, 1024},
+		AtomicQueries:  200,
+		QueryKeys:      10,
+		AttrCounts:     []int{100, 1000},
+		NodesPerSite:   16,
+		QueriesPerCell: 3,
+		K:              1,
+		ExtraAttrs:     2,
+		Seed:           1,
+	}
+}
+
+// BenchmarkTable2RTTMatrix regenerates Table II: the simulated inter-site
+// RTT matrix must match the paper's measured values exactly.
+func BenchmarkTable2RTTMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Measured[0][4] != sites.RTT(sites.Virginia, sites.Singapore) {
+			b.Fatal("matrix mismatch")
+		}
+	}
+}
+
+// BenchmarkFig8aScaleNodes regenerates Fig. 8a (hops vs datacenter size).
+func BenchmarkFig8aScaleNodes(b *testing.B) {
+	sc := benchScale()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8a(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.Points[len(res.Points)-1].MeanHops
+	}
+	b.ReportMetric(mean, "hops@1024nodes")
+}
+
+// BenchmarkFig8bLoadBalance regenerates Fig. 8b (routing load spread).
+func BenchmarkFig8bLoadBalance(b *testing.B) {
+	sc := benchScale()
+	var cv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8b(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cv = res.CV
+	}
+	b.ReportMetric(cv, "load-CV")
+}
+
+// BenchmarkFig8cMemory regenerates Fig. 8c (AA memory overhead vs PAST).
+func BenchmarkFig8cMemory(b *testing.B) {
+	sc := benchScale()
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8c(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = res.Points[len(res.Points)-1].OverheadPct
+	}
+	b.ReportMetric(overhead, "overhead-%")
+}
+
+// BenchmarkFig9QueryCDF regenerates Fig. 9 (per-origin latency CDFs).
+func BenchmarkFig9QueryCDF(b *testing.B) {
+	sc := benchScale()
+	var p50 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p50 = float64(res.Macro.Latency[sites.Virginia][8].Percentile(50)) / 1e6
+	}
+	b.ReportMetric(p50, "virginia-8site-p50-ms")
+}
+
+// BenchmarkFig10LatencyBar regenerates Fig. 10 (mean±std vs #sites).
+func BenchmarkFig10LatencyBar(b *testing.B) {
+	sc := benchScale()
+	var local, eight float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		local = float64(res.Macro.MeanAcrossOrigins(1)) / 1e6
+		eight = float64(res.Macro.MeanAcrossOrigins(8)) / 1e6
+	}
+	b.ReportMetric(local, "local-ms")
+	b.ReportMetric(eight, "8site-ms")
+}
+
+// BenchmarkFig11TreeOverheads regenerates Fig. 11 (onSubscribe vs
+// onDeliver latency per site).
+func BenchmarkFig11TreeOverheads(b *testing.B) {
+	sc := benchScale()
+	var sub, del float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub = float64(res.Subscribe[sites.Virginia].Mean()) / 1e6
+		del = float64(res.Deliver[sites.SaoPaulo].Mean()) / 1e6
+	}
+	b.ReportMetric(sub, "subscribe-virginia-ms")
+	b.ReportMetric(del, "deliver-saopaulo-ms")
+}
+
+// BenchmarkAblationCentralVsDecentral regenerates the Ganglia-baseline
+// ablation (central ingest growth vs RBAY's busiest peer).
+func BenchmarkAblationCentralVsDecentral(b *testing.B) {
+	sc := benchScale()
+	var central, rbayGrowth float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GangliaAblation(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		central = res.CentralGrowth()
+		rbayGrowth = res.RBayGrowth()
+	}
+	b.ReportMetric(central, "central-growth-x")
+	b.ReportMetric(rbayGrowth, "rbay-growth-x")
+}
+
+// BenchmarkAblationChurn regenerates the churn-sensitivity ablation.
+func BenchmarkAblationChurn(b *testing.B) {
+	sc := benchScale()
+	var flaps float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ChurnAblation(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flaps = float64(res.Points[len(res.Points)-1].MemberFlaps)
+	}
+	b.ReportMetric(flaps, "stormy-flaps")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the public API's hot paths.
+
+// BenchmarkQueryLocalSite measures end-to-end local-site composite
+// queries against a standing federation (wall time per simulated query).
+func BenchmarkQueryLocalSite(b *testing.B) {
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name: "GPU", Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true}, Creator: "bench",
+	})
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia"},
+		NodesPerSite: 50,
+		Seed:         2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range fed.Nodes() {
+		n.SetAttribute("GPU", i%2 == 0)
+	}
+	fed.Settle()
+	issuer := fed.Nodes()[7]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fed.QuerySync(issuer, `SELECT 3 FROM virginia WHERE GPU = true;`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		issuer.Release(res.QueryID, res.Candidates)
+		fed.RunFor(time.Second)
+	}
+}
+
+// BenchmarkParseQuery measures the SQL-like parser.
+func BenchmarkParseQuery(b *testing.B) {
+	src := `SELECT 5 FROM virginia, tokyo WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% GROUPBY CPU_utilization DESC;`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rbay.ParseQuery(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederationBootstrap measures standing up a full 8-site
+// federation (overlay wiring included).
+func BenchmarkFederationBootstrap(b *testing.B) {
+	reg := rbay.EC2Registry()
+	for i := 0; i < b.N; i++ {
+		fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{NodesPerSite: 20, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = fed
+	}
+}
+
+// BenchmarkAblationForecast regenerates the §VI stability-ranking
+// ablation (candidate survival under churn).
+func BenchmarkAblationForecast(b *testing.B) {
+	sc := benchScale()
+	var plain, ranked float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ForecastAblation(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, ranked = res.PlainSurvival, res.RankedSurvival
+	}
+	b.ReportMetric(100*plain, "plain-survival-%")
+	b.ReportMetric(100*ranked, "ranked-survival-%")
+}

@@ -1,0 +1,127 @@
+package rbay_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIEndToEnd builds the real binaries, brings up a two-node rbayd
+// federation on loopback, and exercises rbayctl and rbayaal against it —
+// the full deployment path a site admin would walk.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	rbayd := build("rbayd")
+	rbayctl := build("rbayctl")
+	rbayaal := build("rbayaal")
+
+	// Reserve three loopback ports.
+	ports := make([]string, 3)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().String()
+		l.Close()
+	}
+	peers := filepath.Join(dir, "peers.txt")
+	peersContent := fmt.Sprintf("lab/n1 %s\nlab/n2 %s\nlab/ctl %s\n", ports[0], ports[1], ports[2])
+	if err := os.WriteFile(peers, []byte(peersContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	registry := filepath.Join(dir, "registry.json")
+	regContent := `{"trees": [{"name": "GPU", "attr": "GPU", "op": "=", "value": true}]}`
+	if err := os.WriteFile(registry, []byte(regContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	policy := filepath.Join(dir, "password.aal")
+	policyContent := `
+AA = {Password = "pw"}
+function onGet(caller, password)
+    if password == AA.Password then return NodeId end
+    return nil
+end
+`
+	if err := os.WriteFile(policy, []byte(policyContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Policy workbench first (no network needed).
+	out, err := exec.Command(rbayaal, "-invoke", "onGet", "-args", "joe,pw", policy).CombinedOutput()
+	if err != nil {
+		t.Fatalf("rbayaal: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `-> "lab/n1"`) {
+		t.Fatalf("rbayaal output: %s", out)
+	}
+
+	// Daemons.
+	spawn := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(rbayd, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		})
+		return cmd
+	}
+	spawn("-addr", "lab/n1", "-listen", ports[0], "-peers", peers, "-registry", registry,
+		"-bootstrap", "-attr", "GPU=true")
+	waitListening(t, ports[0])
+	spawn("-addr", "lab/n2", "-listen", ports[1], "-peers", peers, "-registry", registry,
+		"-seed", "lab/n1", "-attr", "GPU=true", "-policy", "GPU="+policy)
+	waitListening(t, ports[1])
+
+	// The trees need a couple of aggregation intervals; retry the query
+	// until both GPUs show up (n2's requires the password).
+	deadline := time.Now().Add(60 * time.Second)
+	var lastOut []byte
+	for time.Now().Before(deadline) {
+		cmd := exec.Command(rbayctl,
+			"-addr", "lab/ctl", "-listen", ports[2], "-peers", peers, "-registry", registry,
+			"-seed", "lab/n1", "-password", "pw", "-timeout", "20s",
+			"query", "SELECT * FROM lab WHERE GPU = true;")
+		lastOut, err = cmd.CombinedOutput()
+		if err == nil && strings.Contains(string(lastOut), "2 candidate(s)") {
+			return // success
+		}
+		time.Sleep(2 * time.Second)
+	}
+	t.Fatalf("rbayctl never saw both GPUs; last output:\n%s (err=%v)", lastOut, err)
+}
+
+func waitListening(t *testing.T, hostport string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", hostport, time.Second)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s", hostport)
+}

@@ -1,0 +1,116 @@
+// Command rbayaal is the admin's policy workbench: it loads an active-
+// attribute script in the same sandboxed runtime rbayd uses, reports what
+// handlers it defines, and invokes them with test arguments — so policies
+// can be debugged before they gate real resources.
+//
+// Usage:
+//
+//	rbayaal script.aal                         # load, list handlers
+//	rbayaal -invoke onGet -args joe,s3cret script.aal
+//	rbayaal -invoke onSubscribe -args rbay,GPU -steps script.aal
+//
+// Arguments are comma-separated and parsed like rbayd -attr values
+// (true/false, numbers, strings). The runtime injects the same host
+// globals a node would (NodeId, Site, getattr/setattr over an empty map,
+// sha256hex, hmac_sha256, ed25519_verify, now).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rbay/internal/attr"
+	"rbay/internal/fedcfg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rbayaal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rbayaal", flag.ContinueOnError)
+	invoke := fs.String("invoke", "", "handler to invoke (onGet, onSubscribe, onUnsubscribe, onDeliver, onTimer)")
+	argList := fs.String("args", "", "comma-separated handler arguments")
+	nodeID := fs.String("nodeid", "lab/n1", "NodeId visible to the script")
+	site := fs.String("site", "lab", "Site visible to the script")
+	attrName := fs.String("attrname", "policy-under-test", "attribute the script is attached to")
+	attrValue := fs.String("attrvalue", "", "current value of the attribute (rbayd -attr syntax)")
+	steps := fs.Bool("steps", false, "print the instruction count consumed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rbayaal [flags] script.aal")
+	}
+	script, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	m := attr.NewMap(attr.Options{NodeID: *nodeID, Site: *site})
+	if *attrValue != "" {
+		m.Set(*attrName, fedcfg.ParseAttrValue(*attrValue))
+	} else {
+		m.Set(*attrName, true)
+	}
+	if err := m.Attach(*attrName, string(script)); err != nil {
+		return err
+	}
+	a, _ := m.Lookup(*attrName)
+	fmt.Printf("loaded %s (%d bytes) onto attribute %q\n", fs.Arg(0), len(script), *attrName)
+
+	handlers := []string{
+		attr.HandlerGet, attr.HandlerSubscribe, attr.HandlerUnsubscribe,
+		attr.HandlerDeliver, attr.HandlerTimer,
+	}
+	fmt.Print("handlers:")
+	found := 0
+	for _, h := range handlers {
+		if res, _ := probeHandler(m, *attrName, h); res {
+			fmt.Printf(" %s", h)
+			found++
+		}
+	}
+	if found == 0 {
+		fmt.Print(" (none)")
+	}
+	fmt.Println()
+	_ = a
+
+	if *invoke == "" {
+		return nil
+	}
+	var hArgs []any
+	if *argList != "" {
+		for _, raw := range strings.Split(*argList, ",") {
+			hArgs = append(hArgs, fedcfg.ParseAttrValue(raw))
+		}
+	}
+	res, err := m.Invoke(*attrName, *invoke, hArgs...)
+	if err != nil {
+		return err
+	}
+	if !res.Handled {
+		return fmt.Errorf("script defines no %s handler", *invoke)
+	}
+	fmt.Printf("%s(%s) -> %#v\n", *invoke, *argList, res.Value)
+	if *steps {
+		fmt.Printf("instructions consumed: %d\n", res.Steps)
+	}
+	return nil
+}
+
+// probeHandler reports whether the attribute's runtime defines handler h,
+// without invoking it.
+func probeHandler(m *attr.Map, attrName, h string) (bool, error) {
+	a, ok := m.Lookup(attrName)
+	if !ok || !a.Active() {
+		return false, nil
+	}
+	return a.HasHandler(h), nil
+}

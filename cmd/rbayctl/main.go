@@ -1,0 +1,181 @@
+// Command rbayctl is the customer-side client for a real rbayd
+// federation: it attaches an ephemeral node, issues one SQL-like query
+// (or admin operation), prints the result, and leaves.
+//
+// Usage:
+//
+//	rbayctl -addr site/ctl0 -peers peers.txt -seed site/host \
+//	        [-registry registry.json] [-password secret] \
+//	        query 'SELECT 3 FROM * WHERE GPU = true;'
+//
+//	rbayctl ... treesize GPU
+//	rbayctl ... deliver GPU '{"new_price": 2.5}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rbay"
+	"rbay/internal/fedcfg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rbayctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rbayctl", flag.ContinueOnError)
+	addrFlag := fs.String("addr", "", "this client's federation address, site/host (required)")
+	listen := fs.String("listen", ":0", "TCP listen address")
+	peersPath := fs.String("peers", "peers.txt", "peer table file")
+	registryPath := fs.String("registry", "", "tree registry JSON (empty: EC2 evaluation catalog)")
+	seedFlag := fs.String("seed", "", "peer to join through, site/host (required)")
+	password := fs.String("password", "", "payload presented to onGet handlers")
+	timeout := fs.Duration("timeout", 30*time.Second, "operation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if *addrFlag == "" || *seedFlag == "" || len(rest) < 1 {
+		return fmt.Errorf("usage: rbayctl -addr site/host -seed site/host [flags] query|treesize|deliver ...")
+	}
+	addr, err := fedcfg.ParseAddr(*addrFlag)
+	if err != nil {
+		return err
+	}
+	seed, err := fedcfg.ParseAddr(*seedFlag)
+	if err != nil {
+		return err
+	}
+	peers, err := fedcfg.LoadPeers(*peersPath)
+	if err != nil {
+		return err
+	}
+	reg := rbay.EC2Registry()
+	if *registryPath != "" {
+		reg, err = fedcfg.LoadRegistry(*registryPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	node, err := rbay.NewTCPNode(addr, rbay.TCPOptions{
+		Listen:   *listen,
+		Registry: reg,
+		Resolve: func(a rbay.Addr) (string, error) {
+			hp, ok := peers[a]
+			if !ok {
+				return "", fmt.Errorf("no peer entry for %v", a)
+			}
+			return hp, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	joined := make(chan struct{})
+	var joinErr error
+	node.Node.DoWait(func() {
+		joinErr = node.Node.Pastry().JoinGlobal(seed, func() { close(joined) })
+	})
+	if joinErr != nil {
+		return joinErr
+	}
+	select {
+	case <-joined:
+	case <-time.After(*timeout):
+		return fmt.Errorf("join through %v timed out", seed)
+	}
+
+	switch rest[0] {
+	case "query":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: rbayctl ... query 'SELECT ...'")
+		}
+		return doQuery(node.Node, rest[1], *password, *timeout)
+	case "treesize":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: rbayctl ... treesize <tree-name>")
+		}
+		return doTreeSize(node.Node, rest[1], *timeout)
+	case "deliver":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: rbayctl ... deliver <tree-name> <json-payload>")
+		}
+		var payload any
+		if err := json.Unmarshal([]byte(rest[2]), &payload); err != nil {
+			payload = rest[2] // plain string payload
+		}
+		var delErr error
+		node.Node.DoWait(func() { delErr = node.Node.DeliverCommand(rest[1], payload) })
+		if delErr != nil {
+			return delErr
+		}
+		time.Sleep(2 * time.Second) // let the multicast drain before detaching
+		fmt.Println("command delivered")
+		return nil
+	default:
+		return fmt.Errorf("unknown operation %q", rest[0])
+	}
+}
+
+func doQuery(n *rbay.Node, sql, password string, timeout time.Duration) error {
+	q, err := rbay.ParseQuery(sql)
+	if err != nil {
+		return err
+	}
+	done := make(chan rbay.Result, 1)
+	n.Do(func() {
+		n.QueryAs(q, "rbayctl", password, func(r rbay.Result) { done <- r })
+	})
+	select {
+	case r := <-done:
+		if r.Err != nil {
+			return r.Err
+		}
+		fmt.Printf("query %s: %d candidate(s) in %v (%d attempt(s))\n",
+			r.QueryID, len(r.Candidates), r.Elapsed.Round(time.Millisecond), r.Attempts)
+		for _, c := range r.Candidates {
+			fmt.Printf("  %-28s site=%-12s id=%v\n", c.Addr, c.Site, c.NodeID)
+		}
+		if r.Shortfall > 0 {
+			fmt.Printf("  (%d short of the requested count)\n", r.Shortfall)
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("query timed out")
+	}
+}
+
+func doTreeSize(n *rbay.Node, tree string, timeout time.Duration) error {
+	type sizeResult struct {
+		size int64
+		err  error
+	}
+	done := make(chan sizeResult, 1)
+	n.Do(func() {
+		err := n.TreeSize(tree, func(s int64, err error) { done <- sizeResult{s, err} })
+		if err != nil {
+			done <- sizeResult{0, err}
+		}
+	})
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return r.err
+		}
+		fmt.Printf("tree %q has %d member(s) in site %s\n", tree, r.size, n.Site())
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("tree-size probe timed out")
+	}
+}

@@ -1,0 +1,173 @@
+// Command rbayd runs one RBAY node over real TCP — the per-server agent a
+// site admin deploys.
+//
+// Usage:
+//
+//	rbayd -addr site/host -listen :7946 -peers peers.txt -registry registry.json
+//	      [-bootstrap | -seed site/host] [-http :8080]
+//	      [-attr name=value]... [-policy attr=script.aal]...
+//
+// peers.txt maps node addresses to TCP endpoints ("virginia/n1 10.0.0.5:7946");
+// registry.json declares the federation's aggregation trees. The first
+// node of a federation starts with -bootstrap; later nodes join through
+// any running peer with -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rbay"
+	"rbay/internal/fedcfg"
+	"rbay/internal/httpgw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rbayd:", err)
+		os.Exit(1)
+	}
+}
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rbayd", flag.ContinueOnError)
+	addrFlag := fs.String("addr", "", "this node's federation address, site/host (required)")
+	listen := fs.String("listen", ":7946", "TCP listen address")
+	peersPath := fs.String("peers", "peers.txt", "peer table file")
+	registryPath := fs.String("registry", "", "tree registry JSON (empty: EC2 evaluation catalog)")
+	bootstrap := fs.Bool("bootstrap", false, "start a new federation (first node)")
+	httpAddr := fs.String("http", "", "optional HTTP gateway listen address (e.g. :8080)")
+	seedFlag := fs.String("seed", "", "existing peer to join through, site/host")
+	var attrFlags, policyFlags repeated
+	fs.Var(&attrFlags, "attr", "attribute to publish, name=value (repeatable)")
+	fs.Var(&policyFlags, "policy", "AA policy to attach, attr=script-path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addrFlag == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	addr, err := fedcfg.ParseAddr(*addrFlag)
+	if err != nil {
+		return err
+	}
+	if !*bootstrap && *seedFlag == "" {
+		return fmt.Errorf("either -bootstrap or -seed is required")
+	}
+
+	peers, err := fedcfg.LoadPeers(*peersPath)
+	if err != nil {
+		return err
+	}
+	reg := rbay.EC2Registry()
+	if *registryPath != "" {
+		reg, err = fedcfg.LoadRegistry(*registryPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	node, err := rbay.NewTCPNode(addr, rbay.TCPOptions{
+		Listen:   *listen,
+		Registry: reg,
+		Resolve: func(a rbay.Addr) (string, error) {
+			hp, ok := peers[a]
+			if !ok {
+				return "", fmt.Errorf("no peer entry for %v", a)
+			}
+			return hp, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("rbayd: node %v listening on %s (NodeId %s)\n",
+		addr, node.ListenAddr(), node.Node.Pastry().ID().Short())
+
+	// Publish attributes and attach policies before joining, so the first
+	// membership pass sees them. Node methods run on the node's event
+	// context (DoWait), never on this goroutine.
+	for _, kv := range attrFlags {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("malformed -attr %q (want name=value)", kv)
+		}
+		node.Node.DoWait(func() { node.Node.SetAttribute(name, fedcfg.ParseAttrValue(val)) })
+	}
+	for _, kv := range policyFlags {
+		name, path, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("malformed -policy %q (want attr=script-path)", kv)
+		}
+		script, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var attachErr error
+		node.Node.DoWait(func() { attachErr = node.Node.AttachPolicy(name, string(script)) })
+		if attachErr != nil {
+			return attachErr
+		}
+	}
+
+	if *bootstrap {
+		node.Node.DoWait(func() { node.Node.Pastry().BootstrapAlone() })
+		fmt.Println("rbayd: bootstrapped a new federation")
+	} else {
+		seed, err := fedcfg.ParseAddr(*seedFlag)
+		if err != nil {
+			return err
+		}
+		joined := make(chan struct{})
+		var joinErr error
+		node.Node.DoWait(func() {
+			joinErr = node.Node.Pastry().JoinGlobal(peers2addr(peers, seed), func() { close(joined) })
+		})
+		if joinErr != nil {
+			return joinErr
+		}
+		select {
+		case <-joined:
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("join through %v timed out", seed)
+		}
+		if seed.Site == addr.Site {
+			node.Node.DoWait(func() { _ = node.Node.Pastry().JoinSite(seed, nil) })
+		}
+		fmt.Printf("rbayd: joined federation through %v\n", seed)
+	}
+
+	if *httpAddr != "" {
+		gw := httpgw.New(node.Node, 30*time.Second)
+		srv := &http.Server{Addr: *httpAddr, Handler: gw, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "rbayd: http gateway:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("rbayd: HTTP gateway on %s\n", *httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rbayd: shutting down")
+	return nil
+}
+
+// peers2addr returns the federation address itself (the resolver maps it
+// to TCP); it exists to keep the call sites readable.
+func peers2addr(_ map[rbay.Addr]string, a rbay.Addr) rbay.Addr { return a }

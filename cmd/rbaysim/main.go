@@ -1,0 +1,128 @@
+// Command rbaysim regenerates the paper's evaluation tables and figures
+// against the simulated federation.
+//
+// Usage:
+//
+//	rbaysim -exp table2|fig8a|fig8b|fig8c|fig9|fig10|fig11|ganglia|churn|forecast|all
+//	        [-scale quick|full] [-seed N]
+//
+// Each experiment prints the rows/series the corresponding paper artifact
+// reports. "quick" (default) runs in seconds; "full" approaches the
+// paper's 16,000-agent scale and can take minutes and several GB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rbay/internal/experiments"
+)
+
+type renderable interface{ Render() string }
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rbaysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rbaysim", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table2, fig8a, fig8b, fig8c, fig9, fig10, fig11, ganglia, churn, forecast, or all")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
+	seed := fs.Int64("seed", 1, "random seed (runs are reproducible per seed)")
+	nodesPerSite := fs.Int("nodes-per-site", 0, "override the scale's macro federation size")
+	extraAttrs := fs.Int("extra-attrs", -1, "override the synthetic attributes per node")
+	queriesPerCell := fs.Int("queries-per-cell", 0, "override the queries per (origin, #sites) cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.Quick()
+	case "full":
+		sc = experiments.Full()
+	default:
+		return fmt.Errorf("unknown -scale %q (want quick or full)", *scaleName)
+	}
+	sc.Seed = *seed
+	if *nodesPerSite > 0 {
+		sc.NodesPerSite = *nodesPerSite
+	}
+	if *extraAttrs >= 0 {
+		sc.ExtraAttrs = *extraAttrs
+	}
+	if *queriesPerCell > 0 {
+		sc.QueriesPerCell = *queriesPerCell
+	}
+
+	// Fig. 9 and Fig. 10 render the same macro run; share it when both are
+	// requested.
+	var macro *experiments.MacroResult
+	getMacro := func() (*experiments.MacroResult, error) {
+		if macro != nil {
+			return macro, nil
+		}
+		m, err := experiments.RunMacro(sc)
+		if err != nil {
+			return nil, err
+		}
+		macro = m
+		return macro, nil
+	}
+
+	type runner struct {
+		name string
+		fn   func() (renderable, error)
+	}
+	runners := []runner{
+		{"table2", func() (renderable, error) { return experiments.Table2() }},
+		{"fig8a", func() (renderable, error) { return experiments.Fig8a(sc) }},
+		{"fig8b", func() (renderable, error) { return experiments.Fig8b(sc) }},
+		{"fig8c", func() (renderable, error) { return experiments.Fig8c(sc) }},
+		{"fig9", func() (renderable, error) {
+			m, err := getMacro()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.NewFig9(m), nil
+		}},
+		{"fig10", func() (renderable, error) {
+			m, err := getMacro()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.NewFig10(m), nil
+		}},
+		{"fig11", func() (renderable, error) { return experiments.Fig11(sc) }},
+		{"ganglia", func() (renderable, error) { return experiments.GangliaAblation(sc) }},
+		{"churn", func() (renderable, error) { return experiments.ChurnAblation(sc) }},
+		{"forecast", func() (renderable, error) { return experiments.ForecastAblation(sc) }},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := false
+	for _, r := range runners {
+		if want != "all" && want != r.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown -exp %q", *exp)
+	}
+	return nil
+}

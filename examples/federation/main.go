@@ -1,0 +1,108 @@
+// Federation: the paper's eight-site EC2 deployment in miniature — the
+// full instance-type catalog, Gaussian tree sizes, and composite queries
+// whose location predicate widens from the local site to all eight,
+// showing the latency staircase of Fig. 10.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"rbay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	reg := rbay.EC2Registry()
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		NodesPerSite:    25, // all 8 EC2 sites by default
+		Seed:            11,
+		Jitter:          0.05,
+		RealisticAgents: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Populate every node with an instance type (center-heavy Gaussian,
+	// like the paper's tree sizes) and monitoring attributes.
+	types := []string{
+		"c3.large", "c3.xlarge", "c3.2xlarge", "c3.4xlarge", "c3.8xlarge",
+		"m3.large", "m3.xlarge", "r3.large", "g2.2xlarge",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range fed.Nodes() {
+		t := types[min(len(types)-1, int(rng.NormFloat64()*2+4.5+0.5))%len(types)]
+		family, _, _ := strings.Cut(t, ".")
+		n.SetAttribute("instance_type", t)
+		n.SetAttribute("instance_family", family)
+		n.SetAttribute("GPU", t == "g2.2xlarge")
+		n.SetAttribute("CPU_utilization", rng.Float64())
+		n.SetAttribute("vcpu", 4.0)
+		n.SetAttribute("mem_gb", 15.0)
+	}
+	fed.Settle()
+
+	// Probe a tree size the way the query planner does.
+	virginia := fed.Site("virginia")[4]
+	sizeDone := false
+	err = virginia.TreeSize("instance_type=c3.8xlarge", func(s int64, err error) {
+		sizeDone = true
+		if err != nil {
+			fmt.Println("tree probe failed:", err)
+			return
+		}
+		fmt.Printf("virginia's c3.8xlarge tree holds %d members\n", s)
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 50 && !sizeDone; i++ {
+		fed.RunFor(100 * time.Millisecond)
+	}
+
+	// Widen the location predicate from the local site to all eight and
+	// watch the latency staircase (paper Fig. 10).
+	siteSets := [][]string{
+		{"virginia"},
+		{"virginia", "oregon"},
+		{"virginia", "oregon", "california", "ireland"},
+		nil, // all eight
+	}
+	fmt.Println("\nlocation predicate          latency   candidates")
+	for _, set := range siteSets {
+		from := "*"
+		if set != nil {
+			from = strings.Join(set, ", ")
+		}
+		sql := fmt.Sprintf(`SELECT 3 FROM %s WHERE instance_family = "c3" AND CPU_utilization < 50%%;`, from)
+		res, err := fed.QuerySync(virginia, sql)
+		if err != nil {
+			return err
+		}
+		label := from
+		if len(label) > 26 {
+			label = label[:23] + "..."
+		}
+		fmt.Printf("%-26s  %8v  %d\n", label, res.Elapsed.Round(time.Millisecond), len(res.Candidates))
+		virginia.Release(res.QueryID, res.Candidates)
+		fed.RunFor(time.Second)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+// Marketplace: contention over a scarce resource pool — concurrent
+// customers racing for the same GPUs, reservation locks preventing double
+// allocation, truncated exponential backoff resolving the conflicts, and
+// commit/release completing the eBay-style lifecycle (paper §III-D).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rbay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "marketplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name:    "GPU",
+		Pred:    rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true},
+		Creator: "marketplace",
+	})
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia"},
+		NodesPerSite: 30,
+		Seed:         21,
+	})
+	if err != nil {
+		return err
+	}
+	// Only 8 GPU nodes exist.
+	for i, n := range fed.Site("virginia") {
+		n.SetAttribute("GPU", i%4 == 1)
+	}
+	fed.Settle()
+
+	// Five customers each want 3 GPUs: 15 demanded, 8 exist. Reservations
+	// must never hand one node to two customers; the unlucky ones back
+	// off, retry, and finally report a shortfall.
+	customers := []string{"alice", "bob", "carol", "dave", "erin"}
+	type outcome struct {
+		who string
+		res rbay.Result
+	}
+	results := make([]outcome, 0, len(customers))
+	pending := len(customers)
+	for i, who := range customers {
+		n := fed.Site("virginia")[2+i*5]
+		q, err := rbay.ParseQuery(`SELECT 3 FROM virginia WHERE GPU = true;`)
+		if err != nil {
+			return err
+		}
+		who := who
+		n.QueryAs(q, who, nil, func(r rbay.Result) {
+			results = append(results, outcome{who: who, res: r})
+			pending--
+		})
+	}
+	for i := 0; i < 600 && pending > 0; i++ {
+		fed.RunFor(100 * time.Millisecond)
+	}
+	if pending > 0 {
+		return fmt.Errorf("%d customers never completed", pending)
+	}
+
+	holders := map[string]string{}
+	total := 0
+	fmt.Println("customer  got  attempts  conflicts  latency")
+	for _, o := range results {
+		for _, c := range o.res.Candidates {
+			if prev, taken := holders[c.Addr.String()]; taken {
+				return fmt.Errorf("DOUBLE ALLOCATION: %v held by %s and %s", c.Addr, prev, o.who)
+			}
+			holders[c.Addr.String()] = o.who
+		}
+		total += len(o.res.Candidates)
+		fmt.Printf("%-8s  %3d  %8d  %9d  %v\n",
+			o.who, len(o.res.Candidates), o.res.Attempts, o.res.Conflicts,
+			o.res.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("allocated %d of 8 GPUs across %d customers — no node sold twice\n", total, len(customers))
+
+	// Alice commits her win; everyone else walks away. After the TTL the
+	// pool frees up again for a latecomer.
+	for _, o := range results {
+		n := fed.Site("virginia")[2]
+		if o.who == "alice" {
+			n.Commit(o.res.QueryID, o.res.Candidates)
+		} else {
+			n.Release(o.res.QueryID, o.res.Candidates)
+		}
+	}
+	fed.RunFor(10 * time.Second)
+	late := fed.Site("virginia")[27]
+	res, err := fed.QuerySync(late, `SELECT * FROM virginia WHERE GPU = true;`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("latecomer finds %d free GPUs (alice still holds %d committed)\n",
+		len(res.Candidates), 8-len(res.Candidates))
+	return nil
+}

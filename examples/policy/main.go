@@ -1,0 +1,150 @@
+// Policy: the paper's §I admin scenarios as active-attribute scripts —
+// Grace exposes resources only after 22:00, James demands a password, and
+// Kevin checks the customer's history log. The same query returns
+// different resources depending on who asks, when, and with what
+// credentials.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rbay"
+)
+
+// gracePolicy: time-window exposure (available to others after 22:00).
+const gracePolicy = `
+function onGet(caller, payload)
+    local secs = now() % 86400
+    local hour = math.floor(secs / 3600)
+    if hour >= 22 then
+        return NodeId
+    end
+    return nil
+end
+`
+
+// jamesPolicy: the paper's Fig. 5 password check, verbatim in structure.
+const jamesPolicy = `
+AA = {Password = "3053482032"}
+function onGet(caller, password)
+    if (password == AA.Password) then
+        return NodeId
+    end
+    return nil
+end
+`
+
+// kevinPolicy: only customers with a good history log (no worrisome
+// behavior) get access; the AA keeps a per-caller strike table.
+const kevinPolicy = `
+AA = {strikes = {}, limit = 2}
+function onGet(caller, payload)
+    local s = AA.strikes[caller] or 0
+    if s >= AA.limit then
+        return nil
+    end
+    return NodeId
+end
+function onDeliver(caller, badActor)
+    -- Kevin's admin multicasts names of misbehaving customers.
+    AA.strikes[badActor] = (AA.strikes[badActor] or 0) + 1
+    return nil
+end
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "policy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name:    "GPU",
+		Pred:    rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true},
+		Creator: "policy-demo",
+	})
+
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia", "ireland", "tokyo"}, // grace, james, kevin
+		NodesPerSite: 8,
+		Seed:         3,
+	})
+	if err != nil {
+		return err
+	}
+	policies := map[string]string{
+		"virginia": gracePolicy,
+		"ireland":  jamesPolicy,
+		"tokyo":    kevinPolicy,
+	}
+	for site, script := range policies {
+		for _, n := range fed.Site(site) {
+			n.SetAttribute("GPU", true)
+			if err := n.AttachPolicy("GPU", script); err != nil {
+				return err
+			}
+		}
+	}
+	fed.Settle()
+	joe := fed.Site("tokyo")[3]
+
+	show := func(label string, res rbay.Result) {
+		bySite := map[string]int{}
+		for _, c := range res.Candidates {
+			bySite[c.Site]++
+		}
+		fmt.Printf("%-38s -> grace=%d james=%d kevin=%d (total %d)\n",
+			label, bySite["virginia"], bySite["ireland"], bySite["tokyo"], len(res.Candidates))
+	}
+
+	// The simulation starts at midnight UTC: Grace's window is closed.
+	fmt.Println("simulated time:", fed.Now().Format("15:04"))
+	res, err := fed.QuerySyncAs(joe, `SELECT * FROM * WHERE GPU = true;`, "joe", nil)
+	if err != nil {
+		return err
+	}
+	show("no credentials", res)
+	releaseAll(fed, joe, res)
+
+	res, err = fed.QuerySyncAs(joe, `SELECT * FROM * WHERE GPU = true;`, "joe", "3053482032")
+	if err != nil {
+		return err
+	}
+	show("with James's password", res)
+	releaseAll(fed, joe, res)
+
+	// Kevin's admin flags Joe twice; Kevin's nodes stop serving him.
+	kevinAdmin := fed.Site("tokyo")[0]
+	for i := 0; i < 2; i++ {
+		if err := kevinAdmin.DeliverCommand("GPU", "joe"); err != nil {
+			return err
+		}
+		fed.RunFor(2e9) // 2s: let the multicast reach all members
+	}
+	res, err = fed.QuerySyncAs(joe, `SELECT * FROM * WHERE GPU = true;`, "joe", "3053482032")
+	if err != nil {
+		return err
+	}
+	show("after 2 strikes at Kevin's site", res)
+	releaseAll(fed, joe, res)
+
+	// Fast-forward to 23:00: Grace's window opens.
+	fed.RunFor(23 * 3600 * 1e9)
+	fmt.Println("simulated time:", fed.Now().Format("15:04"))
+	res, err = fed.QuerySyncAs(joe, `SELECT * FROM * WHERE GPU = true;`, "joe", "3053482032")
+	if err != nil {
+		return err
+	}
+	show("after 22:00 with password", res)
+	releaseAll(fed, joe, res)
+	return nil
+}
+
+func releaseAll(fed *rbay.Federation, n *rbay.Node, res rbay.Result) {
+	n.Release(res.QueryID, res.Candidates)
+	fed.RunFor(1e9)
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small simulated federation, post resources, and run
+// a composite query — the "Joe asks Grace, James and Kevin" scenario from
+// the paper's introduction (Fig. 1).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rbay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The federation's shared catalog: which aggregation trees exist.
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name:    "GPU",
+		Pred:    rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true},
+		Creator: "quickstart",
+	})
+	reg.MustDefine(rbay.TreeDef{
+		Name:    "util<10%",
+		Pred:    rbay.Pred{Attr: "CPU_utilization", Op: rbay.OpLt, Value: 0.10},
+		Creator: "quickstart",
+	})
+
+	// Three sites — Grace's, James's and Kevin's datacenters.
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia", "ireland", "tokyo"},
+		NodesPerSite: 12,
+		Seed:         7,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Admins post their spare resources: every third node has a GPU, and
+	// utilization varies.
+	for _, site := range fed.Sites() {
+		for i, n := range fed.Site(site) {
+			n.SetAttribute("GPU", i%3 == 0)
+			n.SetAttribute("CPU_utilization", float64(i)/12.0)
+			n.SetAttribute("mem_gb", float64(4+4*(i%4)))
+		}
+	}
+
+	// Let trees form and aggregates roll up.
+	fed.Settle()
+
+	// Joe queries from Tokyo: idle GPU nodes anywhere, biggest memory
+	// first.
+	joe := fed.Site("tokyo")[5]
+	res, err := fed.QuerySync(joe,
+		`SELECT 4 FROM * WHERE GPU = true AND CPU_utilization < 10% GROUPBY mem_gb DESC;`)
+	if err != nil {
+		return err
+	}
+	if res.Err != nil {
+		return res.Err
+	}
+
+	fmt.Printf("Joe's query %s found %d nodes in %v:\n",
+		res.QueryID, len(res.Candidates), res.Elapsed)
+	for _, c := range res.Candidates {
+		fmt.Printf("  %-22s site=%-10s mem=%v GB\n", c.Addr, c.Site, c.SortKey)
+	}
+
+	// Joe takes the first two and releases the rest.
+	joe.Commit(res.QueryID, res.Candidates[:2])
+	joe.Release(res.QueryID, res.Candidates[2:])
+	fed.RunFor(0) // drain the commit messages
+	fmt.Println("committed 2 nodes, released the rest")
+	return nil
+}

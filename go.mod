@@ -1,0 +1,3 @@
+module rbay
+
+go 1.22

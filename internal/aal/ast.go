@@ -1,0 +1,180 @@
+package aal
+
+// Chunk is a parsed program: a block of statements ready for execution by a
+// Runtime. Chunks are immutable and safe to share across runtimes.
+type Chunk struct {
+	body []stmt
+}
+
+type stmt interface{ stmtLine() int }
+
+type (
+	// localStmt declares local variables: local a, b = e1, e2.
+	localStmt struct {
+		line  int
+		names []string
+		exprs []expr
+	}
+
+	// assignStmt assigns to variables and table fields: a, t.x = e1, e2.
+	assignStmt struct {
+		line    int
+		targets []expr // nameExpr or indexExpr
+		exprs   []expr
+	}
+
+	// callStmt is a function call in statement position.
+	callStmt struct {
+		line int
+		call *callExpr
+	}
+
+	// ifStmt covers if/elseif/else chains (elseifs nest in elseBody).
+	ifStmt struct {
+		line     int
+		cond     expr
+		thenBody []stmt
+		elseBody []stmt
+	}
+
+	whileStmt struct {
+		line int
+		cond expr
+		body []stmt
+	}
+
+	repeatStmt struct {
+		line int
+		body []stmt
+		cond expr
+	}
+
+	// numForStmt is the numeric for: for i = start, stop [, step] do.
+	numForStmt struct {
+		line              int
+		name              string
+		start, stop, step expr
+		body              []stmt
+	}
+
+	// genForStmt is the generic for over an iterable: for k[,v] in expr do.
+	genForStmt struct {
+		line  int
+		names []string
+		iter  expr
+		body  []stmt
+	}
+
+	returnStmt struct {
+		line  int
+		exprs []expr
+	}
+
+	breakStmt struct {
+		line int
+	}
+
+	doStmt struct {
+		line int
+		body []stmt
+	}
+)
+
+func (s *localStmt) stmtLine() int  { return s.line }
+func (s *assignStmt) stmtLine() int { return s.line }
+func (s *callStmt) stmtLine() int   { return s.line }
+func (s *ifStmt) stmtLine() int     { return s.line }
+func (s *whileStmt) stmtLine() int  { return s.line }
+func (s *repeatStmt) stmtLine() int { return s.line }
+func (s *numForStmt) stmtLine() int { return s.line }
+func (s *genForStmt) stmtLine() int { return s.line }
+func (s *returnStmt) stmtLine() int { return s.line }
+func (s *breakStmt) stmtLine() int  { return s.line }
+func (s *doStmt) stmtLine() int     { return s.line }
+
+type expr interface{ exprLine() int }
+
+type (
+	nilExpr struct{ line int }
+
+	boolExpr struct {
+		line int
+		val  bool
+	}
+
+	numberExpr struct {
+		line int
+		val  float64
+	}
+
+	stringExpr struct {
+		line int
+		val  string
+	}
+
+	nameExpr struct {
+		line int
+		name string
+	}
+
+	// indexExpr is t[k] and t.k (the latter with a string literal key).
+	indexExpr struct {
+		line   int
+		object expr
+		key    expr
+	}
+
+	callExpr struct {
+		line int
+		fn   expr
+		args []expr
+	}
+
+	// methodCallExpr is t:m(args) — sugar for t.m(t, args).
+	methodCallExpr struct {
+		line   int
+		object expr
+		method string
+		args   []expr
+	}
+
+	funcExpr struct {
+		line   int
+		params []string
+		body   []stmt
+	}
+
+	// tableExpr is a constructor: {e1, e2, k = v, [kx] = vx}.
+	tableExpr struct {
+		line    int
+		array   []expr
+		keys    []expr // parallel with values
+		values  []expr
+		hasKeys bool
+	}
+
+	binExpr struct {
+		line int
+		op   tokenKind
+		l, r expr
+	}
+
+	unExpr struct {
+		line    int
+		op      tokenKind // tokMinus, tokNot, tokHash
+		operand expr
+	}
+)
+
+func (e *nilExpr) exprLine() int        { return e.line }
+func (e *boolExpr) exprLine() int       { return e.line }
+func (e *numberExpr) exprLine() int     { return e.line }
+func (e *stringExpr) exprLine() int     { return e.line }
+func (e *nameExpr) exprLine() int       { return e.line }
+func (e *indexExpr) exprLine() int      { return e.line }
+func (e *callExpr) exprLine() int       { return e.line }
+func (e *methodCallExpr) exprLine() int { return e.line }
+func (e *funcExpr) exprLine() int       { return e.line }
+func (e *tableExpr) exprLine() int      { return e.line }
+func (e *binExpr) exprLine() int        { return e.line }
+func (e *unExpr) exprLine() int         { return e.line }

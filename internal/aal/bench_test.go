@@ -1,0 +1,124 @@
+package aal
+
+import (
+	"testing"
+	"time"
+)
+
+var benchPasswordScript = `
+AA = {NodeId = 27, Password = "3053482032"}
+function onGet(caller, password)
+    if (password == AA.Password) then
+        return AA.NodeId
+    end
+    return nil
+end
+`
+
+// BenchmarkCompile measures parsing a typical policy script.
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchPasswordScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHandlerInvocation measures one onGet dispatch — the per-visit
+// cost every anycast pays on every candidate.
+func BenchmarkHandlerInvocation(b *testing.B) {
+	r := NewRuntime(Options{})
+	if err := r.Run(MustCompile(benchPasswordScript)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := r.CallGlobal("onGet", "joe", "3053482032")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out[0] != 27.0 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+// BenchmarkHandlerDenied measures the rejection path.
+func BenchmarkHandlerDenied(b *testing.B) {
+	r := NewRuntime(Options{})
+	if err := r.Run(MustCompile(benchPasswordScript)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CallGlobal("onGet", "joe", "wrong"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterLoop measures raw interpretation throughput
+// (steps/second) on a numeric loop.
+func BenchmarkInterpreterLoop(b *testing.B) {
+	r := NewRuntime(Options{StepBudget: 10_000_000})
+	chunk := MustCompile(`
+		function work(n)
+			local s = 0
+			for i = 1, n do s = s + i * 2 - 1 end
+			return s
+		end
+	`)
+	if err := r.Run(chunk); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CallGlobal("work", 1000.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableOps measures table-heavy handler code.
+func BenchmarkTableOps(b *testing.B) {
+	r := NewRuntime(Options{StepBudget: 10_000_000})
+	chunk := MustCompile(`
+		function work()
+			local t = {}
+			for i = 1, 100 do t[i] = i end
+			local s = 0
+			for _, v in ipairs(t) do s = s + v end
+			return s
+		end
+	`)
+	if err := r.Run(chunk); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := r.CallGlobal("work")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out[0] != 5050.0 {
+			b.Fatal("wrong sum")
+		}
+	}
+}
+
+// BenchmarkNowBuiltin measures the host-clock bridge.
+func BenchmarkNowBuiltin(b *testing.B) {
+	epoch := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+	r := NewRuntime(Options{Now: func() time.Time { return epoch }})
+	if err := r.Run(MustCompile(`function f() return now() end`)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CallGlobal("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

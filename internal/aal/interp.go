@@ -1,0 +1,780 @@
+package aal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrBudgetExceeded terminates a handler that ran past its instruction
+// budget (the paper's first sandbox modification).
+var ErrBudgetExceeded = errors.New("aal: instruction budget exceeded")
+
+// ErrTooDeep terminates runaway recursion.
+var ErrTooDeep = errors.New("aal: call stack too deep")
+
+// RuntimeError reports an execution failure with its source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("aal: runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// Options configures a Runtime. The zero value applies safe defaults.
+type Options struct {
+	// StepBudget caps the number of evaluation steps per Run/Call
+	// invocation. Default 100,000; never unlimited.
+	StepBudget int
+	// MaxCallDepth caps recursion depth. Default 128.
+	MaxCallDepth int
+	// MaxStringLen caps the length of any constructed string, bounding
+	// memory blow-up from repeated concatenation. Default 1 MiB.
+	MaxStringLen int
+	// Now supplies the current time for the host-injected now() builtin.
+	// Under simulation this must be the virtual clock. Defaults to a
+	// constant (policies see frozen time unless the host wires a clock).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.StepBudget <= 0 {
+		o.StepBudget = 100_000
+	}
+	if o.MaxCallDepth <= 0 {
+		o.MaxCallDepth = 128
+	}
+	if o.MaxStringLen <= 0 {
+		o.MaxStringLen = 1 << 20
+	}
+	if o.Now == nil {
+		epoch := time.Date(2017, time.June, 5, 0, 0, 0, 0, time.UTC)
+		o.Now = func() time.Time { return epoch }
+	}
+	return o
+}
+
+// environ is a lexical scope. Closures capture the environ they were
+// created in.
+type environ struct {
+	vars   map[string]Value
+	parent *environ
+}
+
+func newEnv(parent *environ) *environ {
+	return &environ{vars: make(map[string]Value), parent: parent}
+}
+
+func (e *environ) lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// assign sets an existing binding in the nearest enclosing scope, reporting
+// whether one was found.
+func (e *environ) assign(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Runtime executes chunks and handler calls against one persistent global
+// environment (one Runtime per active attribute).
+type Runtime struct {
+	opts    Options
+	globals *Table
+	steps   int
+	depth   int
+	// Output collects print() lines, since the sandbox has no I/O.
+	Output []string
+}
+
+// control-flow signal from statement execution.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlReturn
+)
+
+// NewRuntime creates a runtime with the sandboxed standard library
+// installed.
+func NewRuntime(opts Options) *Runtime {
+	r := &Runtime{opts: opts.withDefaults(), globals: NewTable()}
+	installStdlib(r)
+	return r
+}
+
+// Globals returns the global table.
+func (r *Runtime) Globals() *Table { return r.globals }
+
+// Global reads a global variable.
+func (r *Runtime) Global(name string) Value { return r.globals.Get(name) }
+
+// SetGlobal writes a global variable (hosts use this to inject AA state).
+func (r *Runtime) SetGlobal(name string, v Value) { _ = r.globals.Set(name, v) }
+
+// Run executes a chunk at the top level with a fresh instruction budget.
+func (r *Runtime) Run(c *Chunk) error {
+	r.steps = 0
+	r.depth = 0
+	_, _, err := r.execBlock(newEnv(nil), c.body)
+	return err
+}
+
+// Call invokes a function value with a fresh instruction budget.
+func (r *Runtime) Call(fn Value, args ...Value) ([]Value, error) {
+	r.steps = 0
+	r.depth = 0
+	return r.call(0, fn, args)
+}
+
+// CallGlobal invokes a global function by name; calling an absent global
+// returns (nil, false-ish) semantics via ErrNoHandler.
+func (r *Runtime) CallGlobal(name string, args ...Value) ([]Value, error) {
+	fn := r.globals.Get(name)
+	if fn == nil {
+		return nil, &RuntimeError{Msg: fmt.Sprintf("no global function %q", name)}
+	}
+	return r.Call(fn, args...)
+}
+
+// HasGlobal reports whether a global of that name exists.
+func (r *Runtime) HasGlobal(name string) bool { return r.globals.Get(name) != nil }
+
+// Steps reports the steps consumed by the last Run/Call.
+func (r *Runtime) Steps() int { return r.steps }
+
+func (r *Runtime) step(line int) error {
+	r.steps++
+	if r.steps > r.opts.StepBudget {
+		return fmt.Errorf("%w (line %d)", ErrBudgetExceeded, line)
+	}
+	return nil
+}
+
+func (r *Runtime) errf(line int, format string, args ...any) error {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (r *Runtime) execBlock(env *environ, body []stmt) (ctrl, []Value, error) {
+	for _, s := range body {
+		c, vals, err := r.execStmt(env, s)
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		if c != ctrlNone {
+			return c, vals, nil
+		}
+	}
+	return ctrlNone, nil, nil
+}
+
+func (r *Runtime) execStmt(env *environ, s stmt) (ctrl, []Value, error) {
+	if err := r.step(s.stmtLine()); err != nil {
+		return ctrlNone, nil, err
+	}
+	switch st := s.(type) {
+	case *localStmt:
+		vals, err := r.evalExprList(env, st.exprs, len(st.names))
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		for i, name := range st.names {
+			env.vars[name] = vals[i]
+		}
+		return ctrlNone, nil, nil
+
+	case *assignStmt:
+		vals, err := r.evalExprList(env, st.exprs, len(st.targets))
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		for i, tgt := range st.targets {
+			if err := r.assignTo(env, tgt, vals[i]); err != nil {
+				return ctrlNone, nil, err
+			}
+		}
+		return ctrlNone, nil, nil
+
+	case *callStmt:
+		_, err := r.evalMulti(env, st.call)
+		return ctrlNone, nil, err
+
+	case *ifStmt:
+		cond, err := r.evalExpr(env, st.cond)
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		if Truthy(cond) {
+			return r.execBlock(newEnv(env), st.thenBody)
+		}
+		return r.execBlock(newEnv(env), st.elseBody)
+
+	case *whileStmt:
+		for {
+			if err := r.step(st.line); err != nil {
+				return ctrlNone, nil, err
+			}
+			cond, err := r.evalExpr(env, st.cond)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if !Truthy(cond) {
+				return ctrlNone, nil, nil
+			}
+			c, vals, err := r.execBlock(newEnv(env), st.body)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil, nil
+			}
+			if c == ctrlReturn {
+				return c, vals, nil
+			}
+		}
+
+	case *repeatStmt:
+		for {
+			if err := r.step(st.line); err != nil {
+				return ctrlNone, nil, err
+			}
+			scope := newEnv(env)
+			c, vals, err := r.execBlock(scope, st.body)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil, nil
+			}
+			if c == ctrlReturn {
+				return c, vals, nil
+			}
+			// Lua scoping: until sees the loop body's locals.
+			cond, err := r.evalExpr(scope, st.cond)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if Truthy(cond) {
+				return ctrlNone, nil, nil
+			}
+		}
+
+	case *numForStmt:
+		start, err := r.evalNumber(env, st.start)
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		stop, err := r.evalNumber(env, st.stop)
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		step := 1.0
+		if st.step != nil {
+			step, err = r.evalNumber(env, st.step)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+		}
+		if step == 0 {
+			return ctrlNone, nil, r.errf(st.line, "'for' step is zero")
+		}
+		for i := start; (step > 0 && i <= stop) || (step < 0 && i >= stop); i += step {
+			if err := r.step(st.line); err != nil {
+				return ctrlNone, nil, err
+			}
+			scope := newEnv(env)
+			scope.vars[st.name] = i
+			c, vals, err := r.execBlock(scope, st.body)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c, vals, nil
+			}
+		}
+		return ctrlNone, nil, nil
+
+	case *genForStmt:
+		triple, err := r.evalMulti(env, st.iter)
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		var f, state, control Value
+		if len(triple) > 0 {
+			f = triple[0]
+		}
+		if len(triple) > 1 {
+			state = triple[1]
+		}
+		if len(triple) > 2 {
+			control = triple[2]
+		}
+		for {
+			if err := r.step(st.line); err != nil {
+				return ctrlNone, nil, err
+			}
+			vals, err := r.call(st.line, f, []Value{state, control})
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if len(vals) == 0 || vals[0] == nil {
+				return ctrlNone, nil, nil
+			}
+			control = vals[0]
+			scope := newEnv(env)
+			for i, name := range st.names {
+				if i < len(vals) {
+					scope.vars[name] = vals[i]
+				} else {
+					scope.vars[name] = nil
+				}
+			}
+			c, rvals, err := r.execBlock(scope, st.body)
+			if err != nil {
+				return ctrlNone, nil, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil, nil
+			}
+			if c == ctrlReturn {
+				return c, rvals, nil
+			}
+		}
+
+	case *returnStmt:
+		vals, err := r.evalExprList(env, st.exprs, -1)
+		if err != nil {
+			return ctrlNone, nil, err
+		}
+		return ctrlReturn, vals, nil
+
+	case *breakStmt:
+		return ctrlBreak, nil, nil
+
+	case *doStmt:
+		return r.execBlock(newEnv(env), st.body)
+	}
+	return ctrlNone, nil, r.errf(s.stmtLine(), "unknown statement %T", s)
+}
+
+func (r *Runtime) assignTo(env *environ, target expr, v Value) error {
+	switch t := target.(type) {
+	case *nameExpr:
+		if env.assign(t.name, v) {
+			return nil
+		}
+		return r.globals.Set(t.name, v)
+	case *indexExpr:
+		obj, err := r.evalExpr(env, t.object)
+		if err != nil {
+			return err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return r.errf(t.line, "attempt to index a %s value", TypeName(obj))
+		}
+		key, err := r.evalExpr(env, t.key)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Set(key, v); err != nil {
+			return r.errf(t.line, "%s", err)
+		}
+		return nil
+	}
+	return r.errf(target.exprLine(), "cannot assign to %T", target)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// evalExprList evaluates an expression list into exactly want values
+// (want < 0 means "as many as produced"): the last expression expands its
+// multiple results, earlier ones are truncated to one, missing values pad
+// with nil.
+func (r *Runtime) evalExprList(env *environ, exprs []expr, want int) ([]Value, error) {
+	var out []Value
+	for i, e := range exprs {
+		if i == len(exprs)-1 {
+			vals, err := r.evalMulti(env, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vals...)
+		} else {
+			v, err := r.evalExpr(env, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	if want < 0 {
+		return out, nil
+	}
+	for len(out) < want {
+		out = append(out, nil)
+	}
+	return out[:want], nil
+}
+
+// evalExpr evaluates to a single value (multi-value results truncate).
+func (r *Runtime) evalExpr(env *environ, e expr) (Value, error) {
+	vals, err := r.evalMulti(env, e)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	return vals[0], nil
+}
+
+func (r *Runtime) evalNumber(env *environ, e expr) (float64, error) {
+	v, err := r.evalExpr(env, e)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := ToNumber(v)
+	if !ok {
+		return 0, r.errf(e.exprLine(), "expected a number, got %s", TypeName(v))
+	}
+	return n, nil
+}
+
+var single = func(v Value) []Value { return []Value{v} }
+
+// evalMulti evaluates an expression preserving multiple results.
+func (r *Runtime) evalMulti(env *environ, e expr) ([]Value, error) {
+	if err := r.step(e.exprLine()); err != nil {
+		return nil, err
+	}
+	switch ex := e.(type) {
+	case *nilExpr:
+		return single(nil), nil
+	case *boolExpr:
+		return single(ex.val), nil
+	case *numberExpr:
+		return single(ex.val), nil
+	case *stringExpr:
+		return single(ex.val), nil
+
+	case *nameExpr:
+		if v, ok := env.lookup(ex.name); ok {
+			return single(v), nil
+		}
+		return single(r.globals.Get(ex.name)), nil
+
+	case *indexExpr:
+		obj, err := r.evalExpr(env, ex.object)
+		if err != nil {
+			return nil, err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return nil, r.errf(ex.line, "attempt to index a %s value", TypeName(obj))
+		}
+		key, err := r.evalExpr(env, ex.key)
+		if err != nil {
+			return nil, err
+		}
+		return single(tbl.Get(key)), nil
+
+	case *funcExpr:
+		return single(&Function{params: ex.params, body: ex.body, env: env}), nil
+
+	case *callExpr:
+		// Method-call statements arrive wrapped: unwrap.
+		if mc, ok := ex.fn.(*methodCallExpr); ok && len(ex.args) == 0 {
+			return r.evalMulti(env, mc)
+		}
+		fn, err := r.evalExpr(env, ex.fn)
+		if err != nil {
+			return nil, err
+		}
+		args, err := r.evalExprList(env, ex.args, -1)
+		if err != nil {
+			return nil, err
+		}
+		return r.call(ex.line, fn, args)
+
+	case *methodCallExpr:
+		obj, err := r.evalExpr(env, ex.object)
+		if err != nil {
+			return nil, err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return nil, r.errf(ex.line, "attempt to call method on a %s value", TypeName(obj))
+		}
+		fn := tbl.Get(ex.method)
+		args, err := r.evalExprList(env, ex.args, -1)
+		if err != nil {
+			return nil, err
+		}
+		return r.call(ex.line, fn, append([]Value{obj}, args...))
+
+	case *tableExpr:
+		t := NewTable()
+		for i, ae := range ex.array {
+			if i == len(ex.array)-1 && !ex.hasKeys {
+				vals, err := r.evalMulti(env, ae)
+				if err != nil {
+					return nil, err
+				}
+				for j, v := range vals {
+					_ = t.Set(float64(i+1+j), v)
+				}
+				continue
+			}
+			v, err := r.evalExpr(env, ae)
+			if err != nil {
+				return nil, err
+			}
+			_ = t.Set(float64(i+1), v)
+		}
+		for i := range ex.keys {
+			k, err := r.evalExpr(env, ex.keys[i])
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.evalExpr(env, ex.values[i])
+			if err != nil {
+				return nil, err
+			}
+			if err := t.Set(k, v); err != nil {
+				return nil, r.errf(ex.line, "%s", err)
+			}
+		}
+		return single(t), nil
+
+	case *binExpr:
+		return r.evalBinary(env, ex)
+
+	case *unExpr:
+		v, err := r.evalExpr(env, ex.operand)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.op {
+		case tokMinus:
+			n, ok := ToNumber(v)
+			if !ok {
+				return nil, r.errf(ex.line, "attempt to negate a %s value", TypeName(v))
+			}
+			return single(-n), nil
+		case tokNot:
+			return single(!Truthy(v)), nil
+		case tokHash:
+			switch x := v.(type) {
+			case string:
+				return single(float64(len(x))), nil
+			case *Table:
+				return single(float64(x.Len())), nil
+			default:
+				return nil, r.errf(ex.line, "attempt to get length of a %s value", TypeName(v))
+			}
+		}
+		return nil, r.errf(ex.line, "unknown unary operator")
+	}
+	return nil, r.errf(e.exprLine(), "unknown expression %T", e)
+}
+
+func (r *Runtime) evalBinary(env *environ, ex *binExpr) ([]Value, error) {
+	// Short-circuit operators first.
+	switch ex.op {
+	case tokAnd:
+		l, err := r.evalExpr(env, ex.l)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(l) {
+			return single(l), nil
+		}
+		v, err := r.evalExpr(env, ex.r)
+		return single(v), err
+	case tokOr:
+		l, err := r.evalExpr(env, ex.l)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(l) {
+			return single(l), nil
+		}
+		v, err := r.evalExpr(env, ex.r)
+		return single(v), err
+	}
+
+	l, err := r.evalExpr(env, ex.l)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := r.evalExpr(env, ex.r)
+	if err != nil {
+		return nil, err
+	}
+
+	switch ex.op {
+	case tokEq:
+		return single(valuesEqual(l, rv)), nil
+	case tokNe:
+		return single(!valuesEqual(l, rv)), nil
+	case tokConcat:
+		ls, lok := concatString(l)
+		rs, rok := concatString(rv)
+		if !lok || !rok {
+			return nil, r.errf(ex.line, "attempt to concatenate a %s value", TypeName(pick(!lok, l, rv)))
+		}
+		if len(ls)+len(rs) > r.opts.MaxStringLen {
+			return nil, r.errf(ex.line, "string too long (limit %d bytes)", r.opts.MaxStringLen)
+		}
+		return single(ls + rs), nil
+	case tokLt, tokLe, tokGt, tokGe:
+		return r.evalCompare(ex.line, ex.op, l, rv)
+	}
+
+	// Arithmetic.
+	ln, lok := ToNumber(l)
+	rn, rok := ToNumber(rv)
+	if !lok || !rok {
+		return nil, r.errf(ex.line, "attempt to perform arithmetic on a %s value", TypeName(pick(!lok, l, rv)))
+	}
+	switch ex.op {
+	case tokPlus:
+		return single(ln + rn), nil
+	case tokMinus:
+		return single(ln - rn), nil
+	case tokStar:
+		return single(ln * rn), nil
+	case tokSlash:
+		return single(ln / rn), nil
+	case tokPercent:
+		return single(ln - math.Floor(ln/rn)*rn), nil
+	case tokCaret:
+		return single(math.Pow(ln, rn)), nil
+	}
+	return nil, r.errf(ex.line, "unknown binary operator")
+}
+
+func pick(first bool, a, b Value) Value {
+	if first {
+		return a
+	}
+	return b
+}
+
+func concatString(v Value) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case float64:
+		return numberToString(x), true
+	default:
+		return "", false
+	}
+}
+
+func valuesEqual(a, b Value) bool {
+	// Pointer types compare by identity, scalars by value; mismatched
+	// types are never equal (Lua semantics: no coercion in ==).
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	default:
+		return a == b
+	}
+}
+
+func (r *Runtime) evalCompare(line int, op tokenKind, l, rv Value) ([]Value, error) {
+	if ln, ok := l.(float64); ok {
+		rn, ok := rv.(float64)
+		if !ok {
+			return nil, r.errf(line, "attempt to compare number with %s", TypeName(rv))
+		}
+		return single(compareOrdered(op, ln, rn)), nil
+	}
+	if ls, ok := l.(string); ok {
+		rs, ok := rv.(string)
+		if !ok {
+			return nil, r.errf(line, "attempt to compare string with %s", TypeName(rv))
+		}
+		return single(compareOrdered(op, ls, rs)), nil
+	}
+	return nil, r.errf(line, "attempt to compare two %s values", TypeName(l))
+}
+
+func compareOrdered[T float64 | string](op tokenKind, a, b T) bool {
+	switch op {
+	case tokLt:
+		return a < b
+	case tokLe:
+		return a <= b
+	case tokGt:
+		return a > b
+	case tokGe:
+		return a >= b
+	}
+	return false
+}
+
+// call invokes fn with args, enforcing call depth.
+func (r *Runtime) call(line int, fn Value, args []Value) ([]Value, error) {
+	r.depth++
+	defer func() { r.depth-- }()
+	if r.depth > r.opts.MaxCallDepth {
+		return nil, fmt.Errorf("%w (line %d)", ErrTooDeep, line)
+	}
+	switch f := fn.(type) {
+	case *Function:
+		scope := newEnv(f.env)
+		for i, p := range f.params {
+			if i < len(args) {
+				scope.vars[p] = args[i]
+			} else {
+				scope.vars[p] = nil
+			}
+		}
+		c, vals, err := r.execBlock(scope, f.body)
+		if err != nil {
+			return nil, err
+		}
+		if c == ctrlReturn {
+			return vals, nil
+		}
+		return nil, nil
+	case *GoFunc:
+		return f.Fn(r, args)
+	default:
+		return nil, r.errf(line, "attempt to call a %s value", TypeName(fn))
+	}
+}

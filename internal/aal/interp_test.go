@@ -1,0 +1,560 @@
+package aal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// run compiles and executes src in a fresh runtime, returning it.
+func run(t *testing.T, src string) *Runtime {
+	t.Helper()
+	r := NewRuntime(Options{})
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := r.Run(c); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return r
+}
+
+// evalGlobal runs `x = <expr>` and returns x.
+func evalGlobal(t *testing.T, exprSrc string) Value {
+	t.Helper()
+	r := run(t, "x = "+exprSrc)
+	return r.Global("x")
+}
+
+func TestLiteralsAndArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2", 3.0},
+		{"2 * 3 + 4", 10.0},
+		{"2 + 3 * 4", 14.0},
+		{"(2 + 3) * 4", 20.0},
+		{"10 / 4", 2.5},
+		{"7 % 3", 1.0},
+		{"-7 % 3", 2.0}, // Lua floor-mod semantics
+		{"2 ^ 10", 1024.0},
+		{"2 ^ 3 ^ 2", 512.0}, // right associative
+		{"-2 ^ 2", -4.0},     // unary binds looser than ^
+		{"0x1F", 31.0},
+		{"1e3", 1000.0},
+		{"1.5e-2", 0.015},
+		{".5", 0.5},
+		{`"10" + 5`, 15.0}, // string coercion in arithmetic
+		{"nil", nil},
+		{"true", true},
+		{"false", false},
+		{`"hello"`, "hello"},
+		{`'single'`, "single"},
+		{`"tab\there"`, "tab\there"},
+		{`"a" .. "b"`, "ab"},
+		{`"n=" .. 42`, "n=42"},
+		{"1 .. 2", "12"},
+	}
+	for _, c := range cases {
+		if got := evalGlobal(t, c.src); got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"3 >= 3", true},
+		{`"abc" < "abd"`, true},
+		{"1 == 1", true},
+		{"1 ~= 1", false},
+		{`1 == "1"`, false}, // no coercion in equality
+		{"nil == nil", true},
+		{"nil == false", false},
+		{"true and 5", 5.0},
+		{"false and 5", false},
+		{"nil and 5", nil},
+		{"false or 7", 7.0},
+		{"4 or 7", 4.0},
+		{"not nil", true},
+		{"not 0", false}, // 0 is truthy in Lua
+		{`#"hello"`, 5.0},
+		{"#({1,2,3})", 3.0},
+	}
+	for _, c := range cases {
+		if got := evalGlobal(t, c.src); got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuitDoesNotEvaluateRHS(t *testing.T) {
+	r := run(t, `
+		hits = 0
+		function bump() hits = hits + 1 return true end
+		local a = false and bump()
+		local b = true or bump()
+	`)
+	if r.Global("hits") != 0.0 {
+		t.Fatalf("short circuit evaluated RHS %v times", r.Global("hits"))
+	}
+}
+
+func TestLocalsAndScoping(t *testing.T) {
+	r := run(t, `
+		x = 1
+		local y = 2
+		do
+			local x = 10
+			y = x + y
+		end
+		z = y
+	`)
+	if r.Global("x") != 1.0 {
+		t.Errorf("global x = %v", r.Global("x"))
+	}
+	if r.Global("z") != 12.0 {
+		t.Errorf("z = %v, want 12", r.Global("z"))
+	}
+	if r.Global("y") != nil {
+		t.Errorf("local y leaked into globals")
+	}
+}
+
+func TestMultipleAssignment(t *testing.T) {
+	r := run(t, `
+		a, b, c = 1, 2
+		d, e = 1, 2, 3
+		function two() return 10, 20 end
+		f, g, h = 0, two()
+		i = two()
+	`)
+	want := map[string]Value{
+		"a": 1.0, "b": 2.0, "c": nil, "d": 1.0, "e": 2.0,
+		"f": 0.0, "g": 10.0, "h": 20.0, "i": 10.0,
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	r := run(t, `
+		function classify(n)
+			if n < 0 then
+				return "neg"
+			elseif n == 0 then
+				return "zero"
+			elseif n < 10 then
+				return "small"
+			else
+				return "big"
+			end
+		end
+		a = classify(-5)
+		b = classify(0)
+		c = classify(3)
+		d = classify(99)
+
+		sum = 0
+		for i = 1, 10 do sum = sum + i end
+
+		down = 0
+		for i = 10, 1, -2 do down = down + 1 end
+
+		w = 0
+		while w < 7 do w = w + 1 end
+
+		rp = 0
+		repeat rp = rp + 3 until rp > 10
+
+		brk = 0
+		for i = 1, 100 do
+			if i > 5 then break end
+			brk = i
+		end
+	`)
+	want := map[string]Value{
+		"a": "neg", "b": "zero", "c": "small", "d": "big",
+		"sum": 55.0, "down": 5.0, "w": 7.0, "rp": 12.0, "brk": 5.0,
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	r := run(t, `
+		t = {10, 20, 30, name = "grace", [99] = "sparse"}
+		a = t[1]
+		b = t[3]
+		c = t.name
+		d = t[99]
+		n = #t
+		t[4] = 40
+		n2 = #t
+		t.name = nil
+		e = t.name
+		nested = {inner = {deep = 5}}
+		f = nested.inner.deep
+		nested.inner.deep = 6
+		g = nested["inner"]["deep"]
+	`)
+	want := map[string]Value{
+		"a": 10.0, "b": 30.0, "c": "grace", "d": "sparse",
+		"n": 3.0, "n2": 4.0, "e": nil, "f": 5.0, "g": 6.0,
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	r := run(t, `
+		function adder(n)
+			return function(x) return x + n end
+		end
+		add5 = adder(5)
+		a = add5(10)
+		b = adder(100)(1)
+
+		local counter = 0
+		function bump()
+			counter = counter + 1
+			return counter
+		end
+		bump() bump()
+		c = bump()
+
+		function fib(n)
+			if n < 2 then return n end
+			return fib(n-1) + fib(n-2)
+		end
+		d = fib(15)
+	`)
+	want := map[string]Value{"a": 15.0, "b": 101.0, "c": 3.0, "d": 610.0}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestMethodCallSugar(t *testing.T) {
+	r := run(t, `
+		account = {balance = 100}
+		function account.deposit(self, n)
+			self.balance = self.balance + n
+			return self.balance
+		end
+		a = account:deposit(50)
+		b = account.balance
+	`)
+	if r.Global("a") != 150.0 || r.Global("b") != 150.0 {
+		t.Fatalf("a=%v b=%v", r.Global("a"), r.Global("b"))
+	}
+}
+
+func TestGenericFor(t *testing.T) {
+	r := run(t, `
+		t = {5, 6, 7, x = 100, y = 200}
+		isum = 0
+		for i, v in ipairs(t) do isum = isum + i * v end
+		psum = 0
+		keys = ""
+		for k, v in pairs(t) do
+			psum = psum + v
+			keys = keys .. tostring(k) .. ";"
+		end
+	`)
+	if r.Global("isum") != 5.0+12+21 {
+		t.Errorf("isum = %v", r.Global("isum"))
+	}
+	if r.Global("psum") != 318.0 {
+		t.Errorf("psum = %v, want 318", r.Global("psum"))
+	}
+	// pairs order is deterministic: array part then sorted hash keys.
+	if got := r.Global("keys"); got != "1;2;3;x;y;" {
+		t.Errorf("pairs order = %q, want deterministic \"1;2;3;x;y;\"", got)
+	}
+}
+
+// The password handler example from the paper (Fig. 5), verbatim except
+// for the IP string.
+func TestPaperPasswordHandlerExample(t *testing.T) {
+	src := `
+AA = {NodeId = 27,
+      IP = "131.94.130.118",
+      Password = "3053482032"}
+
+function onGet(caller, password)
+    if (password == AA.Password) then
+        return AA.NodeId
+    end
+    return nil
+end
+`
+	r := run(t, src)
+	got, err := r.CallGlobal("onGet", "joe", "3053482032")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 27.0 {
+		t.Fatalf("correct password: got %v, want NodeId 27", got)
+	}
+	got, err = r.CallGlobal("onGet", "joe", "wrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != nil {
+		t.Fatalf("wrong password: got %v, want nil", got)
+	}
+}
+
+func TestTimeWindowPolicyWithHostClock(t *testing.T) {
+	// Grace's policy: resources available only after 22:00 (paper §I).
+	clock := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	r := NewRuntime(Options{Now: func() time.Time { return clock }})
+	c := MustCompile(`
+		function onGet(caller)
+			local secs = now() % 86400
+			local hour = math.floor(secs / 3600)
+			if hour >= 22 then return "granted" end
+			return nil
+		end
+	`)
+	if err := r.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.CallGlobal("onGet", "joe"); got[0] != nil {
+		t.Fatalf("9am access should be denied, got %v", got[0])
+	}
+	clock = time.Date(2017, 6, 5, 23, 0, 0, 0, time.UTC)
+	if got, _ := r.CallGlobal("onGet", "joe"); got[0] != "granted" {
+		t.Fatalf("11pm access should be granted, got %v", got[0])
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"x = 1 + {}", "arithmetic"},
+		{"x = nil .. 'a'", "concatenate"},
+		{"x = #5", "length"},
+		{"x = nil < 1", "compare"},
+		{"x = 1 < 'a'", "compare"},
+		{"local t = nil; x = t.field", "index"},
+		{"x = undefined_function()", "call"},
+		{"local t = {} t[nil] = 1", "nil"},
+		{"for i = 1, 10, 0 do end", "step is zero"},
+		{`error("boom")`, "boom"},
+		{`assert(false, "custom msg")`, "custom msg"},
+	}
+	for _, c := range cases {
+		r := NewRuntime(Options{})
+		chunk, err := Compile(c.src)
+		if err != nil {
+			t.Errorf("%s: compile error %v", c.src, err)
+			continue
+		}
+		err = r.Run(chunk)
+		if err == nil {
+			t.Errorf("%s: expected runtime error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestInstructionBudgetTerminatesRunaway(t *testing.T) {
+	r := NewRuntime(Options{StepBudget: 10_000})
+	c := MustCompile(`while true do end`)
+	err := r.Run(c)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if r.Steps() < 10_000 {
+		t.Fatalf("terminated after %d steps, budget 10000", r.Steps())
+	}
+}
+
+func TestBudgetResetsPerInvocation(t *testing.T) {
+	r := NewRuntime(Options{StepBudget: 5_000})
+	c := MustCompile(`
+		function work()
+			local s = 0
+			for i = 1, 100 do s = s + i end
+			return s
+		end
+	`)
+	if err := r.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	// Many invocations each within budget must all succeed.
+	for i := 0; i < 50; i++ {
+		if _, err := r.CallGlobal("work"); err != nil {
+			t.Fatalf("invocation %d: %v", i, err)
+		}
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	r := NewRuntime(Options{MaxCallDepth: 32, StepBudget: 1_000_000})
+	c := MustCompile(`function f() return f() end`)
+	if err := r.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.CallGlobal("f")
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestStringLengthCap(t *testing.T) {
+	r := NewRuntime(Options{MaxStringLen: 1024, StepBudget: 1_000_000})
+	c := MustCompile(`
+		local s = "xxxxxxxxxxxxxxxx"
+		while true do s = s .. s end
+	`)
+	err := r.Run(c)
+	if err == nil || !strings.Contains(err.Error(), "string too long") {
+		t.Fatalf("err = %v, want string-length error", err)
+	}
+}
+
+func TestPersistentStateAcrossCalls(t *testing.T) {
+	r := run(t, `
+		AA = {hits = 0}
+		function onGet(caller)
+			AA.hits = AA.hits + 1
+			return AA.hits
+		end
+	`)
+	for i := 1; i <= 3; i++ {
+		got, err := r.CallGlobal("onGet", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != float64(i) {
+			t.Fatalf("call %d returned %v", i, got[0])
+		}
+	}
+}
+
+func TestCallGlobalMissing(t *testing.T) {
+	r := NewRuntime(Options{})
+	if _, err := r.CallGlobal("ghost"); err == nil {
+		t.Fatal("calling a missing global should error")
+	}
+	if r.HasGlobal("ghost") {
+		t.Fatal("HasGlobal on missing name")
+	}
+}
+
+func TestReturnMultipleValuesFromHandler(t *testing.T) {
+	r := run(t, `function pair() return 1, "two" end`)
+	got, err := r.CallGlobal("pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1.0 || got[1] != "two" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMethodDefinitionSugar(t *testing.T) {
+	r := run(t, `
+		AA = {Password = "pw", hits = 0}
+		function AA:check(pw)
+			self.hits = self.hits + 1
+			return pw == self.Password
+		end
+		a = AA:check("pw")
+		b = AA:check("no")
+		c = AA.hits
+	`)
+	if r.Global("a") != true || r.Global("b") != false {
+		t.Fatalf("a=%v b=%v", r.Global("a"), r.Global("b"))
+	}
+	if r.Global("c") != 2.0 {
+		t.Fatalf("hits = %v", r.Global("c"))
+	}
+}
+
+// TestInterpreterDeterministicAcrossRuntimes: the same chunk executed in
+// two fresh runtimes yields identical observable state — a load-bearing
+// property for the reproducible simulator (handlers run inside it).
+func TestInterpreterDeterministicAcrossRuntimes(t *testing.T) {
+	src := `
+		t = {}
+		for i = 1, 20 do t["k" .. i] = i * 3 end
+		acc = ""
+		for k, v in pairs(t) do acc = acc .. k .. "=" .. v .. ";" end
+		total = 0
+		for _, v in pairs(t) do total = total + v end
+	`
+	chunk := MustCompile(src)
+	runOnce := func() (string, Value) {
+		r := NewRuntime(Options{})
+		if err := r.Run(chunk); err != nil {
+			t.Fatal(err)
+		}
+		return r.Global("acc").(string), r.Global("total")
+	}
+	acc1, tot1 := runOnce()
+	acc2, tot2 := runOnce()
+	if acc1 != acc2 {
+		t.Fatalf("iteration order differs across runtimes:\n%s\n%s", acc1, acc2)
+	}
+	if tot1 != tot2 || tot1 != 630.0 {
+		t.Fatalf("totals: %v vs %v", tot1, tot2)
+	}
+}
+
+// TestSharedChunkAcrossRuntimesIsIsolated: two runtimes executing one
+// compiled chunk must not share state (chunks are immutable; the chunk
+// cache in internal/attr depends on this).
+func TestSharedChunkAcrossRuntimesIsIsolated(t *testing.T) {
+	chunk := MustCompile(`
+		AA = {count = 0}
+		function bump() AA.count = AA.count + 1 return AA.count end
+	`)
+	r1, r2 := NewRuntime(Options{}), NewRuntime(Options{})
+	if err := r1.Run(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Run(chunk); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r1.CallGlobal("bump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r2.CallGlobal("bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1.0 {
+		t.Fatalf("runtime 2 saw runtime 1's state: count = %v", got[0])
+	}
+}

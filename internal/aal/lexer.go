@@ -1,0 +1,277 @@
+package aal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports a lexing or parsing failure with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("aal: syntax error at line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// next produces the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			l.pos += 2
+			if err := l.skipComment(); err != nil {
+				return token{}, err
+			}
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) skipComment() error {
+	// Block comment --[[ ... ]]
+	if strings.HasPrefix(l.src[l.pos:], "[[") {
+		l.pos += 2
+		for l.pos < len(l.src) {
+			if strings.HasPrefix(l.src[l.pos:], "]]") {
+				l.pos += 2
+				return nil
+			}
+			l.advance()
+		}
+		return l.errf("unterminated block comment")
+	}
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.pos++
+	}
+	return nil
+}
+
+func (l *lexer) scan() (token, error) {
+	line := l.line
+	c := l.peek()
+	switch {
+	case isDigit(c), c == '.' && isDigit(l.peek2()):
+		return l.scanNumber()
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		if kw, ok := keywords[word]; ok {
+			return token{kind: kw, text: word, line: line}, nil
+		}
+		return token{kind: tokName, text: word, line: line}, nil
+	case c == '"' || c == '\'':
+		return l.scanString(c)
+	}
+
+	sym := func(k tokenKind, n int) (token, error) {
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return token{kind: k, line: line}, nil
+	}
+	switch c {
+	case '+':
+		return sym(tokPlus, 1)
+	case '-':
+		return sym(tokMinus, 1)
+	case '*':
+		return sym(tokStar, 1)
+	case '/':
+		return sym(tokSlash, 1)
+	case '%':
+		return sym(tokPercent, 1)
+	case '^':
+		return sym(tokCaret, 1)
+	case '#':
+		return sym(tokHash, 1)
+	case '(':
+		return sym(tokLParen, 1)
+	case ')':
+		return sym(tokRParen, 1)
+	case '{':
+		return sym(tokLBrace, 1)
+	case '}':
+		return sym(tokRBrace, 1)
+	case '[':
+		return sym(tokLBracket, 1)
+	case ']':
+		return sym(tokRBracket, 1)
+	case ';':
+		return sym(tokSemi, 1)
+	case ':':
+		return sym(tokColon, 1)
+	case ',':
+		return sym(tokComma, 1)
+	case '.':
+		if l.peek2() == '.' {
+			return sym(tokConcat, 2)
+		}
+		return sym(tokDot, 1)
+	case '=':
+		if l.peek2() == '=' {
+			return sym(tokEq, 2)
+		}
+		return sym(tokAssign, 1)
+	case '~':
+		if l.peek2() == '=' {
+			return sym(tokNe, 2)
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	case '<':
+		if l.peek2() == '=' {
+			return sym(tokLe, 2)
+		}
+		return sym(tokLt, 1)
+	case '>':
+		if l.peek2() == '=' {
+			return sym(tokGe, 2)
+		}
+		return sym(tokGt, 1)
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+func (l *lexer) scanNumber() (token, error) {
+	line := l.line
+	start := l.pos
+	// Hex literal.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.peek()) {
+			l.pos++
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return token{}, l.errf("malformed hex number %q", l.src[start:l.pos])
+		}
+		return token{kind: tokNumber, num: float64(v), line: line}, nil
+	}
+	for l.pos < len(l.src) && (isDigit(l.peek()) || l.peek() == '.') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && (l.peek() == 'e' || l.peek() == 'E') {
+		l.pos++
+		if l.pos < len(l.src) && (l.peek() == '+' || l.peek() == '-') {
+			l.pos++
+		}
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf("malformed number %q", text)
+	}
+	return token{kind: tokNumber, num: v, line: line}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) scanString(quote byte) (token, error) {
+	line := l.line
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		c := l.advance()
+		switch c {
+		case quote:
+			return token{kind: tokString, text: b.String(), line: line}, nil
+		case '\n':
+			return token{}, l.errf("unterminated string")
+		case '\\':
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated string escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '"', '\'':
+				b.WriteByte(e)
+			default:
+				return token{}, l.errf("unknown escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// lexAll tokenizes the whole source, for the parser.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

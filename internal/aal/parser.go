@@ -1,0 +1,658 @@
+package aal
+
+import "fmt"
+
+// Compile parses AAL source into an executable Chunk.
+func Compile(src string) (*Chunk, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return &Chunk{body: body}, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and static policy
+// snippets baked into examples.
+func MustCompile(src string) *Chunk {
+	c, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) line() int  { return p.cur().line }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if !p.at(k) {
+		return &SyntaxError{Line: p.line(), Msg: fmt.Sprintf("expected %v, found %v", k, p.cur().kind)}
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// blockEnd reports whether the current token terminates a block.
+func (p *parser) blockEnd() bool {
+	switch p.cur().kind {
+	case tokEOF, tokEnd, tokElse, tokElseif, tokUntil:
+		return true
+	}
+	return false
+}
+
+// block parses statements until a block terminator.
+func (p *parser) block() ([]stmt, error) {
+	var body []stmt
+	for !p.blockEnd() {
+		if p.accept(tokSemi) {
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+		// return must be the last statement of a block.
+		if _, isReturn := s.(*returnStmt); isReturn {
+			p.accept(tokSemi)
+			break
+		}
+	}
+	return body, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	line := p.line()
+	switch p.cur().kind {
+	case tokLocal:
+		return p.localStatement()
+	case tokIf:
+		return p.ifStatement()
+	case tokWhile:
+		p.advance()
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokDo); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokEnd); err != nil {
+			return nil, err
+		}
+		return &whileStmt{line: line, cond: cond, body: body}, nil
+	case tokRepeat:
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokUntil); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &repeatStmt{line: line, body: body, cond: cond}, nil
+	case tokFor:
+		return p.forStatement()
+	case tokFunction:
+		return p.functionStatement()
+	case tokReturn:
+		p.advance()
+		var exprs []expr
+		if !p.blockEnd() && !p.at(tokSemi) {
+			var err error
+			exprs, err = p.exprList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &returnStmt{line: line, exprs: exprs}, nil
+	case tokBreak:
+		p.advance()
+		return &breakStmt{line: line}, nil
+	case tokDo:
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokEnd); err != nil {
+			return nil, err
+		}
+		return &doStmt{line: line, body: body}, nil
+	default:
+		return p.exprStatement()
+	}
+}
+
+func (p *parser) localStatement() (stmt, error) {
+	line := p.line()
+	p.advance() // local
+	if p.accept(tokFunction) {
+		// local function f(...) ... end
+		if !p.at(tokName) {
+			return nil, p.errf("expected function name")
+		}
+		name := p.advance().text
+		fn, err := p.functionBody(line)
+		if err != nil {
+			return nil, err
+		}
+		return &localStmt{line: line, names: []string{name}, exprs: []expr{fn}}, nil
+	}
+	var names []string
+	for {
+		if !p.at(tokName) {
+			return nil, p.errf("expected name in local declaration")
+		}
+		names = append(names, p.advance().text)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	var exprs []expr
+	if p.accept(tokAssign) {
+		var err error
+		exprs, err = p.exprList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &localStmt{line: line, names: names, exprs: exprs}, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	line := p.line()
+	p.advance() // if or elseif
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokThen); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{line: line, cond: cond, thenBody: thenBody}
+	switch p.cur().kind {
+	case tokElseif:
+		elseIf, err := p.ifStatement() // consumes through matching end
+		if err != nil {
+			return nil, err
+		}
+		s.elseBody = []stmt{elseIf}
+		return s, nil
+	case tokElse:
+		p.advance()
+		elseBody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s.elseBody = elseBody
+	}
+	if err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	line := p.line()
+	p.advance() // for
+	if !p.at(tokName) {
+		return nil, p.errf("expected name after 'for'")
+	}
+	first := p.advance().text
+
+	if p.accept(tokAssign) {
+		// Numeric for.
+		start, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		stop, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		var step expr
+		if p.accept(tokComma) {
+			step, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokDo); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokEnd); err != nil {
+			return nil, err
+		}
+		return &numForStmt{line: line, name: first, start: start, stop: stop, step: step, body: body}, nil
+	}
+
+	// Generic for: for a[, b] in iter do ... end
+	names := []string{first}
+	for p.accept(tokComma) {
+		if !p.at(tokName) {
+			return nil, p.errf("expected name in for list")
+		}
+		names = append(names, p.advance().text)
+	}
+	if err := p.expect(tokIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokDo); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	return &genForStmt{line: line, names: names, iter: iter, body: body}, nil
+}
+
+func (p *parser) functionStatement() (stmt, error) {
+	line := p.line()
+	p.advance() // function
+	if !p.at(tokName) {
+		return nil, p.errf("expected function name")
+	}
+	var target expr = &nameExpr{line: line, name: p.advance().text}
+	for p.accept(tokDot) {
+		if !p.at(tokName) {
+			return nil, p.errf("expected name after '.'")
+		}
+		target = &indexExpr{line: line, object: target, key: &stringExpr{line: line, val: p.advance().text}}
+	}
+	// Method definition sugar: function t:m(...)  ≡  function t.m(self, ...).
+	isMethod := false
+	if p.accept(tokColon) {
+		if !p.at(tokName) {
+			return nil, p.errf("expected method name after ':'")
+		}
+		target = &indexExpr{line: line, object: target, key: &stringExpr{line: line, val: p.advance().text}}
+		isMethod = true
+	}
+	fn, err := p.functionBody(line)
+	if err != nil {
+		return nil, err
+	}
+	if isMethod {
+		f := fn.(*funcExpr)
+		f.params = append([]string{"self"}, f.params...)
+	}
+	return &assignStmt{line: line, targets: []expr{target}, exprs: []expr{fn}}, nil
+}
+
+func (p *parser) functionBody(line int) (expr, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.at(tokRParen) {
+		for {
+			if !p.at(tokName) {
+				return nil, p.errf("expected parameter name")
+			}
+			params = append(params, p.advance().text)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	return &funcExpr{line: line, params: params, body: body}, nil
+}
+
+// exprStatement parses either an assignment or a call statement.
+func (p *parser) exprStatement() (stmt, error) {
+	line := p.line()
+	first, err := p.suffixedExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokAssign) || p.at(tokComma) {
+		targets := []expr{first}
+		for p.accept(tokComma) {
+			tgt, err := p.suffixedExpr()
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, tgt)
+		}
+		for _, tgt := range targets {
+			switch tgt.(type) {
+			case *nameExpr, *indexExpr:
+			default:
+				return nil, p.errf("cannot assign to this expression")
+			}
+		}
+		if err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		exprs, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{line: line, targets: targets, exprs: exprs}, nil
+	}
+	switch c := first.(type) {
+	case *callExpr:
+		return &callStmt{line: line, call: c}, nil
+	case *methodCallExpr:
+		// Wrap method call in a callStmt via a synthetic callExpr marker.
+		return &callStmt{line: line, call: &callExpr{line: line, fn: c}}, nil
+	default:
+		return nil, p.errf("unexpected expression statement")
+	}
+}
+
+func (p *parser) exprList() ([]expr, error) {
+	var out []expr
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.accept(tokComma) {
+			return out, nil
+		}
+	}
+}
+
+// Operator precedence, following Lua 5.1.
+var binPrec = map[tokenKind][2]int{ // {left, right}
+	tokOr:      {1, 1},
+	tokAnd:     {2, 2},
+	tokLt:      {3, 3},
+	tokGt:      {3, 3},
+	tokLe:      {3, 3},
+	tokGe:      {3, 3},
+	tokNe:      {3, 3},
+	tokEq:      {3, 3},
+	tokConcat:  {5, 4}, // right associative
+	tokPlus:    {6, 6},
+	tokMinus:   {6, 6},
+	tokStar:    {7, 7},
+	tokSlash:   {7, 7},
+	tokPercent: {7, 7},
+	tokCaret:   {10, 9}, // right associative
+}
+
+const unaryPrec = 8
+
+func (p *parser) expression() (expr, error) { return p.binExpression(0) }
+
+func (p *parser) binExpression(limit int) (expr, error) {
+	var left expr
+	var err error
+	line := p.line()
+	switch p.cur().kind {
+	case tokNot, tokMinus, tokHash:
+		op := p.advance().kind
+		operand, err := p.binExpression(unaryPrec)
+		if err != nil {
+			return nil, err
+		}
+		left = &unExpr{line: line, op: op, operand: operand}
+	default:
+		left, err = p.simpleExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		prec, ok := binPrec[p.cur().kind]
+		if !ok || prec[0] <= limit {
+			return left, nil
+		}
+		op := p.advance().kind
+		right, err := p.binExpression(prec[1])
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{line: line, op: op, l: left, r: right}
+	}
+}
+
+func (p *parser) simpleExpr() (expr, error) {
+	line := p.line()
+	switch p.cur().kind {
+	case tokNil:
+		p.advance()
+		return &nilExpr{line: line}, nil
+	case tokTrue:
+		p.advance()
+		return &boolExpr{line: line, val: true}, nil
+	case tokFalse:
+		p.advance()
+		return &boolExpr{line: line, val: false}, nil
+	case tokNumber:
+		return &numberExpr{line: line, val: p.advance().num}, nil
+	case tokString:
+		return &stringExpr{line: line, val: p.advance().text}, nil
+	case tokFunction:
+		p.advance()
+		return p.functionBody(line)
+	case tokLBrace:
+		return p.tableConstructor()
+	default:
+		return p.suffixedExpr()
+	}
+}
+
+// suffixedExpr parses a primary expression followed by indexing and call
+// suffixes: name, (expr), a.b, a[k], f(args), s:m(args).
+func (p *parser) suffixedExpr() (expr, error) {
+	line := p.line()
+	var e expr
+	switch p.cur().kind {
+	case tokName:
+		e = &nameExpr{line: line, name: p.advance().text}
+	case tokLParen:
+		p.advance()
+		inner, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		e = inner
+	default:
+		return nil, p.errf("unexpected %v", p.cur().kind)
+	}
+	for {
+		line := p.line()
+		switch p.cur().kind {
+		case tokDot:
+			p.advance()
+			if !p.at(tokName) {
+				return nil, p.errf("expected name after '.'")
+			}
+			e = &indexExpr{line: line, object: e, key: &stringExpr{line: line, val: p.advance().text}}
+		case tokLBracket:
+			p.advance()
+			k, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			e = &indexExpr{line: line, object: e, key: k}
+		case tokLParen:
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &callExpr{line: line, fn: e, args: args}
+		case tokString:
+			// f "literal" call sugar.
+			s := p.advance()
+			e = &callExpr{line: line, fn: e, args: []expr{&stringExpr{line: s.line, val: s.text}}}
+		case tokLBrace:
+			// f{...} call sugar.
+			tbl, err := p.tableConstructor()
+			if err != nil {
+				return nil, err
+			}
+			e = &callExpr{line: line, fn: e, args: []expr{tbl}}
+		case tokColon:
+			p.advance()
+			if !p.at(tokName) {
+				return nil, p.errf("expected method name after ':'")
+			}
+			method := p.advance().text
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &methodCallExpr{line: line, object: e, method: method, args: args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]expr, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []expr
+	if !p.at(tokRParen) {
+		var err error
+		args, err = p.exprList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) tableConstructor() (expr, error) {
+	line := p.line()
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	t := &tableExpr{line: line}
+	for !p.at(tokRBrace) {
+		switch {
+		case p.at(tokLBracket):
+			p.advance()
+			k, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			t.keys = append(t.keys, k)
+			t.values = append(t.values, v)
+			t.hasKeys = true
+		case p.at(tokName) && p.toks[p.pos+1].kind == tokAssign:
+			k := p.advance().text
+			p.advance() // =
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			t.keys = append(t.keys, &stringExpr{line: line, val: k})
+			t.values = append(t.values, v)
+			t.hasKeys = true
+		default:
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			t.array = append(t.array, v)
+		}
+		if !p.accept(tokComma) && !p.accept(tokSemi) {
+			break
+		}
+	}
+	if err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

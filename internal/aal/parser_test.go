@@ -1,0 +1,145 @@
+package aal
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"x = ", "unexpected"},
+		{"if x then", "expected end"},
+		{"x = 1 +", "unexpected"},
+		{"function f( end", "expected parameter name"},
+		{"for do end", "expected name"},
+		{"local = 3", "expected name"},
+		{"x = {", "unexpected"},
+		{"x = 'unterminated", "unterminated string"},
+		{"x = \"bad\\escape\"", "unknown escape"},
+		{"x = 3 ~ 4", "unexpected character"},
+		{"return 1 return 2", ""}, // return must end a block; second is error
+		{"x = [[", "unexpected"},
+		{"end", "expected <eof>"},
+		{"x, 3 = 1, 2", "unexpected"},
+		{"x, f() = 1, 2", "cannot assign"},
+		{"f(1)(", "unexpected"},
+		{"--[[ unterminated", "unterminated block comment"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("Compile(%q): expected error", c.src)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Compile(%q): error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	_, err := Compile("x = 1\ny = 2\nz = {} +\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line < 3 {
+		t.Errorf("error line = %d, want >= 3", se.Line)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	r := run(t, `
+		-- line comment
+		x = 1 -- trailing comment
+		--[[ block
+		     comment spanning lines ]]
+		y = 2
+	`)
+	if r.Global("x") != 1.0 || r.Global("y") != 2.0 {
+		t.Fatal("comments disturbed parsing")
+	}
+}
+
+func TestCallSugarForms(t *testing.T) {
+	r := run(t, `
+		function id(v) return v end
+		a = id "literal"
+		b = id {1, 2}
+		c = b[2]
+	`)
+	if r.Global("a") != "literal" {
+		t.Errorf("string-call sugar: %v", r.Global("a"))
+	}
+	if r.Global("c") != 2.0 {
+		t.Errorf("table-call sugar: %v", r.Global("c"))
+	}
+}
+
+func TestSemicolonsOptional(t *testing.T) {
+	r := run(t, `x = 1; y = 2;; z = x + y`)
+	if r.Global("z") != 3.0 {
+		t.Fatal("semicolon handling broken")
+	}
+}
+
+// Property: compiling arbitrary byte soup never panics — it either parses
+// or returns a SyntaxError.
+func TestCompileNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Compile(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: running arbitrary programs made of valid fragments never
+// panics and never exceeds the budget by more than one step.
+func TestRunNeverPanics(t *testing.T) {
+	fragments := []string{
+		"x = x + 1\n",
+		"local t = {1, 2, x = 3}\n",
+		"if x then y = 1 else y = 2 end\n",
+		"for i = 1, 3 do z = i end\n",
+		"s = tostring(x) .. 'a'\n",
+		"function f(a) return a end\n",
+		"w = #({})\n",
+		"q = math.min(1, x or 2)\n",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		var b strings.Builder
+		b.WriteString("x = 0\n")
+		for _, p := range picks {
+			b.WriteString(fragments[int(p)%len(fragments)])
+		}
+		c, err := Compile(b.String())
+		if err != nil {
+			return true
+		}
+		r := NewRuntime(Options{StepBudget: 10_000})
+		_ = r.Run(c)
+		return r.Steps() <= 10_001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,435 @@
+package aal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// installStdlib wires the sandboxed standard library into a runtime's
+// globals: base functions plus the string, math, and table libraries. Per
+// the paper's second sandbox modification, everything touching the kernel,
+// file system, or network is excluded — handlers can only do "simple math,
+// string, and table manipulation". The single host extension is now(),
+// which returns seconds since the Unix epoch on the host's (virtual)
+// clock, so admins can write time-window policies.
+func installStdlib(r *Runtime) {
+	reg := func(name string, fn func(r *Runtime, args []Value) ([]Value, error)) {
+		r.SetGlobal(name, &GoFunc{Name: name, Fn: fn})
+	}
+
+	reg("type", func(_ *Runtime, args []Value) ([]Value, error) {
+		return single(TypeName(arg(args, 0))), nil
+	})
+	reg("tostring", func(_ *Runtime, args []Value) ([]Value, error) {
+		return single(ToString(arg(args, 0))), nil
+	})
+	reg("tonumber", func(_ *Runtime, args []Value) ([]Value, error) {
+		if n, ok := ToNumber(arg(args, 0)); ok {
+			return single(n), nil
+		}
+		return single(nil), nil
+	})
+	reg("assert", func(_ *Runtime, args []Value) ([]Value, error) {
+		if !Truthy(arg(args, 0)) {
+			msg := "assertion failed!"
+			if m, ok := arg(args, 1).(string); ok {
+				msg = m
+			}
+			return nil, &RuntimeError{Msg: msg}
+		}
+		return args, nil
+	})
+	reg("error", func(_ *Runtime, args []Value) ([]Value, error) {
+		return nil, &RuntimeError{Msg: ToString(arg(args, 0))}
+	})
+	reg("print", func(rt *Runtime, args []Value) ([]Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = ToString(a)
+		}
+		rt.Output = append(rt.Output, strings.Join(parts, "\t"))
+		return nil, nil
+	})
+	reg("pairs", func(_ *Runtime, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).(*Table)
+		if !ok {
+			return nil, &RuntimeError{Msg: "bad argument to 'pairs' (table expected)"}
+		}
+		keys := t.Keys()
+		i := 0
+		iter := &GoFunc{Name: "pairs.iter", Fn: func(_ *Runtime, _ []Value) ([]Value, error) {
+			for i < len(keys) {
+				k := keys[i]
+				i++
+				v := t.Get(k)
+				if v != nil {
+					return []Value{k, v}, nil
+				}
+			}
+			return single(nil), nil
+		}}
+		return []Value{iter, t, nil}, nil
+	})
+	reg("ipairs", func(_ *Runtime, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).(*Table)
+		if !ok {
+			return nil, &RuntimeError{Msg: "bad argument to 'ipairs' (table expected)"}
+		}
+		i := 0
+		iter := &GoFunc{Name: "ipairs.iter", Fn: func(_ *Runtime, _ []Value) ([]Value, error) {
+			i++
+			v := t.Get(float64(i))
+			if v == nil {
+				return single(nil), nil
+			}
+			return []Value{float64(i), v}, nil
+		}}
+		return []Value{iter, t, nil}, nil
+	})
+	reg("now", func(rt *Runtime, _ []Value) ([]Value, error) {
+		return single(float64(rt.opts.Now().UnixNano()) / 1e9), nil
+	})
+	reg("pcall", func(rt *Runtime, args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, &RuntimeError{Msg: "bad argument to 'pcall' (value expected)"}
+		}
+		out, err := rt.call(0, args[0], args[1:])
+		if err != nil {
+			// Budget and depth exhaustion must not be catchable: the
+			// sandbox's termination guarantees survive pcall.
+			if errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrTooDeep) {
+				return nil, err
+			}
+			return []Value{false, err.Error()}, nil
+		}
+		return append([]Value{true}, out...), nil
+	})
+	reg("select", func(_ *Runtime, args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, &RuntimeError{Msg: "bad argument to 'select'"}
+		}
+		if s, ok := args[0].(string); ok && s == "#" {
+			return single(float64(len(args) - 1)), nil
+		}
+		n, ok := ToNumber(args[0])
+		if !ok || n < 1 {
+			return nil, &RuntimeError{Msg: "bad argument #1 to 'select' (index out of range)"}
+		}
+		i := int(n)
+		if i >= len(args) {
+			return nil, nil
+		}
+		return args[i:], nil
+	})
+
+	// string library.
+	str := NewTable()
+	sreg := func(name string, fn func(r *Runtime, args []Value) ([]Value, error)) {
+		_ = str.Set(name, &GoFunc{Name: "string." + name, Fn: fn})
+	}
+	sreg("len", func(_ *Runtime, args []Value) ([]Value, error) {
+		s, err := stringArg(args, 0, "len")
+		if err != nil {
+			return nil, err
+		}
+		return single(float64(len(s))), nil
+	})
+	sreg("sub", func(_ *Runtime, args []Value) ([]Value, error) {
+		s, err := stringArg(args, 0, "sub")
+		if err != nil {
+			return nil, err
+		}
+		i := intArg(args, 1, 1)
+		j := intArg(args, 2, -1)
+		n := len(s)
+		if i < 0 {
+			i = max(n+i+1, 1)
+		} else if i == 0 {
+			i = 1
+		}
+		if j < 0 {
+			j = n + j + 1
+		} else if j > n {
+			j = n
+		}
+		if i > j {
+			return single(""), nil
+		}
+		return single(s[i-1 : j]), nil
+	})
+	sreg("upper", func(_ *Runtime, args []Value) ([]Value, error) {
+		s, err := stringArg(args, 0, "upper")
+		if err != nil {
+			return nil, err
+		}
+		return single(strings.ToUpper(s)), nil
+	})
+	sreg("lower", func(_ *Runtime, args []Value) ([]Value, error) {
+		s, err := stringArg(args, 0, "lower")
+		if err != nil {
+			return nil, err
+		}
+		return single(strings.ToLower(s)), nil
+	})
+	sreg("rep", func(rt *Runtime, args []Value) ([]Value, error) {
+		s, err := stringArg(args, 0, "rep")
+		if err != nil {
+			return nil, err
+		}
+		n := intArg(args, 1, 0)
+		if n <= 0 {
+			return single(""), nil
+		}
+		if len(s)*n > rt.opts.MaxStringLen {
+			return nil, &RuntimeError{Msg: fmt.Sprintf("string too long (limit %d bytes)", rt.opts.MaxStringLen)}
+		}
+		return single(strings.Repeat(s, n)), nil
+	})
+	sreg("find", func(_ *Runtime, args []Value) ([]Value, error) {
+		// Plain-text find only: the sandbox has no pattern matching, which
+		// keeps handler cost proportional to input length.
+		s, err := stringArg(args, 0, "find")
+		if err != nil {
+			return nil, err
+		}
+		needle, err := stringArg(args, 1, "find")
+		if err != nil {
+			return nil, err
+		}
+		from := intArg(args, 2, 1)
+		if from < 1 {
+			from = 1
+		}
+		if from > len(s)+1 {
+			return single(nil), nil
+		}
+		idx := strings.Index(s[from-1:], needle)
+		if idx < 0 {
+			return single(nil), nil
+		}
+		start := from + idx
+		return []Value{float64(start), float64(start + len(needle) - 1)}, nil
+	})
+	sreg("format", func(_ *Runtime, args []Value) ([]Value, error) {
+		f, err := stringArg(args, 0, "format")
+		if err != nil {
+			return nil, err
+		}
+		out, err := luaFormat(f, args[1:])
+		if err != nil {
+			return nil, err
+		}
+		return single(out), nil
+	})
+	r.SetGlobal("string", str)
+
+	// math library.
+	mt := NewTable()
+	mreg := func(name string, fn func(r *Runtime, args []Value) ([]Value, error)) {
+		_ = mt.Set(name, &GoFunc{Name: "math." + name, Fn: fn})
+	}
+	num1 := func(name string, f func(float64) float64) {
+		mreg(name, func(_ *Runtime, args []Value) ([]Value, error) {
+			n, ok := ToNumber(arg(args, 0))
+			if !ok {
+				return nil, &RuntimeError{Msg: fmt.Sprintf("bad argument to 'math.%s' (number expected)", name)}
+			}
+			return single(f(n)), nil
+		})
+	}
+	num1("floor", math.Floor)
+	num1("ceil", math.Ceil)
+	num1("abs", math.Abs)
+	num1("sqrt", math.Sqrt)
+	mreg("min", func(_ *Runtime, args []Value) ([]Value, error) { return foldNums("min", args, math.Min) })
+	mreg("max", func(_ *Runtime, args []Value) ([]Value, error) { return foldNums("max", args, math.Max) })
+	mreg("fmod", func(_ *Runtime, args []Value) ([]Value, error) {
+		a, aok := ToNumber(arg(args, 0))
+		b, bok := ToNumber(arg(args, 1))
+		if !aok || !bok {
+			return nil, &RuntimeError{Msg: "bad argument to 'math.fmod' (number expected)"}
+		}
+		return single(math.Mod(a, b)), nil
+	})
+	_ = mt.Set("huge", math.Inf(1))
+	_ = mt.Set("pi", math.Pi)
+	r.SetGlobal("math", mt)
+
+	// table library.
+	tt := NewTable()
+	treg := func(name string, fn func(r *Runtime, args []Value) ([]Value, error)) {
+		_ = tt.Set(name, &GoFunc{Name: "table." + name, Fn: fn})
+	}
+	treg("insert", func(_ *Runtime, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).(*Table)
+		if !ok {
+			return nil, &RuntimeError{Msg: "bad argument to 'table.insert' (table expected)"}
+		}
+		switch len(args) {
+		case 2:
+			return nil, t.Set(float64(t.Len()+1), args[1])
+		case 3:
+			pos := intArg(args, 1, 0)
+			if pos < 1 || pos > t.Len()+1 {
+				return nil, &RuntimeError{Msg: "bad position to 'table.insert'"}
+			}
+			// Shift up.
+			for i := t.Len(); i >= pos; i-- {
+				_ = t.Set(float64(i+1), t.Get(float64(i)))
+			}
+			return nil, t.Set(float64(pos), args[2])
+		default:
+			return nil, &RuntimeError{Msg: "wrong number of arguments to 'table.insert'"}
+		}
+	})
+	treg("remove", func(_ *Runtime, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).(*Table)
+		if !ok {
+			return nil, &RuntimeError{Msg: "bad argument to 'table.remove' (table expected)"}
+		}
+		n := t.Len()
+		if n == 0 {
+			return single(nil), nil
+		}
+		pos := intArg(args, 1, n)
+		if pos < 1 || pos > n {
+			return single(nil), nil
+		}
+		removed := t.Get(float64(pos))
+		for i := pos; i < n; i++ {
+			_ = t.Set(float64(i), t.Get(float64(i+1)))
+		}
+		_ = t.Set(float64(n), nil)
+		return single(removed), nil
+	})
+	treg("concat", func(rt *Runtime, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).(*Table)
+		if !ok {
+			return nil, &RuntimeError{Msg: "bad argument to 'table.concat' (table expected)"}
+		}
+		sep := ""
+		if s, ok := arg(args, 1).(string); ok {
+			sep = s
+		}
+		var b strings.Builder
+		for i := 1; i <= t.Len(); i++ {
+			if i > 1 {
+				b.WriteString(sep)
+			}
+			s, ok := concatString(t.Get(float64(i)))
+			if !ok {
+				return nil, &RuntimeError{Msg: "invalid value in 'table.concat'"}
+			}
+			b.WriteString(s)
+			if b.Len() > rt.opts.MaxStringLen {
+				return nil, &RuntimeError{Msg: fmt.Sprintf("string too long (limit %d bytes)", rt.opts.MaxStringLen)}
+			}
+		}
+		return single(b.String()), nil
+	})
+	r.SetGlobal("table", tt)
+}
+
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return nil
+}
+
+func stringArg(args []Value, i int, fname string) (string, error) {
+	v := arg(args, i)
+	switch x := v.(type) {
+	case string:
+		return x, nil
+	case float64:
+		return numberToString(x), nil
+	}
+	return "", &RuntimeError{Msg: fmt.Sprintf("bad argument #%d to 'string.%s' (string expected, got %s)", i+1, fname, TypeName(v))}
+}
+
+func intArg(args []Value, i, def int) int {
+	if n, ok := ToNumber(arg(args, i)); ok {
+		return int(n)
+	}
+	return def
+}
+
+func foldNums(name string, args []Value, f func(a, b float64) float64) ([]Value, error) {
+	if len(args) == 0 {
+		return nil, &RuntimeError{Msg: fmt.Sprintf("bad argument to 'math.%s' (value expected)", name)}
+	}
+	acc, ok := ToNumber(args[0])
+	if !ok {
+		return nil, &RuntimeError{Msg: fmt.Sprintf("bad argument to 'math.%s' (number expected)", name)}
+	}
+	for _, a := range args[1:] {
+		n, ok := ToNumber(a)
+		if !ok {
+			return nil, &RuntimeError{Msg: fmt.Sprintf("bad argument to 'math.%s' (number expected)", name)}
+		}
+		acc = f(acc, n)
+	}
+	return single(acc), nil
+}
+
+// luaFormat supports the format verbs handlers need: %s, %d, %f, %g, %q,
+// %x, and %%.
+func luaFormat(format string, args []Value) (string, error) {
+	var b strings.Builder
+	ai := 0
+	nextArg := func() Value {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		ai++
+		return nil
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return "", &RuntimeError{Msg: "invalid format string"}
+		}
+		// Optional width/precision digits pass through to fmt.
+		spec := "%"
+		for i < len(format) && (format[i] == '.' || format[i] == '-' || format[i] == '0' || (format[i] >= '0' && format[i] <= '9')) {
+			spec += string(format[i])
+			i++
+		}
+		if i >= len(format) {
+			return "", &RuntimeError{Msg: "invalid format string"}
+		}
+		switch format[i] {
+		case '%':
+			b.WriteByte('%')
+		case 's':
+			fmt.Fprintf(&b, spec+"s", ToString(nextArg()))
+		case 'q':
+			fmt.Fprintf(&b, spec+"q", ToString(nextArg()))
+		case 'd':
+			n, _ := ToNumber(nextArg())
+			fmt.Fprintf(&b, spec+"d", int64(n))
+		case 'x':
+			n, _ := ToNumber(nextArg())
+			fmt.Fprintf(&b, spec+"x", int64(n))
+		case 'f':
+			n, _ := ToNumber(nextArg())
+			fmt.Fprintf(&b, spec+"f", n)
+		case 'g':
+			n, _ := ToNumber(nextArg())
+			fmt.Fprintf(&b, spec+"g", n)
+		default:
+			return "", &RuntimeError{Msg: fmt.Sprintf("unsupported format verb %%%c", format[i])}
+		}
+	}
+	return b.String(), nil
+}

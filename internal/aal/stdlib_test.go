@@ -1,0 +1,215 @@
+package aal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringLibrary(t *testing.T) {
+	r := run(t, `
+		a = string.len("hello")
+		b = string.sub("hello world", 1, 5)
+		c = string.sub("hello", -3)
+		d = string.upper("MiXeD")
+		e = string.lower("MiXeD")
+		f = string.rep("ab", 3)
+		g1, g2 = string.find("hello world", "world")
+		h = string.find("hello", "zzz")
+		i = string.format("%s has %d cores at %.2f GHz", "node1", 8, 3.4)
+		j = string.format("%q", 'say "hi"')
+		k = string.sub("hello", 3, 99)
+		l = string.sub("hello", 4, 2)
+	`)
+	want := map[string]Value{
+		"a": 5.0, "b": "hello", "c": "llo", "d": "MIXED", "e": "mixed",
+		"f": "ababab", "g1": 7.0, "g2": 11.0, "h": nil,
+		"i": "node1 has 8 cores at 3.40 GHz",
+		"j": `"say \"hi\""`, "k": "llo", "l": "",
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestMathLibrary(t *testing.T) {
+	r := run(t, `
+		a = math.floor(3.7)
+		b = math.ceil(3.2)
+		c = math.abs(-4)
+		d = math.min(3, 1, 2)
+		e = math.max(3, 9, 2)
+		f = math.sqrt(49)
+		g = math.fmod(7, 3)
+		h = math.huge > 1e308
+		i = math.pi > 3.14 and math.pi < 3.15
+	`)
+	want := map[string]Value{
+		"a": 3.0, "b": 4.0, "c": 4.0, "d": 1.0, "e": 9.0, "f": 7.0,
+		"g": 1.0, "h": true, "i": true,
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestTableLibrary(t *testing.T) {
+	r := run(t, `
+		t = {1, 2, 3}
+		table.insert(t, 4)
+		a = t[4]
+		table.insert(t, 1, 0)
+		b = t[1]
+		c = #t
+		removed = table.remove(t)
+		d = removed
+		e = #t
+		first = table.remove(t, 1)
+		f = first
+		g = t[1]
+		s = table.concat({"a", "b", "c"}, "-")
+		s2 = table.concat({1, 2, 3})
+		empty = table.remove({})
+	`)
+	want := map[string]Value{
+		"a": 4.0, "b": 0.0, "c": 5.0, "d": 4.0, "e": 4.0,
+		"f": 0.0, "g": 1.0, "s": "a-b-c", "s2": "123", "empty": nil,
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestBaseLibrary(t *testing.T) {
+	r := run(t, `
+		a = type(nil)
+		b = type(true)
+		c = type(3)
+		d = type("s")
+		e = type({})
+		f = type(print)
+		g = tostring(42)
+		h = tostring(nil)
+		i = tonumber("3.5")
+		j = tonumber("  10  ")
+		k = tonumber("not a number")
+		l = tonumber({})
+		print("hello", 42, nil)
+	`)
+	want := map[string]Value{
+		"a": "nil", "b": "boolean", "c": "number", "d": "string",
+		"e": "table", "f": "function", "g": "42", "h": "nil",
+		"i": 3.5, "j": 10.0, "k": nil, "l": nil,
+	}
+	for k, v := range want {
+		if got := r.Global(k); got != v {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+	if len(r.Output) != 1 || r.Output[0] != "hello\t42\tnil" {
+		t.Errorf("print output = %q", r.Output)
+	}
+}
+
+// The sandbox must not expose any I/O, OS, or network facilities.
+func TestSandboxExcludesDangerousLibraries(t *testing.T) {
+	r := NewRuntime(Options{})
+	for _, name := range []string{"io", "os", "require", "dofile", "load", "loadstring", "loadfile", "package", "debug", "rawget", "rawset", "collectgarbage", "getmetatable", "setmetatable", "coroutine"} {
+		if r.Global(name) != nil {
+			t.Errorf("sandbox exposes %q", name)
+		}
+	}
+}
+
+func TestStringFindIsPlainTextOnly(t *testing.T) {
+	// Pattern metacharacters must be treated literally.
+	r := run(t, `
+		a = string.find("a.c", "a.c")
+		b = string.find("abc", "a.c")
+	`)
+	if r.Global("a") != 1.0 {
+		t.Errorf("literal find failed: %v", r.Global("a"))
+	}
+	if r.Global("b") != nil {
+		t.Errorf("pattern metacharacters must not match: %v", r.Global("b"))
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	for _, src := range []string{
+		`x = string.format("%y", 1)`,
+		`x = string.format("%")`,
+	} {
+		r := NewRuntime(Options{})
+		err := r.Run(MustCompile(src))
+		if err == nil {
+			t.Errorf("%s: want error", src)
+		}
+	}
+}
+
+func TestRepRespectsStringCap(t *testing.T) {
+	r := NewRuntime(Options{MaxStringLen: 100})
+	err := r.Run(MustCompile(`x = string.rep("aaaa", 1000)`))
+	if err == nil || !strings.Contains(err.Error(), "string too long") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPcall(t *testing.T) {
+	r := run(t, `
+		ok1, v1 = pcall(function() return 42 end)
+		ok2, msg = pcall(function() error("boom") end)
+		ok3, m3 = pcall(function() return nil + 1 end)
+		ok4, a, b = pcall(function() return 1, 2 end)
+	`)
+	if r.Global("ok1") != true || r.Global("v1") != 42.0 {
+		t.Errorf("ok1=%v v1=%v", r.Global("ok1"), r.Global("v1"))
+	}
+	if r.Global("ok2") != false || !strings.Contains(r.Global("msg").(string), "boom") {
+		t.Errorf("ok2=%v msg=%v", r.Global("ok2"), r.Global("msg"))
+	}
+	if r.Global("ok3") != false {
+		t.Errorf("ok3=%v", r.Global("ok3"))
+	}
+	if r.Global("a") != 1.0 || r.Global("b") != 2.0 {
+		t.Errorf("multi-value pcall: a=%v b=%v", r.Global("a"), r.Global("b"))
+	}
+}
+
+func TestPcallCannotCatchBudgetExhaustion(t *testing.T) {
+	r := NewRuntime(Options{StepBudget: 5000})
+	err := r.Run(MustCompile(`
+		caught = false
+		pcall(function() while true do end end)
+		caught = true
+	`))
+	if err == nil {
+		t.Fatal("budget exhaustion escaped through pcall")
+	}
+	if r.Global("caught") == true {
+		t.Fatal("execution continued after budget exhaustion")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := run(t, `
+		n = select("#", "a", "b", "c")
+		x, y = select(2, "a", "b", "c")
+		z = select(5, "a")
+	`)
+	if r.Global("n") != 3.0 {
+		t.Errorf("select # = %v", r.Global("n"))
+	}
+	if r.Global("x") != "b" || r.Global("y") != "c" {
+		t.Errorf("select 2 = %v,%v", r.Global("x"), r.Global("y"))
+	}
+	if r.Global("z") != nil {
+		t.Errorf("out-of-range select = %v", r.Global("z"))
+	}
+}

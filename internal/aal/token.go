@@ -1,0 +1,113 @@
+// Package aal implements the Active Attribute Language: the sandboxed,
+// Lua-like scripting runtime RBAY site admins use to attach policy handlers
+// (onGet, onSubscribe, onUnsubscribe, onDeliver, onTimer) to resource
+// attributes (paper §III-B).
+//
+// The language is a faithful subset of Lua 5.1: nil/boolean/number/string/
+// table/function values, lexical scoping with closures, if/while/for
+// control flow, and a restricted standard library limited to math, string,
+// and table manipulation. The paper's two sandbox modifications are
+// implemented exactly: a hard per-invocation instruction budget (a handler
+// exceeding it is terminated immediately) and the exclusion of any library
+// touching the kernel, file system, or network.
+package aal
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokName
+	tokNumber
+	tokString
+
+	// Keywords.
+	tokAnd
+	tokBreak
+	tokDo
+	tokElse
+	tokElseif
+	tokEnd
+	tokFalse
+	tokFor
+	tokFunction
+	tokIf
+	tokIn
+	tokLocal
+	tokNil
+	tokNot
+	tokOr
+	tokRepeat
+	tokReturn
+	tokThen
+	tokTrue
+	tokUntil
+	tokWhile
+
+	// Symbols.
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+	tokCaret    // ^
+	tokHash     // #
+	tokEq       // ==
+	tokNe       // ~=
+	tokLe       // <=
+	tokGe       // >=
+	tokLt       // <
+	tokGt       // >
+	tokAssign   // =
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokSemi     // ;
+	tokColon    // :
+	tokComma    // ,
+	tokDot      // .
+	tokConcat   // ..
+)
+
+var keywords = map[string]tokenKind{
+	"and": tokAnd, "break": tokBreak, "do": tokDo, "else": tokElse,
+	"elseif": tokElseif, "end": tokEnd, "false": tokFalse, "for": tokFor,
+	"function": tokFunction, "if": tokIf, "in": tokIn, "local": tokLocal,
+	"nil": tokNil, "not": tokNot, "or": tokOr, "repeat": tokRepeat,
+	"return": tokReturn, "then": tokThen, "true": tokTrue, "until": tokUntil,
+	"while": tokWhile,
+}
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "<eof>", tokName: "name", tokNumber: "number", tokString: "string",
+	tokAnd: "and", tokBreak: "break", tokDo: "do", tokElse: "else",
+	tokElseif: "elseif", tokEnd: "end", tokFalse: "false", tokFor: "for",
+	tokFunction: "function", tokIf: "if", tokIn: "in", tokLocal: "local",
+	tokNil: "nil", tokNot: "not", tokOr: "or", tokRepeat: "repeat",
+	tokReturn: "return", tokThen: "then", tokTrue: "true", tokUntil: "until",
+	tokWhile: "while",
+	tokPlus:  "+", tokMinus: "-", tokStar: "*", tokSlash: "/",
+	tokPercent: "%", tokCaret: "^", tokHash: "#", tokEq: "==", tokNe: "~=",
+	tokLe: "<=", tokGe: ">=", tokLt: "<", tokGt: ">", tokAssign: "=",
+	tokLParen: "(", tokRParen: ")", tokLBrace: "{", tokRBrace: "}",
+	tokLBracket: "[", tokRBracket: "]", tokSemi: ";", tokColon: ":",
+	tokComma: ",", tokDot: ".", tokConcat: "..",
+}
+
+func (k tokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string  // names, strings (decoded)
+	num  float64 // numbers
+	line int
+}

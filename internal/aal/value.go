@@ -1,0 +1,324 @@
+package aal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Value is an AAL runtime value: nil, bool, float64, string, *Table,
+// *Function, or *GoFunc.
+type Value = any
+
+// Table is the language's only data structure: an associative array with a
+// dense array part for integer keys 1..n (Lua semantics).
+type Table struct {
+	arr  []Value
+	hash map[Value]Value
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{} }
+
+// normKey folds integral float keys into int form for the array part.
+// Returns (index, true) when the key addresses the array part.
+func (t *Table) arrayIndex(k Value) (int, bool) {
+	f, ok := k.(float64)
+	if !ok {
+		return 0, false
+	}
+	if f != math.Trunc(f) || f < 1 || f > float64(len(t.arr)+1) {
+		return 0, false
+	}
+	return int(f), true
+}
+
+// Get returns the value for key k, or nil.
+func (t *Table) Get(k Value) Value {
+	if i, ok := t.arrayIndex(k); ok && i <= len(t.arr) {
+		return t.arr[i-1]
+	}
+	if t.hash == nil {
+		return nil
+	}
+	return t.hash[k]
+}
+
+// Set stores v under k; storing nil deletes the key.
+func (t *Table) Set(k, v Value) error {
+	if k == nil {
+		return fmt.Errorf("table index is nil")
+	}
+	if f, ok := k.(float64); ok && math.IsNaN(f) {
+		return fmt.Errorf("table index is NaN")
+	}
+	if i, ok := t.arrayIndex(k); ok {
+		switch {
+		case i <= len(t.arr):
+			t.arr[i-1] = v
+			if v == nil && i == len(t.arr) {
+				// Shrink trailing nils.
+				for len(t.arr) > 0 && t.arr[len(t.arr)-1] == nil {
+					t.arr = t.arr[:len(t.arr)-1]
+				}
+			}
+			return nil
+		case v != nil: // i == len(arr)+1: append, then migrate from hash
+			t.arr = append(t.arr, v)
+			for t.hash != nil {
+				next := float64(len(t.arr) + 1)
+				mv, ok := t.hash[next]
+				if !ok {
+					break
+				}
+				delete(t.hash, next)
+				t.arr = append(t.arr, mv)
+			}
+			return nil
+		default:
+			return nil // deleting just past the array part: no-op
+		}
+	}
+	if v == nil {
+		if t.hash != nil {
+			delete(t.hash, k)
+		}
+		return nil
+	}
+	if t.hash == nil {
+		t.hash = make(map[Value]Value)
+	}
+	t.hash[k] = v
+	return nil
+}
+
+// Len returns the border of the array part (Lua's # operator).
+func (t *Table) Len() int { return len(t.arr) }
+
+// Size returns the total number of stored pairs.
+func (t *Table) Size() int { return len(t.arr) + len(t.hash) }
+
+// keyLess orders table keys deterministically: numbers before strings
+// before everything else, each group internally ordered.
+func keyLess(a, b Value) bool {
+	ra, rb := keyRank(a), keyRank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	switch x := a.(type) {
+	case float64:
+		return x < b.(float64)
+	case string:
+		return x < b.(string)
+	case bool:
+		return !x && b.(bool)
+	default:
+		// Pointers (tables, functions): order by stringified identity; rare
+		// and only needs to be stable within one snapshot.
+		return fmt.Sprintf("%p", a) < fmt.Sprintf("%p", b)
+	}
+}
+
+func keyRank(v Value) int {
+	switch v.(type) {
+	case float64:
+		return 0
+	case string:
+		return 1
+	case bool:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Keys returns all keys in deterministic order: array indices first, then
+// hash keys sorted by keyLess. Determinism matters because AAL handlers run
+// inside a reproducible discrete-event simulation.
+func (t *Table) Keys() []Value {
+	out := make([]Value, 0, t.Size())
+	for i := range t.arr {
+		if t.arr[i] != nil {
+			out = append(out, float64(i+1))
+		}
+	}
+	hk := make([]Value, 0, len(t.hash))
+	for k := range t.hash {
+		hk = append(hk, k)
+	}
+	sort.Slice(hk, func(i, j int) bool { return keyLess(hk[i], hk[j]) })
+	return append(out, hk...)
+}
+
+// Function is an AAL closure.
+type Function struct {
+	name   string
+	params []string
+	body   []stmt
+	env    *environ
+}
+
+// GoFunc is a host function exposed to AAL code.
+type GoFunc struct {
+	Name string
+	Fn   func(r *Runtime, args []Value) ([]Value, error)
+}
+
+// Truthy implements Lua truthiness: everything except nil and false.
+func Truthy(v Value) bool {
+	if v == nil {
+		return false
+	}
+	b, isBool := v.(bool)
+	return !isBool || b
+}
+
+// TypeName returns the Lua-style type name of a value.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Table:
+		return "table"
+	case *Function, *GoFunc:
+		return "function"
+	default:
+		return fmt.Sprintf("hostvalue(%T)", v)
+	}
+}
+
+// ToString renders a value as Lua's tostring would.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return numberToString(x)
+	case string:
+		return x
+	case *Table:
+		return fmt.Sprintf("table: %p", x)
+	case *Function:
+		return fmt.Sprintf("function: %p", x)
+	case *GoFunc:
+		return fmt.Sprintf("function: builtin %s", x.Name)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func numberToString(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', 14, 64)
+}
+
+// ToNumber coerces a value to a number as Lua's tonumber: numbers pass
+// through, numeric strings parse, everything else fails.
+func ToNumber(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case string:
+		f, err := strconv.ParseFloat(trimSpace(x), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t' || s[start] == '\n' || s[start] == '\r') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t' || s[end-1] == '\n' || s[end-1] == '\r') {
+		end--
+	}
+	return s[start:end]
+}
+
+// FromGo converts a Go value into an AAL value: numbers become float64,
+// string/bool pass through, maps and slices become tables (recursively).
+// Unconvertible values become their string rendering.
+func FromGo(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case bool, string, float64:
+		return x
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	case float32:
+		return float64(x)
+	case time.Duration:
+		return x.Seconds()
+	case []any:
+		t := NewTable()
+		for i, e := range x {
+			_ = t.Set(float64(i+1), FromGo(e))
+		}
+		return t
+	case []string:
+		t := NewTable()
+		for i, e := range x {
+			_ = t.Set(float64(i+1), e)
+		}
+		return t
+	case map[string]any:
+		t := NewTable()
+		for k, e := range x {
+			_ = t.Set(k, FromGo(e))
+		}
+		return t
+	case *Table, *Function, *GoFunc:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// ToGo converts an AAL value back into plain Go data: tables become
+// map[string]any or []any depending on shape.
+func ToGo(v Value) any {
+	switch x := v.(type) {
+	case *Table:
+		if len(x.hash) == 0 {
+			out := make([]any, 0, len(x.arr))
+			for _, e := range x.arr {
+				out = append(out, ToGo(e))
+			}
+			return out
+		}
+		out := make(map[string]any, x.Size())
+		for _, k := range x.Keys() {
+			out[ToString(k)] = ToGo(x.Get(k))
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,209 @@
+package aal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableArrayHashMigration(t *testing.T) {
+	tbl := NewTable()
+	// Insert 3 before 1 and 2: lands in hash, then migrates to array.
+	tbl.Set(3.0, "c")
+	if tbl.Len() != 0 {
+		t.Fatalf("premature array: len=%d", tbl.Len())
+	}
+	tbl.Set(1.0, "a")
+	if tbl.Len() != 1 {
+		t.Fatalf("len after [1]: %d", tbl.Len())
+	}
+	tbl.Set(2.0, "b")
+	if tbl.Len() != 3 {
+		t.Fatalf("hash part should migrate: len=%d", tbl.Len())
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got := tbl.Get(float64(i + 1)); got != want {
+			t.Errorf("t[%d] = %v", i+1, got)
+		}
+	}
+}
+
+func TestTableShrinkOnNilTail(t *testing.T) {
+	tbl := NewTable()
+	for i := 1; i <= 5; i++ {
+		tbl.Set(float64(i), i)
+	}
+	tbl.Set(5.0, nil)
+	if tbl.Len() != 4 {
+		t.Fatalf("len after removing tail = %d", tbl.Len())
+	}
+	tbl.Set(4.0, nil)
+	if tbl.Len() != 3 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	// Hole in the middle does not shrink.
+	tbl.Set(2.0, nil)
+	if tbl.Len() != 3 {
+		t.Fatalf("len with hole = %d", tbl.Len())
+	}
+}
+
+func TestTableRejectsNilAndNaNKeys(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Set(nil, 1); err == nil {
+		t.Error("nil key accepted")
+	}
+	nan := 0.0
+	nan = nan / nan
+	if err := tbl.Set(nan, 1); err == nil {
+		t.Error("NaN key accepted")
+	}
+}
+
+// Property: Set then Get round-trips for arbitrary finite float and string
+// keys.
+func TestTableSetGetProperty(t *testing.T) {
+	type op struct {
+		UseString bool
+		SKey      string
+		FKey      int16 // keep keys small to exercise array/hash interplay
+		Val       int32
+	}
+	f := func(ops []op) bool {
+		tbl := NewTable()
+		model := map[Value]Value{}
+		for _, o := range ops {
+			var k Value
+			if o.UseString {
+				k = o.SKey
+			} else {
+				k = float64(o.FKey)
+			}
+			var v Value
+			if o.Val != 0 {
+				v = float64(o.Val)
+			}
+			if err := tbl.Set(k, v); err != nil {
+				return false
+			}
+			if v == nil {
+				delete(model, k)
+			} else {
+				model[k] = v
+			}
+		}
+		for k, v := range model {
+			if tbl.Get(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Keys() is deterministic and complete.
+func TestTableKeysDeterministicProperty(t *testing.T) {
+	f := func(strs []string, nums []int16) bool {
+		build := func() *Table {
+			tbl := NewTable()
+			for _, s := range strs {
+				tbl.Set(s, 1.0)
+			}
+			for _, n := range nums {
+				tbl.Set(float64(n), 2.0)
+			}
+			return tbl
+		}
+		a, b := build().Keys(), build().Keys()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{nil, false}, {false, false}, {true, true},
+		{0.0, true}, {"", true}, {NewTable(), true},
+	}
+	for _, c := range cases {
+		if Truthy(c.v) != c.want {
+			t.Errorf("Truthy(%#v) != %v", c.v, c.want)
+		}
+	}
+}
+
+func TestToStringNumbers(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{42, "42"}, {-3, "-3"}, {0, "0"}, {2.5, "2.5"}, {1e20, "1e+20"},
+	}
+	for _, c := range cases {
+		if got := ToString(c.v); got != c.want {
+			t.Errorf("ToString(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFromGoToGoRoundTrip(t *testing.T) {
+	in := map[string]any{
+		"name":  "node1",
+		"cores": 8,
+		"free":  true,
+		"tags":  []any{"gpu", "fast"},
+	}
+	v := FromGo(in)
+	tbl, ok := v.(*Table)
+	if !ok {
+		t.Fatalf("FromGo produced %T", v)
+	}
+	if tbl.Get("cores") != 8.0 {
+		t.Errorf("cores = %v", tbl.Get("cores"))
+	}
+	out, ok := ToGo(v).(map[string]any)
+	if !ok {
+		t.Fatalf("ToGo produced %T", ToGo(v))
+	}
+	if out["name"] != "node1" || out["free"] != true {
+		t.Errorf("round trip lost fields: %v", out)
+	}
+	tags, ok := out["tags"].([]any)
+	if !ok || len(tags) != 2 || tags[0] != "gpu" {
+		t.Errorf("tags = %v", out["tags"])
+	}
+}
+
+func TestToNumber(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{3.0, 3, true}, {"4.5", 4.5, true}, {" 7 ", 7, true},
+		{"x", 0, false}, {nil, 0, false}, {true, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ToNumber(c.v)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ToNumber(%#v) = %v,%v", c.v, got, ok)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package attr implements the second and third architectural components of
+// an RBAY node (paper Fig. 4): the key-value map of resource attributes,
+// and the active-attribute (AA) runtime that dispatches admin-written
+// handlers — onGet, onSubscribe, onUnsubscribe, onDeliver, onTimer — over
+// that map.
+package attr
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"rbay/internal/aal"
+)
+
+// Handler names recognized by the AA runtime (paper Table I).
+const (
+	HandlerGet         = "onGet"
+	HandlerSubscribe   = "onSubscribe"
+	HandlerUnsubscribe = "onUnsubscribe"
+	HandlerDeliver     = "onDeliver"
+	HandlerTimer       = "onTimer"
+)
+
+// Options configures a node's attribute map.
+type Options struct {
+	// NodeID and Site are injected into every handler runtime as the
+	// globals NodeId and Site.
+	NodeID string
+	Site   string
+	// Now supplies the (virtual) clock to handler runtimes.
+	Now func() time.Time
+	// AAL tunes handler execution limits. Now is overridden by the field
+	// above.
+	AAL aal.Options
+}
+
+// Attribute is one resource attribute: a key-value pair that may carry an
+// active handler table.
+type Attribute struct {
+	name  string
+	value any
+
+	script      string
+	chunk       *aal.Chunk
+	rt          *aal.Runtime
+	baseGlobals int // stdlib globals present before the script ran
+}
+
+// Name returns the attribute's key.
+func (a *Attribute) Name() string { return a.name }
+
+// Value returns the current monitored value.
+func (a *Attribute) Value() any { return a.value }
+
+// Active reports whether an AA script is attached.
+func (a *Attribute) Active() bool { return a.rt != nil }
+
+// Script returns the attached AA source ("" if plain).
+func (a *Attribute) Script() string { return a.script }
+
+// HasHandler reports whether the attached AA defines the named handler.
+func (a *Attribute) HasHandler(name string) bool {
+	return a.rt != nil && a.rt.HasGlobal(name)
+}
+
+// Per-AA memory accounting constants, calibrated to the paper's Fig. 8c
+// discussion of a Lua AA (a table holding persistent state plus handler
+// closures). Compiled chunks are shared across identical scripts (see the
+// chunk cache), so only a pointer is charged per attribute.
+const (
+	entryOverheadBytes  = 64 // map entry + attribute struct
+	valueOverheadBytes  = 16
+	aaRuntimeBytes      = 96 // interpreter + environment skeleton
+	aaChunkPointerBytes = 8
+	aaGlobalBytes       = 32 // one admin-defined global (AA table slot, handler ref)
+)
+
+// EstimateBytes approximates the attribute's memory footprint: the
+// paper's Fig. 8c compares this accounting between RBAY attributes (with
+// handlers) and plain PAST-style key-value entries.
+func (a *Attribute) EstimateBytes() int {
+	n := entryOverheadBytes + len(a.name) + valueBytes(a.value)
+	if a.rt != nil {
+		// The admin's own global state (the AA table and handlers) is what
+		// grows per attribute; the sandboxed stdlib is identical in every
+		// runtime and the compiled chunk is shared, so both are discounted.
+		adminGlobals := a.rt.Globals().Size() - a.baseGlobals
+		if adminGlobals < 0 {
+			adminGlobals = 0
+		}
+		n += aaRuntimeBytes + aaChunkPointerBytes + len(a.script)/16 + aaGlobalBytes*adminGlobals
+	}
+	return n
+}
+
+func valueBytes(v any) int {
+	switch x := v.(type) {
+	case string:
+		return len(x) + valueOverheadBytes
+	case []string:
+		n := valueOverheadBytes
+		for _, s := range x {
+			n += len(s) + valueOverheadBytes
+		}
+		return n
+	case nil:
+		return 0
+	default:
+		return valueOverheadBytes
+	}
+}
+
+// chunkCache shares compiled chunks across attributes and nodes: admins
+// attach the same policy script to thousands of attributes, and chunks
+// are immutable.
+var chunkCache sync.Map // script string → *aal.Chunk
+
+// Map is one node's attribute store.
+type Map struct {
+	opts  Options
+	attrs map[string]*Attribute
+}
+
+// NewMap creates an empty attribute map.
+func NewMap(opts Options) *Map {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Map{opts: opts, attrs: make(map[string]*Attribute)}
+}
+
+// Set creates or updates an attribute's monitored value, preserving any
+// attached handler.
+func (m *Map) Set(name string, value any) {
+	a := m.attrs[name]
+	if a == nil {
+		a = &Attribute{name: name}
+		m.attrs[name] = a
+	}
+	a.value = value
+	if a.rt != nil {
+		a.rt.SetGlobal("AttrValue", aal.FromGo(value))
+	}
+}
+
+// Get returns an attribute's current value.
+func (m *Map) Get(name string) (any, bool) {
+	a := m.attrs[name]
+	if a == nil {
+		return nil, false
+	}
+	return a.value, true
+}
+
+// Delete removes an attribute entirely.
+func (m *Map) Delete(name string) { delete(m.attrs, name) }
+
+// Len returns the number of attributes.
+func (m *Map) Len() int { return len(m.attrs) }
+
+// Names returns all attribute names (order unspecified).
+func (m *Map) Names() []string {
+	out := make([]string, 0, len(m.attrs))
+	for n := range m.attrs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Lookup returns the attribute struct itself.
+func (m *Map) Lookup(name string) (*Attribute, bool) {
+	a, ok := m.attrs[name]
+	return a, ok
+}
+
+// EstimateBytes sums the approximate footprint of all attributes.
+func (m *Map) EstimateBytes() int {
+	n := 0
+	for _, a := range m.attrs {
+		n += a.EstimateBytes()
+	}
+	return n
+}
+
+// Attach compiles an AA script and binds it to the attribute, creating the
+// attribute if needed. The script runs once immediately (defining the AA
+// table and handlers); its runtime persists across handler invocations.
+// Attaching replaces any previous handler.
+func (m *Map) Attach(name, script string) error {
+	var chunk *aal.Chunk
+	if cached, ok := chunkCache.Load(script); ok {
+		chunk = cached.(*aal.Chunk)
+	} else {
+		compiled, err := aal.Compile(script)
+		if err != nil {
+			return fmt.Errorf("attr: attach %q: %w", name, err)
+		}
+		chunkCache.Store(script, compiled)
+		chunk = compiled
+	}
+	a := m.attrs[name]
+	if a == nil {
+		a = &Attribute{name: name}
+		m.attrs[name] = a
+	}
+	opts := m.opts.AAL
+	opts.Now = m.opts.Now
+	rt := aal.NewRuntime(opts)
+	m.injectHost(rt, a)
+	base := rt.Globals().Size()
+	if err := rt.Run(chunk); err != nil {
+		return fmt.Errorf("attr: attach %q: %w", name, err)
+	}
+	a.script = script
+	a.chunk = chunk
+	a.rt = rt
+	a.baseGlobals = base
+	return nil
+}
+
+// injectHost installs the host-side globals a handler can use: node
+// identity, the attribute's name and live value, and cross-attribute
+// accessors.
+func (m *Map) injectHost(rt *aal.Runtime, a *Attribute) {
+	rt.SetGlobal("NodeId", m.opts.NodeID)
+	rt.SetGlobal("Site", m.opts.Site)
+	rt.SetGlobal("AttrName", a.name)
+	rt.SetGlobal("AttrValue", aal.FromGo(a.value))
+	rt.SetGlobal("getattr", &aal.GoFunc{Name: "getattr", Fn: func(_ *aal.Runtime, args []aal.Value) ([]aal.Value, error) {
+		name, _ := argString(args, 0)
+		v, ok := m.Get(name)
+		if !ok {
+			return []aal.Value{nil}, nil
+		}
+		return []aal.Value{aal.FromGo(v)}, nil
+	}})
+	rt.SetGlobal("setattr", &aal.GoFunc{Name: "setattr", Fn: func(_ *aal.Runtime, args []aal.Value) ([]aal.Value, error) {
+		name, ok := argString(args, 0)
+		if !ok {
+			return nil, fmt.Errorf("setattr: attribute name must be a string")
+		}
+		var v aal.Value
+		if len(args) > 1 {
+			v = args[1]
+		}
+		m.Set(name, aal.ToGo(v))
+		return nil, nil
+	}})
+	// Cryptographic primitives — the enhancement the paper sketches for
+	// Fig. 5 ("can easily be enhanced via encryption primitives involving
+	// the AA and public/private key pairs"). All pure functions: they keep
+	// the sandbox's no-I/O guarantee.
+	rt.SetGlobal("sha256hex", &aal.GoFunc{Name: "sha256hex", Fn: func(_ *aal.Runtime, args []aal.Value) ([]aal.Value, error) {
+		s, ok := argString(args, 0)
+		if !ok {
+			return nil, fmt.Errorf("sha256hex: want a string")
+		}
+		sum := sha256.Sum256([]byte(s))
+		return []aal.Value{hex.EncodeToString(sum[:])}, nil
+	}})
+	rt.SetGlobal("hmac_sha256", &aal.GoFunc{Name: "hmac_sha256", Fn: func(_ *aal.Runtime, args []aal.Value) ([]aal.Value, error) {
+		key, kok := argString(args, 0)
+		msg, mok := argString(args, 1)
+		if !kok || !mok {
+			return nil, fmt.Errorf("hmac_sha256: want (key, message) strings")
+		}
+		mac := hmac.New(sha256.New, []byte(key))
+		mac.Write([]byte(msg))
+		return []aal.Value{hex.EncodeToString(mac.Sum(nil))}, nil
+	}})
+	rt.SetGlobal("ed25519_verify", &aal.GoFunc{Name: "ed25519_verify", Fn: func(_ *aal.Runtime, args []aal.Value) ([]aal.Value, error) {
+		pubHex, pok := argString(args, 0)
+		msg, mok := argString(args, 1)
+		sigHex, sok := argString(args, 2)
+		if !pok || !mok || !sok {
+			return nil, fmt.Errorf("ed25519_verify: want (pubkey-hex, message, signature-hex)")
+		}
+		pub, err := hex.DecodeString(pubHex)
+		if err != nil || len(pub) != ed25519.PublicKeySize {
+			return []aal.Value{false}, nil
+		}
+		sig, err := hex.DecodeString(sigHex)
+		if err != nil || len(sig) != ed25519.SignatureSize {
+			return []aal.Value{false}, nil
+		}
+		return []aal.Value{ed25519.Verify(ed25519.PublicKey(pub), []byte(msg), sig)}, nil
+	}})
+}
+
+func argString(args []aal.Value, i int) (string, bool) {
+	if i >= len(args) {
+		return "", false
+	}
+	s, ok := args[i].(string)
+	return s, ok
+}
+
+// Result is a handler invocation outcome.
+type Result struct {
+	// Value is the handler's first return value (converted to Go data),
+	// nil when the handler returned nothing or nil.
+	Value any
+	// Handled is false when the attribute has no handler for the event
+	// (the caller applies default policy).
+	Handled bool
+	// Steps is the instruction count consumed.
+	Steps int
+}
+
+// Invoke runs the named handler of an attribute. Arguments are converted
+// with aal.FromGo. Unattached attributes and missing handlers return
+// Handled=false with no error.
+func (m *Map) Invoke(attrName, handler string, args ...any) (Result, error) {
+	a := m.attrs[attrName]
+	if a == nil || a.rt == nil || !a.rt.HasGlobal(handler) {
+		return Result{}, nil
+	}
+	vals := make([]aal.Value, len(args))
+	for i, arg := range args {
+		vals[i] = aal.FromGo(arg)
+	}
+	out, err := a.rt.CallGlobal(handler, vals...)
+	res := Result{Handled: true, Steps: a.rt.Steps()}
+	if err != nil {
+		return res, fmt.Errorf("attr: %s.%s: %w", attrName, handler, err)
+	}
+	if len(out) > 0 {
+		res.Value = aal.ToGo(out[0])
+	}
+	return res, nil
+}
+
+// OnGet dispatches a get event (paper: invoked when a customer query
+// performs a get on this node). Without a handler the attribute's value is
+// returned directly — exposure is the default, policy restricts it.
+func (m *Map) OnGet(attrName string, caller string, payload any) (any, error) {
+	res, err := m.Invoke(attrName, HandlerGet, caller, payload)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Handled {
+		v, ok := m.Get(attrName)
+		if !ok {
+			return nil, nil
+		}
+		return v, nil
+	}
+	return res.Value, nil
+}
+
+// OnSubscribe asks whether the node should (still) belong to the topic's
+// tree. A handler returning non-nil means join/stay; absent handlers
+// default to true.
+func (m *Map) OnSubscribe(attrName, caller, topic string) (bool, error) {
+	res, err := m.Invoke(attrName, HandlerSubscribe, caller, topic)
+	if err != nil {
+		return false, err
+	}
+	if !res.Handled {
+		return true, nil
+	}
+	return res.Value != nil, nil
+}
+
+// OnUnsubscribe asks whether the node should leave the topic's tree. A
+// handler returning non-nil means leave; absent handlers default to false.
+func (m *Map) OnUnsubscribe(attrName, caller, topic string) (bool, error) {
+	res, err := m.Invoke(attrName, HandlerUnsubscribe, caller, topic)
+	if err != nil {
+		return false, err
+	}
+	if !res.Handled {
+		return false, nil
+	}
+	return res.Value != nil, nil
+}
+
+// OnDeliver dispatches an admin control message; a handler returning
+// non-nil updates the attribute's value with it (paper Table I).
+func (m *Map) OnDeliver(attrName, caller string, payload any) (any, error) {
+	res, err := m.Invoke(attrName, HandlerDeliver, caller, payload)
+	if err != nil {
+		return nil, err
+	}
+	if res.Handled && res.Value != nil {
+		m.Set(attrName, res.Value)
+	}
+	return res.Value, nil
+}
+
+// OnTimer dispatches the periodic maintenance event to one attribute.
+func (m *Map) OnTimer(attrName string) error {
+	_, err := m.Invoke(attrName, HandlerTimer)
+	return err
+}
+
+// OnTimerAll dispatches the timer event to every active attribute,
+// returning the first error (all attributes are still visited).
+func (m *Map) OnTimerAll() error {
+	var first error
+	for name, a := range m.attrs {
+		if a.rt == nil {
+			continue
+		}
+		if err := m.OnTimer(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,348 @@
+package attr
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlainAttributes(t *testing.T) {
+	m := NewMap(Options{NodeID: "n1", Site: "virginia"})
+	m.Set("GPU", true)
+	m.Set("CPU_utilization", 0.5)
+	m.Set("Matlab", "9.0")
+
+	if v, ok := m.Get("GPU"); !ok || v != true {
+		t.Errorf("GPU = %v,%v", v, ok)
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	// Default policy without handler: get returns the value.
+	v, err := m.OnGet("Matlab", "joe", nil)
+	if err != nil || v != "9.0" {
+		t.Errorf("OnGet = %v, %v", v, err)
+	}
+	// Default subscribe: yes; default unsubscribe: no.
+	if ok, _ := m.OnSubscribe("GPU", "admin", "GPU-tree"); !ok {
+		t.Error("default subscribe should be true")
+	}
+	if leave, _ := m.OnUnsubscribe("GPU", "admin", "GPU-tree"); leave {
+		t.Error("default unsubscribe should be false")
+	}
+	m.Delete("GPU")
+	if _, ok := m.Get("GPU"); ok {
+		t.Error("deleted attribute still present")
+	}
+	if v, _ := m.OnGet("nonexistent", "joe", nil); v != nil {
+		t.Errorf("get on missing attribute = %v", v)
+	}
+}
+
+func TestPasswordHandler(t *testing.T) {
+	m := NewMap(Options{NodeID: "node-27", Site: "virginia"})
+	m.Set("GPU", true)
+	err := m.Attach("GPU", `
+		AA = {Password = "3053482032"}
+		function onGet(caller, password)
+			if password == AA.Password then
+				return NodeId
+			end
+			return nil
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.OnGet("GPU", "joe", "3053482032")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "node-27" {
+		t.Errorf("correct password: %v", v)
+	}
+	v, err = m.OnGet("GPU", "joe", "guess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("wrong password exposed %v", v)
+	}
+}
+
+func TestSubscribeHandlerSeesLiveAttributeValues(t *testing.T) {
+	m := NewMap(Options{NodeID: "n1", Site: "oregon"})
+	m.Set("CPU_utilization", 0.05)
+	err := m.Attach("CPU_utilization", `
+		function onSubscribe(caller, topic)
+			if getattr("CPU_utilization") < 0.10 then return NodeId end
+			return nil
+		end
+		function onUnsubscribe(caller, topic)
+			if getattr("CPU_utilization") >= 0.10 then return NodeId end
+			return nil
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := m.OnSubscribe("CPU_utilization", "rbay", "CPU_utilization<10%")
+	if err != nil || !join {
+		t.Fatalf("idle node should join: %v %v", join, err)
+	}
+	if leave, _ := m.OnUnsubscribe("CPU_utilization", "rbay", "CPU_utilization<10%"); leave {
+		t.Error("idle node should stay")
+	}
+	// Node becomes overloaded: next interval it must leave (paper §III-B).
+	m.Set("CPU_utilization", 0.93)
+	join, _ = m.OnSubscribe("CPU_utilization", "rbay", "CPU_utilization<10%")
+	if join {
+		t.Error("overloaded node should not join")
+	}
+	if leave, _ := m.OnUnsubscribe("CPU_utilization", "rbay", "CPU_utilization<10%"); !leave {
+		t.Error("overloaded node should leave")
+	}
+}
+
+func TestOnDeliverUpdatesValue(t *testing.T) {
+	m := NewMap(Options{NodeID: "n1", Site: "tokyo"})
+	m.Set("rental_price", 10.0)
+	err := m.Attach("rental_price", `
+		function onDeliver(caller, payload)
+			if caller == "admin" then return payload end
+			return nil
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.OnDeliver("rental_price", "admin", 12.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12.5 {
+		t.Errorf("deliver returned %v", v)
+	}
+	if got, _ := m.Get("rental_price"); got != 12.5 {
+		t.Errorf("value not updated: %v", got)
+	}
+	// Non-admin deliver is ignored.
+	if _, err := m.OnDeliver("rental_price", "mallory", 0.0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Get("rental_price"); got != 12.5 {
+		t.Errorf("non-admin deliver changed value: %v", got)
+	}
+}
+
+func TestOnTimerAndSetattr(t *testing.T) {
+	m := NewMap(Options{NodeID: "n1", Site: "sydney"})
+	m.Set("lease_remaining", 3.0)
+	m.Set("exposed", true)
+	err := m.Attach("lease_remaining", `
+		function onTimer()
+			local left = getattr("lease_remaining") - 1
+			setattr("lease_remaining", left)
+			if left <= 0 then setattr("exposed", false) end
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.OnTimerAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := m.Get("lease_remaining"); v != 0.0 {
+		t.Errorf("lease_remaining = %v", v)
+	}
+	if v, _ := m.Get("exposed"); v != false {
+		t.Errorf("exposed = %v, want false after lease expiry", v)
+	}
+}
+
+func TestHandlerClockIsInjected(t *testing.T) {
+	now := time.Date(2017, 6, 5, 12, 0, 0, 0, time.UTC)
+	m := NewMap(Options{NodeID: "n1", Site: "ireland", Now: func() time.Time { return now }})
+	m.Set("window", true)
+	if err := m.Attach("window", `function onGet(c) return now() end`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.OnGet("window", "joe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != float64(now.Unix()) {
+		t.Errorf("handler now() = %v, want %v", v, now.Unix())
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	m := NewMap(Options{})
+	if err := m.Attach("x", "syntax error ("); err == nil {
+		t.Error("bad syntax accepted")
+	}
+	if err := m.Attach("x", `error("boom at load")`); err == nil {
+		t.Error("load-time error swallowed")
+	}
+}
+
+func TestHandlerRuntimeErrorPropagates(t *testing.T) {
+	m := NewMap(Options{})
+	m.Set("x", 1)
+	if err := m.Attach("x", `function onGet(c) return nil + 1 end`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.OnGet("x", "joe", nil)
+	if err == nil || !strings.Contains(err.Error(), "arithmetic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAttributeValueVisibleToHandler(t *testing.T) {
+	m := NewMap(Options{})
+	m.Set("CPU", 0.42)
+	if err := m.Attach("CPU", `function onGet(c) return AttrValue end`); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.OnGet("CPU", "joe", nil)
+	if v != 0.42 {
+		t.Errorf("AttrValue = %v", v)
+	}
+	m.Set("CPU", 0.07) // monitored update must be visible
+	v, _ = m.OnGet("CPU", "joe", nil)
+	if v != 0.07 {
+		t.Errorf("AttrValue after update = %v", v)
+	}
+}
+
+func TestEstimateBytesGrowsWithHandlers(t *testing.T) {
+	plain := NewMap(Options{})
+	active := NewMap(Options{})
+	script := `
+		AA = {Password = "secret"}
+		function onGet(caller, pw)
+			if pw == AA.Password then return NodeId end
+			return nil
+		end
+	`
+	for i := 0; i < 100; i++ {
+		name := "attr" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('0'+i/10))
+		plain.Set(name, i)
+		active.Set(name, i)
+		if err := active.Attach(name, script); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, a := plain.EstimateBytes(), active.EstimateBytes()
+	if a <= p {
+		t.Fatalf("active map (%d B) should cost more than plain (%d B)", a, p)
+	}
+	if a > 20*p {
+		t.Fatalf("active map overhead implausibly large: %d vs %d", a, p)
+	}
+}
+
+func TestInvokeUnknownHandlerUnhandled(t *testing.T) {
+	m := NewMap(Options{})
+	m.Set("x", 1)
+	if err := m.Attach("x", `function onGet(c) return 1 end`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Invoke("x", HandlerDeliver, "admin", nil)
+	if err != nil || res.Handled {
+		t.Fatalf("missing handler should be unhandled: %+v %v", res, err)
+	}
+}
+
+func TestHashedPasswordPolicy(t *testing.T) {
+	// The paper's Fig. 5 enhanced with the sketched "encryption
+	// primitives": the AA stores only the hash of the password.
+	m := NewMap(Options{NodeID: "node-9", Site: "virginia"})
+	m.Set("GPU", true)
+	err := m.Attach("GPU", `
+		AA = {PasswordHash = sha256hex("s3cret")}
+		function onGet(caller, password)
+			if type(password) == "string" and sha256hex(password) == AA.PasswordHash then
+				return NodeId
+			end
+			return nil
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.OnGet("GPU", "joe", "s3cret"); v != "node-9" {
+		t.Errorf("correct password rejected: %v", v)
+	}
+	if v, _ := m.OnGet("GPU", "joe", "guess"); v != nil {
+		t.Errorf("wrong password accepted: %v", v)
+	}
+	if v, _ := m.OnGet("GPU", "joe", 42); v != nil {
+		t.Errorf("non-string payload accepted: %v", v)
+	}
+}
+
+func TestEd25519SignaturePolicy(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMap(Options{NodeID: "node-5", Site: "tokyo"})
+	m.Set("GPU", true)
+	// The AA stores the customer's public key; the query authenticates by
+	// signing its own caller name (paper: "the node's AA stores the public
+	// key, and the query authenticates itself by presenting the
+	// corresponding private key").
+	script := `
+		AA = {PubKey = "` + hex.EncodeToString(pub) + `"}
+		function onGet(caller, signature)
+			if type(signature) == "string" and ed25519_verify(AA.PubKey, caller, signature) then
+				return NodeId
+			end
+			return nil
+		end
+	`
+	if err := m.Attach("GPU", script); err != nil {
+		t.Fatal(err)
+	}
+	sig := hex.EncodeToString(ed25519.Sign(priv, []byte("joe")))
+	if v, _ := m.OnGet("GPU", "joe", sig); v != "node-5" {
+		t.Errorf("valid signature rejected: %v", v)
+	}
+	// Same signature presented by a different caller fails (it signs the
+	// caller identity).
+	if v, _ := m.OnGet("GPU", "mallory", sig); v != nil {
+		t.Errorf("replayed signature accepted for wrong caller: %v", v)
+	}
+	if v, _ := m.OnGet("GPU", "joe", "deadbeef"); v != nil {
+		t.Errorf("garbage signature accepted: %v", v)
+	}
+}
+
+func TestHmacHostFunction(t *testing.T) {
+	m := NewMap(Options{})
+	m.Set("x", 1)
+	if err := m.Attach("x", `
+		function onGet(caller, payload)
+			return hmac_sha256("key", "message")
+		end
+	`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.OnGet("x", "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := hmac.New(sha256.New, []byte("key"))
+	mac.Write([]byte("message"))
+	if v != hex.EncodeToString(mac.Sum(nil)) {
+		t.Errorf("hmac mismatch: %v", v)
+	}
+}

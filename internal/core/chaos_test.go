@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbay/internal/monitor"
+	"rbay/internal/naming"
+	"rbay/internal/query"
+)
+
+// TestChaosFederationStaysQueryable drives everything at once: attribute
+// churn through monitoring feeds, node crashes (including a router),
+// password policies, and a steady query stream — the federation must keep
+// answering with correct, non-double-allocated results.
+func TestChaosFederationStaysQueryable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	fed := newTestFed(t, []string{"virginia", "tokyo"}, 40)
+	rng := rand.New(rand.NewSource(77))
+
+	// Password-protect tokyo's GPUs.
+	for i, n := range fed.BySite["tokyo"] {
+		if i%4 != 0 {
+			continue
+		}
+		if err := n.AttachPolicy("GPU", `
+			AA = {Password = "chaos-pw"}
+			function onGet(caller, password)
+				if password == AA.Password then return NodeId end
+				return nil
+			end
+		`); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Churn: utilization random walks on every node.
+	for i, n := range fed.Nodes {
+		feed := monitor.NewFeed(int64(i) * 7)
+		feed.Track("CPU_utilization", &monitor.Walk{Cur: rng.Float64(), Min: 0, Max: 1, Step: 0.1})
+		node, f := n, feed
+		var tick func()
+		tick = func() {
+			f.Tick(node.Attributes())
+			node.Pastry().After(time.Second, tick)
+		}
+		node.Pastry().After(time.Second, tick)
+	}
+
+	// Crash a tokyo router and a handful of random non-router nodes.
+	crashed := map[string]bool{}
+	routerAddr := fed.Directory.Routers["tokyo"][0]
+	for _, n := range fed.BySite["tokyo"] {
+		if n.Addr() == routerAddr {
+			n.Close()
+			crashed[n.Addr().String()] = true
+		}
+	}
+	for i := 0; i < 5; i++ {
+		n := fed.Nodes[rng.Intn(len(fed.Nodes))]
+		if _, dead := crashed[n.Addr().String()]; dead {
+			continue
+		}
+		isRouter := false
+		for _, rs := range fed.Directory.Routers {
+			for _, r := range rs {
+				if n.Addr() == r {
+					isRouter = true
+				}
+			}
+		}
+		if isRouter {
+			continue
+		}
+		n.Close()
+		crashed[n.Addr().String()] = true
+	}
+	fed.RunFor(10 * time.Second)
+
+	// Query stream: GPUs with the password, utilization without.
+	gpuQ := query.MustParse(`SELECT 2 FROM * WHERE GPU = true;`)
+	utilQ := query.MustParse(`SELECT 3 FROM * WHERE CPU_utilization < 50%;`)
+	completed, withCandidates := 0, 0
+	for round := 0; round < 12; round++ {
+		var n *Node
+		for {
+			n = fed.Nodes[rng.Intn(len(fed.Nodes))]
+			if !crashed[n.Addr().String()] {
+				break
+			}
+		}
+		q := gpuQ
+		payload := any("chaos-pw")
+		if round%2 == 0 {
+			q, payload = utilQ, nil
+		}
+		done := false
+		issuer := n
+		n.QueryAs(q, "chaos", payload, func(r QueryResult) {
+			done = true
+			completed++
+			if len(r.Candidates) > 0 {
+				withCandidates++
+			}
+			for _, c := range r.Candidates {
+				if crashed[c.Addr.String()] {
+					t.Errorf("round %d returned a crashed node %v", round, c.Addr)
+				}
+			}
+			issuer.Release(r.QueryID, r.Candidates)
+		})
+		for s := 0; s < 300 && !done; s++ {
+			fed.RunFor(100 * time.Millisecond)
+		}
+		if !done {
+			t.Fatalf("round %d: query never completed", round)
+		}
+		fed.RunFor(2 * time.Second)
+	}
+	if completed != 12 {
+		t.Fatalf("completed = %d", completed)
+	}
+	// Churny predicates may legitimately come up empty occasionally, but
+	// the plane must not go dark.
+	if withCandidates < 8 {
+		t.Fatalf("only %d/12 queries found anything", withCandidates)
+	}
+}
+
+// TestHybridNamingLinkedPropertyEndToEnd exercises the §III-C property
+// link through the full query path: an attribute with no tree of its own
+// is served by anycasting its linked major tree and filtering.
+func TestHybridNamingLinkedPropertyEndToEnd(t *testing.T) {
+	reg := naming.NewRegistry()
+	reg.MustDefine(naming.TreeDef{Name: "brand=Intel", Pred: naming.Pred{Attr: "CPU_brand", Op: naming.OpEq, Value: "Intel"}, Creator: "t"})
+	reg.MustDefine(naming.TreeDef{Name: "model=i7", Pred: naming.Pred{Attr: "CPU_model", Op: naming.OpEq, Value: "i7"}, Parent: "brand=Intel", Creator: "t"})
+	// year_of_manufacture has no tree; admins linked it to the model tree.
+	if err := reg.LinkProperty("year_of_manufacture", "model=i7"); err != nil {
+		t.Fatal(err)
+	}
+	fed, err := NewFederation(reg, FedConfig{
+		Sites:        []string{"virginia"},
+		NodesPerSite: 30,
+		Node:         fastConfig(),
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range fed.BySite["virginia"] {
+		n.SetAttribute("CPU_brand", "Intel")
+		if i%2 == 0 {
+			n.SetAttribute("CPU_model", "i7")
+			n.SetAttribute("year_of_manufacture", float64(2010+i%8))
+		} else {
+			n.SetAttribute("CPU_model", "i5")
+		}
+	}
+	fed.Settle()
+	n := fed.BySite["virginia"][1]
+	res := runQuery(t, fed, n, `SELECT * FROM virginia WHERE year_of_manufacture >= 2014;`)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// i7 nodes: i even; year 2010+i%8 >= 2014 → i%8 in {4,6} (even) →
+	// i in {4,6,12,14,20,22,28} ∩ even... i%8==4 or 6: i ∈ {4,6,12,14,20,22,28}.
+	want := 0
+	for i := 0; i < 30; i += 2 {
+		if 2010+i%8 >= 2014 {
+			want++
+		}
+	}
+	if len(res.Candidates) != want {
+		t.Fatalf("linked-property query found %d, want %d", len(res.Candidates), want)
+	}
+	// The searched tree was the linked model tree (15 members).
+	if st := res.PerSite["virginia"]; st.TreeSize != 15 {
+		t.Errorf("searched tree size = %d, want the model tree's 15", st.TreeSize)
+	}
+}

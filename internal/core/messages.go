@@ -1,0 +1,91 @@
+// Package core assembles the RBAY node: the Pastry/Scribe substrate, the
+// attribute map with its AA runtime, tree membership driven by periodic
+// onSubscribe/onUnsubscribe evaluation, the query interface implementing
+// the paper's five-step protocol (Fig. 7) with reservation locks and
+// truncated exponential backoff, and the boundary routers that carry
+// queries across administratively isolated sites (paper §III-E).
+package core
+
+import (
+	"rbay/internal/naming"
+	"rbay/internal/pastry"
+	"rbay/internal/transport"
+)
+
+// AppName is the Pastry application name the RBAY core registers under.
+const AppName = "rbay"
+
+// Candidate is one discovered resource: a node that passed every predicate
+// and whose onGet handler authorized the caller.
+type Candidate struct {
+	// NodeID is the value the node's onGet handler exposed (by convention
+	// the node identifier; policies may return nil to hide the node).
+	NodeID string
+	// Addr is where to commit/release the reservation.
+	Addr transport.Addr
+	// Site the resource lives in.
+	Site string
+	// SortKey carries the GROUPBY attribute's value at visit time.
+	SortKey any
+}
+
+// queryVisit is the anycast payload that walks a tree collecting
+// candidates (paper Fig. 7, steps 3-5).
+type queryVisit struct {
+	QueryID string
+	K       int // 0 = collect all
+	Preds   []naming.Pred
+	OrderBy string
+	// TreeAttr is the attribute indexed by the searched tree; its AA
+	// handler authorizes exposure.
+	TreeAttr string
+	Caller   string
+	Payload  any // opaque argument for onGet (password etc.)
+	Slots    []Candidate
+	// Conflicts counts members that matched but were reserved by another
+	// query — the signal that triggers customer backoff.
+	Conflicts int
+}
+
+// siteQueryReq asks a (router) node to resolve a query within its site.
+type siteQueryReq struct {
+	ReqID   uint64
+	QueryID string
+	K       int
+	Preds   []naming.Pred
+	OrderBy string
+	Caller  string
+	Payload any
+	Origin  pastry.Entry
+}
+
+// siteQueryResp returns one site's candidates.
+type siteQueryResp struct {
+	ReqID      uint64
+	Site       string
+	Candidates []Candidate
+	Conflicts  int
+	TreeSize   int64
+	Err        string
+}
+
+// commitReq asks a reserved node to commit (lease) itself to the query.
+type commitReq struct {
+	QueryID string
+}
+
+// releaseReq frees a reservation or lease early.
+type releaseReq struct {
+	QueryID string
+}
+
+// adminCmd is multicast down a tree by a site admin; each member runs its
+// onDeliver handler with the payload (paper §II-B.3 multicast).
+type adminCmd struct {
+	Attr    string
+	From    string
+	Payload any
+	// SentAt carries the multicast's start time for overhead measurements
+	// (Fig. 11); zero for ordinary commands.
+	SentAtNanos int64
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rbay/internal/naming"
+	"rbay/internal/query"
+	"rbay/internal/scribe"
+	"rbay/internal/transport"
+)
+
+// ErrNoPlan is reported when no query predicate maps to any registered
+// tree: RBAY has no candidate generator and refuses to flood the overlay.
+var ErrNoPlan = errors.New("core: no predicate matches a registered tree")
+
+// ErrNoRouter is reported when a target site has no reachable router.
+var ErrNoRouter = errors.New("core: no reachable router for site")
+
+// QueryResult is the outcome of a composite query.
+type QueryResult struct {
+	QueryID    string
+	Candidates []Candidate
+	// Shortfall is how many of the requested k could not be found.
+	Shortfall int
+	// Attempts counts query rounds (1 = no backoff was needed).
+	Attempts int
+	// Conflicts counts matching-but-reserved nodes observed across rounds.
+	Conflicts int
+	// Elapsed is wall (virtual) time from Query to callback.
+	Elapsed time.Duration
+	// PerSite records each queried site's candidate count and tree size.
+	PerSite map[string]SiteStats
+	Err     error
+}
+
+// SiteStats summarizes one site's contribution to a query.
+type SiteStats struct {
+	Candidates int
+	TreeSize   int64
+	Err        string
+}
+
+// siteQueryCall tracks one in-flight cross-site sub-query.
+type siteQueryCall struct {
+	cb     func(siteQueryResp)
+	cancel transport.CancelFunc
+}
+
+// queryRun tracks a multi-round query execution at its query interface.
+type queryRun struct {
+	n       *Node
+	q       *query.Query
+	caller  string
+	payload any
+	id      string
+	started time.Time
+	attempt int
+
+	acc       map[string]Candidate // keyed by Addr string
+	conflicts int
+	perSite   map[string]SiteStats
+	cb        func(QueryResult)
+}
+
+// Query resolves a composite query through this node's query interface:
+// plan → per-site probe+anycast (in parallel across sites) → merge →
+// backoff re-query on shortfall (paper Fig. 7 plus §III-D's truncated
+// exponential backoff). cb fires exactly once.
+func (n *Node) Query(q *query.Query, cb func(QueryResult)) {
+	n.QueryAs(q, n.Addr().String(), nil, cb)
+}
+
+// QueryAs is Query with an explicit caller identity and an opaque payload
+// passed to every onGet handler (password, access level, …).
+func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(QueryResult)) {
+	n.nextQuery++
+	run := &queryRun{
+		n:       n,
+		q:       q,
+		caller:  caller,
+		payload: payload,
+		id:      fmt.Sprintf("%s#%d", n.Addr(), n.nextQuery),
+		started: n.Now(),
+		acc:     make(map[string]Candidate),
+		perSite: make(map[string]SiteStats),
+		cb:      cb,
+	}
+	if len(q.Preds) == 0 {
+		run.finish(ErrNoPlan)
+		return
+	}
+	run.round()
+}
+
+// targetSites resolves the query's FROM clause against the directory.
+func (r *queryRun) targetSites() []string {
+	if len(r.q.Sites) > 0 {
+		return r.q.Sites
+	}
+	if len(r.n.dir.Sites) > 0 {
+		return r.n.dir.Sites
+	}
+	return []string{r.n.Site()}
+}
+
+// round runs one fan-out across all target sites.
+func (r *queryRun) round() {
+	r.attempt++
+	sites := r.targetSites()
+	need := r.q.K
+	if need > 0 {
+		need -= len(r.acc)
+	}
+	pendingSites := len(sites)
+	anyErr := error(nil)
+	oneDone := func(site string, resp siteQueryResp) {
+		st := SiteStats{Candidates: len(resp.Candidates), TreeSize: resp.TreeSize, Err: resp.Err}
+		r.perSite[site] = st
+		r.conflicts += resp.Conflicts
+		for _, c := range resp.Candidates {
+			r.acc[c.Addr.String()] = c
+		}
+		if resp.Err != "" && anyErr == nil {
+			anyErr = errors.New(resp.Err)
+		}
+		pendingSites--
+		if pendingSites == 0 {
+			r.roundDone(anyErr)
+		}
+	}
+	for _, site := range sites {
+		site := site
+		req := siteQueryReq{
+			QueryID: r.id,
+			K:       need,
+			Preds:   r.q.Preds,
+			OrderBy: r.q.OrderBy,
+			Caller:  r.caller,
+			Payload: r.payload,
+			Origin:  r.n.p.Self(),
+		}
+		r.n.siteQuery(site, req, func(resp siteQueryResp) { oneDone(site, resp) })
+	}
+}
+
+func (r *queryRun) roundDone(roundErr error) {
+	k := r.q.K
+	short := 0
+	if k > 0 {
+		short = k - len(r.acc)
+	}
+	if short > 0 && r.attempt < r.n.cfg.MaxAttempts && r.conflicts > 0 {
+		// Truncated exponential backoff: after c failures wait a random
+		// number of slot times in [0, 2^c - 1] (paper §III-D).
+		c := r.attempt
+		if c > r.n.cfg.BackoffCap {
+			c = r.n.cfg.BackoffCap
+		}
+		slots := r.n.rng.Int63n(1 << uint(c))
+		r.n.p.After(time.Duration(slots)*r.n.cfg.BackoffSlot, r.round)
+		return
+	}
+	r.finish(roundErr)
+}
+
+func (r *queryRun) finish(err error) {
+	res := QueryResult{
+		QueryID:   r.id,
+		Attempts:  r.attempt,
+		Conflicts: r.conflicts,
+		PerSite:   r.perSite,
+		Elapsed:   r.n.Now().Sub(r.started),
+		Err:       err,
+	}
+	if r.attempt == 0 {
+		res.Attempts = 1
+	}
+	cands := make([]Candidate, 0, len(r.acc))
+	for _, c := range r.acc {
+		cands = append(cands, c)
+	}
+	sortCandidates(cands, r.q.OrderBy != "" && r.q.Desc)
+	if k := r.q.K; k > 0 {
+		if len(cands) > k {
+			// Release the surplus reservations.
+			for _, c := range cands[k:] {
+				_ = r.n.p.SendApp(c.Addr, AppName, releaseReq{QueryID: r.id})
+			}
+			cands = cands[:k]
+		}
+		res.Shortfall = k - len(cands)
+		if res.Shortfall < 0 {
+			res.Shortfall = 0
+		}
+	}
+	res.Candidates = cands
+	r.cb(res)
+}
+
+// sortCandidates orders by SortKey (numbers, then strings), then by
+// address for determinism.
+func sortCandidates(cs []Candidate, desc bool) {
+	less := func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		la, lb := sortRank(a.SortKey), sortRank(b.SortKey)
+		if la != lb {
+			return la < lb
+		}
+		switch x := a.SortKey.(type) {
+		case float64:
+			y := b.SortKey.(float64)
+			if x != y {
+				return x < y
+			}
+		case string:
+			y := b.SortKey.(string)
+			if x != y {
+				return x < y
+			}
+		}
+		return a.Addr.String() < b.Addr.String()
+	}
+	if desc {
+		sort.Slice(cs, func(i, j int) bool { return less(j, i) })
+	} else {
+		sort.Slice(cs, less)
+	}
+}
+
+func sortRank(v any) int {
+	switch v.(type) {
+	case float64:
+		return 0
+	case string:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Commit leases the given candidates to the query (the customer "takes"
+// the resources).
+func (n *Node) Commit(queryID string, cands []Candidate) {
+	for _, c := range cands {
+		_ = n.p.SendApp(c.Addr, AppName, commitReq{QueryID: queryID})
+	}
+}
+
+// Release frees candidates' reservations or leases early.
+func (n *Node) Release(queryID string, cands []Candidate) {
+	for _, c := range cands {
+		_ = n.p.SendApp(c.Addr, AppName, releaseReq{QueryID: queryID})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cross-site dispatch
+
+// siteQuery runs req in the target site: locally when it is our own site,
+// otherwise through one of the site's boundary routers.
+func (n *Node) siteQuery(site string, req siteQueryReq, cb func(siteQueryResp)) {
+	if site == n.Site() {
+		n.stats.SiteQueries++
+		n.runSiteQuery(req, cb)
+		return
+	}
+	n.nextReq++
+	req.ReqID = n.nextReq
+	call := &siteQueryCall{cb: cb}
+	call.cancel = n.p.After(n.cfg.SiteQueryTimeout, func() {
+		if _, w := n.pendingSQ[req.ReqID]; w {
+			delete(n.pendingSQ, req.ReqID)
+			cb(siteQueryResp{Site: site, Err: "site query timed out"})
+		}
+	})
+	n.pendingSQ[req.ReqID] = call
+
+	sent := false
+	for _, router := range n.dir.Routers[site] {
+		if err := n.p.SendApp(router, AppName, req); err == nil {
+			sent = true
+			break
+		}
+	}
+	if !sent {
+		delete(n.pendingSQ, req.ReqID)
+		call.cancel()
+		cb(siteQueryResp{Site: site, Err: ErrNoRouter.Error() + " " + site})
+	}
+}
+
+func (n *Node) handleSiteQueryResp(resp siteQueryResp) {
+	call, ok := n.pendingSQ[resp.ReqID]
+	if !ok {
+		return
+	}
+	delete(n.pendingSQ, resp.ReqID)
+	call.cancel()
+	call.cb(resp)
+}
+
+// serveSiteQuery runs a remote origin's sub-query inside this site and
+// replies directly.
+func (n *Node) serveSiteQuery(req siteQueryReq) {
+	n.stats.SiteQueries++
+	n.runSiteQuery(req, func(resp siteQueryResp) {
+		resp.ReqID = req.ReqID
+		_ = n.p.SendApp(req.Origin.Addr, AppName, resp)
+	})
+}
+
+// runSiteQuery implements the paper's five steps within one site:
+// probe the candidate trees' sizes, anycast the smaller tree with a k-slot
+// buffer, and return the filled slots.
+func (n *Node) runSiteQuery(req siteQueryReq, cb func(siteQueryResp)) {
+	site := n.Site()
+	// Step 0 (planning): map predicates to registered trees.
+	var defs []*naming.TreeDef
+	seen := map[string]bool{}
+	for _, p := range req.Preds {
+		def, _ := n.reg.PlanPredicate(p)
+		if def != nil && !seen[def.Name] {
+			seen[def.Name] = true
+			defs = append(defs, def)
+		}
+	}
+	if len(defs) == 0 {
+		cb(siteQueryResp{Site: site, Err: ErrNoPlan.Error()})
+		return
+	}
+
+	// Steps 1-2: probe each tree's size via its root's aggregate.
+	sizes := make([]int64, len(defs))
+	missing := make([]bool, len(defs))
+	pending := len(defs)
+	oneProbe := func(i int) func(v any, err error) {
+		return func(v any, err error) {
+			if err != nil {
+				missing[i] = true
+			} else if st, ok := v.(TreeStats); ok {
+				sizes[i] = st.Count
+			}
+			pending--
+			if pending == 0 {
+				n.anycastSmallest(req, defs, sizes, missing, cb)
+			}
+		}
+	}
+	for i, def := range defs {
+		topic := n.reg.TopicFor(site, def)
+		if err := n.s.QueryAggregate(site, topic, oneProbe(i)); err != nil {
+			oneProbe(i)(nil, err)
+		}
+	}
+}
+
+// anycastSmallest executes steps 3-5: DFS the smallest candidate tree.
+func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes []int64, missing []bool, cb func(siteQueryResp)) {
+	site := n.Site()
+	best := -1
+	for i := range defs {
+		if missing[i] {
+			continue
+		}
+		if best < 0 || sizes[i] < sizes[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Every planned tree is absent in this site: no candidates here.
+		cb(siteQueryResp{Site: site})
+		return
+	}
+	if sizes[best] == 0 {
+		cb(siteQueryResp{Site: site, TreeSize: 0})
+		return
+	}
+	def := defs[best]
+	visit := queryVisit{
+		QueryID:  req.QueryID,
+		K:        req.K,
+		Preds:    req.Preds,
+		OrderBy:  req.OrderBy,
+		TreeAttr: def.Pred.Attr,
+		Caller:   req.Caller,
+		Payload:  req.Payload,
+	}
+	topic := n.reg.TopicFor(site, def)
+	err := n.s.Anycast(site, topic, visit, func(res scribe.AnycastResult) {
+		if res.Err != nil {
+			cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: res.Err.Error()})
+			return
+		}
+		out, _ := res.Payload.(queryVisit)
+		cb(siteQueryResp{
+			Site:       site,
+			Candidates: out.Slots,
+			Conflicts:  out.Conflicts,
+			TreeSize:   sizes[best],
+		})
+	})
+	if err != nil {
+		cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: err.Error()})
+	}
+}

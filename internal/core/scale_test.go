@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbay/internal/query"
+	"rbay/internal/transport"
+	"rbay/internal/workload"
+)
+
+// TestLossyLinksDegradeGracefully injects probabilistic message loss: the
+// plane must never hang — queries complete (possibly with partial results
+// or site-timeout errors) within their timeout budgets.
+func TestLossyLinksDegradeGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss run")
+	}
+	fed := newTestFed(t, []string{"virginia", "tokyo"}, 30)
+	rng := rand.New(rand.NewSource(123))
+	fed.Net.SetDropFunc(func(from, to transport.Addr) bool {
+		return rng.Float64() < 0.05 // 5% loss everywhere
+	})
+	completed := 0
+	withResults := 0
+	q := query.MustParse(`SELECT 2 FROM * WHERE GPU = true;`)
+	for round := 0; round < 10; round++ {
+		n := fed.BySite["virginia"][3+round]
+		done := false
+		issuer := n
+		n.Query(q, func(r QueryResult) {
+			done = true
+			completed++
+			if len(r.Candidates) > 0 {
+				withResults++
+			}
+			issuer.Release(r.QueryID, r.Candidates)
+		})
+		// Every query must resolve within the site-query timeout budget
+		// plus slack — never hang.
+		for s := 0; s < 400 && !done; s++ {
+			fed.RunFor(100 * time.Millisecond)
+		}
+		if !done {
+			t.Fatalf("round %d: query hung under 5%% loss", round)
+		}
+		fed.RunFor(2 * time.Second)
+	}
+	if completed != 10 {
+		t.Fatalf("completed = %d", completed)
+	}
+	if withResults < 5 {
+		t.Fatalf("only %d/10 queries returned candidates under 5%% loss", withResults)
+	}
+}
+
+// TestMediumScaleFederation stands up a 2,000-node federation (250 per
+// site) with the EC2 catalog and verifies tree formation and query
+// correctness at a scale an order of magnitude beyond the other tests.
+func TestMediumScaleFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale run")
+	}
+	reg := workload.BuildRegistry()
+	fed, err := NewFederation(reg, FedConfig{
+		Sites:        []string{"virginia", "oregon", "tokyo", "ireland"},
+		NodesPerSite: 500,
+		Node:         fastConfig(),
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	gpuCount := map[string]int{}
+	for _, n := range fed.Nodes {
+		spec := workload.PickType(rng)
+		workload.Populate(n.Attributes(), spec, rng, 0)
+		if spec.GPU {
+			gpuCount[n.Site()]++
+		}
+	}
+	fed.Settle()
+
+	// Tree-size probe agrees with ground truth.
+	for _, site := range []string{"virginia", "tokyo"} {
+		var size int64 = -1
+		fed.BySite[site][7].TreeSize("GPU", func(s int64, err error) {
+			if err != nil {
+				t.Errorf("%s probe: %v", site, err)
+				return
+			}
+			size = s
+		})
+		fed.RunFor(3 * time.Second)
+		if size != int64(gpuCount[site]) {
+			t.Errorf("site %s GPU tree size = %d, ground truth %d", site, size, gpuCount[site])
+		}
+	}
+
+	// An exhaustive federated query returns exactly the ground truth.
+	q := query.MustParse(`SELECT * FROM * WHERE GPU = true;`)
+	var res QueryResult
+	done := false
+	issuer := fed.BySite["oregon"][9]
+	issuer.Query(q, func(r QueryResult) { res = r; done = true })
+	for s := 0; s < 600 && !done; s++ {
+		fed.RunFor(100 * time.Millisecond)
+	}
+	if !done {
+		t.Fatal("query never completed")
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := gpuCount["virginia"] + gpuCount["oregon"] + gpuCount["tokyo"] + gpuCount["ireland"]
+	if len(res.Candidates) != want {
+		t.Fatalf("federated GPU query found %d, ground truth %d", len(res.Candidates), want)
+	}
+}

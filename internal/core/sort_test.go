@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"rbay/internal/query"
+	"rbay/internal/transport"
+)
+
+func cand(host string, key any) Candidate {
+	return Candidate{NodeID: host, Addr: transport.Addr{Site: "s", Host: host}, Site: "s", SortKey: key}
+}
+
+func order(cs []Candidate) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Addr.Host
+	}
+	return out
+}
+
+func TestSortCandidatesNumericAscDesc(t *testing.T) {
+	cs := []Candidate{cand("a", 3.0), cand("b", 1.0), cand("c", 2.0)}
+	sortCandidates(cs, false)
+	if got := order(cs); got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Fatalf("asc = %v", got)
+	}
+	sortCandidates(cs, true)
+	if got := order(cs); got[0] != "a" || got[1] != "c" || got[2] != "b" {
+		t.Fatalf("desc = %v", got)
+	}
+}
+
+func TestSortCandidatesMixedTypes(t *testing.T) {
+	// Numbers rank before strings, strings before nil; ties break by
+	// address for determinism.
+	cs := []Candidate{
+		cand("s1", "beta"),
+		cand("n1", 5.0),
+		cand("x1", nil),
+		cand("s0", "alpha"),
+		cand("n0", 5.0),
+	}
+	sortCandidates(cs, false)
+	got := order(cs)
+	want := []string{"n0", "n1", "s0", "s1", "x1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mixed sort = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueryUnknownSiteReportsNoRouter(t *testing.T) {
+	fed, err := NewFederation(testRegistry(t), FedConfig{
+		Sites:        []string{"virginia"},
+		NodesPerSite: 10,
+		Node:         fastConfig(),
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range fed.BySite["virginia"] {
+		n.SetAttribute("GPU", i%2 == 0)
+	}
+	fed.Settle()
+	q := query.MustParse(`SELECT * FROM atlantis WHERE GPU = true;`)
+	var res QueryResult
+	done := false
+	fed.BySite["virginia"][0].Query(q, func(r QueryResult) { res = r; done = true })
+	fed.RunFor(5e9)
+	if !done {
+		t.Fatal("query never completed")
+	}
+	if res.Err == nil {
+		t.Fatal("unknown site should surface an error")
+	}
+	if st := res.PerSite["atlantis"]; st.Err == "" {
+		t.Fatalf("per-site error missing: %+v", res.PerSite)
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"rbay/internal/naming"
+	"rbay/internal/scribe"
+)
+
+var wireOnce sync.Once
+
+// RegisterWire registers the RBAY core's message types with encoding/gob
+// for tcpnet deployments. Safe to call multiple times.
+func RegisterWire() {
+	scribe.RegisterWire()
+	wireOnce.Do(func() {
+		gob.Register(queryVisit{})
+		gob.Register(siteQueryReq{})
+		gob.Register(siteQueryResp{})
+		gob.Register(commitReq{})
+		gob.Register(releaseReq{})
+		gob.Register(adminCmd{})
+		gob.Register(Candidate{})
+		gob.Register(TreeStats{})
+		gob.Register(naming.Pred{})
+		gob.Register([]Candidate(nil))
+	})
+}

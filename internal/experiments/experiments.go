@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) plus two ablations, against the simulated federation.
+// Each experiment returns structured data with a Render method that prints
+// the same rows/series the paper reports; cmd/rbaysim and the repository's
+// benchmarks are thin wrappers over these functions.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/scribe"
+	"rbay/internal/sites"
+	"rbay/internal/workload"
+)
+
+// Scale sets experiment sizes. Quick is used by tests and benchmarks;
+// Full approaches the paper's scale (16,000 agents, 1,000 queries per
+// cell) and is meant for cmd/rbaysim runs.
+type Scale struct {
+	// NodeCounts is the datacenter-size sweep for Fig. 8a/8b.
+	NodeCounts []int
+	// AtomicQueries per sweep point (paper: 1,000).
+	AtomicQueries int
+	// QueryKeys is the number of distinct query targets for the Fig. 8b
+	// load-balance analysis (paper: Q1..Q10).
+	QueryKeys int
+
+	// AttrCounts is the attribute sweep for Fig. 8c.
+	AttrCounts []int
+
+	// NodesPerSite for the macro experiments (paper: 2,000 per site).
+	NodesPerSite int
+	// QueriesPerCell per (origin, #sites) cell (paper: 1,000 per site
+	// spread over the location predicates).
+	QueriesPerCell int
+	// K is the number of servers each composite query requests.
+	K int
+	// ExtraAttrs is the count of synthetic per-node attributes
+	// (paper: 1,000).
+	ExtraAttrs int
+
+	Seed int64
+}
+
+// Quick returns a scale suitable for tests and CI: every experiment runs
+// in seconds while preserving the paper's shapes.
+func Quick() Scale {
+	return Scale{
+		NodeCounts:     []int{128, 256, 512, 1024, 2048},
+		AtomicQueries:  400,
+		QueryKeys:      10,
+		AttrCounts:     []int{10, 100, 1000, 10000},
+		NodesPerSite:   24,
+		QueriesPerCell: 12,
+		K:              3,
+		ExtraAttrs:     5,
+		Seed:           1,
+	}
+}
+
+// Full approaches the paper's published scale. Expect minutes of wall time
+// and several GB of memory.
+func Full() Scale {
+	return Scale{
+		NodeCounts:     []int{1000, 2000, 4000, 8000, 16000},
+		AtomicQueries:  1000,
+		QueryKeys:      10,
+		AttrCounts:     []int{10, 100, 1000, 10000, 100000},
+		NodesPerSite:   2000,
+		QueriesPerCell: 125,
+		K:              5,
+		ExtraAttrs:     1000,
+		Seed:           1,
+	}
+}
+
+// fastNodeConfig keeps maintenance cheap in large simulations.
+func fastNodeConfig() core.Config {
+	return core.Config{
+		Scribe:             scribe.Config{AggregateInterval: time.Second},
+		MembershipInterval: 2 * time.Second,
+		ReserveTTL:         5 * time.Second,
+		BackoffSlot:        50 * time.Millisecond,
+	}
+}
+
+// buildMacroFederation assembles the paper's §IV-A testbed: all eight EC2
+// sites with Table II latencies and calibrated agent noise, the 23
+// instance-type trees per site (Gaussian popularity), utilization trees,
+// synthetic attributes, and a password handler on every instance-type
+// attribute (the evaluation invokes onGet per query "only checking if the
+// password matches").
+func buildMacroFederation(sc Scale) (*core.Federation, error) {
+	reg := workload.BuildRegistry()
+	fed, err := core.NewFederation(reg, core.FedConfig{
+		Sites:        sites.EC2,
+		NodesPerSite: sc.NodesPerSite,
+		Node:         fastNodeConfig(),
+		Seed:         sc.Seed,
+		Jitter:       0.05,
+		SiteNoise:    sites.DefaultSiteNoise(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 17))
+	for _, n := range fed.Nodes {
+		spec := workload.PickType(rng)
+		workload.Populate(n.Attributes(), spec, rng, sc.ExtraAttrs)
+		if err := n.AttachPolicy("instance_type", evalPasswordPolicy); err != nil {
+			return nil, err
+		}
+	}
+	fed.Settle()
+	return fed, nil
+}
+
+// evalPasswordPolicy is the onGet handler the macro evaluation attaches to
+// every node, mirroring the paper's setup.
+const evalPasswordPolicy = `
+AA = {Password = "rbay-eval"}
+function onGet(caller, password)
+    if password == AA.Password then
+        return NodeId
+    end
+    return nil
+end
+`
+
+// EvalPassword is the payload queries must present to the evaluation's
+// onGet handlers.
+const EvalPassword = "rbay-eval"

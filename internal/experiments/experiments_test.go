@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rbay/internal/sites"
+)
+
+// tinyScale keeps experiment tests fast while preserving shapes.
+func tinyScale() Scale {
+	return Scale{
+		NodeCounts:     []int{64, 256, 1024},
+		AtomicQueries:  200,
+		QueryKeys:      10,
+		AttrCounts:     []int{10, 100, 1000},
+		NodesPerSite:   40,
+		QueriesPerCell: 4,
+		K:              1,
+		ExtraAttrs:     2,
+		Seed:           1,
+	}
+}
+
+func TestTable2MeasuredMatchesConfigured(t *testing.T) {
+	res, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Sites {
+		for j := range res.Sites {
+			got, want := res.Measured[i][j], res.Configured[i][j]
+			if got != want {
+				t.Errorf("RTT %s-%s: measured %v, configured %v",
+					res.Sites[i], res.Sites[j], got, want)
+			}
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Singapore") || !strings.Contains(out, "ms") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFig8aHopsGrowLogarithmically(t *testing.T) {
+	sc := tinyScale()
+	res, err := Fig8a(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(sc.NodeCounts) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.MeanHops <= 0 {
+			t.Errorf("point %d: zero hops", i)
+		}
+		if p.MaxHops > p.Bound+2 {
+			t.Errorf("N=%d: max hops %d exceeds bound %d+2", p.Nodes, p.MaxHops, p.Bound)
+		}
+	}
+	// 16x more nodes must NOT mean 16x more hops: sub-linear growth.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	growth := last.MeanHops / first.MeanHops
+	scaleup := float64(last.Nodes) / float64(first.Nodes)
+	if growth > scaleup/2 {
+		t.Errorf("hop growth %.2f vs scale %.0fx: not logarithmic", growth, scaleup)
+	}
+	_ = res.Render()
+}
+
+func TestFig8bLoadIsBalanced(t *testing.T) {
+	sc := tinyScale()
+	res, err := Fig8b(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerKeyForwards) != sc.QueryKeys {
+		t.Fatalf("per-key series = %d", len(res.PerKeyForwards))
+	}
+	for i, f := range res.PerKeyForwards {
+		if f == 0 {
+			t.Errorf("Q%d forwarded nothing", i+1)
+		}
+	}
+	if res.ForwardingNodes < res.Nodes/20 {
+		t.Errorf("only %d of %d nodes carried load: too concentrated", res.ForwardingNodes, res.Nodes)
+	}
+	// No single node should dominate: it must carry well under 10% of all
+	// forwards (the paper's even-distribution claim).
+	if float64(res.MaxPerNode) > 0.1*float64(res.ForwardTotal) {
+		t.Errorf("hottest node carried %d of %d forwards", res.MaxPerNode, res.ForwardTotal)
+	}
+	_ = res.Render()
+}
+
+func TestFig8cOverheadShape(t *testing.T) {
+	res, err := Fig8c(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Points {
+		if p.RBayBytes <= p.PastBytes {
+			t.Errorf("point %d: AAs must cost more than plain entries", i)
+		}
+		if p.OverheadPct < 0 || p.OverheadPct > 400 {
+			t.Errorf("point %d: overhead %.0f%% out of plausible band", i, p.OverheadPct)
+		}
+	}
+	// At 1000 attributes total footprints stay small (paper: <10MB).
+	last := res.Points[len(res.Points)-1]
+	if last.Attrs == 1000 && last.RBayBytes > 10<<20 {
+		t.Errorf("1000 attrs cost %d bytes, paper says <10MB", last.RBayBytes)
+	}
+	_ = res.Render()
+}
+
+func TestMacroLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	sc := tinyScale()
+	m, err := RunMacro(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cell must have data.
+	for _, origin := range m.Origins {
+		for ns := 1; ns <= 8; ns++ {
+			if m.Latency[origin][ns].Count() != sc.QueriesPerCell {
+				t.Fatalf("cell (%s, %d) has %d samples, want %d",
+					origin, ns, m.Latency[origin][ns].Count(), sc.QueriesPerCell)
+			}
+		}
+	}
+	// Paper shapes: local <200ms; multi-site grows; 5→8 sites roughly
+	// stable (max-RTT term saturates); full fan-out lands near 600ms.
+	local := m.MeanAcrossOrigins(1)
+	five := m.MeanAcrossOrigins(5)
+	eight := m.MeanAcrossOrigins(8)
+	if local > 250*time.Millisecond {
+		t.Errorf("local-site mean %v, paper <200ms", local)
+	}
+	if five < local {
+		t.Errorf("5-site mean %v not above local %v", five, local)
+	}
+	plateau := float64(eight) / float64(five)
+	if plateau > 1.5 || plateau < 0.6 {
+		t.Errorf("5→8 sites should plateau: %v → %v", five, eight)
+	}
+	if eight < 300*time.Millisecond || eight > 1200*time.Millisecond {
+		t.Errorf("8-site mean %v, paper ≈600ms", eight)
+	}
+	// Singapore-origin queries see the worst multi-site latencies among
+	// the paper's three plotted origins (Fig. 9 discussion).
+	sg := m.Latency[sites.Singapore][4].Mean()
+	va := m.Latency[sites.Virginia][4].Mean()
+	if sg <= va/2 {
+		t.Errorf("Singapore 4-site mean %v implausibly below Virginia %v", sg, va)
+	}
+	_ = NewFig9(m).Render()
+	_ = (&Fig10Result{Macro: m}).Render()
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	res, err := Fig11(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sites {
+		if res.Subscribe[s].Count() == 0 {
+			t.Errorf("site %s: no join samples", s)
+		}
+		if res.Deliver[s].Count() == 0 {
+			t.Errorf("site %s: no deliver samples", s)
+		}
+	}
+	// onSubscribe is local and roughly flat across sites: the slowest
+	// site's mean stays within a small factor of the fastest.
+	var minSub, maxSub time.Duration
+	for _, s := range res.Sites {
+		m := res.Subscribe[s].Mean()
+		if minSub == 0 || m < minSub {
+			minSub = m
+		}
+		if m > maxSub {
+			maxSub = m
+		}
+	}
+	if maxSub > 8*minSub {
+		t.Errorf("onSubscribe not flat: %v .. %v", minSub, maxSub)
+	}
+	// onDeliver in the noisy SA site must exceed the US sites (paper:
+	// 100ms US/EU vs 200-500ms Asia/SA).
+	if res.Deliver[sites.SaoPaulo].Mean() <= res.Deliver[sites.Virginia].Mean() {
+		t.Errorf("SaoPaulo deliver %v should exceed Virginia %v",
+			res.Deliver[sites.SaoPaulo].Mean(), res.Deliver[sites.Virginia].Mean())
+	}
+	_ = res.Render()
+}
+
+func TestGangliaAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	res, err := GangliaAblation(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CentralBytesSmall == 0 || res.CentralBytesLarge == 0 {
+		t.Fatal("no central load recorded")
+	}
+	// Quadrupling the federation should roughly quadruple the central
+	// manager's ingest but leave RBAY's busiest peer nearly unchanged —
+	// the decentralization claim of §II.
+	if res.CentralGrowth() < 2.5 {
+		t.Errorf("central ingest growth %.1fx, expected ≈4x", res.CentralGrowth())
+	}
+	if res.RBayGrowth() > res.CentralGrowth()/1.5 {
+		t.Errorf("RBAY hot-node growth %.1fx should stay well below central growth %.1fx",
+			res.RBayGrowth(), res.CentralGrowth())
+	}
+	// Distant customers pay cross-ocean RTT to the central manager but
+	// query RBAY locally.
+	if res.GangliaLatency[sites.Singapore] <= res.RBayLatency[sites.Singapore] {
+		t.Errorf("Singapore: central query %v should exceed local RBAY query %v",
+			res.GangliaLatency[sites.Singapore], res.RBayLatency[sites.Singapore])
+	}
+	_ = res.Render()
+}
+
+func TestChurnAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	sc := tinyScale()
+	res, err := ChurnAblation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	calm, stormy := res.Points[0], res.Points[2]
+	if stormy.MemberFlaps < calm.MemberFlaps {
+		t.Errorf("stormy churn (%d flaps) should exceed calm (%d)",
+			stormy.MemberFlaps, calm.MemberFlaps)
+	}
+	for _, p := range res.Points {
+		if p.QueryOK+p.QueryPartial != sc.QueriesPerCell {
+			t.Errorf("%s: %d+%d queries accounted, want %d",
+				p.Level.Name, p.QueryOK, p.QueryPartial, sc.QueriesPerCell)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestForecastAblationImprovesSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run")
+	}
+	res, err := ForecastAblation(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlainTotal == 0 || res.RankedTotal == 0 {
+		t.Fatalf("no candidates collected: %+v", res)
+	}
+	if res.RankedSurvival < res.PlainSurvival {
+		t.Errorf("stability ranking should not hurt survival: ranked %.2f < plain %.2f",
+			res.RankedSurvival, res.PlainSurvival)
+	}
+	// With half the fleet churning across the threshold, the improvement
+	// should be material, not noise.
+	if res.RankedSurvival-res.PlainSurvival < 0.05 {
+		t.Logf("warning: improvement only %.2f → %.2f (seed-dependent)",
+			res.PlainSurvival, res.RankedSurvival)
+	}
+	_ = res.Render()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"rbay/internal/metrics"
+	"rbay/internal/simnet"
+	"rbay/internal/sites"
+	"rbay/internal/transport"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Table2Result holds the configured and simulator-measured inter-site
+// round-trip latencies.
+type Table2Result struct {
+	Sites      []string
+	Configured [][]time.Duration
+	Measured   [][]time.Duration
+}
+
+// Table2 validates the simulated testbed against the paper's Table II:
+// one node per site ping-pongs every other site and the measured virtual
+// RTT must equal the configured matrix (no noise model here — Table II is
+// pure network RTT).
+func Table2() (*Table2Result, error) {
+	net := simnet.New(sites.NewModel(0, 0, 1))
+	type pinger struct {
+		ep   transport.Endpoint
+		site string
+	}
+	var nodes []*pinger
+	res := &Table2Result{Sites: append([]string(nil), sites.EC2...)}
+	n := len(res.Sites)
+	res.Configured = make([][]time.Duration, n)
+	res.Measured = make([][]time.Duration, n)
+	for i := range res.Sites {
+		res.Configured[i] = make([]time.Duration, n)
+		res.Measured[i] = make([]time.Duration, n)
+		for j := range res.Sites {
+			res.Configured[i][j] = sites.RTT(res.Sites[i], res.Sites[j])
+		}
+	}
+
+	type ping struct {
+		Seq int
+	}
+	type pong struct {
+		Seq int
+	}
+	var sendTimes []time.Time
+	var rtts []time.Duration
+	for _, s := range res.Sites {
+		p := &pinger{site: s}
+		ep, err := net.NewEndpoint(transport.Addr{Site: s, Host: "probe"}, func(from transport.Addr, msg any) {
+			switch m := msg.(type) {
+			case ping:
+				_ = p.ep.Send(from, pong{Seq: m.Seq})
+			case pong:
+				rtts[m.Seq] = net.Now().Sub(sendTimes[m.Seq])
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.ep = ep
+		nodes = append(nodes, p)
+	}
+	seq := 0
+	for i := range nodes {
+		for j := range nodes {
+			sendTimes = append(sendTimes, time.Time{})
+			rtts = append(rtts, 0)
+			sendTimes[seq] = net.Now()
+			if err := nodes[i].ep.Send(nodes[j].ep.Addr(), ping{Seq: seq}); err != nil {
+				return nil, err
+			}
+			net.Run() // drain before the next probe so Now() timestamps are exact
+			seq++
+		}
+	}
+	seq = 0
+	for i := range nodes {
+		for j := range nodes {
+			res.Measured[i][j] = rtts[seq]
+			seq++
+		}
+	}
+	return res, nil
+}
+
+// Render prints the measured matrix in the paper's upper-triangular form.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II — average round trip latency between Amazon sites (simulated)\n")
+	header := append([]string{""}, r.Sites...)
+	t := metrics.NewTable(header...)
+	for i, s := range r.Sites {
+		row := []any{sites.DisplayName[s]}
+		for j := range r.Sites {
+			if j < i {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f ms", float64(r.Measured[i][j])/1e6))
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,184 @@
+// Package forecast implements the paper's future-work direction (§VI):
+// capturing past churn in resource attributes and predicting their future
+// behavior, "to better select appropriate resources in response to user
+// queries". Each node tracks its own attributes' histories with
+// exponentially weighted statistics; the query layer can rank candidates
+// by predicted stability (GROUPBY _stability.<attr>), preferring nodes
+// whose advertised state is likely to still hold when the customer
+// arrives.
+package forecast
+
+import (
+	"math"
+	"time"
+)
+
+// DefaultAlpha is the EWMA smoothing factor: recent samples weigh ~1/8.
+const DefaultAlpha = 0.125
+
+// Tracker accumulates one attribute's history.
+type Tracker struct {
+	alpha float64
+
+	initialized bool
+	mean        float64 // EWMA of the value
+	variance    float64 // EW variance around the mean
+	last        float64
+	lastAt      time.Time
+
+	// flips counts direction changes / boolean toggles, a churn signal
+	// independent of magnitude.
+	flips   int
+	samples int
+	rising  bool
+
+	// lastKey tracks the previous value of non-numeric attributes for the
+	// change-signal encoding in Predictor.Observe.
+	lastKey string
+}
+
+// NewTracker creates a tracker with the given smoothing factor
+// (0 < alpha <= 1); alpha <= 0 selects DefaultAlpha.
+func NewTracker(alpha float64) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &Tracker{alpha: alpha}
+}
+
+// Observe records a sample.
+func (t *Tracker) Observe(v float64, at time.Time) {
+	t.samples++
+	if !t.initialized {
+		t.initialized = true
+		t.mean = v
+		t.last = v
+		t.lastAt = at
+		return
+	}
+	if rising := v > t.last; t.samples > 2 && rising != t.rising && v != t.last {
+		t.flips++
+		t.rising = rising
+	} else if v != t.last {
+		t.rising = v > t.last
+	}
+	diff := v - t.mean
+	t.mean += t.alpha * diff
+	t.variance = (1 - t.alpha) * (t.variance + t.alpha*diff*diff)
+	t.last = v
+	t.lastAt = at
+}
+
+// Samples returns the number of observations.
+func (t *Tracker) Samples() int { return t.samples }
+
+// Mean returns the exponentially weighted mean.
+func (t *Tracker) Mean() float64 { return t.mean }
+
+// Volatility returns the exponentially weighted standard deviation.
+func (t *Tracker) Volatility() float64 { return math.Sqrt(t.variance) }
+
+// FlipRate returns direction changes per observation, in [0, 1].
+func (t *Tracker) FlipRate() float64 {
+	if t.samples < 3 {
+		return 0
+	}
+	return float64(t.flips) / float64(t.samples-2)
+}
+
+// Stability scores the attribute in (0, 1]: 1 for a frozen value,
+// approaching 0 as volatility (relative to the mean's magnitude) and flip
+// rate grow. The score is intentionally scale-free so heterogeneous
+// attributes compare meaningfully.
+func (t *Tracker) Stability() float64 {
+	if !t.initialized {
+		return 0.5 // unknown: neutral
+	}
+	scale := math.Abs(t.mean)
+	if scale < 1 {
+		scale = 1
+	}
+	rel := t.Volatility() / scale
+	return 1 / (1 + 8*rel + 4*t.FlipRate())
+}
+
+// Predict extrapolates the attribute's value: with the EW statistics the
+// best unbiased guess is the mean, pulled toward the last sample for
+// near-term horizons.
+func (t *Tracker) Predict(horizon time.Duration) float64 {
+	if !t.initialized {
+		return 0
+	}
+	// Blend: immediate horizon trusts the last sample; long horizon
+	// regresses to the mean.
+	w := math.Exp(-float64(horizon) / float64(30*time.Second))
+	return w*t.last + (1-w)*t.mean
+}
+
+// Predictor tracks many attributes for one node.
+type Predictor struct {
+	alpha    float64
+	trackers map[string]*Tracker
+}
+
+// NewPredictor creates an empty per-node predictor.
+func NewPredictor(alpha float64) *Predictor {
+	return &Predictor{alpha: alpha, trackers: make(map[string]*Tracker)}
+}
+
+// Observe records one attribute sample; non-numeric attributes are
+// tracked through their change indicator (1 when the value changed).
+func (p *Predictor) Observe(attrName string, value any, at time.Time) {
+	tr := p.trackers[attrName]
+	if tr == nil {
+		tr = NewTracker(p.alpha)
+		p.trackers[attrName] = tr
+	}
+	switch v := value.(type) {
+	case float64:
+		tr.Observe(v, at)
+	case int:
+		tr.Observe(float64(v), at)
+	case int64:
+		tr.Observe(float64(v), at)
+	case bool:
+		if v {
+			tr.Observe(1, at)
+		} else {
+			tr.Observe(0, at)
+		}
+	default:
+		// Strings and composites: track as a change signal.
+		if tr.samples == 0 || toKey(v) == tr.lastKey {
+			tr.Observe(0, at)
+		} else {
+			tr.Observe(1, at)
+		}
+		tr.lastKey = toKey(v)
+	}
+}
+
+// Tracker returns the tracker for an attribute, if any.
+func (p *Predictor) Tracker(attrName string) (*Tracker, bool) {
+	tr, ok := p.trackers[attrName]
+	return tr, ok
+}
+
+// Stability returns the attribute's stability score, 0.5 (neutral) when
+// untracked.
+func (p *Predictor) Stability(attrName string) float64 {
+	if tr, ok := p.trackers[attrName]; ok {
+		return tr.Stability()
+	}
+	return 0.5
+}
+
+// Len returns the number of tracked attributes.
+func (p *Predictor) Len() int { return len(p.trackers) }
+
+func toKey(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}

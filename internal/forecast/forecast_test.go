@@ -1,0 +1,138 @@
+package forecast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func at(i int) time.Time {
+	return time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+}
+
+func TestTrackerSteadyValueIsMaximallyStable(t *testing.T) {
+	tr := NewTracker(0)
+	for i := 0; i < 100; i++ {
+		tr.Observe(0.4, at(i))
+	}
+	if tr.Mean() != 0.4 {
+		t.Errorf("mean = %v", tr.Mean())
+	}
+	if tr.Volatility() > 1e-9 {
+		t.Errorf("volatility = %v", tr.Volatility())
+	}
+	if s := tr.Stability(); s < 0.99 {
+		t.Errorf("stability of a frozen value = %v, want ≈1", s)
+	}
+}
+
+func TestStabilityOrdersByChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(step float64) *Tracker {
+		tr := NewTracker(0)
+		v := 0.5
+		for i := 0; i < 200; i++ {
+			v += (2*rng.Float64() - 1) * step
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			tr.Observe(v, at(i))
+		}
+		return tr
+	}
+	calm := mk(0.01)
+	wild := mk(0.3)
+	if calm.Stability() <= wild.Stability() {
+		t.Fatalf("calm %.3f should outrank wild %.3f", calm.Stability(), wild.Stability())
+	}
+}
+
+func TestFlipRate(t *testing.T) {
+	tr := NewTracker(0)
+	// Sawtooth: flips every sample after warm-up.
+	for i := 0; i < 50; i++ {
+		v := 0.2
+		if i%2 == 0 {
+			v = 0.8
+		}
+		tr.Observe(v, at(i))
+	}
+	if fr := tr.FlipRate(); fr < 0.8 {
+		t.Errorf("sawtooth flip rate = %v, want ≈1", fr)
+	}
+	mono := NewTracker(0)
+	for i := 0; i < 50; i++ {
+		mono.Observe(float64(i), at(i))
+	}
+	if fr := mono.FlipRate(); fr != 0 {
+		t.Errorf("monotone flip rate = %v, want 0", fr)
+	}
+}
+
+func TestPredictBlendsLastAndMean(t *testing.T) {
+	tr := NewTracker(0.5)
+	for i := 0; i < 20; i++ {
+		tr.Observe(0.5, at(i))
+	}
+	tr.Observe(0.9, at(20)) // spike
+	near := tr.Predict(time.Second)
+	far := tr.Predict(10 * time.Minute)
+	if near <= far {
+		t.Fatalf("near-term %v should stay closer to the spike than far-term %v", near, far)
+	}
+	if far < 0.4 || far > 0.9 {
+		t.Fatalf("far-term prediction %v out of range", far)
+	}
+}
+
+// Property: stability is always in (0, 1] and volatility never negative.
+func TestStabilityBoundsProperty(t *testing.T) {
+	f := func(raw []int16, alphaRaw uint8) bool {
+		tr := NewTracker(float64(alphaRaw) / 256)
+		for i, v := range raw {
+			tr.Observe(float64(v)/100, at(i))
+		}
+		s := tr.Stability()
+		return s > 0 && s <= 1 && tr.Volatility() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorMixedTypes(t *testing.T) {
+	p := NewPredictor(0)
+	for i := 0; i < 30; i++ {
+		p.Observe("util", float64(i%3)/10, at(i))
+		p.Observe("gpu", true, at(i))
+		p.Observe("version", "9.0", at(i))
+		p.Observe("count", i, at(i))
+	}
+	if p.Len() != 4 {
+		t.Fatalf("tracked = %d", p.Len())
+	}
+	if s := p.Stability("gpu"); s < 0.99 {
+		t.Errorf("constant boolean stability = %v", s)
+	}
+	if s := p.Stability("version"); s < 0.99 {
+		t.Errorf("constant string stability = %v", s)
+	}
+	if s := p.Stability("unknown"); s != 0.5 {
+		t.Errorf("untracked stability = %v, want neutral 0.5", s)
+	}
+	// A flapping string attribute scores low.
+	for i := 0; i < 30; i++ {
+		p.Observe("flappy", []string{"a", "b"}[i%2], at(30+i))
+	}
+	if p.Stability("flappy") >= p.Stability("version") {
+		t.Errorf("flapping string (%v) should be less stable than constant (%v)",
+			p.Stability("flappy"), p.Stability("version"))
+	}
+	if _, ok := p.Tracker("util"); !ok {
+		t.Error("tracker accessor")
+	}
+}

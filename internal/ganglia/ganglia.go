@@ -1,0 +1,259 @@
+// Package ganglia implements the centralized hierarchical datacenter
+// management baseline the paper contrasts RBAY against (§II-A, Fig. 3a):
+// cluster nodes announce their state to a cluster master; a central
+// manager polls every master at periodic intervals, holds the snapshot of
+// all cluster states, and is the single point serving admin policies and
+// customer queries. Its purpose here is the ablation experiment measuring
+// the central computation and I/O bottleneck RBAY's decentralized trees
+// eliminate.
+package ganglia
+
+import (
+	"fmt"
+	"time"
+
+	"rbay/internal/naming"
+	"rbay/internal/transport"
+)
+
+// NodeState is one node's attribute snapshot.
+type NodeState struct {
+	Addr  transport.Addr
+	Attrs map[string]any
+}
+
+// sizeBytes estimates a snapshot's wire size (the paper's XML/XDR
+// transport made this substantial; we count a conservative binary size).
+func (s NodeState) sizeBytes() int {
+	n := 32
+	for k, v := range s.Attrs {
+		n += len(k) + 16
+		if str, ok := v.(string); ok {
+			n += len(str)
+		}
+	}
+	return n
+}
+
+// announceMsg is a node's periodic state report to its cluster master.
+type announceMsg struct {
+	State NodeState
+}
+
+// pollMsg is the central manager's poll of one master; pollReply returns
+// the full cluster snapshot.
+type pollMsg struct{}
+
+type pollReply struct {
+	Cluster string
+	States  []NodeState
+}
+
+// queryMsg asks the central manager for nodes matching all predicates;
+// queryReply returns their addresses.
+type queryMsg struct {
+	ReqID uint64
+	K     int
+	Preds []naming.Pred
+}
+
+type queryReply struct {
+	ReqID uint64
+	Nodes []transport.Addr
+}
+
+// Node is a monitored cluster member.
+type Node struct {
+	ep     transport.Endpoint
+	master transport.Addr
+	state  NodeState
+}
+
+// NewNode attaches a monitored node that announces to master every
+// interval.
+func NewNode(net transport.Network, addr, master transport.Addr, interval time.Duration) (*Node, error) {
+	n := &Node{master: master, state: NodeState{Addr: addr, Attrs: make(map[string]any)}}
+	ep, err := net.NewEndpoint(addr, func(transport.Addr, any) {})
+	if err != nil {
+		return nil, err
+	}
+	n.ep = ep
+	var tick func()
+	tick = func() {
+		n.announce()
+		ep.After(interval, tick)
+	}
+	ep.After(interval, tick)
+	return n, nil
+}
+
+// Set updates an attribute (it reaches the central view only after the
+// next announce+poll cycle — the staleness cost of the hierarchy).
+func (n *Node) Set(name string, value any) { n.state.Attrs[name] = value }
+
+func (n *Node) announce() {
+	// Copy the attribute map at the boundary: under the in-process
+	// simulator the message would otherwise alias live node state and the
+	// hierarchy's staleness (announce + poll cycles) would disappear.
+	attrs := make(map[string]any, len(n.state.Attrs))
+	for k, v := range n.state.Attrs {
+		attrs[k] = v
+	}
+	_ = n.ep.Send(n.master, announceMsg{State: NodeState{Addr: n.state.Addr, Attrs: attrs}})
+}
+
+// Master aggregates one cluster.
+type Master struct {
+	ep      transport.Endpoint
+	cluster string
+	states  map[transport.Addr]NodeState
+
+	// BytesIn counts announce traffic received.
+	BytesIn uint64
+}
+
+// NewMaster attaches a cluster master.
+func NewMaster(net transport.Network, addr transport.Addr, cluster string) (*Master, error) {
+	m := &Master{cluster: cluster, states: make(map[transport.Addr]NodeState)}
+	ep, err := net.NewEndpoint(addr, m.handle)
+	if err != nil {
+		return nil, err
+	}
+	m.ep = ep
+	return m, nil
+}
+
+func (m *Master) handle(from transport.Addr, msg any) {
+	switch v := msg.(type) {
+	case announceMsg:
+		m.states[v.State.Addr] = v.State
+		m.BytesIn += uint64(v.State.sizeBytes())
+	case pollMsg:
+		states := make([]NodeState, 0, len(m.states))
+		for _, s := range m.states {
+			states = append(states, s)
+		}
+		_ = m.ep.Send(from, pollReply{Cluster: m.cluster, States: states})
+	}
+}
+
+// Central is the manager at the root of the hierarchy: the web front end
+// all queries and admin operations go through.
+type Central struct {
+	ep       transport.Endpoint
+	masters  []transport.Addr
+	snapshot map[transport.Addr]NodeState
+
+	// Stats quantifying the central bottleneck.
+	MessagesIn uint64
+	BytesIn    uint64
+	QueriesIn  uint64
+
+	pending map[uint64]func([]transport.Addr)
+	nextReq uint64
+}
+
+// NewCentral attaches the central manager, polling every master each
+// interval.
+func NewCentral(net transport.Network, addr transport.Addr, masters []transport.Addr, interval time.Duration) (*Central, error) {
+	c := &Central{
+		masters:  masters,
+		snapshot: make(map[transport.Addr]NodeState),
+		pending:  make(map[uint64]func([]transport.Addr)),
+	}
+	ep, err := net.NewEndpoint(addr, c.handle)
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	var tick func()
+	tick = func() {
+		c.pollAll()
+		ep.After(interval, tick)
+	}
+	ep.After(interval, tick)
+	return c, nil
+}
+
+// Addr returns the central manager's address.
+func (c *Central) Addr() transport.Addr { return c.ep.Addr() }
+
+// Size returns the number of node states in the central snapshot.
+func (c *Central) Size() int { return len(c.snapshot) }
+
+func (c *Central) pollAll() {
+	for _, m := range c.masters {
+		_ = c.ep.Send(m, pollMsg{})
+	}
+}
+
+func (c *Central) handle(from transport.Addr, msg any) {
+	switch v := msg.(type) {
+	case pollReply:
+		c.MessagesIn++
+		for _, s := range v.States {
+			c.snapshot[s.Addr] = s
+			c.BytesIn += uint64(s.sizeBytes())
+		}
+	case queryMsg:
+		c.QueriesIn++
+		_ = c.ep.Send(from, queryReply{ReqID: v.ReqID, Nodes: c.match(v.K, v.Preds)})
+	}
+}
+
+func (c *Central) match(k int, preds []naming.Pred) []transport.Addr {
+	var out []transport.Addr
+	for _, s := range c.snapshot {
+		ok := true
+		for _, p := range preds {
+			if v, has := s.Attrs[p.Attr]; !has || !p.Eval(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s.Addr)
+			if k > 0 && len(out) >= k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Client issues queries to the central manager from a customer location.
+type Client struct {
+	ep      transport.Endpoint
+	central transport.Addr
+	pending map[uint64]func([]transport.Addr)
+	nextReq uint64
+}
+
+// NewClient attaches a query client.
+func NewClient(net transport.Network, addr, central transport.Addr) (*Client, error) {
+	c := &Client{central: central, pending: make(map[uint64]func([]transport.Addr))}
+	ep, err := net.NewEndpoint(addr, func(from transport.Addr, msg any) {
+		if r, ok := msg.(queryReply); ok {
+			if cb, waiting := c.pending[r.ReqID]; waiting {
+				delete(c.pending, r.ReqID)
+				cb(r.Nodes)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	return c, nil
+}
+
+// Query asks the central manager for k nodes matching the predicates.
+func (c *Client) Query(k int, preds []naming.Pred, cb func([]transport.Addr)) error {
+	c.nextReq++
+	c.pending[c.nextReq] = cb
+	if err := c.ep.Send(c.central, queryMsg{ReqID: c.nextReq, K: k, Preds: preds}); err != nil {
+		delete(c.pending, c.nextReq)
+		return fmt.Errorf("ganglia: query: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package ganglia
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rbay/internal/naming"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+// buildHierarchy wires clusters of nodes under masters under one central.
+func buildHierarchy(t *testing.T, net *simnet.Network, clusters, perCluster int) (*Central, [][]*Node) {
+	t.Helper()
+	var masters []transport.Addr
+	var all [][]*Node
+	for c := 0; c < clusters; c++ {
+		site := fmt.Sprintf("cluster%d", c)
+		mAddr := transport.Addr{Site: site, Host: "master"}
+		if _, err := NewMaster(net, mAddr, site); err != nil {
+			t.Fatal(err)
+		}
+		masters = append(masters, mAddr)
+		var nodes []*Node
+		for i := 0; i < perCluster; i++ {
+			n, err := NewNode(net, transport.Addr{Site: site, Host: fmt.Sprintf("n%02d", i)}, mAddr, 500*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Set("GPU", i%4 == 0)
+			n.Set("CPU_utilization", float64(i)/float64(perCluster))
+			nodes = append(nodes, n)
+		}
+		all = append(all, nodes)
+	}
+	central, err := NewCentral(net, transport.Addr{Site: "hq", Host: "central"}, masters, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return central, all
+}
+
+func TestSnapshotFlowsToCentral(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	central, _ := buildHierarchy(t, net, 3, 10)
+	net.RunFor(5 * time.Second)
+	if central.Size() != 30 {
+		t.Fatalf("central snapshot = %d nodes, want 30", central.Size())
+	}
+	if central.BytesIn == 0 || central.MessagesIn == 0 {
+		t.Fatal("central recorded no ingest load")
+	}
+}
+
+func TestCentralQueryMatchesPredicates(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	central, _ := buildHierarchy(t, net, 2, 12)
+	net.RunFor(5 * time.Second)
+	cl, err := NewClient(net, transport.Addr{Site: "cluster0", Host: "customer"}, central.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []transport.Addr
+	err = cl.Query(0, []naming.Pred{{Attr: "GPU", Op: naming.OpEq, Value: true}}, func(nodes []transport.Addr) {
+		got = nodes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	// 3 GPU nodes per 12-node cluster × 2 clusters.
+	if len(got) != 6 {
+		t.Fatalf("matches = %d, want 6", len(got))
+	}
+	var limited []transport.Addr
+	cl.Query(2, []naming.Pred{{Attr: "GPU", Op: naming.OpEq, Value: true}}, func(nodes []transport.Addr) {
+		limited = nodes
+	})
+	net.RunFor(time.Second)
+	if len(limited) != 2 {
+		t.Fatalf("k-limited matches = %d, want 2", len(limited))
+	}
+}
+
+func TestStalenessUntilNextPollCycle(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	central, all := buildHierarchy(t, net, 1, 5)
+	net.RunFor(5 * time.Second)
+	cl, _ := NewClient(net, transport.Addr{Site: "cluster0", Host: "cust"}, central.Addr())
+
+	// Flip a node's GPU off; the central view lags until announce+poll.
+	all[0][0].Set("GPU", false)
+	var immediately []transport.Addr
+	cl.Query(0, []naming.Pred{{Attr: "GPU", Op: naming.OpEq, Value: true}}, func(ns []transport.Addr) { immediately = ns })
+	net.RunFor(10 * time.Millisecond)
+	if len(immediately) != 2 {
+		t.Fatalf("stale view should still show 2 GPUs, got %d", len(immediately))
+	}
+	var later []transport.Addr
+	net.RunFor(3 * time.Second)
+	cl.Query(0, []naming.Pred{{Attr: "GPU", Op: naming.OpEq, Value: true}}, func(ns []transport.Addr) { later = ns })
+	net.RunFor(time.Second)
+	if len(later) != 1 {
+		t.Fatalf("after a poll cycle view should show 1 GPU, got %d", len(later))
+	}
+}
+
+func TestCentralLoadGrowsLinearlyWithNodes(t *testing.T) {
+	load := func(clusters, perCluster int) uint64 {
+		net := simnet.New(transport.ConstantLatency(time.Millisecond))
+		central, _ := buildHierarchy(t, net, clusters, perCluster)
+		net.RunFor(10 * time.Second)
+		return central.BytesIn
+	}
+	small := load(2, 10)
+	big := load(2, 40)
+	if big < 3*small {
+		t.Fatalf("central ingest should grow ~linearly: %d vs %d", small, big)
+	}
+}

@@ -1,0 +1,317 @@
+// Package httpgw exposes an RBAY node's query interface and admin surface
+// over HTTP/JSON — the information plane's "web front end" (the role the
+// central manager's frontend plays in Ganglia-style systems, here served
+// by any node, decentralized). cmd/rbayd mounts it with -http.
+//
+// The gateway is for real (tcpnet) deployments: it injects work onto the
+// node's single dispatch context via the transport's timer queue, so node
+// state is never touched from HTTP goroutines.
+package httpgw
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/fedcfg"
+	"rbay/internal/query"
+	"rbay/internal/transport"
+)
+
+// Server is an http.Handler over one RBAY node.
+type Server struct {
+	node *core.Node
+	mux  *http.ServeMux
+	// timeout bounds every gateway operation.
+	timeout time.Duration
+}
+
+// New creates a gateway for the node.
+func New(node *core.Node, timeout time.Duration) *Server {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	s := &Server{node: node, mux: http.NewServeMux(), timeout: timeout}
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /trees/{name...}", s.handleTreeStats)
+	s.mux.HandleFunc("GET /attrs", s.handleAttrs)
+	s.mux.HandleFunc("PUT /attrs/{name}", s.handleSetAttr)
+	s.mux.HandleFunc("POST /policies/{name}", s.handleAttachPolicy)
+	s.mux.HandleFunc("POST /deliver/{name...}", s.handleDeliver)
+	s.mux.HandleFunc("POST /commit", s.handleCommitRelease)
+	s.mux.HandleFunc("POST /release", s.handleCommitRelease)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errGatewayTimeout is returned when the node does not answer in time.
+var errGatewayTimeout = errors.New("httpgw: node did not answer in time")
+
+// onNode runs fn on the node's dispatch context and waits for done to be
+// signalled (fn must arrange that, possibly asynchronously).
+func (s *Server) onNode(fn func(done func())) error {
+	ch := make(chan struct{}, 1)
+	signal := func() {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.node.Do(func() { fn(signal) })
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(s.timeout):
+		return errGatewayTimeout
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// candidateJSON is the wire shape of a discovered resource.
+type candidateJSON struct {
+	NodeID string `json:"nodeId"`
+	Site   string `json:"site"`
+	Host   string `json:"host"`
+}
+
+// queryResponse is the wire shape of a query result.
+type queryResponse struct {
+	QueryID    string          `json:"queryId"`
+	Candidates []candidateJSON `json:"candidates"`
+	Shortfall  int             `json:"shortfall,omitempty"`
+	Attempts   int             `json:"attempts"`
+	Conflicts  int             `json:"conflicts,omitempty"`
+	ElapsedMS  float64         `json:"elapsedMs"`
+	Error      string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("q")
+	if sql == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	q, err := query.Parse(sql)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	caller := r.URL.Query().Get("caller")
+	if caller == "" {
+		caller = "httpgw@" + r.RemoteAddr
+	}
+	var payload any
+	if pw := r.URL.Query().Get("password"); pw != "" {
+		payload = pw
+	}
+	var res core.QueryResult
+	err = s.onNode(func(done func()) {
+		s.node.QueryAs(q, caller, payload, func(qr core.QueryResult) {
+			res = qr
+			done()
+		})
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	resp := queryResponse{
+		QueryID:   res.QueryID,
+		Attempts:  res.Attempts,
+		Shortfall: res.Shortfall,
+		Conflicts: res.Conflicts,
+		ElapsedMS: float64(res.Elapsed) / 1e6,
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	for _, c := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, candidateJSON{
+			NodeID: c.NodeID, Site: c.Site, Host: c.Addr.Host,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTreeStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var st core.TreeStats
+	var statErr error
+	err := s.onNode(func(done func()) {
+		err := s.node.TreeStats(name, func(got core.TreeStats, err error) {
+			st, statErr = got, err
+			done()
+		})
+		if err != nil {
+			statErr = err
+			done()
+		}
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if statErr != nil {
+		writeErr(w, http.StatusNotFound, statErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tree": name, "site": s.node.Site(), "count": st.Count, "mean": st.Mean(),
+	})
+}
+
+func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{}
+	err := s.onNode(func(done func()) {
+		am := s.node.Attributes()
+		for _, name := range am.Names() {
+			v, _ := am.Get(name)
+			out[name] = v
+		}
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSetAttr(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	raw := r.URL.Query().Get("value")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing value parameter"))
+		return
+	}
+	err := s.onNode(func(done func()) {
+		s.node.SetAttribute(name, fedcfg.ParseAttrValue(raw))
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"set": name})
+}
+
+func (s *Server) handleAttachPolicy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := readBody(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var attachErr error
+	err = s.onNode(func(done func()) {
+		attachErr = s.node.AttachPolicy(name, body)
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if attachErr != nil {
+		writeErr(w, http.StatusBadRequest, attachErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"policy": name})
+}
+
+func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := readBody(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var payload any
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		payload = body
+	}
+	var delErr error
+	err = s.onNode(func(done func()) {
+		delErr = s.node.DeliverCommand(name, payload)
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if delErr != nil {
+		writeErr(w, http.StatusBadRequest, delErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"delivered": name})
+}
+
+// commitRequest is the wire shape of commit/release calls.
+type commitRequest struct {
+	QueryID    string          `json:"queryId"`
+	Candidates []candidateJSON `json:"candidates"`
+}
+
+func (s *Server) handleCommitRelease(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cands := make([]core.Candidate, 0, len(req.Candidates))
+	for _, c := range req.Candidates {
+		cands = append(cands, core.Candidate{
+			NodeID: c.NodeID,
+			Site:   c.Site,
+			Addr:   transport.Addr{Site: c.Site, Host: c.Host},
+		})
+	}
+	commit := strings.HasSuffix(r.URL.Path, "/commit")
+	err := s.onNode(func(done func()) {
+		if commit {
+			s.node.Commit(req.QueryID, cands)
+		} else {
+			s.node.Release(req.QueryID, cands)
+		}
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	verb := "released"
+	if commit {
+		verb = "committed"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{verb: len(cands), "queryId": req.QueryID})
+}
+
+// readBody reads a request body with a 1 MiB cap.
+func readBody(r *http.Request) (string, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20+1))
+	if err != nil {
+		return "", err
+	}
+	if len(data) > 1<<20 {
+		return "", errors.New("body too large")
+	}
+	return string(data), nil
+}

@@ -1,0 +1,254 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/naming"
+	"rbay/internal/scribe"
+	"rbay/internal/tcpnet"
+	"rbay/internal/transport"
+)
+
+// gwFixture is a two-node TCP federation with a gateway on the first node.
+type gwFixture struct {
+	ts    *httptest.Server
+	nodes []*core.Node
+}
+
+func newFixture(t *testing.T) *gwFixture {
+	t.Helper()
+	core.RegisterWire()
+	reg := naming.NewRegistry()
+	reg.MustDefine(naming.TreeDef{
+		Name: "GPU", Pred: naming.Pred{Attr: "GPU", Op: naming.OpEq, Value: true}, Creator: "gw",
+	})
+	table := map[transport.Addr]string{}
+	resolver := func(a transport.Addr) (string, error) {
+		hp, ok := table[a]
+		if !ok {
+			return "", fmt.Errorf("no peer %v", a)
+		}
+		return hp, nil
+	}
+	cfg := core.Config{
+		Scribe:             scribe.Config{AggregateInterval: 200 * time.Millisecond},
+		MembershipInterval: 300 * time.Millisecond,
+		ReserveTTL:         time.Second,
+	}
+	var nodes []*core.Node
+	for i := 0; i < 2; i++ {
+		net, err := tcpnet.Listen("127.0.0.1:0", resolver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { net.Close() })
+		addr := transport.Addr{Site: "lab", Host: fmt.Sprintf("n%d", i)}
+		n, err := core.New(net, addr, reg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table[addr] = net.ListenAddr()
+		n.DoWait(func() {
+			n.SetAttribute("GPU", true)
+			n.SetDirectory(core.Directory{Sites: []string{"lab"}, Routers: map[string][]transport.Addr{
+				"lab": {addr},
+			}})
+		})
+		nodes = append(nodes, n)
+	}
+	nodes[0].DoWait(func() { nodes[0].Pastry().BootstrapAlone() })
+	joined := make(chan struct{})
+	var joinErr error
+	nodes[1].DoWait(func() {
+		joinErr = nodes[1].Pastry().JoinGlobal(nodes[0].Addr(), func() { close(joined) })
+	})
+	if joinErr != nil {
+		t.Fatal(joinErr)
+	}
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		t.Fatal("join timed out")
+	}
+	nodes[1].DoWait(func() { _ = nodes[1].Pastry().JoinSite(nodes[0].Addr(), nil) })
+
+	gw := New(nodes[0], 15*time.Second)
+	ts := httptest.NewServer(gw)
+	t.Cleanup(ts.Close)
+
+	// Wait until the GPU tree holds both members.
+	f := &gwFixture{ts: ts, nodes: nodes}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var stats struct {
+			Count int64 `json:"count"`
+		}
+		if f.getJSON(t, "/trees/GPU", &stats) == http.StatusOK && stats.Count == 2 {
+			return f
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatal("GPU tree never converged to 2 members")
+	return nil
+}
+
+func (f *gwFixture) getJSON(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(f.ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	f := newFixture(t)
+
+	// Health.
+	if code := f.getJSON(t, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	// Tree stats.
+	var stats struct {
+		Count int64   `json:"count"`
+		Mean  float64 `json:"mean"`
+	}
+	if code := f.getJSON(t, "/trees/GPU", &stats); code != http.StatusOK {
+		t.Fatalf("trees = %d", code)
+	}
+	if stats.Count != 2 || stats.Mean != 1.0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if code := f.getJSON(t, "/trees/nonexistent", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown tree = %d", code)
+	}
+
+	// Query.
+	var qr struct {
+		QueryID    string `json:"queryId"`
+		Candidates []struct {
+			Site string `json:"site"`
+			Host string `json:"host"`
+		} `json:"candidates"`
+		Error string `json:"error"`
+	}
+	path := "/query?q=" + url.QueryEscape("SELECT * FROM lab WHERE GPU = true;")
+	if code := f.getJSON(t, path, &qr); code != http.StatusOK {
+		t.Fatalf("query = %d", code)
+	}
+	if qr.Error != "" {
+		t.Fatal(qr.Error)
+	}
+	if len(qr.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(qr.Candidates))
+	}
+
+	// Release through the gateway.
+	body, _ := json.Marshal(map[string]any{
+		"queryId": qr.QueryID,
+		"candidates": []map[string]string{
+			{"site": qr.Candidates[0].Site, "host": qr.Candidates[0].Host},
+			{"site": qr.Candidates[1].Site, "host": qr.Candidates[1].Host},
+		},
+	})
+	resp, err := http.Post(f.ts.URL+"/release", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release = %d", resp.StatusCode)
+	}
+
+	// Attributes view and update.
+	var attrs map[string]any
+	if code := f.getJSON(t, "/attrs", &attrs); code != http.StatusOK {
+		t.Fatalf("attrs = %d", code)
+	}
+	if attrs["GPU"] != true {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	req, _ := http.NewRequest(http.MethodPut, f.ts.URL+"/attrs/mem_gb?value=16", nil)
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusOK {
+		t.Fatalf("put attr = %d", putResp.StatusCode)
+	}
+	f.getJSON(t, "/attrs", &attrs)
+	if attrs["mem_gb"] != 16.0 {
+		t.Fatalf("mem_gb = %v", attrs["mem_gb"])
+	}
+
+	// Policy attach (bad script rejected, good accepted).
+	resp, _ = http.Post(f.ts.URL+"/policies/GPU", "text/plain", strings.NewReader("not a script ("))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(f.ts.URL+"/policies/GPU", "text/plain", strings.NewReader(`
+		AA = {Password = "pw"}
+		function onGet(caller, password)
+			if password == AA.Password then return NodeId end
+			return nil
+		end
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy = %d", resp.StatusCode)
+	}
+
+	// The gateway node now requires the password.
+	var qr2 struct {
+		Candidates []any `json:"candidates"`
+	}
+	f.getJSON(t, path, &qr2)
+	if len(qr2.Candidates) != 1 {
+		t.Fatalf("without password: %d candidates, want only the unprotected node", len(qr2.Candidates))
+	}
+	// Let the unauthenticated query's reservation expire before asking
+	// again.
+	time.Sleep(1200 * time.Millisecond)
+	var qr3 struct {
+		Candidates []any `json:"candidates"`
+	}
+	f.getJSON(t, path+"&password=pw", &qr3)
+	if len(qr3.Candidates) != 2 {
+		t.Fatalf("with password: %d candidates, want 2", len(qr3.Candidates))
+	}
+
+	// Admin command delivery.
+	resp, _ = http.Post(f.ts.URL+"/deliver/GPU", "application/json", strings.NewReader(`{"price": 2.5}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deliver = %d", resp.StatusCode)
+	}
+
+	// Malformed inputs.
+	if code := f.getJSON(t, "/query", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing q = %d", code)
+	}
+	if code := f.getJSON(t, "/query?q=SELEKT", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad sql = %d", code)
+	}
+}

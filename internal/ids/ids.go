@@ -1,0 +1,232 @@
+// Package ids implements the 128-bit identifier space used by the RBAY
+// overlay: node identifiers (NodeId), tree identifiers (TreeId), and the
+// digit/prefix/ring arithmetic Pastry routing is built on.
+//
+// Identifiers are interpreted as unsigned 128-bit big-endian integers and,
+// for routing purposes, as sequences of base-2^b digits. RBAY follows the
+// Pastry paper's typical configuration b = 4, i.e. 32 hexadecimal digits.
+package ids
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+)
+
+// Bits is the identifier width in bits.
+const Bits = 128
+
+// B is the Pastry digit width in bits (base 2^B digits). RBAY uses the
+// typical value 4, so digits are hexadecimal.
+const B = 4
+
+// Digits is the number of base-2^B digits in an identifier.
+const Digits = Bits / B // 32
+
+// Radix is the number of distinct digit values (2^B).
+const Radix = 1 << B // 16
+
+// ID is a 128-bit identifier in big-endian byte order.
+type ID [Bits / 8]byte
+
+// Zero is the all-zero identifier.
+var Zero ID
+
+// HashOf derives an identifier from the SHA-1 hash of the concatenation of
+// the given parts, truncated to 128 bits. Pastry derives NodeIds from a
+// secure hash of the node's address; RBAY derives TreeIds from the hash of
+// the tree's textual name concatenated with its creator's name.
+func HashOf(parts ...string) ID {
+	h := sha1.New()
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") and ("a","bc") differ.
+		var lenBuf [4]byte
+		n := len(p)
+		lenBuf[0] = byte(n >> 24)
+		lenBuf[1] = byte(n >> 16)
+		lenBuf[2] = byte(n >> 8)
+		lenBuf[3] = byte(n)
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	var id ID
+	copy(id[:], h.Sum(nil))
+	return id
+}
+
+// Parse decodes a 32-hex-digit string into an ID.
+func Parse(s string) (ID, error) {
+	var id ID
+	if len(s) != hex.EncodedLen(len(id)) {
+		return Zero, fmt.Errorf("ids: parse %q: want %d hex digits, got %d", s, hex.EncodedLen(len(id)), len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return Zero, fmt.Errorf("ids: parse %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// MustParse is Parse that panics on malformed input. For tests and
+// compile-time-constant identifiers only.
+func MustParse(s string) ID {
+	id, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// String renders the identifier as 32 lowercase hex digits.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short renders the first 8 hex digits, for compact logs.
+func (id ID) Short() string { return hex.EncodeToString(id[:4]) }
+
+// Digit returns the i-th base-Radix digit, counting from the most
+// significant digit (digit 0).
+func (id ID) Digit(i int) int {
+	b := id[i/2]
+	if i%2 == 0 {
+		return int(b >> 4)
+	}
+	return int(b & 0x0f)
+}
+
+// WithDigit returns a copy of id with the i-th digit replaced by d.
+func (id ID) WithDigit(i, d int) ID {
+	out := id
+	if i%2 == 0 {
+		out[i/2] = (out[i/2] & 0x0f) | byte(d)<<4
+	} else {
+		out[i/2] = (out[i/2] & 0xf0) | byte(d)
+	}
+	return out
+}
+
+// CommonPrefixLen returns the number of leading base-Radix digits shared by
+// a and b. The result is in [0, Digits].
+func (a ID) CommonPrefixLen(b ID) int {
+	for i := 0; i < len(a); i++ {
+		x := a[i] ^ b[i]
+		if x == 0 {
+			continue
+		}
+		if x&0xf0 != 0 {
+			return 2 * i
+		}
+		return 2*i + 1
+	}
+	return Digits
+}
+
+// Cmp compares a and b as unsigned 128-bit integers, returning -1, 0, or 1.
+func (a ID) Cmp(b ID) int {
+	for i := 0; i < len(a); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether a < b as unsigned integers.
+func (a ID) Less(b ID) bool { return a.Cmp(b) < 0 }
+
+// IsZero reports whether the identifier is all zeros.
+func (id ID) IsZero() bool { return id == Zero }
+
+// Add returns a+b mod 2^128.
+func (a ID) Add(b ID) ID {
+	var out ID
+	var carry byte
+	for i := len(a) - 1; i >= 0; i-- {
+		s := uint16(a[i]) + uint16(b[i]) + uint16(carry)
+		out[i] = byte(s)
+		carry = byte(s >> 8)
+	}
+	return out
+}
+
+// Sub returns a-b mod 2^128.
+func (a ID) Sub(b ID) ID {
+	var out ID
+	var borrow byte
+	for i := len(a) - 1; i >= 0; i-- {
+		d := int16(a[i]) - int16(b[i]) - int16(borrow)
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// RingDistance returns the minimum of clockwise and counterclockwise
+// distance between a and b on the 2^128 ring.
+func (a ID) RingDistance(b ID) ID {
+	cw := b.Sub(a)
+	ccw := a.Sub(b)
+	if cw.Less(ccw) {
+		return cw
+	}
+	return ccw
+}
+
+// CloserToThan reports whether a is strictly closer to target than b is,
+// by ring distance; ties are broken toward the numerically smaller ID so
+// that "numerically closest" is a total order.
+func (a ID) CloserToThan(target, b ID) bool {
+	da := a.RingDistance(target)
+	db := b.RingDistance(target)
+	if c := da.Cmp(db); c != 0 {
+		return c < 0
+	}
+	return a.Less(b)
+}
+
+// BetweenCW reports whether x lies on the clockwise arc (lo, hi], walking
+// clockwise (increasing IDs, wrapping) from lo to hi. If lo == hi the arc is
+// the full ring and the result is true for any x != lo... consistent with
+// leaf-set range semantics where a single node covers everything.
+func BetweenCW(lo, x, hi ID) bool {
+	if lo == hi {
+		return true
+	}
+	// Distance walked clockwise from lo.
+	dx := x.Sub(lo)
+	dh := hi.Sub(lo)
+	return !dx.IsZero() && dx.Cmp(dh) <= 0
+}
+
+// Leading64 returns the most significant 64 bits of the identifier as a
+// uint64, useful for coarse bucketing in load-balance experiments.
+func (id ID) Leading64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(id[i])
+	}
+	return v
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1. Used to
+// express the paper's ceil(log_{2^b} N) hop bounds in tests.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// ExpectedHops returns the Pastry routing bound ceil(log_{2^B} N) for an
+// overlay of n nodes.
+func ExpectedHops(n int) int {
+	l2 := Log2Ceil(n)
+	return (l2 + B - 1) / B
+}

@@ -1,0 +1,219 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randID(r *rand.Rand) ID {
+	var id ID
+	r.Read(id[:])
+	return id
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	id := HashOf("node", "10.0.0.1")
+	got, err := Parse(id.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", id.String(), err)
+	}
+	if got != id {
+		t.Fatalf("round trip: got %v want %v", got, id)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{"", "abc", "zz000000000000000000000000000000", "0123456789abcdef0123456789abcdef00"}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", c)
+		}
+	}
+}
+
+func TestHashOfDistinguishesBoundaries(t *testing.T) {
+	if HashOf("ab", "c") == HashOf("a", "bc") {
+		t.Fatal("HashOf must length-prefix parts")
+	}
+	if HashOf("x") == HashOf("x", "") {
+		t.Fatal("HashOf must distinguish arities")
+	}
+}
+
+func TestDigitWithDigit(t *testing.T) {
+	id := MustParse("0123456789abcdef0123456789abcdef")
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	for i := 0; i < 16; i++ {
+		if got := id.Digit(i); got != want[i] {
+			t.Errorf("Digit(%d) = %d, want %d", i, got, want[i])
+		}
+	}
+	for i := 0; i < Digits; i++ {
+		for d := 0; d < Radix; d++ {
+			got := id.WithDigit(i, d)
+			if got.Digit(i) != d {
+				t.Fatalf("WithDigit(%d,%d).Digit = %d", i, d, got.Digit(i))
+			}
+			// Other digits unchanged.
+			for j := 0; j < Digits; j++ {
+				if j != i && got.Digit(j) != id.Digit(j) {
+					t.Fatalf("WithDigit(%d,%d) disturbed digit %d", i, d, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := MustParse("0123456789abcdef0123456789abcdef")
+	cases := []struct {
+		b    string
+		want int
+	}{
+		{"0123456789abcdef0123456789abcdef", Digits},
+		{"0123456789abcdef0123456789abcdee", Digits - 1},
+		{"1123456789abcdef0123456789abcdef", 0},
+		{"0124456789abcdef0123456789abcdef", 3},
+		{"0123556789abcdef0123456789abcdef", 4},
+	}
+	for _, c := range cases {
+		b := MustParse(c.b)
+		if got := a.CommonPrefixLen(b); got != c.want {
+			t.Errorf("CommonPrefixLen(%s) = %d, want %d", c.b, got, c.want)
+		}
+		if got := b.CommonPrefixLen(a); got != c.want {
+			t.Errorf("CommonPrefixLen is not symmetric for %s", c.b)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	one := Zero.WithDigit(Digits-1, 1)
+	if got := Zero.Sub(one); got.Digit(0) != 0xf {
+		t.Fatalf("0-1 should wrap to all-ones, got %v", got)
+	}
+	var allOnes ID
+	for i := range allOnes {
+		allOnes[i] = 0xff
+	}
+	if got := allOnes.Add(one); !got.IsZero() {
+		t.Fatalf("max+1 should wrap to zero, got %v", got)
+	}
+}
+
+// Property: a.Sub(b).Add(b) == a for all a, b.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Sub(y).Add(y) == x && x.Add(y).Sub(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ring distance is symmetric and zero iff equal.
+func TestRingDistanceProperty(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		d1, d2 := x.RingDistance(y), y.RingDistance(x)
+		if d1 != d2 {
+			return false
+		}
+		return d1.IsZero() == (x == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CommonPrefixLen(a,b) == Digits iff a == b; WithDigit changes
+// prefix length predictably.
+func TestCommonPrefixProperty(t *testing.T) {
+	f := func(a [16]byte, rawIdx uint8, rawDigit uint8) bool {
+		x := ID(a)
+		i := int(rawIdx) % Digits
+		d := (x.Digit(i) + 1 + int(rawDigit)%(Radix-1)) % Radix // guaranteed different digit
+		y := x.WithDigit(i, d)
+		return x.CommonPrefixLen(y) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweenCW(t *testing.T) {
+	lo := MustParse("10000000000000000000000000000000")
+	hi := MustParse("20000000000000000000000000000000")
+	in := MustParse("18000000000000000000000000000000")
+	out := MustParse("30000000000000000000000000000000")
+	if !BetweenCW(lo, in, hi) {
+		t.Error("in should be between")
+	}
+	if BetweenCW(lo, out, hi) {
+		t.Error("out should not be between")
+	}
+	if BetweenCW(lo, lo, hi) {
+		t.Error("arc is exclusive at lo")
+	}
+	if !BetweenCW(lo, hi, hi) {
+		t.Error("arc is inclusive at hi")
+	}
+	// Wrapping arc.
+	if !BetweenCW(hi, out, lo) {
+		t.Error("wrapping arc should contain out")
+	}
+	if !BetweenCW(hi, Zero, lo) {
+		t.Error("wrapping arc should contain zero")
+	}
+}
+
+func TestCloserToThanTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	target := randID(r)
+	for i := 0; i < 200; i++ {
+		a, b := randID(r), randID(r)
+		if a == b {
+			continue
+		}
+		ab := a.CloserToThan(target, b)
+		ba := b.CloserToThan(target, a)
+		if ab == ba {
+			t.Fatalf("CloserToThan not antisymmetric for %v %v", a, b)
+		}
+	}
+}
+
+func TestExpectedHops(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {16, 1}, {17, 2}, {256, 2}, {10000, 4}, {65536, 4}, {65537, 5},
+	}
+	for _, c := range cases {
+		if got := ExpectedHops(c.n); got != c.want {
+			t.Errorf("ExpectedHops(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLeading64(t *testing.T) {
+	id := MustParse("0123456789abcdef0000000000000000")
+	if got := id.Leading64(); got != 0x0123456789abcdef {
+		t.Fatalf("Leading64 = %x", got)
+	}
+}
+
+func BenchmarkHashOf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HashOf("tree", "CPU_model=Intel Core i7", "virginia")
+	}
+}
+
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	x := HashOf("a")
+	y := HashOf("b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.CommonPrefixLen(y)
+	}
+}

@@ -1,0 +1,270 @@
+// Package metrics provides the latency recorders, CDFs, and distribution
+// summaries the evaluation harness uses to regenerate the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Recorder accumulates duration samples.
+type Recorder struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends a sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the average sample, 0 when empty.
+func (r *Recorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Std returns the population standard deviation.
+func (r *Recorder) Std() time.Duration {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(r.Mean())
+	var ss float64
+	for _, d := range r.samples {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(n)))
+}
+
+func (r *Recorder) ensureSorted() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Min returns the smallest sample, 0 when empty.
+func (r *Recorder) Min() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[0]
+}
+
+// Max returns the largest sample, 0 when empty.
+func (r *Recorder) Max() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[len(r.samples)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return r.samples[rank-1]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X time.Duration
+	P float64 // cumulative probability in (0,1]
+}
+
+// CDF returns up to points evenly spaced points of the empirical CDF (the
+// paper's Fig. 9 plots).
+func (r *Recorder) CDF(points int) []CDFPoint {
+	n := len(r.samples)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	r.ensureSorted()
+	if points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*n/points - 1
+		out = append(out, CDFPoint{X: r.samples[idx], P: float64(idx+1) / float64(n)})
+	}
+	return out
+}
+
+// Summary renders "mean ± std (p50 median, p99 tail, n samples)".
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("%v ±%v (p50 %v, p99 %v, n=%d)",
+		r.Mean().Round(time.Millisecond), r.Std().Round(time.Millisecond),
+		r.Percentile(50).Round(time.Millisecond), r.Percentile(99).Round(time.Millisecond),
+		r.Count())
+}
+
+// IntDist summarizes integer samples (hop counts, per-node loads).
+type IntDist struct {
+	samples []int
+	sorted  bool
+}
+
+// NewIntDist creates an empty distribution.
+func NewIntDist() *IntDist { return &IntDist{} }
+
+// Add appends a sample.
+func (d *IntDist) Add(v int) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *IntDist) Count() int { return len(d.samples) }
+
+// Mean returns the sample mean.
+func (d *IntDist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range d.samples {
+		sum += v
+	}
+	return float64(sum) / float64(len(d.samples))
+}
+
+// Std returns the population standard deviation.
+func (d *IntDist) Std() float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		diff := float64(v) - mean
+		ss += diff * diff
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Max returns the largest sample.
+func (d *IntDist) Max() int {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1]
+}
+
+// Min returns the smallest sample.
+func (d *IntDist) Min() int {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[0]
+}
+
+func (d *IntDist) ensureSorted() {
+	if !d.sorted {
+		sort.Ints(d.samples)
+		d.sorted = true
+	}
+}
+
+// Table renders aligned text tables for experiment output, in the spirit
+// of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Mean() != 0 || r.Std() != 0 || r.Min() != 0 || r.Max() != 0 || r.Percentile(50) != 0 {
+		t.Fatal("empty recorder should be all zeros")
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		r.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if r.Count() != 4 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Mean() != 25*time.Millisecond {
+		t.Errorf("mean = %v", r.Mean())
+	}
+	if r.Min() != 10*time.Millisecond || r.Max() != 40*time.Millisecond {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if got := r.Percentile(50); got != 20*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(100); got != 40*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Percentile(0); got != 10*time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	// std of {10,20,30,40} ms: sqrt(125) ≈ 11.18ms
+	want := time.Duration(11180339) * time.Nanosecond
+	if diff := r.Std() - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("std = %v, want ≈%v", r.Std(), want)
+	}
+	if !strings.Contains(r.Summary(), "n=4") {
+		t.Errorf("summary = %q", r.Summary())
+	}
+}
+
+func TestCDFMonotoneAndComplete(t *testing.T) {
+	r := NewRecorder()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		r.Add(time.Duration(rng.Intn(1000)) * time.Millisecond)
+	}
+	cdf := r.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].P < cdf[i-1].P {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.P != 1.0 || last.X != r.Max() {
+		t.Fatalf("CDF must end at (max, 1): %+v", last)
+	}
+	if r.CDF(0) != nil || NewRecorder().CDF(10) != nil {
+		t.Fatal("degenerate CDFs should be nil")
+	}
+}
+
+// Property: percentile is monotone in p and brackets min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		for _, v := range raw {
+			r.Add(time.Duration(v) * time.Microsecond)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := r.Percentile(a), r.Percentile(b)
+		return pa <= pb && pa >= r.Min() && pb <= r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntDist(t *testing.T) {
+	d := NewIntDist()
+	if d.Mean() != 0 || d.Std() != 0 || d.Max() != 0 || d.Min() != 0 {
+		t.Fatal("empty dist should be zeros")
+	}
+	for _, v := range []int{3, 1, 4, 1, 5} {
+		d.Add(v)
+	}
+	if d.Count() != 5 || d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("dist = %+v", d)
+	}
+	if d.Mean() != 2.8 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("site", "latency", "n")
+	tb.AddRow("virginia", "93ms", 1000)
+	tb.AddRow("saopaulo", "401ms", 987)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "site") || !strings.Contains(lines[0], "latency") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "virginia") || !strings.Contains(lines[3], "401ms") {
+		t.Errorf("rows:\n%s", out)
+	}
+	// Columns aligned: every "latency" column starts at the same offset.
+	off := strings.Index(lines[0], "latency")
+	if !strings.HasPrefix(lines[2][off:], "93ms") && !strings.Contains(lines[2][off:off+8], "93ms") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestCDFSortedInputEqualsSortedSamples(t *testing.T) {
+	r := NewRecorder()
+	vals := []time.Duration{5, 3, 9, 1, 7}
+	for _, v := range vals {
+		r.Add(v)
+	}
+	cdf := r.CDF(5)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i, pt := range cdf {
+		if pt.X != vals[i] {
+			t.Fatalf("cdf[%d].X = %v, want %v", i, pt.X, vals[i])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package monitor is the site-specific monitoring substrate stand-in
+// (paper §III-A: "an underlying monitoring infrastructure, e.g. the
+// Libvirt API"): deterministic synthetic generators that feed attribute
+// updates — utilization walks, boolean flips, failures — into each node's
+// key-value map, driving the churn the paper's future-work section asks
+// about.
+package monitor
+
+import (
+	"math/rand"
+
+	"rbay/internal/attr"
+)
+
+// Generator produces a stream of values for one attribute.
+type Generator interface {
+	// Next advances the generator and returns the attribute's new value.
+	Next(r *rand.Rand) any
+}
+
+// Static always yields the same value (hardware properties: GPU model,
+// core count).
+type Static struct {
+	V any
+}
+
+// Next implements Generator.
+func (s Static) Next(*rand.Rand) any { return s.V }
+
+// Uniform yields independent uniform floats in [Min, Max).
+type Uniform struct {
+	Min, Max float64
+}
+
+// Next implements Generator.
+func (u Uniform) Next(r *rand.Rand) any {
+	return u.Min + r.Float64()*(u.Max-u.Min)
+}
+
+// Walk is a bounded random walk — the usual shape of utilization metrics.
+type Walk struct {
+	Cur, Min, Max, Step float64
+}
+
+// Next implements Generator.
+func (w *Walk) Next(r *rand.Rand) any {
+	w.Cur += (2*r.Float64() - 1) * w.Step
+	if w.Cur < w.Min {
+		w.Cur = w.Min
+	}
+	if w.Cur > w.Max {
+		w.Cur = w.Max
+	}
+	return w.Cur
+}
+
+// Flip is a boolean that toggles with probability P per tick (device
+// availability churn).
+type Flip struct {
+	Cur bool
+	P   float64
+}
+
+// Next implements Generator.
+func (f *Flip) Next(r *rand.Rand) any {
+	if r.Float64() < f.P {
+		f.Cur = !f.Cur
+	}
+	return f.Cur
+}
+
+// Spike mostly yields Base but jumps to High with probability P per tick
+// (bursty load).
+type Spike struct {
+	Base, High float64
+	P          float64
+}
+
+// Next implements Generator.
+func (s Spike) Next(r *rand.Rand) any {
+	if r.Float64() < s.P {
+		return s.High
+	}
+	return s.Base
+}
+
+// Feed drives one node's attribute map from a set of generators.
+// Generators tick in registration order, keeping the random stream — and
+// therefore the whole simulation — reproducible.
+type Feed struct {
+	rng   *rand.Rand
+	names []string
+	gens  map[string]Generator
+}
+
+// NewFeed creates a deterministic feed for one node.
+func NewFeed(seed int64) *Feed {
+	return &Feed{rng: rand.New(rand.NewSource(seed)), gens: make(map[string]Generator)}
+}
+
+// Track registers a generator for an attribute, replacing any previous
+// one.
+func (f *Feed) Track(attrName string, g Generator) {
+	if _, dup := f.gens[attrName]; !dup {
+		f.names = append(f.names, attrName)
+	}
+	f.gens[attrName] = g
+}
+
+// Len returns the number of tracked attributes.
+func (f *Feed) Len() int { return len(f.gens) }
+
+// Tick advances every generator once and writes the new values into the
+// map, as the site's monitoring agent would.
+func (f *Feed) Tick(m *attr.Map) {
+	for _, name := range f.names {
+		m.Set(name, f.gens[name].Next(f.rng))
+	}
+}

@@ -1,0 +1,107 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbay/internal/attr"
+)
+
+func TestGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if (Static{V: 42}).Next(r) != 42 {
+		t.Error("static")
+	}
+	u := Uniform{Min: 2, Max: 3}
+	for i := 0; i < 100; i++ {
+		v := u.Next(r).(float64)
+		if v < 2 || v >= 3 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+	w := &Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.3}
+	prev := 0.5
+	for i := 0; i < 1000; i++ {
+		v := w.Next(r).(float64)
+		if v < 0 || v > 1 {
+			t.Fatalf("walk out of bounds: %v", v)
+		}
+		if d := v - prev; d > 0.3+1e-9 || d < -0.3-1e-9 {
+			t.Fatalf("walk step too large: %v", d)
+		}
+		prev = v
+	}
+	fl := &Flip{Cur: true, P: 1.0}
+	if fl.Next(r).(bool) != false || fl.Next(r).(bool) != true {
+		t.Error("flip with P=1 must toggle every tick")
+	}
+	stay := &Flip{Cur: true, P: 0}
+	if stay.Next(r).(bool) != true {
+		t.Error("flip with P=0 must never toggle")
+	}
+	sp := Spike{Base: 0.1, High: 0.9, P: 0}
+	if sp.Next(r) != 0.1 {
+		t.Error("spike base")
+	}
+	sp.P = 1
+	if sp.Next(r) != 0.9 {
+		t.Error("spike high")
+	}
+}
+
+func TestFeedTickUpdatesMap(t *testing.T) {
+	m := attr.NewMap(attr.Options{})
+	f := NewFeed(7)
+	f.Track("CPU_utilization", &Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.05})
+	f.Track("GPU", Static{V: true})
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	f.Tick(m)
+	if _, ok := m.Get("CPU_utilization"); !ok {
+		t.Fatal("tick did not set CPU_utilization")
+	}
+	if v, _ := m.Get("GPU"); v != true {
+		t.Fatal("tick did not set GPU")
+	}
+}
+
+func TestFeedDeterministic(t *testing.T) {
+	mk := func() []any {
+		m := attr.NewMap(attr.Options{})
+		f := NewFeed(99)
+		f.Track("a", &Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.1})
+		f.Track("b", Uniform{Min: 0, Max: 10})
+		f.Track("c", &Flip{Cur: false, P: 0.5})
+		var out []any
+		for i := 0; i < 50; i++ {
+			f.Tick(m)
+			va, _ := m.Get("a")
+			vb, _ := m.Get("b")
+			vc, _ := m.Get("c")
+			out = append(out, va, vb, vc)
+		}
+		return out
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("feeds diverge at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestTrackReplaceKeepsOrder(t *testing.T) {
+	f := NewFeed(1)
+	f.Track("a", Static{V: 1})
+	f.Track("b", Static{V: 2})
+	f.Track("a", Static{V: 3}) // replace, no duplicate
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	m := attr.NewMap(attr.Options{})
+	f.Tick(m)
+	if v, _ := m.Get("a"); v != 3 {
+		t.Fatalf("a = %v", v)
+	}
+}

@@ -1,0 +1,311 @@
+// Package naming implements RBAY's flexible naming scheme (paper §III-C):
+// the federation-wide registry of aggregation-tree definitions, organized
+// as a hybrid structure that follows the nesting relations between device
+// properties (brand → model → core size), plus property links that attach
+// new attributes to existing major trees instead of spawning new ones.
+//
+// All sites comply with the same registry ("all site admins comply with
+// major trees"), so the registry is plain shared data: it is distributed
+// with the federation's bootstrap configuration.
+package naming
+
+import (
+	"fmt"
+	"sort"
+
+	"rbay/internal/ids"
+	"rbay/internal/scribe"
+)
+
+// Op is a predicate comparison operator.
+type Op string
+
+// Predicate operators.
+const (
+	OpEq Op = "="
+	OpNe Op = "!="
+	OpLt Op = "<"
+	OpLe Op = "<="
+	OpGt Op = ">"
+	OpGe Op = ">="
+)
+
+// Pred is one comparison over a node attribute.
+type Pred struct {
+	Attr  string
+	Op    Op
+	Value any // float64, string, or bool
+}
+
+// String renders the predicate canonically, e.g. "CPU_utilization<0.1".
+func (p Pred) String() string {
+	return fmt.Sprintf("%s%s%v", p.Attr, p.Op, p.Value)
+}
+
+// Eval reports whether an attribute value satisfies the predicate.
+// Comparisons across types are false (not an error: heterogeneous sites
+// may type the same attribute differently).
+func (p Pred) Eval(v any) bool {
+	if v == nil {
+		return false
+	}
+	switch want := normalize(p.Value).(type) {
+	case float64:
+		got, ok := normalize(v).(float64)
+		if !ok {
+			return false
+		}
+		return cmpOrdered(p.Op, got, want)
+	case string:
+		got, ok := v.(string)
+		if !ok {
+			return false
+		}
+		return cmpOrdered(p.Op, got, want)
+	case bool:
+		got, ok := v.(bool)
+		if !ok {
+			return false
+		}
+		switch p.Op {
+		case OpEq:
+			return got == want
+		case OpNe:
+			return got != want
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
+
+// Implies reports whether this predicate logically implies q: every value
+// satisfying p also satisfies q. The query planner uses it to find a tree
+// whose membership is a superset of the query's candidates.
+func (p Pred) Implies(q Pred) bool {
+	if p.Attr != q.Attr {
+		return false
+	}
+	pv, qv := normalize(p.Value), normalize(q.Value)
+	if p.Op == OpEq {
+		// x = a implies q iff a satisfies q.
+		return q.Eval(pv)
+	}
+	pn, pok := pv.(float64)
+	qn, qok := qv.(float64)
+	if !pok || !qok {
+		// Non-numeric range implication: only identical predicates.
+		return p.Op == q.Op && pv == qv
+	}
+	switch q.Op {
+	case OpLt:
+		return (p.Op == OpLt && pn <= qn) || (p.Op == OpLe && pn < qn)
+	case OpLe:
+		return (p.Op == OpLt && pn <= qn) || (p.Op == OpLe && pn <= qn)
+	case OpGt:
+		return (p.Op == OpGt && pn >= qn) || (p.Op == OpGe && pn > qn)
+	case OpGe:
+		return (p.Op == OpGt && pn >= qn) || (p.Op == OpGe && pn >= qn)
+	default:
+		return false
+	}
+}
+
+func cmpOrdered[T float64 | string](op Op, got, want T) bool {
+	switch op {
+	case OpEq:
+		return got == want
+	case OpNe:
+		return got != want
+	case OpLt:
+		return got < want
+	case OpLe:
+		return got <= want
+	case OpGt:
+		return got > want
+	case OpGe:
+		return got >= want
+	}
+	return false
+}
+
+// normalize folds integer types into float64 so values compare uniformly.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+// TreeDef declares one aggregation tree in the registry.
+type TreeDef struct {
+	// Name is the tree's federation-wide textual name; by convention the
+	// canonical predicate string, e.g. "CPU_model=Intel Core i7".
+	Name string
+	// Pred is the membership predicate: nodes whose attribute satisfies it
+	// belong in the tree.
+	Pred Pred
+	// Parent optionally names the enclosing tree in the hybrid hierarchy
+	// (e.g. the "model" tree's parent is the "brand" tree). Members of
+	// this tree are a subset of the parent's members.
+	Parent string
+	// Creator is the admin who registered the tree; the TreeId is the hash
+	// of the textual name concatenated with the creator (paper §II-B.2).
+	Creator string
+}
+
+// Registry is the shared catalog of trees and property links.
+type Registry struct {
+	defs     map[string]*TreeDef
+	children map[string][]string
+	// links maps an attribute with no tree of its own to the major tree
+	// searched for it.
+	links map[string]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		defs:     make(map[string]*TreeDef),
+		children: make(map[string][]string),
+		links:    make(map[string]string),
+	}
+}
+
+// Define registers a tree. Parents must be defined before children.
+func (r *Registry) Define(def TreeDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("naming: tree name is empty")
+	}
+	if _, dup := r.defs[def.Name]; dup {
+		return fmt.Errorf("naming: tree %q already defined", def.Name)
+	}
+	if def.Parent != "" {
+		if _, ok := r.defs[def.Parent]; !ok {
+			return fmt.Errorf("naming: parent tree %q of %q not defined", def.Parent, def.Name)
+		}
+	}
+	d := def
+	r.defs[def.Name] = &d
+	if def.Parent != "" {
+		r.children[def.Parent] = append(r.children[def.Parent], def.Name)
+	}
+	return nil
+}
+
+// MustDefine is Define that panics; for static catalogs.
+func (r *Registry) MustDefine(def TreeDef) {
+	if err := r.Define(def); err != nil {
+		panic(err)
+	}
+}
+
+// LinkProperty attaches an attribute without its own tree to a major tree:
+// queries on the attribute are served by anycasting the major tree and
+// filtering (the paper's "link this new attribute to certain major tree
+// without creating a new aggregation tree").
+func (r *Registry) LinkProperty(attrName, treeName string) error {
+	if _, ok := r.defs[treeName]; !ok {
+		return fmt.Errorf("naming: link %q: tree %q not defined", attrName, treeName)
+	}
+	r.links[attrName] = treeName
+	return nil
+}
+
+// Lookup returns a tree definition by name.
+func (r *Registry) Lookup(name string) (*TreeDef, bool) {
+	d, ok := r.defs[name]
+	return d, ok
+}
+
+// Links returns the property-link table (attribute → major tree), sorted
+// keys not guaranteed.
+func (r *Registry) Links() map[string]string {
+	out := make(map[string]string, len(r.links))
+	for k, v := range r.links {
+		out[k] = v
+	}
+	return out
+}
+
+// Defs returns all tree definitions sorted by name.
+func (r *Registry) Defs() []*TreeDef {
+	out := make([]*TreeDef, 0, len(r.defs))
+	for _, d := range r.defs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Children returns the names of a tree's direct subtrees.
+func (r *Registry) Children(name string) []string {
+	return append([]string(nil), r.children[name]...)
+}
+
+// Depth returns a tree's depth in the hybrid hierarchy (roots are 0).
+func (r *Registry) Depth(name string) int {
+	d := 0
+	for {
+		def, ok := r.defs[name]
+		if !ok || def.Parent == "" {
+			return d
+		}
+		name = def.Parent
+		d++
+	}
+}
+
+// TopicFor derives the Scribe topic of a tree within one site's scope.
+func (r *Registry) TopicFor(site string, def *TreeDef) ids.ID {
+	return scribe.TopicID(site, def.Name+"@"+def.Creator)
+}
+
+// TreesFor returns the definitions whose predicate a node's attribute
+// value satisfies, i.e. the trees the node should be subscribed to for
+// that attribute.
+func (r *Registry) TreesFor(attrName string, value any) []*TreeDef {
+	var out []*TreeDef
+	for _, d := range r.Defs() {
+		if d.Pred.Attr == attrName && d.Pred.Eval(value) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// PlanPredicate finds the best tree to search for a query predicate:
+// the deepest (most specific) tree whose membership is a superset of the
+// predicate's matches. exact reports whether the tree's predicate is
+// exactly implied (false means the tree came from a property link and
+// every member must be filtered).
+func (r *Registry) PlanPredicate(p Pred) (def *TreeDef, exact bool) {
+	bestDepth := -1
+	for _, d := range r.Defs() {
+		if !p.Implies(d.Pred) {
+			continue
+		}
+		if depth := r.Depth(d.Name); depth > bestDepth {
+			def, bestDepth = d, depth
+			exact = true
+		}
+	}
+	if def != nil {
+		return def, exact
+	}
+	if linked, ok := r.links[p.Attr]; ok {
+		if d, ok := r.defs[linked]; ok {
+			return d, false
+		}
+	}
+	return nil, false
+}

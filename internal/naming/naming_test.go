@@ -1,0 +1,192 @@
+package naming
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredEval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    any
+		want bool
+	}{
+		{Pred{"CPU", OpEq, "Intel Core i7"}, "Intel Core i7", true},
+		{Pred{"CPU", OpEq, "Intel Core i7"}, "AMD", false},
+		{Pred{"util", OpLt, 0.10}, 0.05, true},
+		{Pred{"util", OpLt, 0.10}, 0.10, false},
+		{Pred{"util", OpLe, 0.10}, 0.10, true},
+		{Pred{"util", OpGt, 0.5}, 0.7, true},
+		{Pred{"util", OpGe, 0.5}, 0.5, true},
+		{Pred{"util", OpNe, 0.5}, 0.4, true},
+		{Pred{"mem", OpGe, 4.0}, 8, true}, // int value normalized
+		{Pred{"GPU", OpEq, true}, true, true},
+		{Pred{"GPU", OpEq, true}, false, false},
+		{Pred{"GPU", OpNe, true}, false, true},
+		{Pred{"GPU", OpLt, true}, true, false},    // no order on booleans
+		{Pred{"util", OpLt, 0.10}, "text", false}, // type mismatch
+		{Pred{"util", OpLt, 0.10}, nil, false},
+		{Pred{"name", OpLt, "m"}, "alpha", true},
+		{Pred{"name", OpGt, "m"}, "zeta", true},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.v); got != c.want {
+			t.Errorf("%v.Eval(%v) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestPredImplies(t *testing.T) {
+	cases := []struct {
+		p, q Pred
+		want bool
+	}{
+		{Pred{"u", OpLt, 0.05}, Pred{"u", OpLt, 0.10}, true},
+		{Pred{"u", OpLt, 0.10}, Pred{"u", OpLt, 0.10}, true},
+		{Pred{"u", OpLt, 0.20}, Pred{"u", OpLt, 0.10}, false},
+		{Pred{"u", OpLe, 0.10}, Pred{"u", OpLt, 0.10}, false},
+		{Pred{"u", OpLt, 0.10}, Pred{"u", OpLe, 0.10}, true},
+		{Pred{"u", OpGt, 0.8}, Pred{"u", OpGt, 0.5}, true},
+		{Pred{"u", OpGe, 0.5}, Pred{"u", OpGt, 0.5}, false},
+		{Pred{"u", OpGt, 0.5}, Pred{"u", OpGe, 0.5}, true},
+		{Pred{"u", OpEq, 0.07}, Pred{"u", OpLt, 0.10}, true},
+		{Pred{"u", OpEq, 0.17}, Pred{"u", OpLt, 0.10}, false},
+		{Pred{"m", OpEq, "i7"}, Pred{"m", OpEq, "i7"}, true},
+		{Pred{"m", OpEq, "i7"}, Pred{"m", OpEq, "i5"}, false},
+		{Pred{"a", OpLt, 1.0}, Pred{"b", OpLt, 1.0}, false}, // different attrs
+		{Pred{"g", OpEq, true}, Pred{"g", OpEq, true}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Implies(c.q); got != c.want {
+			t.Errorf("%v.Implies(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// Property: whenever Implies(p, q) holds, every value satisfying p
+// satisfies q (soundness of the planner's superset reasoning).
+func TestImpliesSoundProperty(t *testing.T) {
+	ops := []Op{OpEq, OpLt, OpLe, OpGt, OpGe}
+	f := func(opA, opB uint8, a, b int8, samples []int8) bool {
+		p := Pred{"x", ops[int(opA)%len(ops)], float64(a)}
+		q := Pred{"x", ops[int(opB)%len(ops)], float64(b)}
+		if !p.Implies(q) {
+			return true // nothing to check
+		}
+		for _, s := range samples {
+			v := float64(s)
+			if p.Eval(v) && !q.Eval(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildCatalog(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.MustDefine(TreeDef{Name: "brand=Intel", Pred: Pred{"CPU_brand", OpEq, "Intel"}, Creator: "rbay"})
+	r.MustDefine(TreeDef{Name: "model=i7", Pred: Pred{"CPU_model", OpEq, "Intel Core i7"}, Parent: "brand=Intel", Creator: "rbay"})
+	r.MustDefine(TreeDef{Name: "cores=8", Pred: Pred{"core_size", OpEq, 8.0}, Parent: "model=i7", Creator: "rbay"})
+	r.MustDefine(TreeDef{Name: "util<10%", Pred: Pred{"CPU_utilization", OpLt, 0.10}, Creator: "rbay"})
+	r.MustDefine(TreeDef{Name: "util<50%", Pred: Pred{"CPU_utilization", OpLt, 0.50}, Creator: "rbay"})
+	if err := r.LinkProperty("year_of_manufacture", "model=i7"); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegistryDefineErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define(TreeDef{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	r.MustDefine(TreeDef{Name: "a", Pred: Pred{"x", OpEq, 1.0}})
+	if err := r.Define(TreeDef{Name: "a", Pred: Pred{"x", OpEq, 2.0}}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := r.Define(TreeDef{Name: "b", Parent: "ghost"}); err == nil {
+		t.Error("missing parent accepted")
+	}
+	if err := r.LinkProperty("attr", "ghost"); err == nil {
+		t.Error("link to missing tree accepted")
+	}
+}
+
+func TestRegistryHierarchy(t *testing.T) {
+	r := buildCatalog(t)
+	if d := r.Depth("cores=8"); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	if d := r.Depth("brand=Intel"); d != 0 {
+		t.Errorf("root depth = %d", d)
+	}
+	kids := r.Children("brand=Intel")
+	if len(kids) != 1 || kids[0] != "model=i7" {
+		t.Errorf("children = %v", kids)
+	}
+	if len(r.Defs()) != 5 {
+		t.Errorf("defs = %d", len(r.Defs()))
+	}
+}
+
+func TestPlanPredicatePicksMostSpecificTree(t *testing.T) {
+	r := buildCatalog(t)
+	// Query pred implies both util<10% and util<50%: pick either, both
+	// depth 0; the planner must at least return an exact tree.
+	def, exact := r.PlanPredicate(Pred{"CPU_utilization", OpLt, 0.05})
+	if def == nil || !exact {
+		t.Fatalf("no tree for util<0.05")
+	}
+	if def.Name != "util<10%" && def.Name != "util<50%" {
+		t.Errorf("picked %q", def.Name)
+	}
+	// Exact model match: the model tree (deeper than brand) wins over any
+	// shallower alternative.
+	def, exact = r.PlanPredicate(Pred{"CPU_model", OpEq, "Intel Core i7"})
+	if def == nil || !exact || def.Name != "model=i7" {
+		t.Fatalf("model pred planned to %v (exact=%v)", def, exact)
+	}
+	// Linked property: no tree of its own, falls back to the major tree,
+	// not exact.
+	def, exact = r.PlanPredicate(Pred{"year_of_manufacture", OpGe, 2015.0})
+	if def == nil || exact || def.Name != "model=i7" {
+		t.Fatalf("linked property planned to %v (exact=%v)", def, exact)
+	}
+	// Unknown attribute: no plan.
+	if def, _ := r.PlanPredicate(Pred{"quantum_flux", OpEq, 1.0}); def != nil {
+		t.Fatalf("unknown attr planned to %v", def)
+	}
+}
+
+func TestTreesForSubscribesToAllSatisfiedTrees(t *testing.T) {
+	r := buildCatalog(t)
+	trees := r.TreesFor("CPU_utilization", 0.05)
+	if len(trees) != 2 {
+		t.Fatalf("idle node should belong to both util trees, got %d", len(trees))
+	}
+	trees = r.TreesFor("CPU_utilization", 0.30)
+	if len(trees) != 1 || trees[0].Name != "util<50%" {
+		t.Fatalf("mid-load node trees: %v", trees)
+	}
+	if trees := r.TreesFor("CPU_utilization", 0.90); len(trees) != 0 {
+		t.Fatalf("busy node should belong to no util tree: %v", trees)
+	}
+}
+
+func TestTopicForIsSiteScoped(t *testing.T) {
+	r := buildCatalog(t)
+	def, _ := r.Lookup("util<10%")
+	a := r.TopicFor("virginia", def)
+	b := r.TopicFor("tokyo", def)
+	if a == b {
+		t.Fatal("topics must differ across sites")
+	}
+	if a != r.TopicFor("virginia", def) {
+		t.Fatal("topic derivation must be deterministic")
+	}
+}

@@ -1,0 +1,208 @@
+// Package past implements a PAST-style key-value store over the Pastry
+// overlay (Rowstron & Druschel, SOSP 2001): values are stored on the k
+// nodes whose NodeIds are numerically closest to the key. The paper uses
+// it as the memory baseline for Fig. 8c — a PAST node stores only a plain
+// NodeId list per attribute, where an RBAY node additionally carries the
+// active-attribute handler.
+package past
+
+import (
+	"errors"
+	"sort"
+
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+)
+
+// AppName is the Pastry application name.
+const AppName = "past"
+
+// ErrNotFound is reported when a lookup key has no value.
+var ErrNotFound = errors.New("past: not found")
+
+// insertMsg rides a routed message to the key's root, which replicates to
+// its leaf set.
+type insertMsg struct {
+	Key   ids.ID
+	Value any
+}
+
+// replicaMsg copies an entry to a leaf-set neighbor.
+type replicaMsg struct {
+	Key   ids.ID
+	Value any
+}
+
+// lookupMsg fetches a value; lookupReply answers.
+type lookupMsg struct {
+	ReqID  uint64
+	Key    ids.ID
+	Origin pastry.Entry
+}
+
+type lookupReply struct {
+	ReqID uint64
+	Value any
+	Found bool
+}
+
+type ackMsg struct {
+	ReqID uint64
+}
+
+// insertTracked extends insertMsg with an ack request.
+type insertTracked struct {
+	ReqID  uint64
+	Key    ids.ID
+	Value  any
+	Origin pastry.Entry
+}
+
+// Store is one node's PAST instance.
+type Store struct {
+	node     *pastry.Node
+	replicas int
+	data     map[ids.ID]any
+
+	pending map[uint64]func(any, error)
+	nextReq uint64
+}
+
+// New attaches a PAST store to a Pastry node. replicas is the number of
+// leaf-set copies beyond the root (0 = root only).
+func New(node *pastry.Node, replicas int) *Store {
+	s := &Store{
+		node:     node,
+		replicas: replicas,
+		data:     make(map[ids.ID]any),
+		pending:  make(map[uint64]func(any, error)),
+	}
+	node.Register(AppName, s)
+	return s
+}
+
+// Len returns the number of locally stored entries (including replicas).
+func (s *Store) Len() int { return len(s.data) }
+
+// EstimateBytes approximates the store's memory footprint with the same
+// accounting internal/attr uses, so Fig. 8c compares like with like.
+func (s *Store) EstimateBytes() int {
+	n := 0
+	for _, v := range s.data {
+		n += 64 + 16 // key + entry overhead
+		switch x := v.(type) {
+		case string:
+			n += len(x) + 16
+		case []string:
+			for _, e := range x {
+				n += len(e) + 16
+			}
+		default:
+			n += 16
+		}
+	}
+	return n
+}
+
+// Insert stores value under key; cb (optional) fires when the root has
+// accepted it.
+func (s *Store) Insert(key ids.ID, value any, cb func(error)) error {
+	if cb == nil {
+		return s.node.Route(AppName, key, insertMsg{Key: key, Value: value})
+	}
+	s.nextReq++
+	id := s.nextReq
+	s.pending[id] = func(_ any, err error) { cb(err) }
+	return s.node.Route(AppName, key, insertTracked{ReqID: id, Key: key, Value: value, Origin: s.node.Self()})
+}
+
+// Lookup fetches the value stored under key.
+func (s *Store) Lookup(key ids.ID, cb func(value any, err error)) error {
+	s.nextReq++
+	id := s.nextReq
+	s.pending[id] = cb
+	return s.node.Route(AppName, key, lookupMsg{ReqID: id, Key: key, Origin: s.node.Self()})
+}
+
+// LookupLocal reads a locally stored entry (replicas included).
+func (s *Store) LookupLocal(key ids.ID) (any, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+func (s *Store) storeAndReplicate(key ids.ID, value any) {
+	s.data[key] = value
+	if s.replicas <= 0 {
+		return
+	}
+	// Replicate to the numerically closest neighbors on both sides of the
+	// ring, so that whichever node becomes closest after the root fails
+	// already holds a copy.
+	members := s.node.Leaf(pastry.GlobalScope).Members()
+	sort.Slice(members, func(i, j int) bool {
+		return members[i].ID.CloserToThan(s.node.ID(), members[j].ID)
+	})
+	sent := 0
+	for _, e := range members {
+		if sent >= s.replicas {
+			break
+		}
+		if s.node.SendApp(e.Addr, AppName, replicaMsg{Key: key, Value: value}) == nil {
+			sent++
+		}
+	}
+}
+
+// Deliver implements pastry.Application.
+func (s *Store) Deliver(n *pastry.Node, m *pastry.Message) {
+	switch v := m.Payload.(type) {
+	case insertMsg:
+		s.storeAndReplicate(v.Key, v.Value)
+	case insertTracked:
+		s.storeAndReplicate(v.Key, v.Value)
+		_ = s.node.SendApp(v.Origin.Addr, AppName, ackMsg{ReqID: v.ReqID})
+	case lookupMsg:
+		val, ok := s.data[v.Key]
+		_ = s.node.SendApp(v.Origin.Addr, AppName, lookupReply{ReqID: v.ReqID, Value: val, Found: ok})
+	}
+}
+
+// Forward implements pastry.Application: lookups are answered by the
+// first replica encountered en route (PAST's caching behavior).
+func (s *Store) Forward(n *pastry.Node, m *pastry.Message, next pastry.Entry) bool {
+	lm, ok := m.Payload.(lookupMsg)
+	if !ok {
+		return true
+	}
+	if val, have := s.data[lm.Key]; have {
+		_ = s.node.SendApp(lm.Origin.Addr, AppName, lookupReply{ReqID: lm.ReqID, Value: val, Found: true})
+		return false
+	}
+	return true
+}
+
+// Direct implements pastry.Application.
+func (s *Store) Direct(n *pastry.Node, from pastry.Entry, payload any) {
+	switch v := payload.(type) {
+	case replicaMsg:
+		s.data[v.Key] = v.Value
+	case lookupReply:
+		cb, ok := s.pending[v.ReqID]
+		if !ok {
+			return
+		}
+		delete(s.pending, v.ReqID)
+		if !v.Found {
+			cb(nil, ErrNotFound)
+			return
+		}
+		cb(v.Value, nil)
+	case ackMsg:
+		cb, ok := s.pending[v.ReqID]
+		if !ok {
+			return
+		}
+		delete(s.pending, v.ReqID)
+		cb(nil, nil)
+	}
+}

@@ -1,0 +1,146 @@
+package past
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+func buildStores(t *testing.T, n, replicas int) (*simnet.Network, []*Store) {
+	t.Helper()
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	var addrs []transport.Addr
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, transport.Addr{Site: "dc", Host: fmt.Sprintf("n%03d", i)})
+	}
+	nodes, err := pastry.Bootstrap(net, addrs, pastry.Config{LeafHalf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stores []*Store
+	for _, node := range nodes {
+		stores = append(stores, New(node, replicas))
+	}
+	return net, stores
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	net, stores := buildStores(t, 50, 0)
+	key := ids.HashOf("GPU")
+	acked := false
+	if err := stores[3].Insert(key, []string{"n1", "n7", "n9"}, func(err error) {
+		if err != nil {
+			t.Errorf("insert: %v", err)
+		}
+		acked = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	if !acked {
+		t.Fatal("insert never acked")
+	}
+	var got any
+	var gotErr error
+	stores[17].Lookup(key, func(v any, err error) { got, gotErr = v, err })
+	net.RunFor(time.Second)
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	list, ok := got.([]string)
+	if !ok || len(list) != 3 || list[1] != "n7" {
+		t.Fatalf("lookup = %#v", got)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	net, stores := buildStores(t, 20, 0)
+	var gotErr error
+	fired := false
+	stores[0].Lookup(ids.HashOf("ghost"), func(v any, err error) { gotErr, fired = err, true })
+	net.RunFor(time.Second)
+	if !fired || gotErr != ErrNotFound {
+		t.Fatalf("fired=%v err=%v", fired, gotErr)
+	}
+}
+
+func TestValueStoredAtNumericallyClosestNode(t *testing.T) {
+	net, stores := buildStores(t, 60, 0)
+	key := ids.HashOf("some-resource")
+	stores[5].Insert(key, "v", nil)
+	net.RunFor(time.Second)
+	var closest *Store
+	for _, s := range stores {
+		if closest == nil || s.node.ID().CloserToThan(key, closest.node.ID()) {
+			closest = s
+		}
+	}
+	if _, ok := closest.LookupLocal(key); !ok {
+		t.Fatal("numerically closest node does not hold the value")
+	}
+}
+
+func TestReplicationToLeafSet(t *testing.T) {
+	net, stores := buildStores(t, 40, 3)
+	key := ids.HashOf("replicated")
+	stores[2].Insert(key, "v", nil)
+	net.RunFor(time.Second)
+	holders := 0
+	for _, s := range stores {
+		if _, ok := s.LookupLocal(key); ok {
+			holders++
+		}
+	}
+	if holders != 4 { // root + 3 replicas
+		t.Fatalf("holders = %d, want 4", holders)
+	}
+}
+
+func TestLookupSurvivesRootCrashWithReplicas(t *testing.T) {
+	net, stores := buildStores(t, 40, 3)
+	key := ids.HashOf("ha-key")
+	stores[2].Insert(key, "precious", nil)
+	net.RunFor(time.Second)
+	// Crash the root holder.
+	var root *Store
+	for _, s := range stores {
+		if root == nil || s.node.ID().CloserToThan(key, root.node.ID()) {
+			root = s
+		}
+	}
+	root.node.Close()
+	var got any
+	var gotErr error
+	fired := false
+	// Query from a distant node; routing re-converges on a replica.
+	stores[30].Lookup(key, func(v any, err error) { got, gotErr, fired = v, err, true })
+	net.RunFor(5 * time.Second)
+	if !fired {
+		t.Fatal("lookup never completed after root crash")
+	}
+	if gotErr != nil || got != "precious" {
+		t.Fatalf("got %v err %v", got, gotErr)
+	}
+}
+
+func TestEstimateBytesScalesWithEntries(t *testing.T) {
+	_, stores := buildStores(t, 5, 0)
+	s := stores[0]
+	if s.EstimateBytes() != 0 {
+		t.Fatal("empty store nonzero estimate")
+	}
+	s.data[ids.HashOf("a")] = []string{"n1", "n2"}
+	one := s.EstimateBytes()
+	s.data[ids.HashOf("b")] = []string{"n1", "n2"}
+	if s.EstimateBytes() <= one {
+		t.Fatal("estimate must grow with entries")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

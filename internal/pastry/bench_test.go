@@ -1,0 +1,115 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+func benchOverlay(b *testing.B, n int) (*simnet.Network, []*Node) {
+	b.Helper()
+	net := simnet.New(transport.ConstantLatency(250 * time.Microsecond))
+	addrs := make([]transport.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, transport.Addr{Site: "dc", Host: fmt.Sprintf("n%05d", i)})
+	}
+	nodes, err := Bootstrap(net, addrs, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, nodes
+}
+
+type nopApp struct{ delivered int }
+
+func (a *nopApp) Deliver(*Node, *Message)             { a.delivered++ }
+func (a *nopApp) Forward(*Node, *Message, Entry) bool { return true }
+func (a *nopApp) Direct(*Node, Entry, any)            {}
+
+// BenchmarkRoute1000 measures routing one message through a 1,000-node
+// overlay (simulation-event cost, not network latency).
+func BenchmarkRoute1000(b *testing.B) {
+	net, nodes := benchOverlay(b, 1000)
+	app := &nopApp{}
+	for _, n := range nodes {
+		n.Register("bench", app)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := ids.HashOf("key", fmt.Sprint(i))
+		if err := nodes[i%len(nodes)].Route("bench", key, nil); err != nil {
+			b.Fatal(err)
+		}
+		net.Run()
+	}
+	if app.delivered != b.N {
+		b.Fatalf("delivered %d of %d", app.delivered, b.N)
+	}
+}
+
+// BenchmarkBootstrap5000 measures oracle-wiring a 5,000-node overlay.
+func BenchmarkBootstrap5000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, nodes := benchOverlay(b, 5000)
+		if len(nodes) != 5000 {
+			b.Fatal("bad overlay")
+		}
+	}
+}
+
+// BenchmarkJoinProtocol measures one protocol-level join into a standing
+// 200-node overlay.
+func BenchmarkJoinProtocol(b *testing.B) {
+	net, nodes := benchOverlay(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := transport.Addr{Site: "dc", Host: fmt.Sprintf("joiner%06d", i)}
+		n, err := NewNode(net, addr, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		joined := false
+		if err := n.JoinGlobal(nodes[i%len(nodes)].Addr(), func() { joined = true }); err != nil {
+			b.Fatal(err)
+		}
+		net.Run()
+		if !joined {
+			b.Fatal("join did not complete")
+		}
+	}
+}
+
+// BenchmarkLeafSetInsert measures the leaf-set hot path.
+func BenchmarkLeafSetInsert(b *testing.B) {
+	owner := ids.HashOf("owner")
+	entries := make([]Entry, 64)
+	for i := range entries {
+		entries[i] = Entry{ID: ids.HashOf("e", fmt.Sprint(i)), Addr: transport.Addr{Site: "dc", Host: fmt.Sprint(i)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls := NewLeafSet(owner, 8)
+		for _, e := range entries {
+			ls.Insert(e)
+		}
+	}
+}
+
+// BenchmarkNextHop measures next-hop selection.
+func BenchmarkNextHop(b *testing.B) {
+	_, nodes := benchOverlay(b, 1000)
+	n := nodes[0]
+	st := n.states[GlobalScope]
+	keys := make([]ids.ID, 64)
+	for i := range keys {
+		keys[i] = ids.HashOf("k", fmt.Sprint(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.nextHop(st, keys[i%len(keys)])
+	}
+}

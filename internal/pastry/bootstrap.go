@@ -1,0 +1,133 @@
+package pastry
+
+import (
+	"fmt"
+	"sort"
+
+	"rbay/internal/ids"
+	"rbay/internal/transport"
+)
+
+// Bootstrap builds a fully-formed overlay over the given addresses without
+// exchanging any messages: every node's global and site-scoped leaf sets
+// and routing tables are computed directly from the membership list.
+//
+// The message-based join protocol (JoinGlobal/JoinSite) is the real
+// mechanism and is exercised by tests at moderate scale; Bootstrap exists
+// so the paper's 16,000-agent simulations can be constructed in
+// milliseconds. The resulting structures are exactly what a quiesced
+// sequence of joins would converge to.
+func Bootstrap(net transport.Network, addrs []transport.Addr, cfg Config) ([]*Node, error) {
+	nodes := make([]*Node, 0, len(addrs))
+	for _, a := range addrs {
+		n, err := NewNode(net, a, cfg)
+		if err != nil {
+			for _, m := range nodes {
+				_ = m.Close()
+			}
+			return nil, fmt.Errorf("pastry: bootstrap: %w", err)
+		}
+		nodes = append(nodes, n)
+	}
+	Wire(nodes)
+	return nodes, nil
+}
+
+// Wire fills routing state for an already-created node set (global scope
+// plus one scope per site) and marks every scope joined.
+func Wire(nodes []*Node) {
+	byID := make(map[ids.ID]*Node, len(nodes))
+	all := make([]Entry, 0, len(nodes))
+	bySite := make(map[string][]Entry)
+	for _, n := range nodes {
+		byID[n.self.ID] = n
+		all = append(all, n.self)
+		bySite[n.Site()] = append(bySite[n.Site()], n.self)
+	}
+	wireScope(byID, GlobalScope, all)
+	for site, entries := range bySite {
+		wireScope(byID, site, entries)
+	}
+	for _, n := range nodes {
+		for _, st := range n.states {
+			st.joined = true
+		}
+	}
+}
+
+func wireScope(byID map[ids.ID]*Node, scope string, entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID.Less(entries[j].ID) })
+	fillLeafSets(byID, scope, entries)
+	fillTables(byID, scope, entries, 0, len(entries), 0)
+}
+
+func fillLeafSets(byID map[ids.ID]*Node, scope string, sorted []Entry) {
+	n := len(sorted)
+	for i, e := range sorted {
+		node := byID[e.ID]
+		st := node.stateFor(scope, true)
+		for d := 1; d <= st.leaf.half && d < n; d++ {
+			st.leaf.Insert(sorted[(i+d)%n])
+			st.leaf.Insert(sorted[(i-d+n)%n])
+		}
+	}
+}
+
+// fillTables recursively partitions the sorted entry range by the digit at
+// depth. Entries in different partitions share exactly `depth` prefix
+// digits, so each entry's routing-table row `depth` gets one representative
+// from every sibling partition — preferring a representative in the entry's
+// own site (Pastry's proximity heuristic).
+func fillTables(byID map[ids.ID]*Node, scope string, sorted []Entry, lo, hi, depth int) {
+	if hi-lo <= 1 || depth >= ids.Digits {
+		return
+	}
+	// Partition bounds: start[d]..start[d+1] holds entries whose digit at
+	// `depth` is d. The range is sorted, so partitions are contiguous.
+	var start [ids.Radix + 1]int
+	i := lo
+	for d := 0; d < ids.Radix; d++ {
+		start[d] = i
+		for i < hi && sorted[i].ID.Digit(depth) == d {
+			i++
+		}
+	}
+	start[ids.Radix] = hi
+
+	// Routing-table entries must vary across owners: real Pastry nodes
+	// learn different (proximity-biased) representatives for the same
+	// prefix slot. Funneling every node through one representative per
+	// partition would create artificial hub nodes and destroy the load
+	// balance the Fig. 8b experiment measures. Each owner therefore picks
+	// a deterministic pseudo-random member of the sibling partition,
+	// preferring one in its own site (the proximity heuristic).
+	pick := func(ownerIdx int, e Entry, lo2, hi2 int) Entry {
+		size := hi2 - lo2
+		base := lo2 + int(uint32(ownerIdx)*2654435761%uint32(size))
+		// Probe a few candidates for a same-site representative.
+		for probe := 0; probe < 8 && probe < size; probe++ {
+			cand := sorted[lo2+(base-lo2+probe)%size]
+			if cand.Addr.Site == e.Addr.Site {
+				return cand
+			}
+		}
+		return sorted[base]
+	}
+	for d := 0; d < ids.Radix; d++ {
+		for j := start[d]; j < start[d+1]; j++ {
+			e := sorted[j]
+			node := byID[e.ID]
+			st := node.stateFor(scope, true)
+			for d2 := 0; d2 < ids.Radix; d2++ {
+				if d2 == d || start[d2] == start[d2+1] {
+					continue
+				}
+				*st.table.slot(depth, d2) = pick(j, e, start[d2], start[d2+1])
+			}
+		}
+	}
+
+	for d := 0; d < ids.Radix; d++ {
+		fillTables(byID, scope, sorted, start[d], start[d+1], depth+1)
+	}
+}

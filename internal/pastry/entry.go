@@ -1,0 +1,29 @@
+// Package pastry implements the Pastry structured overlay RBAY is built on
+// (Rowstron & Druschel, Middleware 2001): prefix routing over a 128-bit
+// identifier ring with per-node routing tables and leaf sets, a join
+// protocol, failure repair, and — for RBAY's administrative isolation
+// (paper §III-E) — a second, site-scoped routing structure per node so that
+// site-scoped messages provably never leave their site.
+package pastry
+
+import (
+	"rbay/internal/ids"
+	"rbay/internal/transport"
+)
+
+// Entry identifies an overlay member: its NodeId and network address. The
+// address carries the member's site, which drives administrative isolation
+// and proximity-aware routing-table fills.
+type Entry struct {
+	ID   ids.ID
+	Addr transport.Addr
+}
+
+// IsZero reports whether the entry is unset.
+func (e Entry) IsZero() bool { return e.Addr.IsZero() }
+
+// EntryFor derives a member's canonical Entry from its address: the NodeId
+// is the secure hash of the address, as in Pastry.
+func EntryFor(addr transport.Addr) Entry {
+	return Entry{ID: ids.HashOf(addr.Site, addr.Host), Addr: addr}
+}

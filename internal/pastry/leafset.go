@@ -1,0 +1,190 @@
+package pastry
+
+import (
+	"rbay/internal/ids"
+)
+
+// LeafSet holds the owner's numerically closest neighbors on the ring: up
+// to Half nodes counterclockwise (smaller, wrapping) and Half clockwise
+// (larger, wrapping). It answers the two questions Pastry routing needs:
+// does the key fall within my leaf range, and which member is numerically
+// closest to it.
+type LeafSet struct {
+	owner ids.ID
+	half  int
+	// left is sorted by increasing counterclockwise distance from owner;
+	// right by increasing clockwise distance. With fewer than 2*half+1
+	// members total the two sides may overlap, as in Pastry.
+	left, right []Entry
+}
+
+// NewLeafSet creates an empty leaf set for the given owner with the given
+// per-side capacity.
+func NewLeafSet(owner ids.ID, half int) *LeafSet {
+	if half < 1 {
+		half = 1
+	}
+	return &LeafSet{owner: owner, half: half}
+}
+
+// Len returns the number of distinct members (owner excluded).
+func (ls *LeafSet) Len() int {
+	seen := make(map[ids.ID]struct{}, len(ls.left)+len(ls.right))
+	for _, e := range ls.left {
+		seen[e.ID] = struct{}{}
+	}
+	for _, e := range ls.right {
+		seen[e.ID] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Insert offers a candidate to the leaf set. It reports whether the set
+// changed. The owner itself and duplicates are ignored.
+func (ls *LeafSet) Insert(e Entry) bool {
+	if e.ID == ls.owner || e.IsZero() {
+		return false
+	}
+	changed := insertSide(&ls.right, e, ls.half, func(x Entry) ids.ID { return x.ID.Sub(ls.owner) })
+	if insertSide(&ls.left, e, ls.half, func(x Entry) ids.ID { return ls.owner.Sub(x.ID) }) {
+		changed = true
+	}
+	return changed
+}
+
+func insertSide(side *[]Entry, e Entry, half int, dist func(Entry) ids.ID) bool {
+	s := *side
+	d := dist(e)
+	pos := len(s)
+	for i, x := range s {
+		if x.ID == e.ID {
+			return false
+		}
+		if d.Less(dist(x)) {
+			pos = i
+			break
+		}
+	}
+	// Check remainder for duplicate beyond insertion point.
+	for _, x := range s[pos:] {
+		if x.ID == e.ID {
+			return false
+		}
+	}
+	if pos >= half {
+		return false
+	}
+	s = append(s, Entry{})
+	copy(s[pos+1:], s[pos:])
+	s[pos] = e
+	if len(s) > half {
+		s = s[:half]
+	}
+	*side = s
+	return true
+}
+
+// Remove deletes a member by ID from both sides, reporting whether it was
+// present.
+func (ls *LeafSet) Remove(id ids.ID) bool {
+	removed := removeSide(&ls.left, id)
+	if removeSide(&ls.right, id) {
+		removed = true
+	}
+	return removed
+}
+
+func removeSide(side *[]Entry, id ids.ID) bool {
+	s := *side
+	for i, x := range s {
+		if x.ID == id {
+			*side = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether id is a member.
+func (ls *LeafSet) Contains(id ids.ID) bool {
+	for _, e := range ls.left {
+		if e.ID == id {
+			return true
+		}
+	}
+	for _, e := range ls.right {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// full reports whether both sides are at capacity. A non-full leaf set has
+// seen every known node on that side, so its range is the whole ring.
+func (ls *LeafSet) full() bool {
+	return len(ls.left) >= ls.half && len(ls.right) >= ls.half
+}
+
+// Covers reports whether key falls inside the leaf-set range — the arc from
+// the farthest left member to the farthest right member passing through the
+// owner. An underfull leaf set covers the whole ring.
+func (ls *LeafSet) Covers(key ids.ID) bool {
+	if !ls.full() {
+		return true
+	}
+	lo := ls.left[len(ls.left)-1].ID
+	hi := ls.right[len(ls.right)-1].ID
+	return key == lo || ids.BetweenCW(lo, key, hi)
+}
+
+// Closest returns the member (or the owner, as a zero-Addr Entry with the
+// owner ID, if the owner itself is closest) numerically closest to key.
+// Ties break toward the smaller ID, matching ids.CloserToThan.
+func (ls *LeafSet) Closest(key ids.ID) Entry {
+	best := Entry{ID: ls.owner}
+	consider := func(e Entry) {
+		if e.ID.CloserToThan(key, best.ID) {
+			best = e
+		}
+	}
+	for _, e := range ls.left {
+		consider(e)
+	}
+	for _, e := range ls.right {
+		consider(e)
+	}
+	return best
+}
+
+// Members returns the distinct members, left side first. The slice is
+// freshly allocated.
+func (ls *LeafSet) Members() []Entry {
+	out := make([]Entry, 0, len(ls.left)+len(ls.right))
+	seen := make(map[ids.ID]struct{}, len(ls.left)+len(ls.right))
+	for _, e := range ls.left {
+		if _, dup := seen[e.ID]; !dup {
+			seen[e.ID] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	for _, e := range ls.right {
+		if _, dup := seen[e.ID]; !dup {
+			seen[e.ID] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Extremes returns the farthest members on each side (zero entries when the
+// set is empty), used by repair to fetch a failed neighbor's replacement.
+func (ls *LeafSet) Extremes() (left, right Entry) {
+	if n := len(ls.left); n > 0 {
+		left = ls.left[n-1]
+	}
+	if n := len(ls.right); n > 0 {
+		right = ls.right[n-1]
+	}
+	return left, right
+}

@@ -1,0 +1,247 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbay/internal/ids"
+	"rbay/internal/transport"
+)
+
+func testEntry(r *rand.Rand, site string) Entry {
+	var id ids.ID
+	r.Read(id[:])
+	return Entry{ID: id, Addr: transport.Addr{Site: site, Host: id.Short()}}
+}
+
+func TestLeafSetInsertBasics(t *testing.T) {
+	owner := ids.HashOf("owner")
+	ls := NewLeafSet(owner, 4)
+	if ls.Len() != 0 {
+		t.Fatal("new leaf set not empty")
+	}
+	if ls.Insert(Entry{ID: owner, Addr: transport.Addr{Site: "s", Host: "me"}}) {
+		t.Error("owner must not be insertable")
+	}
+	if ls.Insert(Entry{}) {
+		t.Error("zero entry must not be insertable")
+	}
+	e := Entry{ID: ids.HashOf("a"), Addr: transport.Addr{Site: "s", Host: "a"}}
+	if !ls.Insert(e) {
+		t.Error("first insert should change the set")
+	}
+	if ls.Insert(e) {
+		t.Error("duplicate insert should not change the set")
+	}
+	if !ls.Contains(e.ID) {
+		t.Error("inserted entry missing")
+	}
+	if !ls.Remove(e.ID) {
+		t.Error("remove should report presence")
+	}
+	if ls.Remove(e.ID) {
+		t.Error("second remove should report absence")
+	}
+}
+
+func TestLeafSetUnderfullCoversEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	owner := ids.HashOf("owner")
+	ls := NewLeafSet(owner, 8)
+	for i := 0; i < 5; i++ {
+		ls.Insert(testEntry(r, "s"))
+	}
+	for i := 0; i < 50; i++ {
+		var key ids.ID
+		r.Read(key[:])
+		if !ls.Covers(key) {
+			t.Fatal("underfull leaf set must cover the whole ring")
+		}
+	}
+}
+
+// brute-force closest among owner+members, with ids.CloserToThan tie-break.
+func bruteClosest(owner ids.ID, members []Entry, key ids.ID) ids.ID {
+	best := owner
+	for _, e := range members {
+		if e.ID.CloserToThan(key, best) {
+			best = e.ID
+		}
+	}
+	return best
+}
+
+func TestLeafSetClosestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	owner := ids.HashOf("owner")
+	ls := NewLeafSet(owner, 6)
+	var members []Entry
+	for i := 0; i < 40; i++ {
+		e := testEntry(r, "s")
+		if ls.Insert(e) {
+			// Track only retained members.
+		}
+		members = append(members, e)
+	}
+	kept := ls.Members()
+	for i := 0; i < 200; i++ {
+		var key ids.ID
+		r.Read(key[:])
+		got := ls.Closest(key).ID
+		want := bruteClosest(owner, kept, key)
+		if got != want {
+			t.Fatalf("Closest(%v) = %v, want %v", key.Short(), got.Short(), want.Short())
+		}
+	}
+}
+
+func TestLeafSetKeepsNearestPerSide(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	owner := ids.HashOf("owner")
+	half := 4
+	ls := NewLeafSet(owner, half)
+	var all []Entry
+	for i := 0; i < 100; i++ {
+		e := testEntry(r, "s")
+		ls.Insert(e)
+		all = append(all, e)
+	}
+	// Brute force: the half nearest clockwise and counterclockwise.
+	cwDist := func(e Entry) ids.ID { return e.ID.Sub(owner) }
+	ccwDist := func(e Entry) ids.ID { return owner.Sub(e.ID) }
+	nearest := func(dist func(Entry) ids.ID) map[ids.ID]bool {
+		sorted := append([]Entry(nil), all...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if dist(sorted[j]).Less(dist(sorted[i])) {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		out := map[ids.ID]bool{}
+		for _, e := range sorted[:half] {
+			out[e.ID] = true
+		}
+		return out
+	}
+	wantRight := nearest(cwDist)
+	wantLeft := nearest(ccwDist)
+	for _, e := range ls.right {
+		if !wantRight[e.ID] {
+			t.Errorf("right side kept %v which is not among the %d nearest cw", e.ID.Short(), half)
+		}
+	}
+	for _, e := range ls.left {
+		if !wantLeft[e.ID] {
+			t.Errorf("left side kept %v which is not among the %d nearest ccw", e.ID.Short(), half)
+		}
+	}
+	if len(ls.right) != half || len(ls.left) != half {
+		t.Errorf("sides not at capacity: %d/%d", len(ls.left), len(ls.right))
+	}
+}
+
+func TestLeafSetCoversRange(t *testing.T) {
+	owner := ids.MustParse("80000000000000000000000000000000")
+	ls := NewLeafSet(owner, 2)
+	mk := func(hex string) Entry {
+		return Entry{ID: ids.MustParse(hex), Addr: transport.Addr{Site: "s", Host: hex[:4]}}
+	}
+	// Two each side.
+	ls.Insert(mk("70000000000000000000000000000000"))
+	ls.Insert(mk("78000000000000000000000000000000"))
+	ls.Insert(mk("88000000000000000000000000000000"))
+	ls.Insert(mk("90000000000000000000000000000000"))
+	if !ls.Covers(ids.MustParse("84000000000000000000000000000000")) {
+		t.Error("key inside range not covered")
+	}
+	if !ls.Covers(ids.MustParse("70000000000000000000000000000000")) {
+		t.Error("boundary key not covered")
+	}
+	if ls.Covers(ids.MustParse("60000000000000000000000000000000")) {
+		t.Error("key outside range covered")
+	}
+	if ls.Covers(ids.MustParse("a0000000000000000000000000000000")) {
+		t.Error("key outside range covered (right)")
+	}
+}
+
+func TestLeafSetExtremes(t *testing.T) {
+	owner := ids.MustParse("80000000000000000000000000000000")
+	ls := NewLeafSet(owner, 2)
+	left, right := ls.Extremes()
+	if !left.IsZero() || !right.IsZero() {
+		t.Fatal("empty leaf set should have zero extremes")
+	}
+	mk := func(hex string) Entry {
+		return Entry{ID: ids.MustParse(hex), Addr: transport.Addr{Site: "s", Host: hex[:4]}}
+	}
+	ls.Insert(mk("70000000000000000000000000000000"))
+	ls.Insert(mk("78000000000000000000000000000000"))
+	ls.Insert(mk("88000000000000000000000000000000"))
+	ls.Insert(mk("90000000000000000000000000000000"))
+	left, right = ls.Extremes()
+	if left.ID != ids.MustParse("70000000000000000000000000000000") {
+		t.Errorf("left extreme = %v", left.ID)
+	}
+	if right.ID != ids.MustParse("90000000000000000000000000000000") {
+		t.Errorf("right extreme = %v", right.ID)
+	}
+}
+
+func TestRoutingTableInsertRemove(t *testing.T) {
+	owner := ids.MustParse("00000000000000000000000000000000")
+	self := Entry{ID: owner, Addr: transport.Addr{Site: "home", Host: "self"}}
+	rt := NewRoutingTable(owner)
+	e := Entry{ID: ids.MustParse("01230000000000000000000000000000"), Addr: transport.Addr{Site: "far", Host: "e"}}
+	if !rt.Insert(self, e) {
+		t.Fatal("insert into empty slot failed")
+	}
+	// Shares 1 digit with owner, next digit is 1 -> row 1, col 1.
+	if got := rt.Get(1, 1); got.ID != e.ID {
+		t.Fatalf("entry not at (1,1): %+v", got)
+	}
+	if rt.Insert(self, e) {
+		t.Error("re-insert should not change")
+	}
+	// Occupied slot: remote incumbent replaced by same-site candidate.
+	e2 := Entry{ID: ids.MustParse("01f30000000000000000000000000000"), Addr: transport.Addr{Site: "home", Host: "e2"}}
+	if rt.Get(1, 1).ID != e.ID {
+		t.Fatal("setup")
+	}
+	// e2 also row 1 col 1? digit at 1 is 1: 0x01f3 digits are 0,1,f,3 -> row 1 is cpl(owner=000.., e2=01f..) = 1, digit(1) = 1.
+	if !rt.Insert(self, e2) {
+		t.Error("same-site candidate should displace remote incumbent")
+	}
+	if got := rt.Get(1, 1); got.ID != e2.ID {
+		t.Errorf("slot holds %v, want same-site e2", got.Addr)
+	}
+	// Remote candidate must not displace same-site incumbent.
+	if rt.Insert(self, e) {
+		t.Error("remote candidate displaced same-site incumbent")
+	}
+	if !rt.Remove(e2.ID) {
+		t.Error("remove failed")
+	}
+	if rt.Remove(e2.ID) {
+		t.Error("double remove reported success")
+	}
+	if rt.Size() != 0 {
+		t.Errorf("Size = %d, want 0", rt.Size())
+	}
+}
+
+func TestRoutingTableNextHop(t *testing.T) {
+	owner := ids.MustParse("00000000000000000000000000000000")
+	self := Entry{ID: owner, Addr: transport.Addr{Site: "s", Host: "self"}}
+	rt := NewRoutingTable(owner)
+	e := Entry{ID: ids.MustParse("a0000000000000000000000000000000"), Addr: transport.Addr{Site: "s", Host: "a"}}
+	rt.Insert(self, e)
+	key := ids.MustParse("ab000000000000000000000000000000")
+	if got := rt.NextHop(key); got.ID != e.ID {
+		t.Fatalf("NextHop = %+v, want e", got)
+	}
+	if got := rt.NextHop(ids.MustParse("b0000000000000000000000000000000")); !got.IsZero() {
+		t.Fatalf("NextHop for unpopulated digit should be zero, got %+v", got)
+	}
+}

@@ -1,0 +1,161 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+// TestRoutingConsistencyProperty: for a fixed key, routing from *every*
+// node of the overlay delivers at the same destination — the rendezvous
+// property Scribe trees and RBAY's probe protocol depend on.
+func TestRoutingConsistencyProperty(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	nodes, err := Bootstrap(net, siteAddrs(120, "alpha", "beta"), Config{LeafHalf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	destinations := map[ids.ID]map[ids.ID]bool{} // key -> set of delivering nodes
+	app := &recordApp{onDeliver: func(n *Node, m *Message) {
+		if destinations[m.Key] == nil {
+			destinations[m.Key] = map[ids.ID]bool{}
+		}
+		destinations[m.Key][n.ID()] = true
+	}}
+	for _, n := range nodes {
+		n.Register("test", app)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var keys []ids.ID
+	for k := 0; k < 20; k++ {
+		var key ids.ID
+		rng.Read(key[:])
+		keys = append(keys, key)
+		for _, src := range nodes {
+			if err := src.RouteScoped("test", GlobalScope, key, nil, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	net.Run()
+	for _, key := range keys {
+		if got := len(destinations[key]); got != 1 {
+			t.Errorf("key %v delivered at %d distinct nodes, want 1", key.Short(), got)
+		}
+	}
+}
+
+// TestScopedAndGlobalRoutesAgreeWithinOneSite: in a single-site overlay the
+// site-scoped structure contains the same nodes as the global one, so the
+// two routing modes must deliver identically.
+func TestScopedAndGlobalRoutesAgreeWithinOneSite(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	nodes, err := Bootstrap(net, siteAddrs(80, "solo"), Config{LeafHalf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]ids.ID{} // "scope/key" -> destination
+	app := &recordApp{onDeliver: func(n *Node, m *Message) {
+		got[m.Scope+"/"+m.Key.String()] = n.ID()
+	}}
+	for _, n := range nodes {
+		n.Register("test", app)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var keys []ids.ID
+	for k := 0; k < 50; k++ {
+		var key ids.ID
+		rng.Read(key[:])
+		keys = append(keys, key)
+		src := nodes[rng.Intn(len(nodes))]
+		if err := src.RouteScoped("test", GlobalScope, key, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.RouteScoped("test", "solo", key, nil, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run()
+	for _, key := range keys {
+		g := got["/"+key.String()]
+		s := got["solo/"+key.String()]
+		if g != s {
+			t.Errorf("key %v: global dest %v != scoped dest %v", key.Short(), g.Short(), s.Short())
+		}
+	}
+}
+
+// TestChurnedOverlayStillConverges: joins and crashes interleaved with
+// traffic; after quiescing, routing converges to the numerically closest
+// live node for fresh keys.
+func TestChurnedOverlayStillConverges(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	cfg := Config{LeafHalf: 4, ProbeInterval: 500 * time.Millisecond, ProbeTimeout: 200 * time.Millisecond}
+	nodes, err := Bootstrap(net, siteAddrs(60, "alpha"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := append([]*Node(nil), nodes...)
+	rng := rand.New(rand.NewSource(21))
+
+	// Interleave: crash 2, join 3, repeat.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 2; i++ {
+			victim := rng.Intn(len(live))
+			live[victim].Close()
+			live = append(live[:victim], live[victim+1:]...)
+		}
+		for i := 0; i < 3; i++ {
+			addr := transport.Addr{Site: "alpha", Host: "j" + string(rune('0'+round)) + string(rune('0'+i))}
+			n, err := NewNode(net, addr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := live[rng.Intn(len(live))].Addr()
+			if err := n.JoinGlobal(seed, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.JoinSite(seed, nil); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, n)
+		}
+		net.RunFor(5 * time.Second)
+	}
+	// Let probing finish repairing.
+	net.RunFor(20 * time.Second)
+
+	delivered := map[ids.ID]ids.ID{}
+	app := &recordApp{onDeliver: func(n *Node, m *Message) { delivered[m.Key] = n.ID() }}
+	for _, n := range live {
+		if _, already := n.apps["test"]; !already {
+			n.Register("test", app)
+		}
+	}
+	misses := 0
+	total := 60
+	for k := 0; k < total; k++ {
+		var key ids.ID
+		rng.Read(key[:])
+		src := live[rng.Intn(len(live))]
+		if err := src.RouteScoped("test", GlobalScope, key, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		// Probe timers re-arm forever, so drain with a bounded window
+		// rather than Run().
+		net.RunFor(2 * time.Second)
+		want := closestOf(live, key)
+		if delivered[key] != want {
+			misses++
+		}
+	}
+	// A churned overlay may briefly hold slightly stale leaf sets, but the
+	// overwhelming majority of routes must converge exactly.
+	if misses > total/10 {
+		t.Fatalf("%d/%d routes missed the numerically closest node after churn", misses, total)
+	}
+}

@@ -1,0 +1,131 @@
+package pastry
+
+import (
+	"rbay/internal/ids"
+)
+
+// RoutingTable is the Pastry prefix-routing table: row l holds, for each
+// digit d, a node whose NodeId shares the first l digits with the owner and
+// has d as its (l+1)-th digit. Rows are allocated lazily — in an overlay of
+// N nodes only about log_16(N) rows are ever populated, which matters when
+// simulating tens of thousands of nodes in one process.
+type RoutingTable struct {
+	owner ids.ID
+	rows  [][]Entry // rows[l][d]; nil row = empty
+}
+
+// NewRoutingTable creates an empty routing table for owner.
+func NewRoutingTable(owner ids.ID) *RoutingTable {
+	return &RoutingTable{owner: owner}
+}
+
+// Get returns the entry at (row, digit), or a zero entry.
+func (rt *RoutingTable) Get(row, digit int) Entry {
+	if row >= len(rt.rows) || rt.rows[row] == nil {
+		return Entry{}
+	}
+	return rt.rows[row][digit]
+}
+
+func (rt *RoutingTable) slot(row, digit int) *Entry {
+	for len(rt.rows) <= row {
+		rt.rows = append(rt.rows, nil)
+	}
+	if rt.rows[row] == nil {
+		rt.rows[row] = make([]Entry, ids.Radix)
+	}
+	return &rt.rows[row][digit]
+}
+
+// Insert offers a candidate. The slot is determined by the candidate's
+// common prefix with the owner. An empty slot always accepts; an occupied
+// slot is replaced only when the candidate is in the owner's own site and
+// the incumbent is not — Pastry's proximity heuristic, with "same site" as
+// the proximity signal. Reports whether the table changed.
+func (rt *RoutingTable) Insert(self Entry, e Entry) bool {
+	if e.ID == rt.owner || e.IsZero() {
+		return false
+	}
+	row := rt.owner.CommonPrefixLen(e.ID)
+	if row >= ids.Digits {
+		return false
+	}
+	digit := e.ID.Digit(row)
+	slot := rt.slot(row, digit)
+	switch {
+	case slot.IsZero():
+		*slot = e
+		return true
+	case slot.ID == e.ID:
+		return false
+	case e.Addr.Site == self.Addr.Site && slot.Addr.Site != self.Addr.Site:
+		*slot = e
+		return true
+	}
+	return false
+}
+
+// Remove deletes the entry with the given ID wherever it appears (it can
+// appear in exactly one slot). Reports whether it was present.
+func (rt *RoutingTable) Remove(id ids.ID) bool {
+	row := rt.owner.CommonPrefixLen(id)
+	if row >= len(rt.rows) || rt.rows[row] == nil {
+		return false
+	}
+	digit := id.Digit(row)
+	if rt.rows[row][digit].ID == id {
+		rt.rows[row][digit] = Entry{}
+		return true
+	}
+	return false
+}
+
+// NextHop returns the routing-table entry for the given key: the slot at
+// (common-prefix-length, next digit of key). Zero if empty.
+func (rt *RoutingTable) NextHop(key ids.ID) Entry {
+	row := rt.owner.CommonPrefixLen(key)
+	if row >= ids.Digits {
+		return Entry{}
+	}
+	return rt.Get(row, key.Digit(row))
+}
+
+// Row returns a copy of row l's non-empty entries (used by the join
+// protocol to ship state to a newcomer).
+func (rt *RoutingTable) Row(l int) []Entry {
+	if l >= len(rt.rows) || rt.rows[l] == nil {
+		return nil
+	}
+	out := make([]Entry, 0, ids.Radix)
+	for _, e := range rt.rows[l] {
+		if !e.IsZero() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Entries returns all non-empty entries.
+func (rt *RoutingTable) Entries() []Entry {
+	var out []Entry
+	for l := range rt.rows {
+		out = append(out, rt.Row(l)...)
+	}
+	return out
+}
+
+// Size returns the number of populated slots.
+func (rt *RoutingTable) Size() int {
+	n := 0
+	for l := range rt.rows {
+		if rt.rows[l] == nil {
+			continue
+		}
+		for _, e := range rt.rows[l] {
+			if !e.IsZero() {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+package pastry
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"rbay/internal/transport"
+)
+
+var wireOnce sync.Once
+
+// RegisterWire registers Pastry's message types (and the scalar types that
+// travel inside interface-typed fields) with encoding/gob, for deployments
+// over internal/tcpnet. Safe to call multiple times.
+func RegisterWire() {
+	wireOnce.Do(func() {
+		gob.Register(&Message{})
+		gob.Register(directEnvelope{})
+		gob.Register(joinStart{})
+		gob.Register(joinPayload{})
+		gob.Register(joinRows{})
+		gob.Register(joinWelcome{})
+		gob.Register(announce{})
+		gob.Register(probe{})
+		gob.Register(probeAck{})
+		gob.Register(repairReq{})
+		gob.Register(repairResp{})
+		gob.Register(rpcRequest{})
+		gob.Register(rpcDirectRequest{})
+		gob.Register(rpcReply{})
+		gob.Register(Entry{})
+		gob.Register(transport.Addr{})
+		gob.Register(float64(0))
+		gob.Register(int64(0))
+		gob.Register("")
+		gob.Register(true)
+		gob.Register([]string(nil))
+		gob.Register([]any(nil))
+		gob.Register(map[string]any(nil))
+	})
+}

@@ -1,0 +1,74 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbay/internal/naming"
+)
+
+// randomQuery builds an arbitrary-but-valid Query from fuzz input.
+func randomQuery(r *rand.Rand) *Query {
+	attrs := []string{"CPU_model", "CPU_utilization", "mem_gb", "GPU", "instance_type"}
+	ops := []naming.Op{naming.OpEq, naming.OpNe, naming.OpLt, naming.OpLe, naming.OpGt, naming.OpGe}
+	sitePool := []string{"virginia", "tokyo", "ireland", "saopaulo"}
+
+	q := &Query{K: r.Intn(10)} // 0 = all
+	if r.Intn(3) == 0 {
+		n := 1 + r.Intn(len(sitePool))
+		q.Sites = append(q.Sites, sitePool[:n]...)
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		p := naming.Pred{Attr: attrs[r.Intn(len(attrs))], Op: ops[r.Intn(len(ops))]}
+		switch r.Intn(3) {
+		case 0:
+			// Round-trippable float (formatted with %g at full precision).
+			p.Value = math.Trunc(r.Float64()*1e6) / 1e3
+		case 1:
+			p.Value = []string{"Intel Core i7", "c3.large", "9.0", "x"}[r.Intn(4)]
+		default:
+			p.Op = naming.OpEq
+			p.Value = r.Intn(2) == 0
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	if r.Intn(2) == 0 {
+		q.OrderBy = attrs[r.Intn(len(attrs))]
+		q.Desc = r.Intn(2) == 0
+	}
+	return q
+}
+
+// Property: String() → Parse() round-trips every valid query exactly.
+func TestQueryStringParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q1 := randomQuery(r)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Logf("reparse of %q: %v", q1.String(), err)
+			return false
+		}
+		if q2.String() != q1.String() {
+			t.Logf("round trip: %q != %q", q1.String(), q2.String())
+			return false
+		}
+		// Structural equality of the pieces that matter.
+		if q2.K != q1.K || q2.OrderBy != q1.OrderBy || q2.Desc != q1.Desc ||
+			len(q2.Sites) != len(q1.Sites) || len(q2.Preds) != len(q1.Preds) {
+			return false
+		}
+		for i := range q1.Preds {
+			if q1.Preds[i] != q2.Preds[i] {
+				t.Logf("pred %d: %#v vs %#v", i, q1.Preds[i], q2.Preds[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

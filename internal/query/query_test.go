@@ -1,0 +1,170 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"rbay/internal/naming"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The paper's Fig. 6 query, verbatim (modulo the paper's own typo in
+	// "utlization").
+	q, err := Parse(`
+		SELECT 5
+		FROM *
+		WHERE CPU_model = "Intel Core i7"
+			AND CPU_utilization < 10%
+		GROUPBY CPU_utilization DESC;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K != 5 {
+		t.Errorf("K = %d", q.K)
+	}
+	if q.Sites != nil {
+		t.Errorf("Sites = %v, want nil (all)", q.Sites)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %v", q.Preds)
+	}
+	if q.Preds[0] != (naming.Pred{Attr: "CPU_model", Op: naming.OpEq, Value: "Intel Core i7"}) {
+		t.Errorf("pred[0] = %+v", q.Preds[0])
+	}
+	if q.Preds[1] != (naming.Pred{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.10}) {
+		t.Errorf("pred[1] = %+v (10%% must parse as 0.10)", q.Preds[1])
+	}
+	if q.OrderBy != "CPU_utilization" || !q.Desc {
+		t.Errorf("order = %q desc=%v", q.OrderBy, q.Desc)
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		src   string
+		check func(*Query) bool
+	}{
+		{"SELECT * FROM * WHERE GPU = true", func(q *Query) bool {
+			return q.K == 0 && len(q.Preds) == 1 && q.Preds[0].Value == true
+		}},
+		{"SELECT NodeId FROM * WHERE GPU = false;", func(q *Query) bool {
+			return q.K == 0 && q.Preds[0].Value == false
+		}},
+		{"select 3 from virginia, tokyo where mem >= 4", func(q *Query) bool {
+			return q.K == 3 && len(q.Sites) == 2 && q.Sites[0] == "virginia" && q.Sites[1] == "tokyo"
+		}},
+		{"SELECT 1 FROM oregon WHERE Matlab = '9.0'", func(q *Query) bool {
+			return len(q.Sites) == 1 && q.Preds[0].Value == "9.0"
+		}},
+		{"SELECT 2 FROM * WHERE model = i7 AND util != 50%", func(q *Query) bool {
+			return q.Preds[0].Value == "i7" && q.Preds[1].Op == naming.OpNe && q.Preds[1].Value == 0.5
+		}},
+		{"SELECT 2 FROM * WHERE a <= 1 AND b > 2 AND c >= 3", func(q *Query) bool {
+			return len(q.Preds) == 3 && q.Preds[0].Op == naming.OpLe && q.Preds[1].Op == naming.OpGt && q.Preds[2].Op == naming.OpGe
+		}},
+		{"SELECT 4 FROM * GROUPBY price ASC", func(q *Query) bool {
+			return q.OrderBy == "price" && !q.Desc && len(q.Preds) == 0
+		}},
+		{"SELECT 4 FROM sydney", func(q *Query) bool {
+			return q.K == 4 && len(q.Preds) == 0
+		}},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if !c.check(q) {
+			t.Errorf("Parse(%q) = %+v fails check", c.src, q)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM *",
+		"SELECT -1 FROM *",
+		"SELECT 1.5 FROM *",
+		"SELECT 0 FROM *",
+		"SELECT 1",
+		"SELECT 1 FROM",
+		"SELECT 1 FROM * WHERE",
+		"SELECT 1 FROM * WHERE x",
+		"SELECT 1 FROM * WHERE x 5",
+		"SELECT 1 FROM * WHERE x = ",
+		"SELECT 1 FROM * WHERE x = 'unterminated",
+		"SELECT 1 FROM * WHERE x = 1 AND",
+		"SELECT 1 FROM * GROUPBY",
+		"SELECT 1 FROM * trailing garbage",
+		"SELECT 1 FROM * WHERE x @ 3",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`SELECT 5 FROM * WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% GROUPBY CPU_utilization DESC;`,
+		`SELECT * FROM virginia, tokyo WHERE GPU = true;`,
+		`SELECT 1 FROM oregon;`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip: %q != %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// Mutations of a valid query must never panic the parser.
+	base := `SELECT 5 FROM * WHERE a = "x" AND b < 10% GROUPBY b DESC;`
+	for i := 0; i < len(base); i++ {
+		for _, c := range []string{"", "?", ";", "'", "%"} {
+			mutated := base[:i] + c + base[i+1:]
+			func() {
+				defer func() {
+					if recover() != nil {
+						t.Errorf("panic on %q", mutated)
+					}
+				}()
+				_, _ = Parse(mutated)
+			}()
+		}
+	}
+}
+
+func TestPercentParsing(t *testing.T) {
+	q := MustParse("SELECT 1 FROM * WHERE u < 100%")
+	if q.Preds[0].Value != 1.0 {
+		t.Errorf("100%% = %v", q.Preds[0].Value)
+	}
+	q = MustParse("SELECT 1 FROM * WHERE u < 2.5%")
+	if q.Preds[0].Value != 0.025 {
+		t.Errorf("2.5%% = %v", q.Preds[0].Value)
+	}
+}
+
+func TestCaseInsensitiveKeywordsSensitiveAttrs(t *testing.T) {
+	q := MustParse("sElEcT 2 fRoM * wHeRe CPU_Model = 'x' gRoUpBy CPU_Model dEsC")
+	if q.Preds[0].Attr != "CPU_Model" {
+		t.Errorf("attribute case not preserved: %q", q.Preds[0].Attr)
+	}
+	if !strings.EqualFold(q.OrderBy, "CPU_Model") {
+		t.Errorf("orderby = %q", q.OrderBy)
+	}
+}

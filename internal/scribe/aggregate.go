@@ -1,0 +1,178 @@
+// Package scribe implements the Scribe application-level group
+// communication substrate (Castro et al.) on top of the Pastry overlay,
+// extended — as RBAY does (paper §II-B.3) — with a third primitive beyond
+// multicast and anycast: periodic in-tree aggregation of member state
+// toward the tree root using composable aggregation functions.
+package scribe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregator combines member contributions hierarchically. Combine must be
+// associative and commutative with Zero as identity (the paper's
+// "hierarchical computation property"): intermediate tree nodes fold their
+// children's partial aggregates in arbitrary order and shape, and the root
+// must end up with the same result as a flat fold.
+type Aggregator interface {
+	// Zero returns the identity element.
+	Zero() any
+	// Combine folds two partial aggregates.
+	Combine(a, b any) any
+}
+
+// Count counts tree members: each member contributes int64(1) (via
+// CountValue) and Combine adds. The RBAY query planner's tree-size probe
+// (paper Fig. 7, step 2) runs on Count aggregates.
+type Count struct{}
+
+// CountValue is each member's contribution under Count.
+func CountValue() any { return int64(1) }
+
+// Zero implements Aggregator.
+func (Count) Zero() any { return int64(0) }
+
+// Combine implements Aggregator.
+func (Count) Combine(a, b any) any { return toInt64(a) + toInt64(b) }
+
+// Sum adds float64 contributions.
+type Sum struct{}
+
+// Zero implements Aggregator.
+func (Sum) Zero() any { return float64(0) }
+
+// Combine implements Aggregator.
+func (Sum) Combine(a, b any) any { return toFloat64(a) + toFloat64(b) }
+
+// Min keeps the smallest float64 contribution. Zero is represented by nil
+// (no contribution yet), since float64 has no natural identity for min.
+type Min struct{}
+
+// Zero implements Aggregator.
+func (Min) Zero() any { return nil }
+
+// Combine implements Aggregator.
+func (Min) Combine(a, b any) any {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	if x, y := toFloat64(a), toFloat64(b); x < y {
+		return x
+	} else {
+		return y
+	}
+}
+
+// Max keeps the largest float64 contribution, nil-as-identity like Min.
+type Max struct{}
+
+// Zero implements Aggregator.
+func (Max) Zero() any { return nil }
+
+// Combine implements Aggregator.
+func (Max) Combine(a, b any) any {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	if x, y := toFloat64(a), toFloat64(b); x > y {
+		return x
+	} else {
+		return y
+	}
+}
+
+// MeanValue is a partial average: a sum and the count it covers. Members
+// contribute MeanValue{Sum: v, Count: 1}.
+type MeanValue struct {
+	Sum   float64
+	Count int64
+}
+
+// Mean returns the average, or 0 for an empty aggregate.
+func (m MeanValue) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// Avg averages float64 contributions by carrying (sum, count) pairs, which
+// keeps Combine associative — averaging averages directly would not be.
+type Avg struct{}
+
+// Zero implements Aggregator.
+func (Avg) Zero() any { return MeanValue{} }
+
+// Combine implements Aggregator.
+func (Avg) Combine(a, b any) any {
+	x, y := a.(MeanValue), b.(MeanValue)
+	return MeanValue{Sum: x.Sum + y.Sum, Count: x.Count + y.Count}
+}
+
+// TopK keeps the K smallest float64 contributions in sorted order (a
+// composable "filter" in the paper's terms: e.g. the K least-utilized
+// nodes). Values are []float64.
+type TopK struct {
+	K int
+}
+
+// Zero implements Aggregator.
+func (t TopK) Zero() any { return []float64(nil) }
+
+// Combine implements Aggregator.
+func (t TopK) Combine(a, b any) any {
+	xs := append(append([]float64(nil), toFloats(a)...), toFloats(b)...)
+	sort.Float64s(xs)
+	if t.K > 0 && len(xs) > t.K {
+		xs = xs[:t.K]
+	}
+	return xs
+}
+
+func toFloats(v any) []float64 {
+	if v == nil {
+		return nil
+	}
+	switch x := v.(type) {
+	case []float64:
+		return x
+	case float64:
+		return []float64{x}
+	}
+	panic(fmt.Sprintf("scribe: not a float64 list: %T", v))
+}
+
+func toInt64(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	}
+	panic(fmt.Sprintf("scribe: not an integer aggregate: %T", v))
+}
+
+func toFloat64(v any) float64 {
+	if v == nil {
+		return 0
+	}
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	case int:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("scribe: not a numeric aggregate: %T", v))
+}

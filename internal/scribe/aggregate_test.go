@@ -1,0 +1,171 @@
+package scribe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// foldFlat folds values left to right.
+func foldFlat(agg Aggregator, values []any) any {
+	v := agg.Zero()
+	for _, x := range values {
+		v = agg.Combine(v, x)
+	}
+	return v
+}
+
+// foldTree folds values over a random binary split, exercising arbitrary
+// association orders.
+func foldTree(agg Aggregator, values []any, r *rand.Rand) any {
+	switch len(values) {
+	case 0:
+		return agg.Zero()
+	case 1:
+		return agg.Combine(agg.Zero(), values[0])
+	}
+	cut := 1 + r.Intn(len(values)-1)
+	return agg.Combine(foldTree(agg, values[:cut], r), foldTree(agg, values[cut:], r))
+}
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Property: every aggregator is shape-independent (the paper's
+// "hierarchical computation property").
+func TestAggregatorsShapeIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	f := func(raw []float64, seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		counts := make([]any, len(raw))
+		sums := make([]any, len(raw))
+		avgs := make([]any, len(raw))
+		for i, x := range raw {
+			x = math.Mod(x, 1e6) // keep float sums well-conditioned
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 1
+			}
+			raw[i] = x
+			counts[i] = CountValue()
+			sums[i] = x
+			avgs[i] = MeanValue{Sum: x, Count: 1}
+		}
+		if foldFlat(Count{}, counts) != foldTree(Count{}, counts, rr) {
+			return false
+		}
+		fs, ts := foldFlat(Sum{}, sums), foldTree(Sum{}, sums, rr)
+		if !almostEqual(fs.(float64), ts.(float64)) {
+			return false
+		}
+		fa, ta := foldFlat(Avg{}, avgs).(MeanValue), foldTree(Avg{}, avgs, rr).(MeanValue)
+		if fa.Count != ta.Count || !almostEqual(fa.Sum, ta.Sum) {
+			return false
+		}
+		if len(raw) > 0 {
+			fm, tm := foldFlat(Min{}, sums), foldTree(Min{}, sums, rr)
+			if fm.(float64) != tm.(float64) {
+				return false
+			}
+			fx, tx := foldFlat(Max{}, sums), foldTree(Max{}, sums, rr)
+			if fx.(float64) != tx.(float64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBasics(t *testing.T) {
+	c := Count{}
+	if c.Zero() != int64(0) {
+		t.Fatal("Count zero")
+	}
+	if got := c.Combine(c.Zero(), CountValue()); got != int64(1) {
+		t.Fatalf("count combine = %v", got)
+	}
+	if got := c.Combine(int64(3), int64(4)); got != int64(7) {
+		t.Fatalf("count combine = %v", got)
+	}
+	if got := c.Combine(nil, 2); got != int64(2) {
+		t.Fatalf("count combine with nil = %v", got)
+	}
+}
+
+func TestMinMaxIdentity(t *testing.T) {
+	if (Min{}).Combine(nil, nil) != nil {
+		t.Error("min of nothing should be nil")
+	}
+	if got := (Min{}).Combine(nil, 3.0); got != 3.0 {
+		t.Errorf("min identity: %v", got)
+	}
+	if got := (Max{}).Combine(5.0, nil); got != 5.0 {
+		t.Errorf("max identity: %v", got)
+	}
+	if got := (Min{}).Combine(2.0, 7.0); got != 2.0 {
+		t.Errorf("min: %v", got)
+	}
+	if got := (Max{}).Combine(2.0, 7.0); got != 7.0 {
+		t.Errorf("max: %v", got)
+	}
+}
+
+func TestAvgMean(t *testing.T) {
+	var m MeanValue
+	if m.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	a := Avg{}
+	v := a.Combine(MeanValue{Sum: 10, Count: 2}, MeanValue{Sum: 2, Count: 2}).(MeanValue)
+	if v.Mean() != 3 {
+		t.Errorf("mean = %v", v.Mean())
+	}
+}
+
+func TestTopKKeepsSmallest(t *testing.T) {
+	k := TopK{K: 3}
+	v := k.Combine([]float64{5, 1}, []float64{3, 0.5, 9}).([]float64)
+	if len(v) != 3 || v[0] != 0.5 || v[1] != 1 || v[2] != 3 {
+		t.Fatalf("topk = %v", v)
+	}
+	// Shape independence for TopK.
+	r := rand.New(rand.NewSource(3))
+	vals := make([]any, 20)
+	for i := range vals {
+		vals[i] = r.Float64() * 100
+	}
+	flat := foldFlat(k, vals).([]float64)
+	tree := foldTree(k, vals, r).([]float64)
+	if len(flat) != len(tree) {
+		t.Fatalf("topk shape-dependent: %v vs %v", flat, tree)
+	}
+	for i := range flat {
+		if flat[i] != tree[i] {
+			t.Fatalf("topk shape-dependent: %v vs %v", flat, tree)
+		}
+	}
+}
+
+func TestCoercionPanicsOnGarbage(t *testing.T) {
+	for _, f := range []func(){
+		func() { toInt64("x") },
+		func() { toFloat64("x") },
+		func() { toFloats(42) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on type garbage")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,119 @@
+package scribe
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+type benchSub struct{ visits int }
+
+func (s *benchSub) OnMulticast(ids.ID, any) {}
+func (s *benchSub) OnAnycast(_ ids.ID, p any) (any, bool) {
+	s.visits++
+	return p, true
+}
+func (s *benchSub) LocalValue(ids.ID) any { return CountValue() }
+
+func benchTree(b *testing.B, nodes, members int) (*simnet.Network, []*Scribe, ids.ID) {
+	b.Helper()
+	net := simnet.New(transport.ConstantLatency(250 * time.Microsecond))
+	var addrs []transport.Addr
+	for i := 0; i < nodes; i++ {
+		addrs = append(addrs, transport.Addr{Site: "dc", Host: fmt.Sprintf("n%05d", i)})
+	}
+	pn, err := pastry.Bootstrap(net, addrs, pastry.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scribes []*Scribe
+	for _, n := range pn {
+		scribes = append(scribes, New(n, Config{AggregateInterval: time.Second}))
+	}
+	topic := TopicID(pastry.GlobalScope, "bench")
+	for i := 0; i < members; i++ {
+		if err := scribes[i].Subscribe(pastry.GlobalScope, topic, &benchSub{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.RunFor(5 * time.Second)
+	return net, scribes, topic
+}
+
+// BenchmarkMulticast measures one multicast to a 100-member tree in a
+// 500-node overlay.
+func BenchmarkMulticast(b *testing.B) {
+	net, scribes, topic := benchTree(b, 500, 100)
+	pub := scribes[len(scribes)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Multicast(pastry.GlobalScope, topic, i); err != nil {
+			b.Fatal(err)
+		}
+		net.RunFor(time.Second)
+	}
+}
+
+// BenchmarkAnycastFirstMatch measures an anycast satisfied by the first
+// visited member.
+func BenchmarkAnycastFirstMatch(b *testing.B) {
+	net, scribes, topic := benchTree(b, 500, 100)
+	src := scribes[len(scribes)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		err := src.Anycast(pastry.GlobalScope, topic, nil, func(r AnycastResult) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			done = true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.RunFor(time.Second)
+		if !done {
+			b.Fatal("anycast did not complete")
+		}
+	}
+}
+
+// BenchmarkAggregateConvergence measures a full aggregation settling pass
+// (all members push partials up one interval).
+func BenchmarkAggregateConvergence(b *testing.B) {
+	net, scribes, topic := benchTree(b, 500, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunFor(time.Second) // one aggregation interval over all trees
+		got := int64(-1)
+		scribes[3].QueryAggregate(pastry.GlobalScope, topic, func(v any, err error) {
+			if err == nil {
+				got = v.(int64)
+			}
+		})
+		net.RunFor(time.Second)
+		if got != 100 {
+			b.Fatalf("aggregate = %d", got)
+		}
+	}
+}
+
+// BenchmarkSubscribe measures one membership join into a standing tree.
+func BenchmarkSubscribe(b *testing.B) {
+	net, scribes, topic := benchTree(b, 2000, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scribes[200+(i%1700)]
+		if err := s.Subscribe(pastry.GlobalScope, topic, &benchSub{}); err != nil {
+			b.Fatal(err)
+		}
+		net.RunFor(100 * time.Millisecond)
+		s.Unsubscribe(topic)
+		net.RunFor(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,93 @@
+package scribe
+
+import (
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+)
+
+// joinMsg rides a routed message toward the topic identifier (the message
+// key). Child is the most recent node on the path that wants to attach.
+type joinMsg struct {
+	Child pastry.Entry
+}
+
+// childAckMsg flows from a (new) parent to an attached child so the child
+// learns its upstream neighbor for aggregation pushes and repair.
+type childAckMsg struct {
+	Topic  ids.ID
+	Parent pastry.Entry
+}
+
+// leaveMsg detaches a child from its parent.
+type leaveMsg struct {
+	Topic ids.ID
+	Child pastry.Entry
+}
+
+// multicastMsg rides a routed message to the rendezvous root, which then
+// disseminates the payload down the tree.
+type multicastMsg struct {
+	Payload any
+}
+
+// downcastMsg carries a multicast payload down one tree edge.
+type downcastMsg struct {
+	Topic   ids.ID
+	Payload any
+}
+
+// aggUpdateMsg pushes a child subtree's partial aggregate to its parent.
+type aggUpdateMsg struct {
+	Topic ids.ID
+	Child pastry.Entry
+	Value any
+}
+
+// aggQueryMsg rides a routed message to the root, asking for the current
+// aggregate; aggReplyMsg answers directly.
+type aggQueryMsg struct {
+	ReqID  uint64
+	Origin pastry.Entry
+}
+
+type aggReplyMsg struct {
+	ReqID  uint64
+	Value  any
+	NoTree bool
+}
+
+// anycastMsg performs a depth-first traversal of the tree. It first rides
+// a routed message toward the topic (intercepted by the first tree node on
+// the path), then travels point to point along tree edges.
+type anycastMsg struct {
+	Topic   ids.ID
+	ID      uint64
+	Origin  pastry.Entry
+	Payload any
+
+	// Visited lists nodes already seen by the traversal; Stack is the
+	// return path for backtracking.
+	Visited []ids.ID
+	Stack   []pastry.Entry
+
+	Visits int
+	Hops   int
+}
+
+func (am *anycastMsg) visited(id ids.ID) bool {
+	for _, v := range am.Visited {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// anycastDone reports the traversal outcome to the origin.
+type anycastDone struct {
+	ID        uint64
+	Payload   any
+	Satisfied bool
+	Visits    int
+	Hops      int
+}

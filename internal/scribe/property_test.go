@@ -1,0 +1,127 @@
+package scribe
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+)
+
+// TestAnycastVisitsExactlyMembersProperty: for random member sets and
+// random origins, an exhaustive anycast (no member ever satisfied) visits
+// every member exactly once — completeness and no-duplication of the DFS,
+// regardless of where the traversal enters the tree.
+func TestAnycastVisitsExactlyMembersProperty(t *testing.T) {
+	c := newCluster(t, 80, []string{"alpha"}, Config{})
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		topic := TopicID(pastry.GlobalScope, "prop-"+string(rune('a'+trial)))
+		// Random member subset.
+		memberCount := 3 + rng.Intn(25)
+		perm := rng.Perm(len(c.scribes))
+		visited := map[ids.ID]int{}
+		expect := map[ids.ID]bool{}
+		for i := 0; i < memberCount; i++ {
+			s := c.scribes[perm[i]]
+			id := s.Node().ID()
+			expect[id] = true
+			sub := &testSub{}
+			sub.onAnycast = func(payload any) (any, bool) {
+				visited[id]++
+				return payload, false // never satisfied: full traversal
+			}
+			if err := s.Subscribe(pastry.GlobalScope, topic, sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.net.RunFor(3 * time.Second)
+
+		origin := c.scribes[perm[memberCount+rng.Intn(len(c.scribes)-memberCount)]]
+		var res AnycastResult
+		fired := false
+		if err := origin.Anycast(pastry.GlobalScope, topic, nil, func(r AnycastResult) {
+			res = r
+			fired = true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.net.RunFor(10 * time.Second)
+		if !fired {
+			t.Fatalf("trial %d: anycast never completed", trial)
+		}
+		if res.Satisfied {
+			t.Fatalf("trial %d: unsatisfiable anycast reported satisfied", trial)
+		}
+		if res.Visits != memberCount {
+			t.Fatalf("trial %d: visits = %d, members = %d", trial, res.Visits, memberCount)
+		}
+		for id := range expect {
+			if visited[id] != 1 {
+				t.Fatalf("trial %d: member %v visited %d times", trial, id.Short(), visited[id])
+			}
+		}
+		// Clean up for the next trial.
+		for i := 0; i < memberCount; i++ {
+			c.scribes[perm[i]].Unsubscribe(topic)
+		}
+		c.net.RunFor(3 * time.Second)
+	}
+}
+
+// TestAggregateMatchesMembershipProperty: after random subscribe and
+// unsubscribe churn quiesces, the root's Count aggregate equals the true
+// member count.
+func TestAggregateMatchesMembershipProperty(t *testing.T) {
+	c := newCluster(t, 60, []string{"alpha"}, Config{AggregateInterval: 300 * time.Millisecond})
+	topic := TopicID(pastry.GlobalScope, "agg-prop")
+	rng := rand.New(rand.NewSource(7))
+	member := map[int]bool{}
+	for round := 0; round < 6; round++ {
+		// Random churn batch.
+		for i := 0; i < 12; i++ {
+			idx := rng.Intn(len(c.scribes))
+			if member[idx] {
+				c.scribes[idx].Unsubscribe(topic)
+				delete(member, idx)
+			} else {
+				if err := c.scribes[idx].Subscribe(pastry.GlobalScope, topic, &testSub{}); err != nil {
+					t.Fatal(err)
+				}
+				member[idx] = true
+			}
+		}
+		c.net.RunFor(8 * time.Second) // quiesce: joins + aggregation roll-up
+
+		want := int64(len(member))
+		var got any
+		fired := false
+		if err := c.scribes[0].QueryAggregate(pastry.GlobalScope, topic, func(v any, err error) {
+			if err == ErrNoTree {
+				v = int64(0)
+				err = nil
+			}
+			if err != nil {
+				t.Errorf("round %d: %v", round, err)
+			}
+			got, fired = v, true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.net.RunFor(2 * time.Second)
+		if !fired {
+			t.Fatalf("round %d: no aggregate answer", round)
+		}
+		if want == 0 {
+			// An empty tree may either report 0 or be gone entirely.
+			if got != int64(0) {
+				t.Fatalf("round %d: aggregate = %v, want 0", round, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("round %d: aggregate = %v, membership = %d", round, got, want)
+		}
+	}
+}

@@ -1,0 +1,701 @@
+package scribe
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+	"rbay/internal/transport"
+)
+
+// AppName is the Pastry application name Scribe registers under.
+const AppName = "scribe"
+
+// TopicID derives a tree identifier from its scope (site name, or "" for a
+// federation-wide tree) and textual name — the hash of the tree's textual
+// name concatenated with its creator, as in the paper (§II-B.2).
+func TopicID(scope, name string) ids.ID {
+	return ids.HashOf("rbay-tree", scope, name)
+}
+
+// Subscriber is the member-side callback surface of a topic.
+type Subscriber interface {
+	// OnMulticast is invoked on every member when a multicast reaches it.
+	OnMulticast(topic ids.ID, payload any)
+
+	// OnAnycast is invoked when a DFS anycast visits this member. It
+	// returns the (possibly modified) payload that continues the
+	// traversal, plus done=true when the anycast is satisfied and the
+	// traversal should stop.
+	OnAnycast(topic ids.ID, payload any) (newPayload any, done bool)
+
+	// LocalValue returns this member's contribution to the topic's
+	// periodic aggregate.
+	LocalValue(topic ids.ID) any
+}
+
+// Config tunes a Scribe instance.
+type Config struct {
+	// AggregateInterval is the period at which members push partial
+	// aggregates to their parents (and parents further up). Default 1s.
+	AggregateInterval time.Duration
+	// ChildTTL is how long a child may stay silent before being pruned.
+	// Default 3 × AggregateInterval.
+	ChildTTL time.Duration
+	// AnycastTimeout bounds Anycast waits. Default 30s.
+	AnycastTimeout time.Duration
+	// AggQueryTimeout bounds QueryAggregate waits. Default 10s.
+	AggQueryTimeout time.Duration
+	// AggregatorFor supplies the aggregation function of a topic. All
+	// nodes of a federation must agree on it. Defaults to Count for every
+	// topic.
+	AggregatorFor func(topic ids.ID) Aggregator
+}
+
+func (c Config) withDefaults() Config {
+	if c.AggregateInterval <= 0 {
+		c.AggregateInterval = time.Second
+	}
+	if c.ChildTTL <= 0 {
+		c.ChildTTL = 3 * c.AggregateInterval
+	}
+	if c.AnycastTimeout <= 0 {
+		c.AnycastTimeout = 30 * time.Second
+	}
+	if c.AggQueryTimeout <= 0 {
+		c.AggQueryTimeout = 10 * time.Second
+	}
+	if c.AggregatorFor == nil {
+		c.AggregatorFor = func(ids.ID) Aggregator { return Count{} }
+	}
+	return c
+}
+
+// ErrNoTree is reported when an aggregate query reaches a rendezvous node
+// that holds no tree for the topic.
+var ErrNoTree = errors.New("scribe: no such tree")
+
+// ErrTimeout is reported when an anycast or aggregate query gets no answer
+// in time.
+var ErrTimeout = errors.New("scribe: timed out")
+
+// child tracks one downstream tree neighbor.
+type child struct {
+	entry    pastry.Entry
+	value    any
+	hasValue bool
+	lastSeen time.Time
+}
+
+// topicState is this node's view of one tree.
+type topicState struct {
+	id    ids.ID
+	scope string
+
+	subscribed bool
+	forwarder  bool // in the tree purely to connect children
+	isRoot     bool
+	parent     pastry.Entry
+	joining    bool
+
+	children map[ids.ID]*child
+	sub      Subscriber
+	agg      Aggregator
+}
+
+func (t *topicState) inTree() bool { return t.subscribed || t.forwarder || t.isRoot }
+
+// sortedChildren returns the children in ascending ID order, keeping fan-out
+// deterministic under the reproducible simulator.
+func (t *topicState) sortedChildren() []pastry.Entry {
+	out := make([]pastry.Entry, 0, len(t.children))
+	for _, c := range t.children {
+		out = append(out, c.entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// AnycastResult reports the outcome of an Anycast.
+type AnycastResult struct {
+	// Payload is the final payload after the traversal (as mutated by
+	// visited members).
+	Payload any
+	// Satisfied is true when some member reported the anycast done,
+	// false when the whole tree was exhausted first.
+	Satisfied bool
+	// Visits counts members that processed the anycast.
+	Visits int
+	// Hops counts overlay messages spent on routing plus traversal.
+	Hops int
+	// Err is ErrTimeout or nil.
+	Err error
+}
+
+// Scribe is one node's tree-management substrate.
+type Scribe struct {
+	node   *pastry.Node
+	cfg    Config
+	topics map[ids.ID]*topicState
+
+	nextAny    uint64
+	pendingAny map[uint64]*pendingCall
+	nextAgg    uint64
+	pendingAgg map[uint64]*pendingCall
+}
+
+type pendingCall struct {
+	anyCB  func(AnycastResult)
+	aggCB  func(value any, err error)
+	cancel transport.CancelFunc
+}
+
+// New creates the Scribe instance for a node and registers it as the
+// node's "scribe" application.
+func New(node *pastry.Node, cfg Config) *Scribe {
+	s := &Scribe{
+		node:       node,
+		cfg:        cfg.withDefaults(),
+		topics:     make(map[ids.ID]*topicState),
+		pendingAny: make(map[uint64]*pendingCall),
+		pendingAgg: make(map[uint64]*pendingCall),
+	}
+	node.Register(AppName, s)
+	node.OnFailure(s.onPeerFailure)
+	s.scheduleTick()
+	return s
+}
+
+// Node returns the underlying Pastry node.
+func (s *Scribe) Node() *pastry.Node { return s.node }
+
+func (s *Scribe) topic(id ids.ID, scope string, create bool) *topicState {
+	t := s.topics[id]
+	if t == nil && create {
+		t = &topicState{
+			id:       id,
+			scope:    scope,
+			children: make(map[ids.ID]*child),
+			agg:      s.cfg.AggregatorFor(id),
+		}
+		s.topics[id] = t
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+
+// Subscribe joins the topic's tree as a member. The subscriber's callbacks
+// fire for multicasts, anycast visits, and aggregation contributions.
+// Subscribing an already-subscribed topic replaces the subscriber.
+func (s *Scribe) Subscribe(scope string, topic ids.ID, sub Subscriber) error {
+	t := s.topic(topic, scope, true)
+	t.sub = sub
+	if t.subscribed {
+		return nil
+	}
+	t.subscribed = true
+	if t.inTreeAlready() {
+		return nil
+	}
+	return s.sendJoin(t)
+}
+
+// inTreeAlready reports whether the node is already wired into the tree
+// (as forwarder or root) and needs no join message.
+func (t *topicState) inTreeAlready() bool { return t.forwarder || t.isRoot || !t.parent.IsZero() }
+
+func (s *Scribe) sendJoin(t *topicState) error {
+	t.joining = true
+	return s.node.RouteScoped(AppName, t.scope, t.id, joinMsg{Child: s.node.Self()}, false)
+}
+
+// Unsubscribe leaves the topic. The node remains a silent forwarder while
+// it still connects children; otherwise it detaches from its parent.
+func (s *Scribe) Unsubscribe(topic ids.ID) {
+	t := s.topics[topic]
+	if t == nil || !t.subscribed {
+		return
+	}
+	t.subscribed = false
+	t.sub = nil
+	s.maybeDetach(t)
+}
+
+// maybeDetach removes this node from the tree if it no longer serves any
+// purpose there.
+func (s *Scribe) maybeDetach(t *topicState) {
+	if t.subscribed || t.isRoot || len(t.children) > 0 {
+		return
+	}
+	if !t.parent.IsZero() {
+		_ = s.node.SendApp(t.parent.Addr, AppName, leaveMsg{Topic: t.id, Child: s.node.Self()})
+	}
+	delete(s.topics, t.id)
+}
+
+// Subscribed reports whether this node is a member of the topic.
+func (s *Scribe) Subscribed(topic ids.ID) bool {
+	t := s.topics[topic]
+	return t != nil && t.subscribed
+}
+
+// TreeInfo describes this node's position in one tree, for tests,
+// experiments and debugging.
+type TreeInfo struct {
+	InTree     bool
+	Subscribed bool
+	Forwarder  bool
+	IsRoot     bool
+	Parent     pastry.Entry
+	Children   int
+}
+
+// Info returns this node's view of the topic.
+func (s *Scribe) Info(topic ids.ID) TreeInfo {
+	t := s.topics[topic]
+	if t == nil {
+		return TreeInfo{}
+	}
+	return TreeInfo{
+		InTree:     t.inTree(),
+		Subscribed: t.subscribed,
+		Forwarder:  t.forwarder,
+		IsRoot:     t.isRoot,
+		Parent:     t.parent,
+		Children:   len(t.children),
+	}
+}
+
+// Topics returns the identifiers of all trees this node participates in.
+func (s *Scribe) Topics() []ids.ID {
+	out := make([]ids.ID, 0, len(s.topics))
+	for id, t := range s.topics {
+		if t.inTree() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Multicast
+
+// Multicast disseminates payload to every member of the topic: the message
+// routes to the rendezvous root and flows down the tree (paper: admins use
+// this to push policy changes to all members).
+func (s *Scribe) Multicast(scope string, topic ids.ID, payload any) error {
+	return s.node.RouteScoped(AppName, scope, topic, multicastMsg{Payload: payload}, false)
+}
+
+func (s *Scribe) treecast(t *topicState, mc multicastMsg) {
+	for _, e := range t.sortedChildren() {
+		if e.ID == s.node.ID() {
+			continue
+		}
+		if err := s.node.SendApp(e.Addr, AppName, downcastMsg{Topic: t.id, Payload: mc.Payload}); err != nil {
+			s.dropChild(t, e)
+		}
+	}
+	if t.subscribed && t.sub != nil {
+		t.sub.OnMulticast(t.id, mc.Payload)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Anycast
+
+// Anycast walks the topic's tree depth-first starting at the closest tree
+// node, letting each visited member process (and mutate) the payload until
+// one reports done or the tree is exhausted. RBAY serves customer queries
+// this way (paper Fig. 7, steps 3–5).
+func (s *Scribe) Anycast(scope string, topic ids.ID, payload any, cb func(AnycastResult)) error {
+	s.nextAny++
+	id := s.nextAny
+	pc := &pendingCall{anyCB: cb}
+	pc.cancel = s.node.After(s.cfg.AnycastTimeout, func() {
+		if _, w := s.pendingAny[id]; w {
+			delete(s.pendingAny, id)
+			cb(AnycastResult{Err: ErrTimeout})
+		}
+	})
+	s.pendingAny[id] = pc
+	msg := anycastMsg{
+		Topic:   topic,
+		ID:      id,
+		Origin:  s.node.Self(),
+		Payload: payload,
+	}
+	return s.node.RouteScoped(AppName, scope, topic, msg, false)
+}
+
+// handleAnycast continues a DFS traversal at this node.
+func (s *Scribe) handleAnycast(t *topicState, am anycastMsg) {
+	am.Hops++
+	s.continueAnycast(t, am)
+}
+
+func (s *Scribe) continueAnycast(t *topicState, am anycastMsg) {
+	me := s.node.ID()
+	if !am.visited(me) {
+		am.Visited = append(am.Visited, me)
+		if t.subscribed && t.sub != nil {
+			newPayload, done := t.sub.OnAnycast(t.id, am.Payload)
+			am.Payload = newPayload
+			am.Visits++
+			if done {
+				s.finishAnycast(am, true)
+				return
+			}
+		}
+	}
+	// The tree is an undirected graph here: this node's neighbors are its
+	// children plus its parent. An anycast that entered the tree at an
+	// interior member (Pastry routes it to a nearby tree node, not the
+	// root) must also ascend through the parent edge or it would only ever
+	// cover the entry node's subtree.
+	for {
+		next := s.nextUnvisitedNeighbor(t, &am)
+		if next.IsZero() {
+			break
+		}
+		am.Stack = append(am.Stack, s.node.Self())
+		if err := s.node.SendApp(next.Addr, AppName, am); err != nil {
+			am.Stack = am.Stack[:len(am.Stack)-1]
+			am.Visited = append(am.Visited, next.ID)
+			if _, isChild := t.children[next.ID]; isChild {
+				s.dropChild(t, next)
+			}
+			continue
+		}
+		return
+	}
+	// No unvisited neighbors: backtrack along the traversal path.
+	for len(am.Stack) > 0 {
+		up := am.Stack[len(am.Stack)-1]
+		am.Stack = am.Stack[:len(am.Stack)-1]
+		if err := s.node.SendApp(up.Addr, AppName, am); err != nil {
+			continue
+		}
+		return
+	}
+	// Traversal exhausted at the top of the stack.
+	s.finishAnycast(am, false)
+}
+
+// nextUnvisitedNeighbor picks the traversal's next edge deterministically:
+// children in ID order, then the parent.
+func (s *Scribe) nextUnvisitedNeighbor(t *topicState, am *anycastMsg) pastry.Entry {
+	me := s.node.ID()
+	best := pastry.Entry{}
+	for _, c := range t.children {
+		if c.entry.ID == me || am.visited(c.entry.ID) {
+			continue
+		}
+		if best.IsZero() || c.entry.ID.Less(best.ID) {
+			best = c.entry
+		}
+	}
+	if best.IsZero() && !t.parent.IsZero() && !am.visited(t.parent.ID) {
+		return t.parent
+	}
+	return best
+}
+
+func (s *Scribe) finishAnycast(am anycastMsg, satisfied bool) {
+	done := anycastDone{
+		ID:        am.ID,
+		Payload:   am.Payload,
+		Satisfied: satisfied,
+		Visits:    am.Visits,
+		Hops:      am.Hops,
+	}
+	if am.Origin.ID == s.node.ID() {
+		s.handleAnycastDone(done)
+		return
+	}
+	_ = s.node.SendApp(am.Origin.Addr, AppName, done)
+}
+
+func (s *Scribe) handleAnycastDone(d anycastDone) {
+	pc, ok := s.pendingAny[d.ID]
+	if !ok {
+		return
+	}
+	delete(s.pendingAny, d.ID)
+	pc.cancel()
+	pc.anyCB(AnycastResult{
+		Payload:   d.Payload,
+		Satisfied: d.Satisfied,
+		Visits:    d.Visits,
+		Hops:      d.Hops,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+// QueryAggregate asks the topic's root for the current aggregate value
+// (e.g. tree size under Count).
+func (s *Scribe) QueryAggregate(scope string, topic ids.ID, cb func(value any, err error)) error {
+	s.nextAgg++
+	id := s.nextAgg
+	pc := &pendingCall{aggCB: cb}
+	pc.cancel = s.node.After(s.cfg.AggQueryTimeout, func() {
+		if _, w := s.pendingAgg[id]; w {
+			delete(s.pendingAgg, id)
+			cb(nil, ErrTimeout)
+		}
+	})
+	s.pendingAgg[id] = pc
+	return s.node.RouteScoped(AppName, scope, topic, aggQueryMsg{ReqID: id, Origin: s.node.Self()}, false)
+}
+
+// aggregate folds this node's subtree: its own contribution (if a member)
+// plus the children's cached partials.
+func (s *Scribe) aggregate(t *topicState) any {
+	v := t.agg.Zero()
+	if t.subscribed && t.sub != nil {
+		v = t.agg.Combine(v, t.sub.LocalValue(t.id))
+	}
+	for _, c := range t.children {
+		if c.hasValue {
+			v = t.agg.Combine(v, c.value)
+		}
+	}
+	return v
+}
+
+// scheduleTick arms the periodic aggregation/maintenance timer.
+func (s *Scribe) scheduleTick() {
+	s.node.After(s.cfg.AggregateInterval, func() {
+		s.tick()
+		s.scheduleTick()
+	})
+}
+
+// tick pushes partial aggregates to parents, prunes silent children, and
+// repairs lost parents.
+func (s *Scribe) tick() {
+	now := s.node.Now()
+	for _, t := range s.topics {
+		// Prune children we have not heard from.
+		for id, c := range t.children {
+			if now.Sub(c.lastSeen) > s.cfg.ChildTTL {
+				delete(t.children, id)
+			}
+		}
+		if !t.inTree() {
+			s.maybeDetach(t)
+			continue
+		}
+		if t.isRoot {
+			// Re-route a join toward the topic: if we are still the
+			// rendezvous this delivers straight back to us at no cost; if
+			// overlay churn moved the rendezvous, this attaches our whole
+			// subtree under the new root.
+			if !t.joining {
+				_ = s.sendJoin(t)
+			}
+			continue
+		}
+		if t.parent.IsZero() {
+			// Still joining, or the parent died: (re-)join.
+			if !t.joining {
+				_ = s.sendJoin(t)
+			}
+			continue
+		}
+		up := aggUpdateMsg{Topic: t.id, Child: s.node.Self(), Value: s.aggregate(t)}
+		if err := s.node.SendApp(t.parent.Addr, AppName, up); err != nil {
+			t.parent = pastry.Entry{}
+			_ = s.sendJoin(t)
+		}
+	}
+}
+
+// dropChild removes a failed child and tells Pastry about the failure.
+func (s *Scribe) dropChild(t *topicState, e pastry.Entry) {
+	delete(t.children, e.ID)
+	s.node.NotePeerFailure(e)
+}
+
+// onPeerFailure reacts to Pastry-level failure notices: lost parents
+// trigger rejoin, lost children are pruned.
+func (s *Scribe) onPeerFailure(e pastry.Entry) {
+	for _, t := range s.topics {
+		if t.parent.ID == e.ID {
+			t.parent = pastry.Entry{}
+			if t.inTree() && !t.isRoot {
+				_ = s.sendJoin(t)
+			}
+		}
+		delete(t.children, e.ID)
+	}
+}
+
+func (s *Scribe) addChild(t *topicState, e pastry.Entry) {
+	if e.ID == s.node.ID() {
+		return
+	}
+	c := t.children[e.ID]
+	if c == nil {
+		c = &child{entry: e}
+		t.children[e.ID] = c
+	}
+	c.lastSeen = s.node.Now()
+}
+
+// ---------------------------------------------------------------------------
+// pastry.Application
+
+// Forward implements pastry.Application: joins are intercepted hop by hop
+// to grow the tree; anycasts are intercepted by the first tree node on the
+// route.
+func (s *Scribe) Forward(n *pastry.Node, m *pastry.Message, next pastry.Entry) bool {
+	switch p := m.Payload.(type) {
+	case joinMsg:
+		return s.forwardJoin(m, p)
+	case anycastMsg:
+		t := s.topics[m.Key]
+		if t != nil && t.inTree() {
+			p.Hops = m.Hops
+			s.handleAnycast(t, p)
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (s *Scribe) forwardJoin(m *pastry.Message, jm joinMsg) bool {
+	if jm.Child.ID == s.node.ID() {
+		// Our own join passing through on its first hop.
+		return true
+	}
+	t := s.topic(m.Key, m.Scope, true)
+	s.addChild(t, jm.Child)
+	_ = s.node.SendApp(jm.Child.Addr, AppName, childAckMsg{Topic: t.id, Parent: s.node.Self()})
+	if t.inTree() {
+		return false // Tree already connects us upward; stop here.
+	}
+	t.forwarder = true
+	m.Payload = joinMsg{Child: s.node.Self()}
+	t.joining = true
+	return true
+}
+
+// Deliver implements pastry.Application: the delivering node is the
+// topic's rendezvous root.
+func (s *Scribe) Deliver(n *pastry.Node, m *pastry.Message) {
+	switch p := m.Payload.(type) {
+	case joinMsg:
+		t := s.topic(m.Key, m.Scope, true)
+		t.isRoot = true
+		t.joining = false
+		if p.Child.ID != s.node.ID() {
+			s.addChild(t, p.Child)
+			_ = s.node.SendApp(p.Child.Addr, AppName, childAckMsg{Topic: t.id, Parent: s.node.Self()})
+		}
+	case multicastMsg:
+		t := s.topics[m.Key]
+		if t == nil {
+			return
+		}
+		t.isRoot = true
+		s.treecast(t, p)
+	case anycastMsg:
+		t := s.topics[m.Key]
+		if t == nil || !t.inTree() {
+			// No tree for this topic: report exhaustion.
+			p.Hops = m.Hops
+			s.finishAnycast(p, false)
+			return
+		}
+		t.isRoot = true
+		p.Hops = m.Hops
+		s.handleAnycast(t, p)
+	case aggQueryMsg:
+		t := s.topics[m.Key]
+		if t == nil || !t.inTree() {
+			_ = s.node.SendApp(p.Origin.Addr, AppName, aggReplyMsg{ReqID: p.ReqID, NoTree: true})
+			return
+		}
+		t.isRoot = true
+		_ = s.node.SendApp(p.Origin.Addr, AppName, aggReplyMsg{ReqID: p.ReqID, Value: s.aggregate(t)})
+	}
+}
+
+// Direct implements pastry.Application: tree-neighbor traffic.
+func (s *Scribe) Direct(n *pastry.Node, from pastry.Entry, payload any) {
+	switch p := payload.(type) {
+	case childAckMsg:
+		t := s.topics[p.Topic]
+		if t == nil || !t.inTree() {
+			return
+		}
+		t.parent = p.Parent
+		t.joining = false
+		t.isRoot = false
+	case leaveMsg:
+		t := s.topics[p.Topic]
+		if t == nil {
+			return
+		}
+		delete(t.children, p.Child.ID)
+		s.maybeDetach(t)
+	case downcastMsg:
+		t := s.topics[p.Topic]
+		if t == nil {
+			return
+		}
+		s.treecast(t, multicastMsg{Payload: p.Payload})
+	case aggUpdateMsg:
+		t := s.topics[p.Topic]
+		if t == nil {
+			// A child believes we are its parent (e.g. after we detached):
+			// re-adopt so the tree stays connected; we will detach again
+			// once it leaves.
+			t = s.topic(p.Topic, from.Addr.Site, true)
+			t.forwarder = true
+			_ = s.sendJoin(t)
+		}
+		s.addChild(t, p.Child)
+		c := t.children[p.Child.ID]
+		if c != nil {
+			c.value = p.Value
+			c.hasValue = true
+		}
+	case anycastMsg:
+		t := s.topics[p.Topic]
+		if t == nil {
+			// We were pruned from this tree after the traversal started:
+			// participate statelessly so the DFS can backtrack through us.
+			t = &topicState{id: p.Topic, children: map[ids.ID]*child{}}
+		}
+		s.continueAnycast(t, withHop(p))
+	case anycastDone:
+		s.handleAnycastDone(p)
+	case aggReplyMsg:
+		pc, ok := s.pendingAgg[p.ReqID]
+		if !ok {
+			return
+		}
+		delete(s.pendingAgg, p.ReqID)
+		pc.cancel()
+		if p.NoTree {
+			pc.aggCB(nil, ErrNoTree)
+			return
+		}
+		pc.aggCB(p.Value, nil)
+	}
+}
+
+func withHop(am anycastMsg) anycastMsg {
+	am.Hops++
+	return am
+}

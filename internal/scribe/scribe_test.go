@@ -1,0 +1,469 @@
+package scribe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+// testSub records callbacks and exposes a programmable anycast hook.
+type testSub struct {
+	multicasts []any
+	anycasts   int
+	value      any
+	onAnycast  func(payload any) (any, bool)
+}
+
+func (ts *testSub) OnMulticast(topic ids.ID, payload any) {
+	ts.multicasts = append(ts.multicasts, payload)
+}
+
+func (ts *testSub) OnAnycast(topic ids.ID, payload any) (any, bool) {
+	ts.anycasts++
+	if ts.onAnycast != nil {
+		return ts.onAnycast(payload)
+	}
+	return payload, false
+}
+
+func (ts *testSub) LocalValue(topic ids.ID) any {
+	if ts.value != nil {
+		return ts.value
+	}
+	return CountValue()
+}
+
+// cluster is a bootstrapped overlay with one Scribe per node.
+type cluster struct {
+	net     *simnet.Network
+	nodes   []*pastry.Node
+	scribes []*Scribe
+	subs    map[ids.ID]*testSub // per node ID for the active topic
+}
+
+func newCluster(t *testing.T, nPerSite int, sites []string, cfg Config) *cluster {
+	t.Helper()
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	var addrs []transport.Addr
+	for _, s := range sites {
+		for i := 0; i < nPerSite; i++ {
+			addrs = append(addrs, transport.Addr{Site: s, Host: fmt.Sprintf("n%03d", i)})
+		}
+	}
+	nodes, err := pastry.Bootstrap(net, addrs, pastry.Config{LeafHalf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{net: net, nodes: nodes, subs: make(map[ids.ID]*testSub)}
+	for _, n := range nodes {
+		c.scribes = append(c.scribes, New(n, cfg))
+	}
+	return c
+}
+
+// subscribeSome subscribes the first k nodes (in slice order) to topic.
+func (c *cluster) subscribeSome(t *testing.T, scope string, topic ids.ID, k int) []*Scribe {
+	t.Helper()
+	var members []*Scribe
+	for _, s := range c.scribes {
+		if len(members) == k {
+			break
+		}
+		if scope != pastry.GlobalScope && s.Node().Site() != scope {
+			continue
+		}
+		sub := &testSub{}
+		c.subs[s.Node().ID()] = sub
+		if err := s.Subscribe(scope, topic, sub); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, s)
+	}
+	if len(members) != k {
+		t.Fatalf("only %d candidate members for scope %q", len(members), scope)
+	}
+	return members
+}
+
+// treeShape validates the global structural invariants of a topic's tree
+// and returns the set of in-tree node IDs.
+func (c *cluster) treeShape(t *testing.T, topic ids.ID, wantMembers int) map[ids.ID]bool {
+	t.Helper()
+	roots := 0
+	inTree := make(map[ids.ID]bool)
+	members := 0
+	infoByID := make(map[ids.ID]TreeInfo)
+	for _, s := range c.scribes {
+		info := s.Info(topic)
+		infoByID[s.Node().ID()] = info
+		if !info.InTree {
+			continue
+		}
+		inTree[s.Node().ID()] = true
+		if info.IsRoot {
+			roots++
+		}
+		if info.Subscribed {
+			members++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("tree has %d roots, want 1", roots)
+	}
+	if members != wantMembers {
+		t.Fatalf("tree has %d members, want %d", members, wantMembers)
+	}
+	// Every non-root in-tree node must reach the root via parent pointers.
+	for id := range inTree {
+		seen := map[ids.ID]bool{}
+		cur := id
+		for {
+			info := infoByID[cur]
+			if info.IsRoot {
+				break
+			}
+			if info.Parent.IsZero() {
+				t.Fatalf("node %v has no parent and is not root", cur.Short())
+			}
+			if seen[cur] {
+				t.Fatalf("parent cycle at %v", cur.Short())
+			}
+			seen[cur] = true
+			cur = info.Parent.ID
+			if !inTree[cur] {
+				t.Fatalf("parent %v of an in-tree node is not in tree", cur.Short())
+			}
+		}
+	}
+	return inTree
+}
+
+func TestTreeConstruction(t *testing.T) {
+	c := newCluster(t, 100, []string{"alpha"}, Config{})
+	topic := TopicID(pastry.GlobalScope, "GPU")
+	c.subscribeSome(t, pastry.GlobalScope, topic, 30)
+	c.net.RunFor(5 * time.Second)
+	c.treeShape(t, topic, 30)
+}
+
+func TestMulticastReachesExactlyMembers(t *testing.T) {
+	c := newCluster(t, 80, []string{"alpha"}, Config{})
+	topic := TopicID(pastry.GlobalScope, "Matlab")
+	members := c.subscribeSome(t, pastry.GlobalScope, topic, 25)
+	c.net.RunFor(3 * time.Second)
+	// Publish from a non-member.
+	publisher := c.scribes[len(c.scribes)-1]
+	if err := publisher.Multicast(pastry.GlobalScope, topic, "policy-update"); err != nil {
+		t.Fatal(err)
+	}
+	c.net.RunFor(3 * time.Second)
+	got := 0
+	for _, s := range c.scribes {
+		sub := c.subs[s.Node().ID()]
+		if sub == nil {
+			continue
+		}
+		switch len(sub.multicasts) {
+		case 0:
+		case 1:
+			if sub.multicasts[0] != "policy-update" {
+				t.Fatalf("wrong payload %v", sub.multicasts[0])
+			}
+			got++
+		default:
+			t.Fatalf("member received %d copies", len(sub.multicasts))
+		}
+	}
+	if got != len(members) {
+		t.Fatalf("multicast reached %d members, want %d", got, len(members))
+	}
+}
+
+func TestAnycastSatisfiedAndExhausted(t *testing.T) {
+	c := newCluster(t, 60, []string{"alpha"}, Config{})
+	topic := TopicID(pastry.GlobalScope, "CPU<10%")
+	members := c.subscribeSome(t, pastry.GlobalScope, topic, 10)
+	c.net.RunFor(3 * time.Second)
+
+	// Count visits until the third member answers "done".
+	visitsWanted := 3
+	for _, m := range members {
+		sub := c.subs[m.Node().ID()]
+		sub.onAnycast = func(payload any) (any, bool) {
+			n := payload.(int) + 1
+			return n, n >= visitsWanted
+		}
+	}
+	requester := c.scribes[len(c.scribes)-1]
+	var res AnycastResult
+	gotCB := false
+	err := requester.Anycast(pastry.GlobalScope, topic, 0, func(r AnycastResult) {
+		res = r
+		gotCB = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.RunFor(5 * time.Second)
+	if !gotCB {
+		t.Fatal("anycast callback never fired")
+	}
+	if !res.Satisfied {
+		t.Fatal("anycast should be satisfied")
+	}
+	if res.Payload.(int) != visitsWanted {
+		t.Fatalf("payload = %v, want %d", res.Payload, visitsWanted)
+	}
+	if res.Visits != visitsWanted {
+		t.Fatalf("visits = %d, want %d", res.Visits, visitsWanted)
+	}
+
+	// Exhaustion: no member ever satisfied.
+	for _, m := range members {
+		c.subs[m.Node().ID()].onAnycast = func(payload any) (any, bool) {
+			return payload.(int) + 1, false
+		}
+	}
+	gotCB = false
+	err = requester.Anycast(pastry.GlobalScope, topic, 0, func(r AnycastResult) {
+		res = r
+		gotCB = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.RunFor(5 * time.Second)
+	if !gotCB {
+		t.Fatal("anycast callback never fired (exhaustion)")
+	}
+	if res.Satisfied {
+		t.Fatal("anycast should be exhausted")
+	}
+	if res.Payload.(int) != len(members) {
+		t.Fatalf("exhaustive traversal visited %v members, want %d", res.Payload, len(members))
+	}
+}
+
+func TestAnycastOnEmptyTopic(t *testing.T) {
+	c := newCluster(t, 20, []string{"alpha"}, Config{})
+	topic := TopicID(pastry.GlobalScope, "nonexistent")
+	var res AnycastResult
+	gotCB := false
+	err := c.scribes[0].Anycast(pastry.GlobalScope, topic, "x", func(r AnycastResult) {
+		res = r
+		gotCB = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.RunFor(2 * time.Second)
+	if !gotCB {
+		t.Fatal("no callback for empty topic")
+	}
+	if res.Satisfied || res.Visits != 0 {
+		t.Fatalf("empty topic anycast: %+v", res)
+	}
+}
+
+func TestAggregateCountConverges(t *testing.T) {
+	c := newCluster(t, 100, []string{"alpha"}, Config{AggregateInterval: 500 * time.Millisecond})
+	topic := TopicID(pastry.GlobalScope, "GPU")
+	c.subscribeSome(t, pastry.GlobalScope, topic, 40)
+	c.net.RunFor(10 * time.Second)
+
+	var got any
+	var gotErr error
+	fired := false
+	err := c.scribes[len(c.scribes)-1].QueryAggregate(pastry.GlobalScope, topic, func(v any, err error) {
+		got, gotErr, fired = v, err, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.RunFor(2 * time.Second)
+	if !fired {
+		t.Fatal("aggregate query never answered")
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got != int64(40) {
+		t.Fatalf("tree size aggregate = %v, want 40", got)
+	}
+}
+
+func TestAggregateQueryNoTree(t *testing.T) {
+	c := newCluster(t, 20, []string{"alpha"}, Config{})
+	var gotErr error
+	fired := false
+	err := c.scribes[0].QueryAggregate(pastry.GlobalScope, TopicID(pastry.GlobalScope, "ghost"), func(v any, err error) {
+		gotErr, fired = err, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.RunFor(time.Second)
+	if !fired || gotErr != ErrNoTree {
+		t.Fatalf("want ErrNoTree, got fired=%v err=%v", fired, gotErr)
+	}
+}
+
+func TestUnsubscribeShrinksAggregate(t *testing.T) {
+	c := newCluster(t, 80, []string{"alpha"}, Config{AggregateInterval: 500 * time.Millisecond})
+	topic := TopicID(pastry.GlobalScope, "Cassandra")
+	members := c.subscribeSome(t, pastry.GlobalScope, topic, 20)
+	c.net.RunFor(8 * time.Second)
+	for _, m := range members[:5] {
+		m.Unsubscribe(topic)
+	}
+	c.net.RunFor(8 * time.Second)
+	var got any
+	c.scribes[len(c.scribes)-1].QueryAggregate(pastry.GlobalScope, topic, func(v any, err error) {
+		if err != nil {
+			t.Errorf("aggregate query: %v", err)
+			return
+		}
+		got = v
+	})
+	c.net.RunFor(2 * time.Second)
+	if got != int64(15) {
+		t.Fatalf("aggregate after unsubscribe = %v, want 15", got)
+	}
+}
+
+func TestSiteScopedTreeStaysInSite(t *testing.T) {
+	c := newCluster(t, 40, []string{"alpha", "beta"}, Config{})
+	topic := TopicID("alpha", "GPU")
+	c.subscribeSome(t, "alpha", topic, 15)
+	c.net.RunFor(5 * time.Second)
+	inTree := c.treeShape(t, topic, 15)
+	siteOf := map[ids.ID]string{}
+	for _, n := range c.nodes {
+		siteOf[n.ID()] = n.Site()
+	}
+	for id := range inTree {
+		if siteOf[id] != "alpha" {
+			t.Fatalf("site-scoped tree contains node from %s", siteOf[id])
+		}
+	}
+}
+
+func TestTreeRepairsAfterInternalFailure(t *testing.T) {
+	c := newCluster(t, 120, []string{"alpha"}, Config{AggregateInterval: 500 * time.Millisecond})
+	topic := TopicID(pastry.GlobalScope, "GPU")
+	members := c.subscribeSome(t, pastry.GlobalScope, topic, 30)
+	c.net.RunFor(8 * time.Second)
+
+	// Crash every forwarder and the root (but no subscribed member).
+	memberSet := map[ids.ID]bool{}
+	for _, m := range members {
+		memberSet[m.Node().ID()] = true
+	}
+	crashed := 0
+	for _, s := range c.scribes {
+		info := s.Info(topic)
+		if info.InTree && !info.Subscribed {
+			if err := s.Node().Close(); err == nil {
+				crashed++
+			}
+		}
+	}
+	if crashed == 0 {
+		t.Skip("tree had no pure forwarders to crash; topology too flat")
+	}
+	// Let repair run: rejoin happens on aggregation ticks.
+	c.net.RunFor(30 * time.Second)
+
+	var got any
+	fired := false
+	// Query from a member to avoid crashed requesters.
+	members[0].QueryAggregate(pastry.GlobalScope, topic, func(v any, err error) {
+		if err != nil {
+			t.Errorf("aggregate query after repair: %v", err)
+			return
+		}
+		got, fired = v, true
+	})
+	c.net.RunFor(3 * time.Second)
+	if !fired {
+		t.Fatal("no aggregate answer after repair")
+	}
+	if got != int64(30) {
+		t.Fatalf("aggregate after repair = %v, want 30 (crashed %d forwarders)", got, crashed)
+	}
+}
+
+func TestRootChurnRepairs(t *testing.T) {
+	c := newCluster(t, 60, []string{"alpha"}, Config{AggregateInterval: 500 * time.Millisecond})
+	topic := TopicID(pastry.GlobalScope, "GPU")
+	members := c.subscribeSome(t, pastry.GlobalScope, topic, 20)
+	c.net.RunFor(5 * time.Second)
+	// Find and crash the root.
+	var root *Scribe
+	for _, s := range c.scribes {
+		if s.Info(topic).IsRoot {
+			root = s
+			break
+		}
+	}
+	if root == nil {
+		t.Fatal("no root")
+	}
+	rootWasMember := root.Info(topic).Subscribed
+	root.Node().Close()
+	c.net.RunFor(30 * time.Second)
+	want := int64(20)
+	if rootWasMember {
+		want--
+	}
+	var got any
+	fired := false
+	members[1].QueryAggregate(pastry.GlobalScope, topic, func(v any, err error) {
+		if err != nil {
+			t.Errorf("aggregate query after root churn: %v", err)
+			return
+		}
+		got, fired = v, true
+	})
+	c.net.RunFor(3 * time.Second)
+	if !fired {
+		t.Fatal("no answer after root churn")
+	}
+	if got != want {
+		t.Fatalf("aggregate after root churn = %v, want %d", got, want)
+	}
+}
+
+func TestAnycastLoadSpreadsAcrossMembers(t *testing.T) {
+	// Anycasts from different origins should start their DFS near the
+	// origin (Pastry local route convergence) and thus not all hit the
+	// same member first.
+	c := newCluster(t, 100, []string{"alpha"}, Config{})
+	topic := TopicID(pastry.GlobalScope, "spread")
+	members := c.subscribeSome(t, pastry.GlobalScope, topic, 30)
+	c.net.RunFor(3 * time.Second)
+	for _, m := range members {
+		c.subs[m.Node().ID()].onAnycast = func(payload any) (any, bool) { return payload, true }
+	}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 60; i++ {
+		s := c.scribes[r.Intn(len(c.scribes))]
+		s.Anycast(pastry.GlobalScope, topic, nil, func(AnycastResult) {})
+	}
+	c.net.RunFor(5 * time.Second)
+	first := 0
+	for _, m := range members {
+		if c.subs[m.Node().ID()].anycasts > 0 {
+			first++
+		}
+	}
+	if first < 2 {
+		t.Fatalf("all anycasts served by %d member(s); expected spreading", first)
+	}
+}

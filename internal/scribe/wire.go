@@ -1,0 +1,30 @@
+package scribe
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"rbay/internal/pastry"
+)
+
+var wireOnce sync.Once
+
+// RegisterWire registers Scribe's message types with encoding/gob for
+// tcpnet deployments. Safe to call multiple times.
+func RegisterWire() {
+	pastry.RegisterWire()
+	wireOnce.Do(func() {
+		gob.Register(joinMsg{})
+		gob.Register(childAckMsg{})
+		gob.Register(leaveMsg{})
+		gob.Register(multicastMsg{})
+		gob.Register(downcastMsg{})
+		gob.Register(aggUpdateMsg{})
+		gob.Register(aggQueryMsg{})
+		gob.Register(aggReplyMsg{})
+		gob.Register(anycastMsg{})
+		gob.Register(anycastDone{})
+		gob.Register(MeanValue{})
+		gob.Register([]float64(nil))
+	})
+}

@@ -1,0 +1,331 @@
+// Package simnet is a deterministic discrete-event network simulator with a
+// virtual clock. It stands in for the paper's 8-site Amazon EC2 testbed:
+// message delays are drawn from a pluggable latency model (internal/sites
+// provides the paper's Table II RTT matrix), and thousands of simulated
+// RBAY nodes run in a single process in virtual time.
+//
+// The simulator is single-threaded: Run dispatches queued events (message
+// deliveries and timer firings) in timestamp order, executing handlers
+// inline. Handlers may send messages and schedule timers, which enqueue
+// further events. Given the same seed and the same program, a simulation is
+// bit-for-bit reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+// Epoch is the virtual time at which every simulation starts.
+var Epoch = time.Date(2017, time.June, 5, 0, 0, 0, 0, time.UTC)
+
+type eventKind uint8
+
+const (
+	eventDeliver eventKind = iota + 1
+	eventTimer
+)
+
+type event struct {
+	at   time.Time
+	seq  uint64 // FIFO tiebreak for equal timestamps
+	kind eventKind
+
+	// eventDeliver
+	from, to transport.Addr
+	msg      any
+
+	// eventTimer
+	ep *Endpoint
+	fn func()
+	id uint64 // timer id, 0 for deliveries
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Stats tracks aggregate network activity, used by the overhead and
+// load-balance experiments.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64
+	TimersFired       uint64
+	EventsProcessed   uint64
+}
+
+// Network is a simulated network. It is not safe for concurrent use; all
+// interaction (creating endpoints, sending, running) must happen from a
+// single goroutine, conventionally the one calling Run.
+type Network struct {
+	now       time.Time
+	seq       uint64
+	timerID   uint64
+	queue     eventHeap
+	endpoints map[transport.Addr]*Endpoint
+	latency   transport.LatencyModel
+	stats     Stats
+
+	// perDst counts deliveries per endpoint (experiments use this to find
+	// hot spots).
+	perDst map[transport.Addr]uint64
+
+	// drop, if non-nil, is consulted for every send; returning true drops
+	// the message silently (failure injection: lossy links, partitions).
+	drop func(from, to transport.Addr) bool
+
+	// running guards against reentrant Run calls from handlers.
+	running bool
+}
+
+// New creates a network whose message delays come from latency.
+func New(latency transport.LatencyModel) *Network {
+	return &Network{
+		now:       Epoch,
+		endpoints: make(map[transport.Addr]*Endpoint),
+		perDst:    make(map[transport.Addr]uint64),
+		latency:   latency,
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// DeliveredTo returns how many messages have been delivered to addr.
+func (n *Network) DeliveredTo(addr transport.Addr) uint64 { return n.perDst[addr] }
+
+// PerEndpointDelivered returns a copy of the per-endpoint delivery counts.
+func (n *Network) PerEndpointDelivered() map[transport.Addr]uint64 {
+	out := make(map[transport.Addr]uint64, len(n.perDst))
+	for k, v := range n.perDst {
+		out[k] = v
+	}
+	return out
+}
+
+// SetDropFunc installs a failure-injection predicate consulted on every
+// send. Pass nil to clear.
+func (n *Network) SetDropFunc(f func(from, to transport.Addr) bool) { n.drop = f }
+
+// PartitionSites drops all traffic between the two given sites (both
+// directions) in addition to any previously installed drop rule.
+func (n *Network) PartitionSites(a, b string) {
+	prev := n.drop
+	n.drop = func(from, to transport.Addr) bool {
+		if prev != nil && prev(from, to) {
+			return true
+		}
+		return (from.Site == a && to.Site == b) || (from.Site == b && to.Site == a)
+	}
+}
+
+// NewEndpoint implements transport.Network.
+func (n *Network) NewEndpoint(addr transport.Addr, h transport.Handler) (transport.Endpoint, error) {
+	ep, err := n.NewSimEndpoint(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// NewSimEndpoint is NewEndpoint returning the concrete type.
+func (n *Network) NewSimEndpoint(addr transport.Addr, h transport.Handler) (*Endpoint, error) {
+	if addr.IsZero() {
+		return nil, fmt.Errorf("simnet: zero address")
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("simnet: address %v already attached", addr)
+	}
+	ep := &Endpoint{net: n, addr: addr, handler: h}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+func (n *Network) push(e *event) {
+	n.seq++
+	e.seq = n.seq
+	heap.Push(&n.queue, e)
+}
+
+// send enqueues a delivery event, applying latency and drop rules.
+func (n *Network) send(from, to transport.Addr, msg any) error {
+	n.stats.MessagesSent++
+	dst, ok := n.endpoints[to]
+	if !ok || dst.closed {
+		n.stats.MessagesDropped++
+		return transport.ErrUnreachable
+	}
+	if n.drop != nil && n.drop(from, to) {
+		// Dropped in flight: the sender cannot tell, so no error.
+		n.stats.MessagesDropped++
+		return nil
+	}
+	n.push(&event{
+		at:   n.now.Add(n.latency.Delay(from, to)),
+		kind: eventDeliver,
+		from: from,
+		to:   to,
+		msg:  msg,
+	})
+	return nil
+}
+
+// Pending reports the number of queued events.
+func (n *Network) Pending() int { return len(n.queue) }
+
+// Step dispatches the single earliest event, advancing the clock to its
+// timestamp. It reports whether an event was processed.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&n.queue).(*event)
+	if e.at.After(n.now) {
+		n.now = e.at
+	}
+	n.stats.EventsProcessed++
+	switch e.kind {
+	case eventDeliver:
+		dst, ok := n.endpoints[e.to]
+		if !ok || dst.closed {
+			n.stats.MessagesDropped++
+			return true
+		}
+		n.stats.MessagesDelivered++
+		n.perDst[e.to]++
+		dst.handler(e.from, e.msg)
+	case eventTimer:
+		if e.ep.closed || e.ep.cancelled[e.id] {
+			delete(e.ep.cancelled, e.id)
+			return true
+		}
+		n.stats.TimersFired++
+		e.fn()
+	}
+	return true
+}
+
+// Run dispatches events until the queue is empty. Periodic timers that
+// re-arm themselves forever would make Run spin; use RunUntil or RunFor for
+// simulations with recurring maintenance timers.
+func (n *Network) Run() {
+	n.enterRun()
+	defer n.leaveRun()
+	for n.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then sets the
+// clock to deadline.
+func (n *Network) RunUntil(deadline time.Time) {
+	n.enterRun()
+	defer n.leaveRun()
+	for len(n.queue) > 0 && !n.queue[0].at.After(deadline) {
+		n.Step()
+	}
+	if n.now.Before(deadline) {
+		n.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.now.Add(d)) }
+
+func (n *Network) enterRun() {
+	if n.running {
+		panic("simnet: reentrant Run from inside a handler")
+	}
+	n.running = true
+}
+
+func (n *Network) leaveRun() { n.running = false }
+
+// Endpoint is a simulated network attachment.
+type Endpoint struct {
+	net       *Network
+	addr      transport.Addr
+	handler   transport.Handler
+	closed    bool
+	nextTimer uint64
+	cancelled map[uint64]bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Addr implements transport.Endpoint.
+func (e *Endpoint) Addr() transport.Addr { return e.addr }
+
+// Now implements transport.Endpoint.
+func (e *Endpoint) Now() time.Time { return e.net.now }
+
+// Send implements transport.Endpoint.
+func (e *Endpoint) Send(to transport.Addr, msg any) error {
+	if e.closed {
+		return transport.ErrClosed
+	}
+	return e.net.send(e.addr, to, msg)
+}
+
+// After implements transport.Endpoint.
+func (e *Endpoint) After(d time.Duration, fn func()) transport.CancelFunc {
+	if e.closed {
+		return func() bool { return false }
+	}
+	if d < 0 {
+		d = 0
+	}
+	e.net.timerID++
+	id := e.net.timerID
+	e.net.push(&event{
+		at:   e.net.now.Add(d),
+		kind: eventTimer,
+		ep:   e,
+		fn:   fn,
+		id:   id,
+	})
+	return func() bool {
+		if e.cancelled == nil {
+			e.cancelled = make(map[uint64]bool)
+		}
+		if e.cancelled[id] {
+			return false
+		}
+		e.cancelled[id] = true
+		return true
+	}
+}
+
+// Close implements transport.Endpoint. Closing an endpoint makes it
+// unreachable: in-flight messages to it are dropped at delivery time and
+// its pending timers never fire — the simulated equivalent of a crash.
+func (e *Endpoint) Close() error {
+	if e.closed {
+		return transport.ErrClosed
+	}
+	e.closed = true
+	delete(e.net.endpoints, e.addr)
+	return nil
+}

@@ -1,0 +1,229 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+func addr(site, host string) transport.Addr { return transport.Addr{Site: site, Host: host} }
+
+func TestDeliveryOrderAndLatency(t *testing.T) {
+	n := New(transport.ConstantLatency(10 * time.Millisecond))
+	var got []string
+	var at []time.Time
+	mk := func(name string) transport.Endpoint {
+		ep, err := n.NewEndpoint(addr("s", name), func(from transport.Addr, msg any) {
+			got = append(got, msg.(string))
+			at = append(at, n.Now())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep
+	}
+	a := mk("a")
+	mk("b")
+	if err := a.Send(addr("s", "b"), "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(addr("s", "b"), "two"); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("got %v, want FIFO [one two]", got)
+	}
+	if want := Epoch.Add(10 * time.Millisecond); !at[0].Equal(want) {
+		t.Fatalf("delivered at %v, want %v", at[0], want)
+	}
+}
+
+func TestSendToUnknownFails(t *testing.T) {
+	n := New(transport.ConstantLatency(0))
+	a, _ := n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {})
+	if err := a.Send(addr("s", "nope"), 1); err != transport.ErrUnreachable {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestCloseDropsInFlightAndTimers(t *testing.T) {
+	n := New(transport.ConstantLatency(5 * time.Millisecond))
+	delivered := 0
+	timerFired := false
+	a, _ := n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {})
+	b, _ := n.NewEndpoint(addr("s", "b"), func(transport.Addr, any) { delivered++ })
+	b.After(time.Millisecond, func() { timerFired = true })
+	if err := a.Send(b.Addr(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if delivered != 0 {
+		t.Error("message delivered to closed endpoint")
+	}
+	if timerFired {
+		t.Error("timer fired on closed endpoint")
+	}
+	if err := a.Send(b.Addr(), "y"); err != transport.ErrUnreachable {
+		t.Errorf("send after close: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	n := New(transport.ConstantLatency(0))
+	fired := 0
+	a, _ := n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {})
+	cancel := a.After(time.Second, func() { fired++ })
+	a.After(2*time.Second, func() { fired += 10 })
+	if !cancel() {
+		t.Fatal("cancel should report pending")
+	}
+	if cancel() {
+		t.Fatal("double cancel should report false")
+	}
+	n.Run()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want only the uncancelled timer (10)", fired)
+	}
+}
+
+func TestTimersFromHandlersAndRunUntil(t *testing.T) {
+	n := New(transport.ConstantLatency(0))
+	ticks := 0
+	var ep transport.Endpoint
+	var tick func()
+	tick = func() {
+		ticks++
+		ep.After(100*time.Millisecond, tick)
+	}
+	ep, _ = n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {})
+	ep.After(100*time.Millisecond, tick)
+	n.RunFor(time.Second)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if want := Epoch.Add(time.Second); !n.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", n.Now(), want)
+	}
+}
+
+func TestPartitionSites(t *testing.T) {
+	n := New(transport.ConstantLatency(time.Millisecond))
+	got := 0
+	n.NewEndpoint(addr("west", "a"), func(transport.Addr, any) { got++ })
+	e, _ := n.NewEndpoint(addr("east", "b"), func(transport.Addr, any) { got++ })
+	n.PartitionSites("east", "west")
+	if err := e.Send(addr("west", "a"), "x"); err != nil {
+		t.Fatalf("partitioned send should not error locally: %v", err)
+	}
+	n.Run()
+	if got != 0 {
+		t.Error("message crossed a partition")
+	}
+	st := n.Stats()
+	if st.MessagesDropped != 1 {
+		t.Errorf("MessagesDropped = %d, want 1", st.MessagesDropped)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	run := func() []string {
+		n := New(transport.ConstantLatency(3 * time.Millisecond))
+		var trace []string
+		eps := make(map[string]transport.Endpoint, len(names))
+		for _, name := range names {
+			name := name
+			var ep transport.Endpoint
+			ep, _ = n.NewEndpoint(addr("s", name), func(from transport.Addr, msg any) {
+				trace = append(trace, name+"<-"+msg.(string))
+				if msg == "ping" {
+					ep.Send(from, "pong")
+				}
+			})
+			eps[name] = ep
+		}
+		for _, a := range names {
+			for _, b := range names {
+				if a != b {
+					eps[a].Send(addr("s", b), "ping")
+				}
+			}
+		}
+		n.Run()
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) == 0 || len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestDuplicateAddrRejected(t *testing.T) {
+	n := New(transport.ConstantLatency(0))
+	if _, err := n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {}); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	if _, err := n.NewEndpoint(transport.Addr{}, func(transport.Addr, any) {}); err == nil {
+		t.Fatal("zero address accepted")
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	n := New(transport.ConstantLatency(0))
+	var ep transport.Endpoint
+	ep, _ = n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) {})
+	ep.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		n.Run()
+	})
+	n.Run()
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := New(transport.ConstantLatency(time.Millisecond))
+	var ep transport.Endpoint
+	got := 0
+	ep, _ = n.NewEndpoint(addr("s", "a"), func(transport.Addr, any) { got++ })
+	n.NewEndpoint(addr("s", "b"), func(transport.Addr, any) {})
+	ep.After(time.Millisecond, func() {})
+	ep.Send(addr("s", "b"), 1)
+	ep.Send(addr("s", "b"), 2)
+	n.Run()
+	st := n.Stats()
+	if st.MessagesSent != 2 || st.MessagesDelivered != 2 {
+		t.Errorf("sent/delivered = %d/%d", st.MessagesSent, st.MessagesDelivered)
+	}
+	if st.TimersFired != 1 {
+		t.Errorf("timers = %d", st.TimersFired)
+	}
+	if st.EventsProcessed != 3 {
+		t.Errorf("events = %d", st.EventsProcessed)
+	}
+	if n.DeliveredTo(addr("s", "b")) != 2 {
+		t.Errorf("per-dst = %d", n.DeliveredTo(addr("s", "b")))
+	}
+	per := n.PerEndpointDelivered()
+	if per[addr("s", "b")] != 2 || per[addr("s", "a")] != 0 {
+		t.Errorf("per-endpoint map = %v", per)
+	}
+	if n.Pending() != 0 {
+		t.Errorf("pending = %d", n.Pending())
+	}
+}

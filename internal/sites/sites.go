@@ -1,0 +1,184 @@
+// Package sites describes the federation's geography: the eight Amazon EC2
+// regions used in the paper's evaluation and the measured average
+// round-trip latencies between them (paper Table II). The latency model
+// built from the matrix drives internal/simnet so that simulated query
+// latencies reproduce the paper's cross-site RTT terms.
+package sites
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+// Canonical names of the eight evaluation sites, in the paper's order.
+const (
+	Virginia   = "virginia"
+	Oregon     = "oregon"
+	California = "california"
+	Ireland    = "ireland"
+	Singapore  = "singapore"
+	Tokyo      = "tokyo"
+	Sydney     = "sydney"
+	SaoPaulo   = "saopaulo"
+)
+
+// EC2 lists the eight sites in the paper's order.
+var EC2 = []string{Virginia, Oregon, California, Ireland, Singapore, Tokyo, Sydney, SaoPaulo}
+
+// DisplayName maps canonical site names to the labels the paper uses.
+var DisplayName = map[string]string{
+	Virginia:   "N.Virginia",
+	Oregon:     "Oregon",
+	California: "N.California",
+	Ireland:    "Ireland",
+	Singapore:  "Singapore",
+	Tokyo:      "Tokyo",
+	Sydney:     "Sydney",
+	SaoPaulo:   "Sao Paulo",
+}
+
+// rttMicros holds the paper's Table II average round-trip latencies in
+// microseconds, upper-triangular in the EC2 site order; the diagonal is the
+// intra-site RTT.
+var rttMicros = [8][8]int64{
+	//           Virginia Oregon  Calif.  Ireland Singap. Tokyo   Sydney  SaoPaulo
+	/*Virginia*/ {559, 60018, 83407, 87407, 275549, 191601, 239897, 123966},
+	/*Oregon*/ {0, 576, 20441, 166223, 200296, 133825, 190985, 205493},
+	/*Calif.*/ {0, 0, 489, 163944, 174701, 132695, 186027, 195109},
+	/*Ireland*/ {0, 0, 0, 513, 194371, 274962, 322284, 325274},
+	/*Singap.*/ {0, 0, 0, 0, 540, 92850, 184894, 396856},
+	/*Tokyo*/ {0, 0, 0, 0, 0, 435, 127156, 374363},
+	/*Sydney*/ {0, 0, 0, 0, 0, 0, 565, 323613},
+	/*SaoPaulo*/ {0, 0, 0, 0, 0, 0, 0, 436},
+}
+
+var siteIndex = func() map[string]int {
+	m := make(map[string]int, len(EC2))
+	for i, s := range EC2 {
+		m[s] = i
+	}
+	return m
+}()
+
+// Index returns a site's position in the EC2 order, or -1 if unknown.
+func Index(site string) int {
+	i, ok := siteIndex[site]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// RTT returns the paper's Table II average round-trip time between two
+// sites. It panics on unknown sites: callers choose site names from EC2.
+func RTT(a, b string) time.Duration {
+	i, ok := siteIndex[a]
+	if !ok {
+		panic(fmt.Sprintf("sites: unknown site %q", a))
+	}
+	j, ok := siteIndex[b]
+	if !ok {
+		panic(fmt.Sprintf("sites: unknown site %q", b))
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return time.Duration(rttMicros[i][j]) * time.Microsecond
+}
+
+// OneWay returns the modeled one-way delay between two sites (RTT/2).
+func OneWay(a, b string) time.Duration { return RTT(a, b) / 2 }
+
+// MaxRTTAmong returns the largest pairwise RTT within the given site set.
+// The paper's Fig. 10 analysis attributes the multi-site latency plateau to
+// this term.
+func MaxRTTAmong(ss []string) time.Duration {
+	var max time.Duration
+	for i := range ss {
+		for j := i; j < len(ss); j++ {
+			if r := RTT(ss[i], ss[j]); r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// Model is a transport.LatencyModel over the Table II matrix with optional
+// multiplicative jitter, a fixed per-message processing delay, and
+// per-site heavy-tailed agent noise.
+type Model struct {
+	// Jitter is the maximum fractional deviation applied uniformly at
+	// random to each one-way delay (0.1 = ±10%). Zero disables jitter.
+	Jitter float64
+	// Processing is added to every delivery, modeling per-message handling
+	// cost on the receiving agent.
+	Processing time.Duration
+	// Unknown is the one-way delay used when either site is not in the
+	// Table II matrix (e.g. synthetic single-site microbenchmarks with
+	// custom site names).
+	Unknown time.Duration
+	// SiteNoise adds an exponentially distributed extra delay (the map
+	// value is the mean) to every message delivered into that site. It
+	// models per-agent processing cost and the paper's "unstable networks"
+	// in the Asia and South America regions (§IV-D): without it, simulated
+	// intra-site hops would be three orders of magnitude faster than the
+	// paper's measured agents.
+	SiteNoise map[string]time.Duration
+
+	rng *rand.Rand
+}
+
+// DefaultSiteNoise returns the calibrated per-site agent-noise means used
+// by the evaluation harness: US/EU agents are comparatively quick; Asia
+// and South America sites carry the heavier tails the paper reports.
+func DefaultSiteNoise() map[string]time.Duration {
+	return map[string]time.Duration{
+		Virginia:   8 * time.Millisecond,
+		Oregon:     8 * time.Millisecond,
+		California: 8 * time.Millisecond,
+		Ireland:    10 * time.Millisecond,
+		Singapore:  24 * time.Millisecond,
+		Tokyo:      16 * time.Millisecond,
+		Sydney:     20 * time.Millisecond,
+		SaoPaulo:   30 * time.Millisecond,
+	}
+}
+
+var _ transport.LatencyModel = (*Model)(nil)
+
+// NewModel builds a Table II latency model with the given jitter fraction,
+// seeded for reproducibility.
+func NewModel(jitter float64, processing time.Duration, seed int64) *Model {
+	return &Model{
+		Jitter:     jitter,
+		Processing: processing,
+		Unknown:    250 * time.Microsecond,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay implements transport.LatencyModel.
+func (m *Model) Delay(from, to transport.Addr) time.Duration {
+	var d time.Duration
+	if Index(from.Site) >= 0 && Index(to.Site) >= 0 {
+		d = OneWay(from.Site, to.Site)
+	} else if from.Site == to.Site {
+		d = m.Unknown
+	} else {
+		d = 40 * m.Unknown // arbitrary "remote" delay for unknown sites
+	}
+	if m.Jitter > 0 && m.rng != nil {
+		f := 1 + m.Jitter*(2*m.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if m.rng != nil {
+		if noise, ok := m.SiteNoise[to.Site]; ok && noise > 0 {
+			d += time.Duration(m.rng.ExpFloat64() * float64(noise))
+		}
+	}
+	return d + m.Processing
+}

@@ -1,0 +1,155 @@
+package sites
+
+import (
+	"testing"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+func TestRTTSymmetricAndPositive(t *testing.T) {
+	for _, a := range EC2 {
+		for _, b := range EC2 {
+			r := RTT(a, b)
+			if r <= 0 {
+				t.Errorf("RTT(%s,%s) = %v, want > 0", a, b, r)
+			}
+			if r != RTT(b, a) {
+				t.Errorf("RTT(%s,%s) != RTT(%s,%s)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestTableIISpotValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want time.Duration
+	}{
+		{Virginia, Virginia, 559 * time.Microsecond},
+		{Virginia, Oregon, 60018 * time.Microsecond},
+		{Singapore, SaoPaulo, 396856 * time.Microsecond},
+		{Ireland, Sydney, 322284 * time.Microsecond},
+		{Tokyo, Tokyo, 435 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := RTT(c.a, c.b); got != c.want {
+			t.Errorf("RTT(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntraSiteMuchFasterThanInterSite(t *testing.T) {
+	for _, a := range EC2 {
+		self := RTT(a, a)
+		for _, b := range EC2 {
+			if a == b {
+				continue
+			}
+			if RTT(a, b) < 10*self {
+				t.Errorf("RTT(%s,%s) suspiciously close to intra-site RTT", a, b)
+			}
+		}
+	}
+}
+
+func TestMaxRTTAmong(t *testing.T) {
+	if got := MaxRTTAmong([]string{Virginia}); got != RTT(Virginia, Virginia) {
+		t.Errorf("single-site max = %v", got)
+	}
+	got := MaxRTTAmong(EC2)
+	want := RTT(Singapore, SaoPaulo) // largest entry in Table II
+	if got != want {
+		t.Errorf("MaxRTTAmong(EC2) = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownSitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RTT with unknown site should panic")
+		}
+	}()
+	RTT("atlantis", Virginia)
+}
+
+func TestModelDelayBounds(t *testing.T) {
+	m := NewModel(0.1, time.Millisecond, 7)
+	from := transport.Addr{Site: Virginia, Host: "a"}
+	to := transport.Addr{Site: Singapore, Host: "b"}
+	base := OneWay(Virginia, Singapore)
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(from, to) - time.Millisecond
+		lo := time.Duration(float64(base) * 0.9)
+		hi := time.Duration(float64(base) * 1.1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+}
+
+func TestModelUnknownSites(t *testing.T) {
+	m := NewModel(0, 0, 1)
+	same := m.Delay(transport.Addr{Site: "lab", Host: "a"}, transport.Addr{Site: "lab", Host: "b"})
+	if same != m.Unknown {
+		t.Errorf("same unknown site delay = %v, want %v", same, m.Unknown)
+	}
+	cross := m.Delay(transport.Addr{Site: "lab", Host: "a"}, transport.Addr{Site: "lab2", Host: "b"})
+	if cross <= same {
+		t.Errorf("cross unknown-site delay %v should exceed intra-site %v", cross, same)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	from := transport.Addr{Site: Virginia, Host: "a"}
+	to := transport.Addr{Site: Tokyo, Host: "b"}
+	m1, m2 := NewModel(0.2, 0, 99), NewModel(0.2, 0, 99)
+	for i := 0; i < 100; i++ {
+		if m1.Delay(from, to) != m2.Delay(from, to) {
+			t.Fatal("same seed produced different delays")
+		}
+	}
+}
+
+func TestIndexAndDisplayNames(t *testing.T) {
+	for i, s := range EC2 {
+		if Index(s) != i {
+			t.Errorf("Index(%s) = %d, want %d", s, Index(s), i)
+		}
+		if DisplayName[s] == "" {
+			t.Errorf("missing display name for %s", s)
+		}
+	}
+	if Index("nowhere") != -1 {
+		t.Error("Index of unknown site should be -1")
+	}
+}
+
+func TestSiteNoiseAddsHeavyTail(t *testing.T) {
+	m := NewModel(0, 0, 3)
+	m.SiteNoise = DefaultSiteNoise()
+	from := transport.Addr{Site: Virginia, Host: "a"}
+	to := transport.Addr{Site: SaoPaulo, Host: "b"}
+	base := OneWay(Virginia, SaoPaulo)
+	var sum time.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		d := m.Delay(from, to)
+		if d < base {
+			t.Fatalf("noise must only add delay: %v < %v", d, base)
+		}
+		sum += d - base
+	}
+	mean := sum / time.Duration(n)
+	want := DefaultSiteNoise()[SaoPaulo]
+	if mean < want/2 || mean > want*2 {
+		t.Fatalf("noise mean = %v, want ≈%v", mean, want)
+	}
+	// Noise keys on the receiving site.
+	m2 := NewModel(0, 0, 3)
+	m2.SiteNoise = map[string]time.Duration{SaoPaulo: time.Second}
+	quiet := m2.Delay(to, from) // into Virginia: no noise configured
+	if quiet != OneWay(Virginia, SaoPaulo) {
+		t.Fatalf("unexpected noise into un-noised site: %v", quiet)
+	}
+}

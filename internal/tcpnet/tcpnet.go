@@ -1,0 +1,339 @@
+// Package tcpnet implements transport.Network over real TCP sockets with
+// gob encoding, so the same Pastry/Scribe/RBAY node code that runs under
+// the discrete-event simulator can be deployed as one process per node
+// (cmd/rbayd) across real machines.
+//
+// Each Network owns one listener; all endpoints attached to it share the
+// listener and are demultiplexed by the envelope's To address. Every
+// endpoint runs a single dispatch goroutine, preserving the "no concurrent
+// handler invocations" guarantee node code relies on.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+// envelope frames every wire message.
+type envelope struct {
+	To      transport.Addr
+	From    transport.Addr
+	Payload any
+}
+
+// Resolver maps an overlay address to a TCP "host:port".
+type Resolver func(transport.Addr) (string, error)
+
+// StaticResolver resolves from a fixed table.
+func StaticResolver(table map[transport.Addr]string) Resolver {
+	return func(a transport.Addr) (string, error) {
+		hp, ok := table[a]
+		if !ok {
+			return "", fmt.Errorf("tcpnet: no route to %v: %w", a, transport.ErrUnreachable)
+		}
+		return hp, nil
+	}
+}
+
+// Network is a TCP-backed transport.Network.
+type Network struct {
+	listener net.Listener
+	resolver Resolver
+
+	mu        sync.Mutex
+	endpoints map[transport.Addr]*Endpoint
+	conns     map[string]*clientConn
+	accepted  map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type clientConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// Listen starts a network listening on the given TCP address ("":0 for an
+// ephemeral port).
+func Listen(listen string, resolver Resolver) (*Network, error) {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	n := &Network{
+		listener:  l,
+		resolver:  resolver,
+		endpoints: make(map[transport.Addr]*Endpoint),
+		conns:     make(map[string]*clientConn),
+		accepted:  make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ListenAddr returns the bound TCP address.
+func (n *Network) ListenAddr() string { return n.listener.Addr().String() }
+
+// Close shuts the listener and all endpoints down.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	conns := n.conns
+	n.conns = map[string]*clientConn{}
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
+	n.accepted = map[net.Conn]struct{}{}
+	n.mu.Unlock()
+
+	err := n.listener.Close()
+	for _, cc := range conns {
+		_ = cc.c.Close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Network) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		n.mu.Lock()
+		ep := n.endpoints[env.To]
+		n.mu.Unlock()
+		if ep != nil {
+			ep.enqueue(func() { ep.handler(env.From, env.Payload) })
+		}
+	}
+}
+
+// NewEndpoint implements transport.Network.
+func (n *Network) NewEndpoint(addr transport.Addr, h transport.Handler) (transport.Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, dup := n.endpoints[addr]; dup {
+		return nil, fmt.Errorf("tcpnet: address %v already attached", addr)
+	}
+	ep := &Endpoint{
+		net:     n,
+		addr:    addr,
+		handler: h,
+		queue:   make(chan func(), 1024),
+		done:    make(chan struct{}),
+	}
+	n.endpoints[addr] = ep
+	go ep.dispatchLoop()
+	return ep, nil
+}
+
+func (n *Network) send(from, to transport.Addr, msg any) error {
+	// Local fast path.
+	n.mu.Lock()
+	if local, ok := n.endpoints[to]; ok {
+		n.mu.Unlock()
+		local.enqueue(func() { local.handler(from, msg) })
+		return nil
+	}
+	n.mu.Unlock()
+
+	hostport, err := n.resolver(to)
+	if err != nil {
+		return err
+	}
+	cc, err := n.conn(hostport)
+	if err != nil {
+		return fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, hostport, err)
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := cc.enc.Encode(envelope{To: to, From: from, Payload: msg}); err != nil {
+		n.dropConn(hostport, cc)
+		return fmt.Errorf("%w: send to %s: %v", transport.ErrUnreachable, hostport, err)
+	}
+	return nil
+}
+
+func (n *Network) conn(hostport string) (*clientConn, error) {
+	n.mu.Lock()
+	if cc, ok := n.conns[hostport]; ok {
+		n.mu.Unlock()
+		return cc, nil
+	}
+	n.mu.Unlock()
+	c, err := net.DialTimeout("tcp", hostport, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{c: c, enc: gob.NewEncoder(c)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[hostport]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	n.conns[hostport] = cc
+	return cc, nil
+}
+
+func (n *Network) dropConn(hostport string, cc *clientConn) {
+	_ = cc.c.Close()
+	n.mu.Lock()
+	if n.conns[hostport] == cc {
+		delete(n.conns, hostport)
+	}
+	n.mu.Unlock()
+}
+
+// Endpoint is a TCP-backed transport.Endpoint.
+type Endpoint struct {
+	net     *Network
+	addr    transport.Addr
+	handler transport.Handler
+
+	queue chan func()
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+func (e *Endpoint) dispatchLoop() {
+	for {
+		select {
+		case fn := <-e.queue:
+			fn()
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *Endpoint) enqueue(fn func()) {
+	select {
+	case e.queue <- fn:
+	case <-e.done:
+	}
+}
+
+// Addr implements transport.Endpoint.
+func (e *Endpoint) Addr() transport.Addr { return e.addr }
+
+// Now implements transport.Endpoint (wall clock in real deployments).
+func (e *Endpoint) Now() time.Time { return time.Now() }
+
+// Send implements transport.Endpoint.
+func (e *Endpoint) Send(to transport.Addr, msg any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	return e.net.send(e.addr, to, msg)
+}
+
+// After implements transport.Endpoint: the callback runs on the
+// endpoint's dispatch goroutine.
+func (e *Endpoint) After(d time.Duration, fn func()) transport.CancelFunc {
+	var mu sync.Mutex
+	cancelled := false
+	t := time.AfterFunc(d, func() {
+		mu.Lock()
+		dead := cancelled
+		mu.Unlock()
+		if dead {
+			return
+		}
+		e.enqueue(func() {
+			mu.Lock()
+			dead := cancelled
+			mu.Unlock()
+			if !dead {
+				fn()
+			}
+		})
+	})
+	return func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if cancelled {
+			return false
+		}
+		cancelled = true
+		t.Stop()
+		return true
+	}
+}
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}

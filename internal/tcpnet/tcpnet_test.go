@@ -1,0 +1,216 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/ids"
+	"rbay/internal/pastry"
+	"rbay/internal/transport"
+)
+
+func addr(site, host string) transport.Addr { return transport.Addr{Site: site, Host: host} }
+
+// collect is a concurrency-safe message sink.
+type collect struct {
+	mu   sync.Mutex
+	msgs []any
+}
+
+func (c *collect) add(m any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collect) snapshot() []any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]any(nil), c.msgs...)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never met")
+}
+
+func TestLocalAndRemoteDelivery(t *testing.T) {
+	core.RegisterWire()
+	var table map[transport.Addr]string
+	resolver := func(a transport.Addr) (string, error) { return StaticResolver(table)(a) }
+
+	n1, err := Listen("127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Listen("127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	table = map[transport.Addr]string{
+		addr("a", "h1"): n1.ListenAddr(),
+		addr("a", "h2"): n1.ListenAddr(), // same process
+		addr("b", "h3"): n2.ListenAddr(),
+	}
+
+	var got1, got2, got3 collect
+	e1, _ := n1.NewEndpoint(addr("a", "h1"), func(_ transport.Addr, m any) { got1.add(m) })
+	if _, err := n1.NewEndpoint(addr("a", "h1"), nil); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+	n1.NewEndpoint(addr("a", "h2"), func(_ transport.Addr, m any) { got2.add(m) })
+	n2.NewEndpoint(addr("b", "h3"), func(from transport.Addr, m any) { got3.add(m) })
+
+	// Local fast path (same Network).
+	if err := e1.Send(addr("a", "h2"), "local"); err != nil {
+		t.Fatal(err)
+	}
+	// Remote over TCP with a struct payload.
+	if err := e1.Send(addr("b", "h3"), pastry.Entry{ID: ids.HashOf("x"), Addr: addr("a", "h1")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got2.snapshot()) == 1 && len(got3.snapshot()) == 1 })
+	if got2.snapshot()[0] != "local" {
+		t.Errorf("local payload = %v", got2.snapshot()[0])
+	}
+	entry, ok := got3.snapshot()[0].(pastry.Entry)
+	if !ok || entry.Addr != addr("a", "h1") {
+		t.Errorf("remote payload = %#v", got3.snapshot()[0])
+	}
+
+	// Unknown address fails synchronously.
+	if err := e1.Send(addr("z", "nowhere"), 1); err == nil {
+		t.Error("send to unresolvable address should fail")
+	}
+}
+
+func TestTimerAndCancel(t *testing.T) {
+	n, err := Listen("127.0.0.1:0", StaticResolver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ep, _ := n.NewEndpoint(addr("a", "h"), func(transport.Addr, any) {})
+	var mu sync.Mutex
+	fired := 0
+	ep.After(20*time.Millisecond, func() { mu.Lock(); fired++; mu.Unlock() })
+	cancel := ep.After(20*time.Millisecond, func() { mu.Lock(); fired += 10; mu.Unlock() })
+	if !cancel() {
+		t.Error("cancel should succeed")
+	}
+	if cancel() {
+		t.Error("double cancel")
+	}
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+// TestPastryOverTCP runs a real multi-endpoint Pastry overlay over
+// loopback TCP — the same protocol code the simulator runs.
+func TestPastryOverTCP(t *testing.T) {
+	pastry.RegisterWire()
+	table := map[transport.Addr]string{}
+	resolver := func(a transport.Addr) (string, error) { return StaticResolver(table)(a) }
+
+	// Two processes (Networks), several nodes each.
+	n1, err := Listen("127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Listen("127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+
+	var nodes []*pastry.Node
+	for i := 0; i < 6; i++ {
+		a := addr("east", fmt.Sprintf("n%d", i))
+		table[a] = n1.ListenAddr()
+		node, err := pastry.NewNode(n1, a, pastry.Config{LeafHalf: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	for i := 0; i < 6; i++ {
+		a := addr("west", fmt.Sprintf("n%d", i))
+		table[a] = n2.ListenAddr()
+		node, err := pastry.NewNode(n2, a, pastry.Config{LeafHalf: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+
+	// Join sequentially through the first node.
+	nodes[0].BootstrapAlone()
+	for _, n := range nodes[1:] {
+		done := make(chan struct{})
+		seed := nodes[0].Addr()
+		// Joins run on the dispatch goroutine; drive from outside via a
+		// helper endpoint? JoinGlobal is safe to call pre-traffic.
+		if err := n.JoinGlobal(seed, func() { close(done) }); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("node %v join timed out", n.Addr())
+		}
+	}
+
+	// Route a request and get a reply across process boundaries.
+	for _, n := range nodes {
+		n.SetRequestHandler(func(n *pastry.Node, from pastry.Entry, body any) any {
+			return "pong:" + n.ID().Short()
+		})
+	}
+	reply := make(chan string, 1)
+	key := ids.HashOf("cross-process-key")
+	err = nodes[11].RouteRequest(pastry.GlobalScope, key, "ping", func(r any, from pastry.Entry, err error) {
+		if err != nil {
+			reply <- "err:" + err.Error()
+			return
+		}
+		reply <- r.(string)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-reply:
+		if len(got) < 5 || got[:5] != "pong:" {
+			t.Fatalf("reply = %q", got)
+		}
+		// The responder must be the globally numerically closest node.
+		best := nodes[0]
+		for _, n := range nodes[1:] {
+			if n.ID().CloserToThan(key, best.ID()) {
+				best = n
+			}
+		}
+		if got[5:] != best.ID().Short() {
+			t.Fatalf("reply from %s, want closest %s", got[5:], best.ID().Short())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("routed request timed out")
+	}
+}

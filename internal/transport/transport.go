@@ -1,0 +1,92 @@
+// Package transport defines the message-passing abstraction every RBAY
+// component is written against. Two implementations exist: internal/simnet,
+// a deterministic discrete-event network with a virtual clock used for
+// tests, benchmarks, and the paper's experiments; and internal/tcpnet, a
+// gob-over-TCP transport used to deploy a real multi-process federation.
+//
+// All protocol code (Pastry, Scribe, the RBAY core) is event-driven and
+// non-blocking: a node reacts to delivered messages and timer callbacks and
+// may send further messages, but never blocks waiting for a reply. This is
+// what lets the same code run unchanged under virtual time.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Addr identifies an endpoint: a host name unique within a site, plus the
+// site it belongs to. Sites are the unit of administrative isolation.
+type Addr struct {
+	Site string
+	Host string
+}
+
+// String renders the address as "site/host".
+func (a Addr) String() string { return a.Site + "/" + a.Host }
+
+// IsZero reports whether the address is the zero value.
+func (a Addr) IsZero() bool { return a.Site == "" && a.Host == "" }
+
+// Handler is invoked for each message delivered to an endpoint. The
+// implementation guarantees handlers of a single endpoint are never invoked
+// concurrently (simnet is single-threaded; tcpnet serializes per endpoint).
+type Handler func(from Addr, msg any)
+
+// CancelFunc cancels a pending timer. Calling it after the timer fired is a
+// no-op. It reports whether the timer was still pending.
+type CancelFunc func() bool
+
+// ErrUnreachable is returned by Send when the destination endpoint does not
+// exist, has been closed, or has been partitioned away by failure injection.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// ErrClosed is returned when operating on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one attachment point to the network.
+type Endpoint interface {
+	// Addr returns the endpoint's address.
+	Addr() Addr
+
+	// Send transmits msg to the destination. Delivery is asynchronous; an
+	// error reports only locally-detectable failures (closed endpoint,
+	// unknown destination in simnet).
+	Send(to Addr, msg any) error
+
+	// After schedules fn to run on this endpoint's event context after d.
+	// fn enjoys the same no-concurrent-invocation guarantee as Handler.
+	After(d time.Duration, fn func()) CancelFunc
+
+	// Now returns the current time: virtual under simnet, wall-clock under
+	// tcpnet. Protocol code must use this, never time.Now.
+	Now() time.Time
+
+	// Close detaches the endpoint; subsequent sends to it fail.
+	Close() error
+}
+
+// Network creates endpoints.
+type Network interface {
+	// NewEndpoint attaches a new endpoint at addr whose messages are
+	// delivered to h. It fails if addr is already attached.
+	NewEndpoint(addr Addr, h Handler) (Endpoint, error)
+}
+
+// LatencyModel yields the one-way delay for a message between two
+// addresses. Implementations should be deterministic given their own seeded
+// randomness so simulations are reproducible.
+type LatencyModel interface {
+	Delay(from, to Addr) time.Duration
+}
+
+// LatencyFunc adapts a function to a LatencyModel.
+type LatencyFunc func(from, to Addr) time.Duration
+
+// Delay implements LatencyModel.
+func (f LatencyFunc) Delay(from, to Addr) time.Duration { return f(from, to) }
+
+// ConstantLatency returns a model with a fixed one-way delay everywhere.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return LatencyFunc(func(_, _ Addr) time.Duration { return d })
+}

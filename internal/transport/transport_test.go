@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Site: "virginia", Host: "n042"}
+	if a.String() != "virginia/n042" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.IsZero() {
+		t.Error("populated addr reported zero")
+	}
+	if !(Addr{}).IsZero() {
+		t.Error("zero addr not reported zero")
+	}
+	if (Addr{Site: "x"}).IsZero() {
+		t.Error("half-populated addr reported zero")
+	}
+}
+
+func TestConstantLatency(t *testing.T) {
+	m := ConstantLatency(7 * time.Millisecond)
+	d := m.Delay(Addr{Site: "a", Host: "1"}, Addr{Site: "b", Host: "2"})
+	if d != 7*time.Millisecond {
+		t.Errorf("delay = %v", d)
+	}
+}
+
+func TestLatencyFunc(t *testing.T) {
+	m := LatencyFunc(func(from, to Addr) time.Duration {
+		if from.Site == to.Site {
+			return time.Millisecond
+		}
+		return 100 * time.Millisecond
+	})
+	if m.Delay(Addr{Site: "a"}, Addr{Site: "a"}) != time.Millisecond {
+		t.Error("intra-site delay")
+	}
+	if m.Delay(Addr{Site: "a"}, Addr{Site: "b"}) != 100*time.Millisecond {
+		t.Error("inter-site delay")
+	}
+}
+
+func TestAddrsAreMapKeys(t *testing.T) {
+	m := map[Addr]int{}
+	m[Addr{Site: "a", Host: "1"}] = 1
+	m[Addr{Site: "a", Host: "1"}] = 2
+	if len(m) != 1 || m[Addr{Site: "a", Host: "1"}] != 2 {
+		t.Errorf("addr map semantics broken: %v", m)
+	}
+}

@@ -1,0 +1,216 @@
+// Package workload reproduces the paper's evaluation workload (§IV-A):
+// Amazon EC2's 2014-era instance family — the 23 instance types the paper
+// names — mapped to RBAY aggregation trees, Gaussian tree-size
+// distributions centered on the middle of the family, per-node synthetic
+// resource attributes, and the composite-query generators used by the
+// latency experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rbay/internal/attr"
+	"rbay/internal/naming"
+	"rbay/internal/query"
+)
+
+// InstanceSpec describes one EC2 instance type.
+type InstanceSpec struct {
+	Name      string
+	Family    string
+	VCPU      float64
+	MemGB     float64
+	GPU       bool
+	StorageGB float64
+}
+
+// EC2Types lists the paper's 23 instance types (its footnote 1), in
+// catalog order. Index 11 (c3.8xlarge) is the Gaussian center: "the center
+// tree of c3.8xlarge has more members than the edge tree of t2.micro or
+// hs1.8xlarge".
+var EC2Types = []InstanceSpec{
+	{Name: "t2.micro", Family: "t2", VCPU: 1, MemGB: 1},
+	{Name: "t2.small", Family: "t2", VCPU: 1, MemGB: 2},
+	{Name: "t2.medium", Family: "t2", VCPU: 2, MemGB: 4},
+	{Name: "m3.medium", Family: "m3", VCPU: 1, MemGB: 3.75, StorageGB: 4},
+	{Name: "m3.large", Family: "m3", VCPU: 2, MemGB: 7.5, StorageGB: 32},
+	{Name: "m3.xlarge", Family: "m3", VCPU: 4, MemGB: 15, StorageGB: 80},
+	{Name: "m3.2xlarge", Family: "m3", VCPU: 8, MemGB: 30, StorageGB: 160},
+	{Name: "c3.large", Family: "c3", VCPU: 2, MemGB: 3.75, StorageGB: 32},
+	{Name: "c3.xlarge", Family: "c3", VCPU: 4, MemGB: 7.5, StorageGB: 80},
+	{Name: "c3.2xlarge", Family: "c3", VCPU: 8, MemGB: 15, StorageGB: 160},
+	{Name: "c3.4xlarge", Family: "c3", VCPU: 16, MemGB: 30, StorageGB: 320},
+	{Name: "c3.8xlarge", Family: "c3", VCPU: 32, MemGB: 60, StorageGB: 640},
+	{Name: "g2.2xlarge", Family: "g2", VCPU: 8, MemGB: 15, GPU: true, StorageGB: 60},
+	{Name: "r3.large", Family: "r3", VCPU: 2, MemGB: 15.25, StorageGB: 32},
+	{Name: "r3.xlarge", Family: "r3", VCPU: 4, MemGB: 30.5, StorageGB: 80},
+	{Name: "r3.2xlarge", Family: "r3", VCPU: 8, MemGB: 61, StorageGB: 160},
+	{Name: "r3.4xlarge", Family: "r3", VCPU: 16, MemGB: 122, StorageGB: 320},
+	{Name: "r3.8xlarge", Family: "r3", VCPU: 32, MemGB: 244, StorageGB: 640},
+	{Name: "i2.xlarge", Family: "i2", VCPU: 4, MemGB: 30.5, StorageGB: 800},
+	{Name: "i2.2xlarge", Family: "i2", VCPU: 8, MemGB: 61, StorageGB: 1600},
+	{Name: "i2.4xlarge", Family: "i2", VCPU: 16, MemGB: 122, StorageGB: 3200},
+	{Name: "i2.8xlarge", Family: "i2", VCPU: 32, MemGB: 244, StorageGB: 6400},
+	{Name: "hs1.8xlarge", Family: "hs1", VCPU: 16, MemGB: 117, StorageGB: 48000},
+}
+
+// gaussCenter and gaussSigma shape the instance-type popularity curve.
+const (
+	gaussCenter = 11.0 // c3.8xlarge
+	gaussSigma  = 4.0
+)
+
+// TreeName returns the canonical tree name of an instance type.
+func TreeName(typeName string) string { return "instance_type=" + typeName }
+
+// FamilyTreeName returns the canonical tree name of an instance family.
+func FamilyTreeName(family string) string { return "instance_family=" + family }
+
+// UtilTreeName is the canonical low-utilization tree of the evaluation.
+const UtilTreeName = "CPU_utilization<10%"
+
+// Creator is the registry creator name used for evaluation trees.
+const Creator = "rbay-eval"
+
+// BuildRegistry constructs the evaluation's tree catalog: one family tree
+// per EC2 family, one instance-type tree per type nested under its family
+// (the paper's hybrid structure), a GPU tree, and utilization threshold
+// trees. Extra per-node synthetic attributes are linked to their type tree
+// via the registry's property links.
+func BuildRegistry() *naming.Registry {
+	reg := naming.NewRegistry()
+	families := map[string]bool{}
+	for _, spec := range EC2Types {
+		if !families[spec.Family] {
+			families[spec.Family] = true
+			reg.MustDefine(naming.TreeDef{
+				Name:    FamilyTreeName(spec.Family),
+				Pred:    naming.Pred{Attr: "instance_family", Op: naming.OpEq, Value: spec.Family},
+				Creator: Creator,
+			})
+		}
+		reg.MustDefine(naming.TreeDef{
+			Name:    TreeName(spec.Name),
+			Pred:    naming.Pred{Attr: "instance_type", Op: naming.OpEq, Value: spec.Name},
+			Parent:  FamilyTreeName(spec.Family),
+			Creator: Creator,
+		})
+	}
+	reg.MustDefine(naming.TreeDef{
+		Name:    "GPU",
+		Pred:    naming.Pred{Attr: "GPU", Op: naming.OpEq, Value: true},
+		Creator: Creator,
+	})
+	reg.MustDefine(naming.TreeDef{
+		Name:    UtilTreeName,
+		Pred:    naming.Pred{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.10},
+		Creator: Creator,
+	})
+	reg.MustDefine(naming.TreeDef{
+		Name:    "CPU_utilization<50%",
+		Pred:    naming.Pred{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.50},
+		Creator: Creator,
+	})
+	return reg
+}
+
+// PickType draws an instance type with the Gaussian popularity the paper
+// describes.
+func PickType(r *rand.Rand) InstanceSpec {
+	for {
+		idx := int(math.Round(r.NormFloat64()*gaussSigma + gaussCenter))
+		if idx >= 0 && idx < len(EC2Types) {
+			return EC2Types[idx]
+		}
+	}
+}
+
+// SpecByName finds an instance spec.
+func SpecByName(name string) (InstanceSpec, bool) {
+	for _, s := range EC2Types {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return InstanceSpec{}, false
+}
+
+// SyntheticAttrName names the i-th synthetic per-node attribute.
+func SyntheticAttrName(i int) string { return fmt.Sprintf("attr_%05d", i) }
+
+// Populate fills a node's attribute map as the evaluation does: the
+// instance type and its hardware properties, a starting utilization, and
+// extraAttrs synthetic attributes (the paper runs with 1,000 per node).
+func Populate(m *attr.Map, spec InstanceSpec, r *rand.Rand, extraAttrs int) {
+	m.Set("instance_type", spec.Name)
+	m.Set("instance_family", spec.Family)
+	m.Set("vcpu", spec.VCPU)
+	m.Set("mem_gb", spec.MemGB)
+	m.Set("GPU", spec.GPU)
+	m.Set("storage_gb", spec.StorageGB)
+	m.Set("CPU_utilization", r.Float64())
+	for i := 0; i < extraAttrs; i++ {
+		m.Set(SyntheticAttrName(i), r.Float64())
+	}
+}
+
+// Gen generates evaluation queries.
+type Gen struct {
+	r     *rand.Rand
+	sites []string
+}
+
+// NewGen creates a deterministic query generator over the given sites.
+func NewGen(seed int64, sites []string) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed)), sites: sites}
+}
+
+// Composite builds the evaluation's composite query: "each query randomly
+// asks for available nodes holding three random resource attributes
+// focusing on one instance type", with a location predicate spanning
+// numSites sites including the origin's (paper §IV-C).
+func (g *Gen) Composite(origin string, numSites, k int) *query.Query {
+	spec := PickType(g.r)
+	q := &query.Query{
+		K: k,
+		Preds: []naming.Pred{
+			{Attr: "instance_type", Op: naming.OpEq, Value: spec.Name},
+			{Attr: "vcpu", Op: naming.OpGe, Value: spec.VCPU},
+			{Attr: "mem_gb", Op: naming.OpGe, Value: spec.MemGB * (0.5 + 0.5*g.r.Float64())},
+		},
+	}
+	q.Sites = g.pickSites(origin, numSites)
+	return q
+}
+
+// Atomic builds the microbenchmark's atomic query: one random attribute
+// (paper §IV-B.1).
+func (g *Gen) Atomic(k int) *query.Query {
+	spec := EC2Types[g.r.Intn(len(EC2Types))]
+	return &query.Query{
+		K:     k,
+		Preds: []naming.Pred{{Attr: "instance_type", Op: naming.OpEq, Value: spec.Name}},
+	}
+}
+
+// pickSites returns the origin plus numSites-1 other sites, ordered
+// deterministically by catalog order.
+func (g *Gen) pickSites(origin string, numSites int) []string {
+	if numSites <= 0 || numSites >= len(g.sites) {
+		return nil // all sites
+	}
+	out := []string{origin}
+	perm := g.r.Perm(len(g.sites))
+	for _, idx := range perm {
+		if len(out) == numSites {
+			break
+		}
+		if g.sites[idx] == origin {
+			continue
+		}
+		out = append(out, g.sites[idx])
+	}
+	return out
+}

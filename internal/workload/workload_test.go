@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbay/internal/attr"
+	"rbay/internal/naming"
+)
+
+func TestCatalogHas23Types(t *testing.T) {
+	if len(EC2Types) != 23 {
+		t.Fatalf("types = %d, want the paper's 23", len(EC2Types))
+	}
+	seen := map[string]bool{}
+	for _, s := range EC2Types {
+		if seen[s.Name] {
+			t.Errorf("duplicate type %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.VCPU <= 0 || s.MemGB <= 0 {
+			t.Errorf("%s has degenerate spec %+v", s.Name, s)
+		}
+	}
+	if !seen["c3.8xlarge"] || !seen["t2.micro"] || !seen["hs1.8xlarge"] || !seen["g2.2xlarge"] {
+		t.Error("missing paper-named types")
+	}
+	if EC2Types[int(gaussCenter)].Name != "c3.8xlarge" {
+		t.Errorf("gaussian center is %s, want c3.8xlarge", EC2Types[int(gaussCenter)].Name)
+	}
+}
+
+func TestBuildRegistryHybridStructure(t *testing.T) {
+	reg := BuildRegistry()
+	// 23 type trees + 8 family trees + GPU + 2 util trees.
+	families := map[string]bool{}
+	for _, s := range EC2Types {
+		families[s.Family] = true
+	}
+	want := 23 + len(families) + 3
+	if got := len(reg.Defs()); got != want {
+		t.Fatalf("registry has %d trees, want %d", got, want)
+	}
+	// Type trees nest under family trees.
+	def, ok := reg.Lookup(TreeName("c3.8xlarge"))
+	if !ok {
+		t.Fatal("missing c3.8xlarge tree")
+	}
+	if def.Parent != FamilyTreeName("c3") {
+		t.Errorf("parent = %q", def.Parent)
+	}
+	if reg.Depth(def.Name) != 1 {
+		t.Errorf("type tree depth = %d", reg.Depth(def.Name))
+	}
+	// The planner prefers the deeper (type) tree over the family tree.
+	planned, exact := reg.PlanPredicate(naming.Pred{Attr: "instance_type", Op: naming.OpEq, Value: "c3.8xlarge"})
+	if planned == nil || !exact || planned.Name != TreeName("c3.8xlarge") {
+		t.Errorf("planned %v", planned)
+	}
+}
+
+func TestPickTypeGaussianShape(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	counts := map[string]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[PickType(r).Name]++
+	}
+	center := counts["c3.8xlarge"]
+	for _, edge := range []string{"t2.micro", "hs1.8xlarge"} {
+		if counts[edge] >= center {
+			t.Errorf("edge type %s (%d) should be rarer than center (%d)", edge, counts[edge], center)
+		}
+	}
+	// Every type appears at least once at this sample size.
+	for _, s := range EC2Types {
+		if counts[s.Name] == 0 {
+			t.Errorf("type %s never drawn", s.Name)
+		}
+	}
+}
+
+func TestPopulateSetsEverything(t *testing.T) {
+	m := attr.NewMap(attr.Options{})
+	spec, _ := SpecByName("g2.2xlarge")
+	Populate(m, spec, rand.New(rand.NewSource(3)), 10)
+	if v, _ := m.Get("instance_type"); v != "g2.2xlarge" {
+		t.Errorf("instance_type = %v", v)
+	}
+	if v, _ := m.Get("GPU"); v != true {
+		t.Errorf("GPU = %v", v)
+	}
+	if v, _ := m.Get("CPU_utilization"); v.(float64) < 0 || v.(float64) >= 1 {
+		t.Errorf("util = %v", v)
+	}
+	if m.Len() != 7+10 {
+		t.Errorf("attrs = %d", m.Len())
+	}
+	if _, ok := m.Get(SyntheticAttrName(9)); !ok {
+		t.Error("synthetic attrs missing")
+	}
+}
+
+func TestCompositeQueryShape(t *testing.T) {
+	sitesList := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	g := NewGen(7, sitesList)
+	q := g.Composite("c", 3, 5)
+	if q.K != 5 {
+		t.Errorf("k = %d", q.K)
+	}
+	if len(q.Preds) != 3 {
+		t.Errorf("preds = %d, want 3 (the paper's three attributes)", len(q.Preds))
+	}
+	if q.Preds[0].Attr != "instance_type" {
+		t.Errorf("first pred = %v", q.Preds[0])
+	}
+	if len(q.Sites) != 3 || q.Sites[0] != "c" {
+		t.Errorf("sites = %v, want origin first among 3", q.Sites)
+	}
+	// All-sites predicate.
+	q = g.Composite("c", 8, 1)
+	if q.Sites != nil {
+		t.Errorf("8-of-8 sites should be nil (all): %v", q.Sites)
+	}
+	// Local-site predicate.
+	q = g.Composite("c", 1, 1)
+	if len(q.Sites) != 1 || q.Sites[0] != "c" {
+		t.Errorf("1-site query sites = %v", q.Sites)
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	sitesList := []string{"a", "b", "c"}
+	g1, g2 := NewGen(5, sitesList), NewGen(5, sitesList)
+	for i := 0; i < 50; i++ {
+		a := g1.Composite("a", 2, 3).String()
+		b := g2.Composite("a", 2, 3).String()
+		if a != b {
+			t.Fatalf("generators diverge: %q vs %q", a, b)
+		}
+	}
+}
+
+func TestAtomicQuery(t *testing.T) {
+	g := NewGen(1, []string{"x"})
+	q := g.Atomic(1)
+	if len(q.Preds) != 1 || q.Preds[0].Attr != "instance_type" {
+		t.Fatalf("atomic query preds = %v", q.Preds)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName("nope"); ok {
+		t.Error("found nonexistent spec")
+	}
+	s, ok := SpecByName("r3.8xlarge")
+	if !ok || s.MemGB != 244 {
+		t.Errorf("r3.8xlarge = %+v", s)
+	}
+}

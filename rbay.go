@@ -1,0 +1,258 @@
+// Package rbay is the public API of this repository's reproduction of
+// "RBAY: A Scalable and Extensible Information Plane for Federating
+// Distributed Datacenter Resources" (Chen, Hu, Blough, Kozuch, Wolf —
+// ICDCS 2017).
+//
+// RBAY is an eBay-like information plane for spare datacenter capacity:
+// site admins post resource attributes (optionally guarded by
+// admin-written "active attribute" policy handlers in a sandboxed
+// Lua-like language), and customers discover resources with SQL-like
+// composite queries. Underneath, nodes self-organize into a Pastry DHT,
+// attributes map to site-scoped Scribe aggregation trees, tree sizes roll
+// up to the roots, and queries execute the paper's probe-then-anycast
+// protocol with reservation locks and truncated exponential backoff.
+//
+// Two deployment modes share all protocol code:
+//
+//   - Simulated: NewSimFederation builds an N-node federation over a
+//     deterministic discrete-event network whose inter-site delays follow
+//     the paper's measured EC2 RTT matrix (Table II). Virtual time makes
+//     thousand-node experiments run in milliseconds. All evaluation
+//     figures are regenerated this way.
+//
+//   - Real: NewTCPNode attaches a node over TCP+gob (see cmd/rbayd and
+//     cmd/rbayctl) for multi-process deployments.
+//
+// A minimal session:
+//
+//	reg := rbay.NewRegistry()
+//	reg.MustDefine(rbay.TreeDef{
+//		Name: "GPU",
+//		Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true},
+//	})
+//	fed, _ := rbay.NewSimFederation(reg, rbay.SimOptions{NodesPerSite: 20})
+//	for _, n := range fed.Nodes() {
+//		n.SetAttribute("GPU", true)
+//	}
+//	fed.Settle()
+//	res, _ := fed.QuerySync(fed.Nodes()[0], `SELECT 3 FROM * WHERE GPU = true;`)
+package rbay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/naming"
+	"rbay/internal/query"
+	"rbay/internal/sites"
+	"rbay/internal/tcpnet"
+	"rbay/internal/transport"
+	"rbay/internal/workload"
+)
+
+// Re-exported vocabulary types. They alias the implementation types so
+// values flow freely between the public API and the engine.
+type (
+	// Pred is one comparison over a node attribute in WHERE clauses and
+	// tree definitions.
+	Pred = naming.Pred
+	// Op is a predicate comparison operator.
+	Op = naming.Op
+	// TreeDef declares one aggregation tree in the federation's catalog.
+	TreeDef = naming.TreeDef
+	// Registry is the federation-wide catalog of trees and property links.
+	Registry = naming.Registry
+	// Query is a parsed SQL-like composite query.
+	Query = query.Query
+	// Node is one RBAY participant (admin surface + query interface).
+	Node = core.Node
+	// NodeConfig tunes one node.
+	NodeConfig = core.Config
+	// Result is a completed query's outcome.
+	Result = core.QueryResult
+	// Candidate is one discovered resource.
+	Candidate = core.Candidate
+	// Directory is the federation bootstrap configuration (sites and
+	// boundary routers).
+	Directory = core.Directory
+	// Addr is a node address: site plus host.
+	Addr = transport.Addr
+)
+
+// Predicate operators.
+const (
+	OpEq = naming.OpEq
+	OpNe = naming.OpNe
+	OpLt = naming.OpLt
+	OpLe = naming.OpLe
+	OpGt = naming.OpGt
+	OpGe = naming.OpGe
+)
+
+// NewRegistry creates an empty tree catalog.
+func NewRegistry() *Registry { return naming.NewRegistry() }
+
+// EC2Registry builds the paper's evaluation catalog: the 23 EC2 instance
+// types as trees nested under their families, plus GPU and utilization
+// trees.
+func EC2Registry() *Registry { return workload.BuildRegistry() }
+
+// EC2Sites lists the paper's eight evaluation sites.
+func EC2Sites() []string { return append([]string(nil), sites.EC2...) }
+
+// ParseQuery parses SQL-like query text (paper Fig. 6 syntax).
+func ParseQuery(src string) (*Query, error) { return query.Parse(src) }
+
+// SimOptions configures a simulated federation.
+type SimOptions struct {
+	// Sites lists the federation's sites; defaults to the paper's eight
+	// EC2 regions with Table II latencies.
+	Sites []string
+	// NodesPerSite defaults to 20 (the paper's VM count per site).
+	NodesPerSite int
+	// RoutersPerSite defaults to 2.
+	RoutersPerSite int
+	// Node tunes every node.
+	Node NodeConfig
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Jitter is the latency jitter fraction (0.05 = ±5%).
+	Jitter float64
+	// RealisticAgents enables the calibrated per-site agent-noise model
+	// (processing cost and unstable-network tails; see
+	// sites.DefaultSiteNoise) that the evaluation harness uses to land in
+	// the paper's absolute latency bands.
+	RealisticAgents bool
+}
+
+// Federation is a fully simulated RBAY deployment.
+type Federation struct {
+	inner *core.Federation
+}
+
+// NewSimFederation builds a simulated federation over the shared registry.
+func NewSimFederation(reg *Registry, opts SimOptions) (*Federation, error) {
+	cfg := core.FedConfig{
+		Sites:          opts.Sites,
+		NodesPerSite:   opts.NodesPerSite,
+		RoutersPerSite: opts.RoutersPerSite,
+		Node:           opts.Node,
+		Seed:           opts.Seed,
+		Jitter:         opts.Jitter,
+	}
+	if opts.RealisticAgents {
+		cfg.SiteNoise = sites.DefaultSiteNoise()
+	}
+	fed, err := core.NewFederation(reg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Federation{inner: fed}, nil
+}
+
+// Nodes returns every node, grouped by creation order.
+func (f *Federation) Nodes() []*Node { return f.inner.Nodes }
+
+// Site returns one site's nodes.
+func (f *Federation) Site(name string) []*Node { return f.inner.BySite[name] }
+
+// Sites returns the federation's site names.
+func (f *Federation) Sites() []string { return f.inner.Directory.Sites }
+
+// RunFor advances virtual time, processing all due events.
+func (f *Federation) RunFor(d time.Duration) { f.inner.RunFor(d) }
+
+// Now returns the current virtual time.
+func (f *Federation) Now() time.Time { return f.inner.Net.Now() }
+
+// Settle triggers a membership pass everywhere and runs until trees and
+// aggregates converge.
+func (f *Federation) Settle() { f.inner.Settle() }
+
+// ErrQueryTimedOut is returned by QuerySync when the query's callback
+// never fires within the driving window.
+var ErrQueryTimedOut = errors.New("rbay: query did not complete")
+
+// QuerySync parses sql, issues it through n's query interface, and drives
+// virtual time until the result arrives.
+func (f *Federation) QuerySync(n *Node, sql string) (Result, error) {
+	return f.QuerySyncAs(n, sql, n.Addr().String(), nil)
+}
+
+// QuerySyncAs is QuerySync with an explicit caller identity and onGet
+// payload (password, credentials).
+func (f *Federation) QuerySyncAs(n *Node, sql, caller string, payload any) (Result, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return Result{}, fmt.Errorf("rbay: %w", err)
+	}
+	var res Result
+	done := false
+	n.QueryAs(q, caller, payload, func(r Result) { res = r; done = true })
+	for i := 0; i < 1200 && !done; i++ {
+		f.inner.RunFor(100 * time.Millisecond)
+	}
+	if !done {
+		return Result{}, ErrQueryTimedOut
+	}
+	return res, nil
+}
+
+// TCPOptions configures a real-network node.
+type TCPOptions struct {
+	// Listen is the local TCP bind address, e.g. ":7946".
+	Listen string
+	// Resolve maps node addresses to TCP host:ports.
+	Resolve func(Addr) (string, error)
+	// Node tunes the node.
+	Node NodeConfig
+	// Registry is the shared tree catalog.
+	Registry *Registry
+}
+
+// TCPNode is an RBAY node attached to a real TCP network.
+//
+// Confinement contract: the Node runs on a single dispatch goroutine.
+// Code on any other goroutine (your main, HTTP handlers, tests) must wrap
+// every Node method call in Node.Do or Node.DoWait; calling methods
+// directly races with message processing. Simulated federations have no
+// such requirement — everything runs on the goroutine driving virtual
+// time.
+type TCPNode struct {
+	Node *Node
+	net  *tcpnet.Network
+}
+
+// NewTCPNode starts a node at addr over real TCP. The caller joins it to
+// an existing federation with Node.Pastry().JoinGlobal / JoinSite, or
+// calls Node.Pastry().BootstrapAlone() for the first node.
+func NewTCPNode(addr Addr, opts TCPOptions) (*TCPNode, error) {
+	core.RegisterWire()
+	if opts.Registry == nil {
+		opts.Registry = NewRegistry()
+	}
+	if opts.Resolve == nil {
+		return nil, errors.New("rbay: TCPOptions.Resolve is required")
+	}
+	net, err := tcpnet.Listen(opts.Listen, tcpnet.Resolver(opts.Resolve))
+	if err != nil {
+		return nil, err
+	}
+	n, err := core.New(net, addr, opts.Registry, opts.Node)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	return &TCPNode{Node: n, net: net}, nil
+}
+
+// ListenAddr returns the bound TCP address.
+func (t *TCPNode) ListenAddr() string { return t.net.ListenAddr() }
+
+// Close shuts the node and its network down.
+func (t *TCPNode) Close() error {
+	_ = t.Node.Close()
+	return t.net.Close()
+}
