@@ -76,6 +76,13 @@ func run(args []string) error {
 			}
 			return hp, nil
 		},
+		// An ephemeral client attaches for one operation and leaves:
+		// skip heartbeats and background reconnects so a detaching
+		// daemon is not misreported as a failed peer.
+		Transport: rbay.TransportConfig{
+			HeartbeatInterval: -1,
+			ReconnectAttempts: -1,
+		},
 	})
 	if err != nil {
 		return err

@@ -49,6 +49,9 @@ func run(args []string) error {
 	bootstrap := fs.Bool("bootstrap", false, "start a new federation (first node)")
 	httpAddr := fs.String("http", "", "optional HTTP gateway listen address (e.g. :8080)")
 	seedFlag := fs.String("seed", "", "existing peer to join through, site/host")
+	hbInterval := fs.Duration("hb", 2*time.Second, "transport heartbeat interval (negative disables)")
+	hbMisses := fs.Int("hb-misses", 3, "missed heartbeats before a peer conn is declared dead")
+	sendQueue := fs.Int("sendq", 1024, "per-endpoint delivery queue bound")
 	var attrFlags, policyFlags repeated
 	fs.Var(&attrFlags, "attr", "attribute to publish, name=value (repeatable)")
 	fs.Var(&policyFlags, "policy", "AA policy to attach, attr=script-path (repeatable)")
@@ -88,11 +91,21 @@ func run(args []string) error {
 			}
 			return hp, nil
 		},
+		Transport: rbay.TransportConfig{
+			HeartbeatInterval: *hbInterval,
+			HeartbeatMisses:   *hbMisses,
+			QueueLen:          *sendQueue,
+		},
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	// NewTCPNode already routes peer-down events into Pastry repair; this
+	// second observer just makes them visible to the operator.
+	node.Transport().OnPeerDown(func(a rbay.Addr) {
+		fmt.Printf("rbayd: peer %v is down (heartbeat/reconnect exhausted), repairing\n", a)
+	})
 	fmt.Printf("rbayd: node %v listening on %s (NodeId %s)\n",
 		addr, node.ListenAddr(), node.Node.Pastry().ID().Short())
 
@@ -165,6 +178,7 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("rbayd: shutting down")
+	fmt.Println("rbayd: transport:", node.TransportStats())
 	return nil
 }
 

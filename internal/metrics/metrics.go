@@ -7,11 +7,15 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Recorder accumulates duration samples.
+// Recorder accumulates duration samples. All methods are safe for
+// concurrent use: experiment and benchmark harnesses feed one recorder
+// from many goroutines.
 type Recorder struct {
+	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
 }
@@ -21,15 +25,27 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // Add appends a sample.
 func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.samples = append(r.samples, d)
 	r.sorted = false
 }
 
 // Count returns the number of samples.
-func (r *Recorder) Count() int { return len(r.samples) }
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
 
 // Mean returns the average sample, 0 when empty.
 func (r *Recorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mean()
+}
+
+func (r *Recorder) mean() time.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -42,11 +58,17 @@ func (r *Recorder) Mean() time.Duration {
 
 // Std returns the population standard deviation.
 func (r *Recorder) Std() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.std()
+}
+
+func (r *Recorder) std() time.Duration {
 	n := len(r.samples)
 	if n == 0 {
 		return 0
 	}
-	mean := float64(r.Mean())
+	mean := float64(r.mean())
 	var ss float64
 	for _, d := range r.samples {
 		diff := float64(d) - mean
@@ -55,6 +77,7 @@ func (r *Recorder) Std() time.Duration {
 	return time.Duration(math.Sqrt(ss / float64(n)))
 }
 
+// ensureSorted must be called with mu held.
 func (r *Recorder) ensureSorted() {
 	if !r.sorted {
 		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
@@ -64,6 +87,8 @@ func (r *Recorder) ensureSorted() {
 
 // Min returns the smallest sample, 0 when empty.
 func (r *Recorder) Min() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -73,6 +98,8 @@ func (r *Recorder) Min() time.Duration {
 
 // Max returns the largest sample, 0 when empty.
 func (r *Recorder) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -83,6 +110,12 @@ func (r *Recorder) Max() time.Duration {
 // Percentile returns the p-th percentile (p in [0,100]) using
 // nearest-rank.
 func (r *Recorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.percentile(p)
+}
+
+func (r *Recorder) percentile(p float64) time.Duration {
 	n := len(r.samples)
 	if n == 0 {
 		return 0
@@ -110,6 +143,8 @@ type CDFPoint struct {
 // CDF returns up to points evenly spaced points of the empirical CDF (the
 // paper's Fig. 9 plots).
 func (r *Recorder) CDF(points int) []CDFPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := len(r.samples)
 	if n == 0 || points <= 0 {
 		return nil
@@ -128,14 +163,18 @@ func (r *Recorder) CDF(points int) []CDFPoint {
 
 // Summary renders "mean ± std (p50 median, p99 tail, n samples)".
 func (r *Recorder) Summary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return fmt.Sprintf("%v ±%v (p50 %v, p99 %v, n=%d)",
-		r.Mean().Round(time.Millisecond), r.Std().Round(time.Millisecond),
-		r.Percentile(50).Round(time.Millisecond), r.Percentile(99).Round(time.Millisecond),
-		r.Count())
+		r.mean().Round(time.Millisecond), r.std().Round(time.Millisecond),
+		r.percentile(50).Round(time.Millisecond), r.percentile(99).Round(time.Millisecond),
+		len(r.samples))
 }
 
-// IntDist summarizes integer samples (hop counts, per-node loads).
+// IntDist summarizes integer samples (hop counts, per-node loads). All
+// methods are safe for concurrent use.
 type IntDist struct {
+	mu      sync.Mutex
 	samples []int
 	sorted  bool
 }
@@ -145,15 +184,27 @@ func NewIntDist() *IntDist { return &IntDist{} }
 
 // Add appends a sample.
 func (d *IntDist) Add(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.samples = append(d.samples, v)
 	d.sorted = false
 }
 
 // Count returns the number of samples.
-func (d *IntDist) Count() int { return len(d.samples) }
+func (d *IntDist) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.samples)
+}
 
 // Mean returns the sample mean.
 func (d *IntDist) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mean()
+}
+
+func (d *IntDist) mean() float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
@@ -166,11 +217,13 @@ func (d *IntDist) Mean() float64 {
 
 // Std returns the population standard deviation.
 func (d *IntDist) Std() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n := len(d.samples)
 	if n == 0 {
 		return 0
 	}
-	mean := d.Mean()
+	mean := d.mean()
 	var ss float64
 	for _, v := range d.samples {
 		diff := float64(v) - mean
@@ -181,6 +234,8 @@ func (d *IntDist) Std() float64 {
 
 // Max returns the largest sample.
 func (d *IntDist) Max() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.samples) == 0 {
 		return 0
 	}
@@ -190,6 +245,8 @@ func (d *IntDist) Max() int {
 
 // Min returns the smallest sample.
 func (d *IntDist) Min() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.samples) == 0 {
 		return 0
 	}
@@ -197,6 +254,7 @@ func (d *IntDist) Min() int {
 	return d.samples[0]
 }
 
+// ensureSorted must be called with mu held.
 func (d *IntDist) ensureSorted() {
 	if !d.sorted {
 		sort.Ints(d.samples)

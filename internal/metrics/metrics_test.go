@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -141,5 +142,61 @@ func TestCDFSortedInputEqualsSortedSamples(t *testing.T) {
 		if pt.X != vals[i] {
 			t.Fatalf("cdf[%d].X = %v, want %v", i, pt.X, vals[i])
 		}
+	}
+}
+
+// TestRecorderConcurrent feeds a Recorder from many goroutines while
+// readers summarize it; run with -race. Regression for the recorder's
+// internal mutex: experiment harnesses record from concurrent workers.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(time.Duration(w*1000+i) * time.Microsecond)
+				if i%20 == 0 {
+					_ = r.Percentile(99)
+					_ = r.Summary()
+					_ = r.CDF(10)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Count() != 8*200 {
+		t.Fatalf("count = %d, want %d", r.Count(), 8*200)
+	}
+	if r.Min() > r.Max() {
+		t.Fatal("min > max")
+	}
+}
+
+// TestIntDistConcurrent is the IntDist counterpart.
+func TestIntDistConcurrent(t *testing.T) {
+	d := NewIntDist()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.Add(w*1000 + i)
+				if i%20 == 0 {
+					_ = d.Mean()
+					_ = d.Std()
+					_ = d.Max()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Count() != 8*200 {
+		t.Fatalf("count = %d, want %d", d.Count(), 8*200)
+	}
+	if d.Min() != 0 || d.Max() != 7199 {
+		t.Fatalf("min/max = %d/%d, want 0/7199", d.Min(), d.Max())
 	}
 }

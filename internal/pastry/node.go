@@ -560,6 +560,13 @@ func (n *Node) handleJoinWelcome(w joinWelcome) {
 }
 
 func (n *Node) handleAnnounce(a announce) {
+	// An announce is first-person evidence of life: the peer itself sent
+	// it. A failure tombstone only guards against re-learning dead peers
+	// from stale third-party gossip (join rows, repair responses), so a
+	// crashed-and-restarted peer announcing its re-join must clear its
+	// tombstone — otherwise survivors ignore it for the whole failedTTL
+	// and the overlay stays split.
+	delete(n.failed, a.Who.ID)
 	n.learn(a.Who)
 }
 
@@ -590,6 +597,12 @@ func (n *Node) NotePeerFailure(e Entry) {
 		cb(e)
 	}
 }
+
+// NoteAddrFailure is NotePeerFailure for callers that only know the
+// peer's network address — e.g. transport-level liveness probes (tcpnet
+// heartbeats) reporting a dead TCP peer. The canonical Entry is derived
+// from the address.
+func (n *Node) NoteAddrFailure(a transport.Addr) { n.NotePeerFailure(EntryFor(a)) }
 
 func (n *Node) handleRepairReq(from Entry, r repairReq) {
 	st := n.states[r.Scope]

@@ -442,3 +442,30 @@ func TestContinueReinjectsHeldMessages(t *testing.T) {
 		t.Fatalf("after Continue: delivered at %v, want %v", delivered[key].Short(), want.Short())
 	}
 }
+
+// A failure tombstone must suppress third-party gossip about a dead peer,
+// but a first-person announce (the peer itself re-joining after a restart)
+// must clear it immediately — otherwise survivors ignore the restarted
+// peer for the whole failedTTL and the overlay stays split.
+func TestAnnounceClearsFailureTombstone(t *testing.T) {
+	net := simnet.New(transport.ConstantLatency(time.Millisecond))
+	nodes, err := Bootstrap(net, siteAddrs(8, "alpha"), Config{LeafHalf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := nodes[0], nodes[1]
+	a.NotePeerFailure(b.Self())
+	if a.Leaf(GlobalScope).Contains(b.ID()) {
+		t.Fatal("failed peer still in leaf set")
+	}
+	// Third-party gossip while tombstoned: still ignored.
+	a.learn(b.Self())
+	if a.Leaf(GlobalScope).Contains(b.ID()) {
+		t.Fatal("tombstoned peer re-learned from gossip")
+	}
+	// First-person announce: tombstone cleared, peer re-learned.
+	a.handleAnnounce(announce{Scope: GlobalScope, Who: b.Self()})
+	if !a.Leaf(GlobalScope).Contains(b.ID()) {
+		t.Fatal("announce from restarted peer did not clear the tombstone")
+	}
+}

@@ -110,10 +110,29 @@ type Avg struct{}
 // Zero implements Aggregator.
 func (Avg) Zero() any { return MeanValue{} }
 
-// Combine implements Aggregator.
+// Combine implements Aggregator. Like Min/Max it tolerates nil as the
+// identity, and it coerces bare numeric partials (an int64/float64 member
+// contribution that skipped MeanValue) into single-sample partials rather
+// than panicking.
 func (Avg) Combine(a, b any) any {
-	x, y := a.(MeanValue), b.(MeanValue)
+	x, y := toMeanValue(a), toMeanValue(b)
 	return MeanValue{Sum: x.Sum + y.Sum, Count: x.Count + y.Count}
+}
+
+func toMeanValue(v any) MeanValue {
+	switch x := v.(type) {
+	case nil:
+		return MeanValue{}
+	case MeanValue:
+		return x
+	case float64:
+		return MeanValue{Sum: x, Count: 1}
+	case int64:
+		return MeanValue{Sum: float64(x), Count: 1}
+	case int:
+		return MeanValue{Sum: float64(x), Count: 1}
+	}
+	panic(fmt.Sprintf("scribe: not an Avg partial: %T", v))
 }
 
 // TopK keeps the K smallest float64 contributions in sorted order (a

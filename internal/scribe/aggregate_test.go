@@ -169,3 +169,28 @@ func TestCoercionPanicsOnGarbage(t *testing.T) {
 		}()
 	}
 }
+
+// TestAvgCombineTolerantPartials is a regression for Avg.Combine
+// panicking on a bare type assertion: nil must act as the identity (like
+// Min/Max) and bare numeric contributions must count as one sample.
+func TestAvgCombineTolerantPartials(t *testing.T) {
+	a := Avg{}
+	if got := a.Combine(nil, nil).(MeanValue); got != (MeanValue{}) {
+		t.Fatalf("Combine(nil, nil) = %+v, want zero", got)
+	}
+	mv := MeanValue{Sum: 6, Count: 2}
+	if got := a.Combine(nil, mv).(MeanValue); got != mv {
+		t.Fatalf("Combine(nil, mv) = %+v, want %+v", got, mv)
+	}
+	if got := a.Combine(mv, nil).(MeanValue); got != mv {
+		t.Fatalf("Combine(mv, nil) = %+v, want %+v", got, mv)
+	}
+	got := a.Combine(mv, int64(4)).(MeanValue)
+	if got.Sum != 10 || got.Count != 3 {
+		t.Fatalf("Combine(mv, int64) = %+v, want {10 3}", got)
+	}
+	got = a.Combine(2.0, a.Combine(a.Zero(), int64(4))).(MeanValue)
+	if got.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", got.Mean())
+	}
+}

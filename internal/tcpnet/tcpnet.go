@@ -7,20 +7,40 @@
 // listener and are demultiplexed by the envelope's To address. Every
 // endpoint runs a single dispatch goroutine, preserving the "no concurrent
 // handler invocations" guarantee node code relies on.
+//
+// The transport is hardened for long-lived daemons: cached peer
+// connections are health-checked with lightweight ping/pong heartbeats, a
+// failed send drops the stale connection and redials within the same call,
+// dead peers are redialed in the background with capped exponential
+// backoff, and peers that stay dead are surfaced through OnPeerDown so the
+// overlay's repair protocol can fire. Delivery stays best-effort: protocol
+// code already tolerates loss via its own timeouts.
 package tcpnet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rbay/internal/transport"
 )
 
+// envelope kinds. Data envelopes carry application payloads; ping/pong
+// are the transport-level heartbeat and never reach endpoints.
+const (
+	kindData uint8 = iota
+	kindPing
+	kindPong
+)
+
 // envelope frames every wire message.
 type envelope struct {
+	Kind    uint8
+	Seq     uint64
 	To      transport.Addr
 	From    transport.Addr
 	Payload any
@@ -40,28 +60,187 @@ func StaticResolver(table map[transport.Addr]string) Resolver {
 	}
 }
 
+// OverflowPolicy selects what a full endpoint queue does with the next
+// delivery. The shared listener read loop never blocks on a slow endpoint
+// under DropNewest or DropOldest.
+type OverflowPolicy int
+
+const (
+	// DropNewest discards the incoming message (the default).
+	DropNewest OverflowPolicy = iota
+	// DropOldest evicts the oldest queued message to make room.
+	DropOldest
+	// Block waits for queue space, re-introducing head-of-line blocking
+	// across endpoints; only for workloads that cannot tolerate loss.
+	Block
+)
+
+// Config tunes the transport's resilience machinery. The zero value means
+// "use the default"; negative values disable the corresponding feature
+// where that is meaningful.
+type Config struct {
+	// DialTimeout bounds one TCP dial. Default 3s.
+	DialTimeout time.Duration
+	// SendRetries is how many times a failed Send redials and re-encodes
+	// before giving up with ErrUnreachable. Default 1 (one redial);
+	// negative disables retries.
+	SendRetries int
+	// BackoffMin/BackoffMax bound the per-peer exponential dial backoff:
+	// after a failed dial the peer is not redialed (sends fail fast)
+	// until the backoff expires. Defaults 50ms and 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// ReconnectAttempts is how many backoff-spaced background redials a
+	// dead connection gets before its peers are declared down through
+	// OnPeerDown. Default 3; negative disables background reconnect
+	// (peers are then declared down as soon as the connection dies).
+	ReconnectAttempts int
+	// HeartbeatInterval is the ping period on idle cached connections.
+	// Default 2s; negative disables heartbeats.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many intervals may pass without a pong
+	// before the connection is declared dead. Default 3.
+	HeartbeatMisses int
+	// QueueLen bounds each endpoint's delivery queue. Default 1024.
+	QueueLen int
+	// Overflow is the full-queue policy. Default DropNewest.
+	Overflow OverflowPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	switch {
+	case c.SendRetries == 0:
+		c.SendRetries = 1
+	case c.SendRetries < 0:
+		c.SendRetries = 0
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	switch {
+	case c.ReconnectAttempts == 0:
+		c.ReconnectAttempts = 3
+	case c.ReconnectAttempts < 0:
+		c.ReconnectAttempts = 0
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	return c
+}
+
+// Stats is a snapshot of the transport's counters, in the spirit of
+// pastry.Stats / internal/metrics summaries.
+type Stats struct {
+	Dials             uint64 // TCP dial attempts
+	DialFailures      uint64 // dials that failed (or were backoff-suppressed)
+	Redials           uint64 // background reconnect attempts
+	SendRetries       uint64 // sends retried after dropping a stale conn
+	SendFailures      uint64 // sends that exhausted their retry budget
+	HeartbeatsSent    uint64 // pings written to cached conns
+	HeartbeatTimeouts uint64 // conns declared dead for missing pongs
+	ConnDrops         uint64 // cached conns dropped for any reason
+	QueueDrops        uint64 // deliveries dropped by a full endpoint queue
+	PeerDownEvents    uint64 // peer addresses reported through OnPeerDown
+}
+
+// String renders a compact one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("dials=%d (fail %d, redial %d) retries=%d sendfail=%d hb=%d (timeout %d) drops=%d qdrops=%d peerdown=%d",
+		s.Dials, s.DialFailures, s.Redials, s.SendRetries, s.SendFailures,
+		s.HeartbeatsSent, s.HeartbeatTimeouts, s.ConnDrops, s.QueueDrops, s.PeerDownEvents)
+}
+
+type counters struct {
+	dials             atomic.Uint64
+	dialFailures      atomic.Uint64
+	redials           atomic.Uint64
+	sendRetries       atomic.Uint64
+	sendFailures      atomic.Uint64
+	heartbeatsSent    atomic.Uint64
+	heartbeatTimeouts atomic.Uint64
+	connDrops         atomic.Uint64
+	queueDrops        atomic.Uint64
+	peerDownEvents    atomic.Uint64
+}
+
+// dialBackoff tracks the fail-fast window for one peer hostport.
+type dialBackoff struct {
+	failures int
+	nextTry  time.Time
+}
+
 // Network is a TCP-backed transport.Network.
 type Network struct {
 	listener net.Listener
 	resolver Resolver
+	cfg      Config
 
-	mu        sync.Mutex
-	endpoints map[transport.Addr]*Endpoint
-	conns     map[string]*clientConn
-	accepted  map[net.Conn]struct{}
-	closed    bool
-	wg        sync.WaitGroup
+	mu         sync.Mutex
+	endpoints  map[transport.Addr]*Endpoint
+	conns      map[string]*clientConn
+	accepted   map[net.Conn]struct{}
+	backoff    map[string]*dialBackoff
+	redialing  map[string]bool
+	onPeerDown []func(transport.Addr)
+	closed     bool
+	done       chan struct{}
+	wg         sync.WaitGroup
+
+	stats counters
 }
 
+// clientConn is one cached outbound connection. Its mutex guards the gob
+// encoder (data, pings) and the liveness bookkeeping.
 type clientConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	hostport string
+
+	mu       sync.Mutex
+	c        net.Conn
+	enc      *gob.Encoder
+	peers    map[transport.Addr]struct{} // overlay addrs routed through this conn
+	lastPong time.Time
+	dead     bool
+}
+
+func (cc *clientConn) track(to transport.Addr) {
+	if to.IsZero() {
+		return
+	}
+	cc.mu.Lock()
+	cc.peers[to] = struct{}{}
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) encode(env envelope) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead {
+		return errors.New("connection is dead")
+	}
+	return cc.enc.Encode(env)
 }
 
 // Listen starts a network listening on the given TCP address ("":0 for an
-// ephemeral port).
+// ephemeral port) with the default Config.
 func Listen(listen string, resolver Resolver) (*Network, error) {
+	return ListenConfig(listen, resolver, Config{})
+}
+
+// ListenConfig starts a network with explicit resilience tuning.
+func ListenConfig(listen string, resolver Resolver, cfg Config) (*Network, error) {
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: %w", err)
@@ -69,9 +248,13 @@ func Listen(listen string, resolver Resolver) (*Network, error) {
 	n := &Network{
 		listener:  l,
 		resolver:  resolver,
+		cfg:       cfg.withDefaults(),
 		endpoints: make(map[transport.Addr]*Endpoint),
 		conns:     make(map[string]*clientConn),
 		accepted:  make(map[net.Conn]struct{}),
+		backoff:   make(map[string]*dialBackoff),
+		redialing: make(map[string]bool),
+		done:      make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -81,7 +264,35 @@ func Listen(listen string, resolver Resolver) (*Network, error) {
 // ListenAddr returns the bound TCP address.
 func (n *Network) ListenAddr() string { return n.listener.Addr().String() }
 
-// Close shuts the listener and all endpoints down.
+// Stats returns a snapshot of the transport counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Dials:             n.stats.dials.Load(),
+		DialFailures:      n.stats.dialFailures.Load(),
+		Redials:           n.stats.redials.Load(),
+		SendRetries:       n.stats.sendRetries.Load(),
+		SendFailures:      n.stats.sendFailures.Load(),
+		HeartbeatsSent:    n.stats.heartbeatsSent.Load(),
+		HeartbeatTimeouts: n.stats.heartbeatTimeouts.Load(),
+		ConnDrops:         n.stats.connDrops.Load(),
+		QueueDrops:        n.stats.queueDrops.Load(),
+		PeerDownEvents:    n.stats.peerDownEvents.Load(),
+	}
+}
+
+// OnPeerDown registers a callback invoked once per overlay address when
+// the liveness machinery gives up on a peer: its connection died and the
+// reconnect budget was exhausted. Callbacks run on an internal transport
+// goroutine — marshal onto the node's event context (Node.Do / After)
+// before touching protocol state.
+func (n *Network) OnPeerDown(cb func(transport.Addr)) {
+	n.mu.Lock()
+	n.onPeerDown = append(n.onPeerDown, cb)
+	n.mu.Unlock()
+}
+
+// Close shuts the listener, all endpoints, and all liveness goroutines
+// down.
 func (n *Network) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -89,6 +300,7 @@ func (n *Network) Close() error {
 		return transport.ErrClosed
 	}
 	n.closed = true
+	close(n.done)
 	eps := make([]*Endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
@@ -130,8 +342,8 @@ func (n *Network) acceptLoop() {
 			return
 		}
 		n.accepted[conn] = struct{}{}
-		n.mu.Unlock()
 		n.wg.Add(1)
+		n.mu.Unlock()
 		go n.readLoop(conn)
 	}
 }
@@ -145,16 +357,26 @@ func (n *Network) readLoop(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn) // pong replies; only this goroutine writes
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		n.mu.Lock()
-		ep := n.endpoints[env.To]
-		n.mu.Unlock()
-		if ep != nil {
-			ep.enqueue(func() { ep.handler(env.From, env.Payload) })
+		switch env.Kind {
+		case kindPing:
+			if err := enc.Encode(envelope{Kind: kindPong, Seq: env.Seq}); err != nil {
+				return
+			}
+		case kindPong:
+			// Not expected on accepted conns; ignore.
+		default:
+			n.mu.Lock()
+			ep := n.endpoints[env.To]
+			n.mu.Unlock()
+			if ep != nil {
+				ep.offer(func() { ep.handler(env.From, env.Payload) })
+			}
 		}
 	}
 }
@@ -173,7 +395,7 @@ func (n *Network) NewEndpoint(addr transport.Addr, h transport.Handler) (transpo
 		net:     n,
 		addr:    addr,
 		handler: h,
-		queue:   make(chan func(), 1024),
+		queue:   make(chan func(), n.cfg.QueueLen),
 		done:    make(chan struct{}),
 	}
 	n.endpoints[addr] = ep
@@ -186,7 +408,7 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 	n.mu.Lock()
 	if local, ok := n.endpoints[to]; ok {
 		n.mu.Unlock()
-		local.enqueue(func() { local.handler(from, msg) })
+		local.offer(func() { local.handler(from, msg) })
 		return nil
 	}
 	n.mu.Unlock()
@@ -195,48 +417,250 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 	if err != nil {
 		return err
 	}
-	cc, err := n.conn(hostport)
-	if err != nil {
-		return fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, hostport, err)
+	env := envelope{To: to, From: from, Payload: msg}
+	var lastErr error
+	for attempt := 0; attempt <= n.cfg.SendRetries; attempt++ {
+		if attempt > 0 {
+			n.stats.sendRetries.Add(1)
+		}
+		cc, err := n.conn(hostport, to)
+		if err != nil {
+			// Dialing failed (or is backoff-suppressed); an immediate
+			// retry cannot help, so fail fast.
+			lastErr = err
+			break
+		}
+		if err := cc.encode(env); err == nil {
+			return nil
+		} else {
+			// Stale cached connection (peer restarted, socket reset):
+			// drop it so the next attempt dials fresh. The send path
+			// retries synchronously, so no background reconnect here.
+			lastErr = err
+			n.connDead(cc, false)
+		}
 	}
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if err := cc.enc.Encode(envelope{To: to, From: from, Payload: msg}); err != nil {
-		n.dropConn(hostport, cc)
-		return fmt.Errorf("%w: send to %s: %v", transport.ErrUnreachable, hostport, err)
-	}
-	return nil
+	n.stats.sendFailures.Add(1)
+	return fmt.Errorf("%w: send to %s: %v", transport.ErrUnreachable, hostport, lastErr)
 }
 
-func (n *Network) conn(hostport string) (*clientConn, error) {
+// conn returns the cached connection for hostport, dialing if needed and
+// the peer is not in a backoff window. to (if non-zero) is recorded as
+// routed through the connection for peer-down attribution.
+func (n *Network) conn(hostport string, to transport.Addr) (*clientConn, error) {
 	n.mu.Lock()
 	if cc, ok := n.conns[hostport]; ok {
 		n.mu.Unlock()
+		cc.track(to)
 		return cc, nil
 	}
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if bo := n.backoff[hostport]; bo != nil && time.Now().Before(bo.nextTry) {
+		n.mu.Unlock()
+		n.stats.dialFailures.Add(1)
+		return nil, fmt.Errorf("dial %s suppressed by backoff (%d consecutive failures)", hostport, bo.failures)
+	}
 	n.mu.Unlock()
-	c, err := net.DialTimeout("tcp", hostport, 3*time.Second)
+	return n.dial(hostport, to)
+}
+
+func (n *Network) dial(hostport string, to transport.Addr) (*clientConn, error) {
+	n.stats.dials.Add(1)
+	c, err := net.DialTimeout("tcp", hostport, n.cfg.DialTimeout)
+	n.mu.Lock()
 	if err != nil {
+		n.stats.dialFailures.Add(1)
+		bo := n.backoff[hostport]
+		if bo == nil {
+			bo = &dialBackoff{}
+			n.backoff[hostport] = bo
+		}
+		bo.failures++
+		d := n.cfg.BackoffMin
+		for i := 1; i < bo.failures && d < n.cfg.BackoffMax; i++ {
+			d *= 2
+		}
+		if d > n.cfg.BackoffMax {
+			d = n.cfg.BackoffMax
+		}
+		bo.nextTry = time.Now().Add(d)
+		n.mu.Unlock()
 		return nil, err
 	}
-	cc := &clientConn{c: c, enc: gob.NewEncoder(c)}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if existing, ok := n.conns[hostport]; ok {
+	if n.closed {
+		// Close raced the dial: caching now would leak the socket past
+		// Close and resurrect a closed network.
+		n.mu.Unlock()
 		_ = c.Close()
+		return nil, transport.ErrClosed
+	}
+	if existing, ok := n.conns[hostport]; ok {
+		n.mu.Unlock()
+		_ = c.Close()
+		existing.track(to)
 		return existing, nil
 	}
+	delete(n.backoff, hostport)
+	cc := &clientConn{
+		hostport: hostport,
+		c:        c,
+		enc:      gob.NewEncoder(c),
+		peers:    make(map[transport.Addr]struct{}),
+		lastPong: time.Now(),
+	}
 	n.conns[hostport] = cc
+	n.wg.Add(1)
+	go n.connReadLoop(cc)
+	if n.cfg.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop(cc)
+	}
+	n.mu.Unlock()
+	cc.track(to)
 	return cc, nil
 }
 
-func (n *Network) dropConn(hostport string, cc *clientConn) {
+// connReadLoop drains the client side of a cached connection: pong
+// replies feed the liveness clock, and EOF (peer closed or restarted)
+// retires the stale connection immediately instead of poisoning the next
+// send.
+func (n *Network) connReadLoop(cc *clientConn) {
+	defer n.wg.Done()
+	dec := gob.NewDecoder(cc.c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			n.connDead(cc, true)
+			return
+		}
+		if env.Kind == kindPong {
+			cc.mu.Lock()
+			cc.lastPong = time.Now()
+			cc.mu.Unlock()
+		}
+	}
+}
+
+func (n *Network) heartbeatLoop(cc *clientConn) {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+		}
+		cc.mu.Lock()
+		if cc.dead {
+			cc.mu.Unlock()
+			return
+		}
+		stale := time.Since(cc.lastPong) > time.Duration(n.cfg.HeartbeatMisses)*n.cfg.HeartbeatInterval
+		var err error
+		if !stale {
+			seq++
+			err = cc.enc.Encode(envelope{Kind: kindPing, Seq: seq})
+		}
+		cc.mu.Unlock()
+		if stale {
+			n.stats.heartbeatTimeouts.Add(1)
+			n.connDead(cc, true)
+			return
+		}
+		if err != nil {
+			n.connDead(cc, true)
+			return
+		}
+		n.stats.heartbeatsSent.Add(1)
+	}
+}
+
+// connDead retires a cached connection exactly once. With reconnect set,
+// a background redial loop is started (unless one is already running for
+// the peer); if it exhausts its budget the peer's addresses are reported
+// through OnPeerDown.
+func (n *Network) connDead(cc *clientConn, reconnect bool) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	peers := make([]transport.Addr, 0, len(cc.peers))
+	for a := range cc.peers {
+		peers = append(peers, a)
+	}
+	cc.mu.Unlock()
 	_ = cc.c.Close()
+	n.stats.connDrops.Add(1)
+
 	n.mu.Lock()
-	if n.conns[hostport] == cc {
-		delete(n.conns, hostport)
+	if n.conns[cc.hostport] == cc {
+		delete(n.conns, cc.hostport)
+	}
+	if reconnect && !n.closed && !n.redialing[cc.hostport] {
+		n.redialing[cc.hostport] = true
+		n.wg.Add(1)
+		go n.reconnect(cc.hostport, peers)
 	}
 	n.mu.Unlock()
+}
+
+// reconnect redials a dead peer with capped exponential backoff. Success
+// re-caches the connection (carrying over peer attribution); exhausting
+// the budget declares every overlay address routed through the old
+// connection down.
+func (n *Network) reconnect(hostport string, peers []transport.Addr) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.redialing, hostport)
+		n.mu.Unlock()
+	}()
+	backoff := n.cfg.BackoffMin
+	for attempt := 0; attempt < n.cfg.ReconnectAttempts; attempt++ {
+		select {
+		case <-n.done:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > n.cfg.BackoffMax {
+			backoff = n.cfg.BackoffMax
+		}
+		n.stats.redials.Add(1)
+		var first transport.Addr
+		if len(peers) > 0 {
+			first = peers[0]
+		}
+		if cc, err := n.dial(hostport, first); err == nil {
+			for _, a := range peers {
+				cc.track(a)
+			}
+			return
+		} else if errors.Is(err, transport.ErrClosed) {
+			return
+		}
+	}
+
+	n.mu.Lock()
+	var cbs []func(transport.Addr)
+	cbs = append(cbs, n.onPeerDown...)
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.stats.peerDownEvents.Add(uint64(len(peers)))
+	for _, a := range peers {
+		for _, cb := range cbs {
+			cb(a)
+		}
+	}
 }
 
 // Endpoint is a TCP-backed transport.Endpoint.
@@ -265,10 +689,44 @@ func (e *Endpoint) dispatchLoop() {
 	}
 }
 
+// enqueue blocks until the queue has room; timers use it so scheduled
+// callbacks are never silently dropped.
 func (e *Endpoint) enqueue(fn func()) {
 	select {
 	case e.queue <- fn:
 	case <-e.done:
+	}
+}
+
+// offer applies the overflow policy; the delivery paths (listener read
+// loop, local fast path) use it so one slow endpoint cannot head-of-line
+// block every other endpoint sharing the listener.
+func (e *Endpoint) offer(fn func()) {
+	switch e.net.cfg.Overflow {
+	case Block:
+		e.enqueue(fn)
+	case DropOldest:
+		for {
+			select {
+			case e.queue <- fn:
+				return
+			case <-e.done:
+				return
+			default:
+			}
+			select {
+			case <-e.queue:
+				e.net.stats.queueDrops.Add(1)
+			default:
+			}
+		}
+	default: // DropNewest
+		select {
+		case e.queue <- fn:
+		case <-e.done:
+		default:
+			e.net.stats.queueDrops.Add(1)
+		}
 	}
 }
 

@@ -210,7 +210,17 @@ type TCPOptions struct {
 	Node NodeConfig
 	// Registry is the shared tree catalog.
 	Registry *Registry
+	// Transport tunes the TCP transport's resilience machinery
+	// (reconnect backoff, heartbeats, queue bounds); the zero value uses
+	// the tcpnet defaults. See tcpnet.Config.
+	Transport TransportConfig
 }
+
+// TransportConfig re-exports the TCP transport tuning knobs.
+type TransportConfig = tcpnet.Config
+
+// TransportStats re-exports the TCP transport counters snapshot.
+type TransportStats = tcpnet.Stats
 
 // TCPNode is an RBAY node attached to a real TCP network.
 //
@@ -236,7 +246,7 @@ func NewTCPNode(addr Addr, opts TCPOptions) (*TCPNode, error) {
 	if opts.Resolve == nil {
 		return nil, errors.New("rbay: TCPOptions.Resolve is required")
 	}
-	net, err := tcpnet.Listen(opts.Listen, tcpnet.Resolver(opts.Resolve))
+	net, err := tcpnet.ListenConfig(opts.Listen, tcpnet.Resolver(opts.Resolve), opts.Transport)
 	if err != nil {
 		return nil, err
 	}
@@ -245,11 +255,26 @@ func NewTCPNode(addr Addr, opts TCPOptions) (*TCPNode, error) {
 		_ = net.Close()
 		return nil, err
 	}
+	// Surface transport-level liveness verdicts (heartbeat timeouts,
+	// exhausted reconnects) to the overlay so leaf-set repair fires on
+	// real deployments, not just under simnet failure injection. The
+	// callback runs on a transport goroutine; Do marshals it onto the
+	// node's event context.
+	net.OnPeerDown(func(a transport.Addr) {
+		n.Do(func() { n.Pastry().NoteAddrFailure(a) })
+	})
 	return &TCPNode{Node: n, net: net}, nil
 }
 
 // ListenAddr returns the bound TCP address.
 func (t *TCPNode) ListenAddr() string { return t.net.ListenAddr() }
+
+// Transport returns the underlying TCP network, for registering
+// additional OnPeerDown observers or reading counters.
+func (t *TCPNode) Transport() *tcpnet.Network { return t.net }
+
+// TransportStats returns a snapshot of the TCP transport counters.
+func (t *TCPNode) TransportStats() TransportStats { return t.net.Stats() }
 
 // Close shuts the node and its network down.
 func (t *TCPNode) Close() error {
