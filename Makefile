@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench chaos
 
 ci: vet build race
 
@@ -16,8 +16,17 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test order (seed printed on failure) so hidden
+# inter-test state dependencies surface in CI instead of on laptops.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Seeded fault-injection campaign against the simulated federation; see
+# docs/TESTING.md. Override with e.g. `make chaos CHAOS_SEED=7`.
+CHAOS_SEED ?= 1
+CHAOS_STEPS ?= 100
+chaos:
+	$(GO) run ./cmd/rbaysim chaos -seed $(CHAOS_SEED) -steps $(CHAOS_STEPS)
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

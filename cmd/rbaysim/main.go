@@ -5,10 +5,17 @@
 //
 //	rbaysim -exp table2|fig8a|fig8b|fig8c|fig9|fig10|fig11|ganglia|churn|forecast|all
 //	        [-scale quick|full] [-seed N]
+//	rbaysim chaos [-seed N] [-steps N] [-sites a,b] [-nodes-per-site N]
+//	        [-settle D] [-plant STEP] [-v]
 //
 // Each experiment prints the rows/series the corresponding paper artifact
 // reports. "quick" (default) runs in seconds; "full" approaches the
 // paper's 16,000-agent scale and can take minutes and several GB.
+//
+// The chaos subcommand runs a seeded fault-injection campaign against the
+// simulated federation and checks the plane's invariants; its output is
+// byte-identical across runs with the same flags, so any failure replays
+// from the printed seed.
 package main
 
 import (
@@ -31,6 +38,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:])
+	}
 	fs := flag.NewFlagSet("rbaysim", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: table2, fig8a, fig8b, fig8c, fig9, fig10, fig11, ganglia, churn, forecast, or all")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")

@@ -107,7 +107,7 @@ func run() error {
 	ask("federation-wide query (degraded)", `SELECT * FROM * WHERE GPU = true;`)
 
 	fmt.Println("\n— partition heals —")
-	fed.Net.SetDropFunc(nil)
+	fed.Net.HealAllPartitions()
 	fed.RunFor(5 * time.Second)
 	ask("federation-wide query (healed)", `SELECT * FROM * WHERE GPU = true;`)
 	return nil

@@ -1,0 +1,593 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/ids"
+	"rbay/internal/metrics"
+	"rbay/internal/monitor"
+	"rbay/internal/naming"
+	"rbay/internal/pastry"
+	"rbay/internal/scribe"
+	"rbay/internal/simnet"
+	"rbay/internal/transport"
+)
+
+// probeAppName is the Pastry application the harness registers on every
+// node for routing-convergence probes.
+const probeAppName = "chaos.probe"
+
+// ChaosPassword is the password the harness's policy scripts expect and
+// the queryability checker presents.
+const ChaosPassword = "chaos-pw"
+
+// Options configures the federation under test.
+type Options struct {
+	// Sites lists participating sites. Default: virginia and tokyo.
+	Sites []string
+	// NodesPerSite is the per-site agent count. Default 20.
+	NodesPerSite int
+	// Node overrides the per-node configuration; the zero value takes
+	// chaos-tuned fast defaults (short intervals, liveness probing on).
+	Node *core.Config
+	// Registry overrides the tree catalog. Default: DefaultRegistry.
+	Registry *naming.Registry
+	// Log, when non-nil, receives each event-log line as it is emitted;
+	// the full log is always collected in the Result.
+	Log io.Writer
+	// Churn arms a seeded utilization random walk on every node, feeding
+	// the attribute map once per virtual second like a monitoring agent.
+	Churn bool
+	// Passwords attaches an onGet password policy to the GPU attribute of
+	// the last site's GPU nodes; the queryability checker presents the
+	// password.
+	Passwords bool
+	// PlantStep, when ≥ 1, covertly closes one node right after the
+	// (1-based) step with that index is applied, without recording the
+	// crash in the harness's bookkeeping — a deliberately planted
+	// invariant violation used to validate the checkers themselves.
+	PlantStep int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Sites) == 0 {
+		o.Sites = []string{"virginia", "tokyo"}
+	}
+	if o.NodesPerSite <= 0 {
+		o.NodesPerSite = 20
+	}
+	if o.Registry == nil {
+		o.Registry = DefaultRegistry()
+	}
+	if o.Node == nil {
+		cfg := DefaultNodeConfig()
+		o.Node = &cfg
+	}
+	return o
+}
+
+// DefaultRegistry builds the harness's tree catalog: a GPU tree, two
+// utilization threshold trees, and an instance-type tree (the same layout
+// the core tests use).
+func DefaultRegistry() *naming.Registry {
+	r := naming.NewRegistry()
+	r.MustDefine(naming.TreeDef{Name: "GPU", Pred: naming.Pred{Attr: "GPU", Op: naming.OpEq, Value: true}, Creator: "rbay"})
+	r.MustDefine(naming.TreeDef{Name: "util<10%", Pred: naming.Pred{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.10}, Creator: "rbay"})
+	r.MustDefine(naming.TreeDef{Name: "util<50%", Pred: naming.Pred{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.50}, Creator: "rbay"})
+	r.MustDefine(naming.TreeDef{Name: "type=c3.large", Pred: naming.Pred{Attr: "instance_type", Op: naming.OpEq, Value: "c3.large"}, Creator: "rbay"})
+	return r
+}
+
+// DefaultNodeConfig returns the chaos-tuned node configuration: short
+// maintenance intervals so scenarios converge in seconds of virtual time,
+// and Pastry liveness probing enabled so crashed peers are detected even
+// without application traffic.
+func DefaultNodeConfig() core.Config {
+	return core.Config{
+		Pastry: pastry.Config{
+			ProbeInterval: time.Second,
+			ProbeTimeout:  900 * time.Millisecond,
+			RPCTimeout:    3 * time.Second,
+		},
+		Scribe: scribe.Config{
+			AggregateInterval: 300 * time.Millisecond,
+			AnycastTimeout:    5 * time.Second,
+			AggQueryTimeout:   2 * time.Second,
+		},
+		MembershipInterval: 500 * time.Millisecond,
+		ReserveTTL:         3 * time.Second,
+		BackoffSlot:        20 * time.Millisecond,
+		SiteQueryTimeout:   4 * time.Second,
+	}
+}
+
+// Violation is one invariant failure, carrying everything needed to
+// reproduce it: the seed and the step trace up to the detection point.
+type Violation struct {
+	Checker string
+	Detail  string
+	// Step is the 1-based index of the last applied schedule step when the
+	// violation was detected (0 = before any step).
+	Step  int
+	Seed  int64
+	Trace []string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("invariant %s violated after step %d (seed %d): %s", v.Checker, v.Step, v.Seed, v.Detail)
+}
+
+// Result is the outcome of one harness run.
+type Result struct {
+	Scenario   Scenario
+	Violations []Violation
+	Counters   *metrics.CounterSet
+	Net        simnet.Stats
+	Log        []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Harness drives one scenario against one simulated federation.
+type Harness struct {
+	scn  Scenario
+	opts Options
+
+	fed *core.Federation
+	net *simnet.Network
+	reg *naming.Registry
+	rng *rand.Rand
+
+	live    map[string]*core.Node // addr string → node
+	down    map[string]transport.Addr
+	planted map[string]bool
+	degrade map[string]simnet.RuleID // site (or "") → degradation rule
+
+	counters   *metrics.CounterSet
+	violations []Violation
+	logLines   []string
+	trace      []string
+	start      time.Time
+	stepIdx    int // 1-based index of the last applied step
+
+	probeGot  map[uint64]ids.ID
+	nextProbe uint64
+}
+
+// New builds the federation and settles it, ready for Run.
+func New(scn Scenario, opts Options) (*Harness, error) {
+	scn = scn.withDefaults()
+	opts = opts.withDefaults()
+	h := &Harness{
+		scn:      scn,
+		opts:     opts,
+		reg:      opts.Registry,
+		rng:      rand.New(rand.NewSource(scn.Seed)),
+		live:     make(map[string]*core.Node),
+		down:     make(map[string]transport.Addr),
+		planted:  make(map[string]bool),
+		degrade:  make(map[string]simnet.RuleID),
+		counters: metrics.NewCounterSet(),
+		probeGot: make(map[uint64]ids.ID),
+	}
+	fed, err := core.NewFederation(h.reg, core.FedConfig{
+		Sites:        opts.Sites,
+		NodesPerSite: opts.NodesPerSite,
+		Node:         *opts.Node,
+		Seed:         scn.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	h.fed = fed
+	h.net = fed.Net
+	h.net.SeedFaults(scn.Seed)
+	for site, ns := range fed.BySite {
+		for i, n := range ns {
+			h.live[n.Addr().String()] = n
+			h.applyLayout(n, site, i)
+			n.Pastry().Register(probeAppName, &probeApp{h: h})
+			if opts.Churn {
+				h.armChurn(n, h.globalIndex(site, i))
+			}
+		}
+	}
+	fed.Settle()
+	h.start = h.net.Now()
+	return h, nil
+}
+
+// Run applies the whole schedule and the invariant suite, returning the
+// collected result. It never returns a partial result with a nil error.
+func Run(scn Scenario, opts Options) (*Result, error) {
+	h, err := New(scn, opts)
+	if err != nil {
+		return nil, err
+	}
+	return h.Run(), nil
+}
+
+// Federation exposes the federation under test (for tests building on the
+// harness).
+func (h *Harness) Federation() *core.Federation { return h.fed }
+
+// Run executes the scenario: each step at its virtual-time offset with
+// passive checks in between, then heal-all, settle, and the quiescent
+// invariant suite.
+func (h *Harness) Run() *Result {
+	h.logf("setup name=%s sites=%d nodes-per-site=%d seed=%d steps=%d",
+		h.scn.Name, len(h.opts.Sites), h.opts.NodesPerSite, h.scn.Seed, len(h.scn.Steps))
+
+	steps := append([]Step(nil), h.scn.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	for i, st := range steps {
+		if target := h.start.Add(st.At); target.After(h.net.Now()) {
+			h.net.RunUntil(target)
+		}
+		h.stepIdx = i + 1
+		h.apply(st)
+		if h.opts.PlantStep == i+1 {
+			h.plant()
+		}
+		h.checkPassive()
+	}
+
+	// Quiescence: remove every standing fault, let the plane converge, then
+	// run the full invariant suite.
+	h.net.HealAllPartitions()
+	for site, id := range h.degrade {
+		h.net.RemoveRule(id)
+		delete(h.degrade, site)
+	}
+	h.logf("quiesce heal-all settle=%v", h.scn.Settle)
+	h.net.RunFor(h.scn.Settle)
+	h.checkQuiescent()
+
+	st := h.net.Stats()
+	h.counters.Add("net.sent", st.MessagesSent)
+	h.counters.Add("net.delivered", st.MessagesDelivered)
+	h.counters.Add("net.dropped", st.MessagesDropped)
+	h.counters.Add("net.duplicated", st.MessagesDuplicated)
+	h.counters.Add("net.jittered", st.MessagesJittered)
+	h.counters.Add("net.reordered", st.MessagesReordered)
+	h.logf("done live=%d down=%d violations=%d", len(h.live), len(h.down), len(h.violations))
+	return &Result{
+		Scenario:   h.scn,
+		Violations: h.violations,
+		Counters:   h.counters,
+		Net:        st,
+		Log:        h.logLines,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Step application
+
+func (h *Harness) apply(st Step) {
+	count := st.Count
+	if count <= 0 {
+		count = 1
+	}
+	switch st.Kind {
+	case Crash:
+		for c := 0; c < count; c++ {
+			h.crashOne(st.Site)
+		}
+	case Restart:
+		for c := 0; c < count; c++ {
+			h.restartOne(st.Site)
+		}
+	case Partition:
+		if st.Site == st.Peer || h.net.Partitioned(st.Site, st.Peer) {
+			h.skip(st, "already partitioned or self-pair")
+			return
+		}
+		h.net.PartitionSites(st.Site, st.Peer)
+		h.counters.Inc("faults.partition")
+		h.step(fmt.Sprintf("partition %s|%s", st.Site, st.Peer))
+	case Heal:
+		if !h.net.HealSites(st.Site, st.Peer) {
+			h.skip(st, "not partitioned")
+			return
+		}
+		h.counters.Inc("faults.heal")
+		h.step(fmt.Sprintf("heal %s|%s", st.Site, st.Peer))
+	case Degrade:
+		if _, up := h.degrade[st.Site]; up {
+			h.skip(st, "already degraded")
+			return
+		}
+		r := st.Rule
+		if st.Site != "" {
+			r.Match = simnet.MatchSite(st.Site)
+		}
+		h.degrade[st.Site] = h.net.AddRule(r)
+		h.counters.Inc("faults.degrade")
+		h.step(fmt.Sprintf("degrade site=%s drop=%.2f dup=%.2f jitter=%v reorder=%.2f/%v",
+			st.Site, r.Drop, r.Dup, r.Jitter, r.Reorder, r.ReorderWindow))
+	case Undegrade:
+		id, up := h.degrade[st.Site]
+		if !up {
+			h.skip(st, "not degraded")
+			return
+		}
+		h.net.RemoveRule(id)
+		delete(h.degrade, st.Site)
+		h.counters.Inc("faults.undegrade")
+		h.step(fmt.Sprintf("undegrade site=%s", st.Site))
+	default:
+		h.skip(st, "unknown step kind")
+	}
+}
+
+func (h *Harness) crashOne(site string) {
+	elig := h.crashEligible(site)
+	if len(elig) == 0 {
+		h.skip(Step{Kind: Crash, Site: site}, "no eligible node")
+		return
+	}
+	n := elig[h.rng.Intn(len(elig))]
+	key := n.Addr().String()
+	_ = n.Close()
+	delete(h.live, key)
+	h.down[key] = n.Addr()
+	h.counters.Inc("faults.crash")
+	h.step(fmt.Sprintf("crash node=%s", key))
+}
+
+// crashEligible returns the site's live nodes whose crash keeps the site
+// usable: at least two live nodes and one live boundary router survive.
+func (h *Harness) crashEligible(site string) []*core.Node {
+	liveSite := h.liveSite(site)
+	if len(liveSite) <= 2 {
+		return nil
+	}
+	liveRouters := 0
+	routerAddr := make(map[string]bool)
+	for _, r := range h.fed.Directory.Routers[site] {
+		routerAddr[r.String()] = true
+		if _, ok := h.live[r.String()]; ok {
+			liveRouters++
+		}
+	}
+	var out []*core.Node
+	for _, n := range liveSite {
+		key := n.Addr().String()
+		if h.planted[key] {
+			continue
+		}
+		if routerAddr[key] && liveRouters <= 1 {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (h *Harness) restartOne(site string) {
+	var downSite []transport.Addr
+	for _, a := range h.down {
+		if a.Site == site {
+			downSite = append(downSite, a)
+		}
+	}
+	if len(downSite) == 0 {
+		h.skip(Step{Kind: Restart, Site: site}, "nothing down")
+		return
+	}
+	sort.Slice(downSite, func(i, j int) bool { return downSite[i].String() < downSite[j].String() })
+	addr := downSite[h.rng.Intn(len(downSite))]
+
+	n, err := core.New(h.net, addr, h.reg, *h.opts.Node)
+	if err != nil {
+		h.skip(Step{Kind: Restart, Site: site}, "attach failed: "+err.Error())
+		return
+	}
+	i := hostIndex(addr.Host)
+	h.applyLayout(n, site, i)
+	n.Pastry().Register(probeAppName, &probeApp{h: h})
+	n.SetDirectory(h.fed.Directory)
+	h.ensureJoined(n, site)
+	if h.opts.Churn {
+		h.armChurn(n, h.globalIndex(site, i))
+	}
+	delete(h.down, addr.String())
+	h.live[addr.String()] = n
+	h.counters.Inc("faults.restart")
+	h.step(fmt.Sprintf("restart node=%s", addr.String()))
+}
+
+// ensureJoined (re)joins a revived node into the global and site scopes
+// through a live same-site seed, retrying every couple of seconds until
+// both joins take: a single join message can be lost while fault rules are
+// active, and the base protocol does not retry it. Same-site seeds keep
+// the bootstrap immune to cross-site partitions.
+func (h *Harness) ensureJoined(n *core.Node, site string) {
+	var ensure func()
+	ensure = func() {
+		p := n.Pastry()
+		var seed *core.Node
+		for _, s := range h.liveSite(site) {
+			if s != n {
+				seed = s
+				break
+			}
+		}
+		if seed != nil {
+			if !p.Joined(pastry.GlobalScope) {
+				_ = p.JoinGlobal(seed.Addr(), nil)
+			}
+			if !p.Joined(site) {
+				_ = p.JoinSite(seed.Addr(), nil)
+			}
+		}
+		if !p.Joined(pastry.GlobalScope) || !p.Joined(site) {
+			p.After(2*time.Second, ensure)
+		}
+	}
+	ensure()
+}
+
+// plant covertly closes one eligible node without updating the live/down
+// bookkeeping: the quiescent checkers must notice the lie.
+func (h *Harness) plant() {
+	for _, site := range h.sitesSorted() {
+		elig := h.crashEligible(site)
+		if len(elig) == 0 {
+			continue
+		}
+		n := elig[h.rng.Intn(len(elig))]
+		_ = n.Close()
+		h.planted[n.Addr().String()] = true
+		h.counters.Inc("faults.planted")
+		h.step(fmt.Sprintf("plant covert-crash node=%s", n.Addr().String()))
+		return
+	}
+	h.logf("plant skipped: no eligible node")
+}
+
+// ---------------------------------------------------------------------------
+// Setup helpers
+
+// applyLayout publishes the deterministic attribute layout node i of a site
+// carries: GPU on every 4th node, a utilization ramp, an instance-type
+// split, and (under Passwords) the last site's GPUs behind an onGet
+// password policy.
+func (h *Harness) applyLayout(n *core.Node, site string, i int) {
+	n.SetAttribute("GPU", i%4 == 0)
+	n.SetAttribute("CPU_utilization", float64(i%20)/20.0)
+	if i%5 == 0 {
+		n.SetAttribute("instance_type", "c3.large")
+	} else {
+		n.SetAttribute("instance_type", "t2.micro")
+	}
+	n.SetAttribute("mem_gb", float64(4+i%8))
+	if h.opts.Passwords && i%4 == 0 && site == h.opts.Sites[len(h.opts.Sites)-1] {
+		_ = n.AttachPolicy("GPU", `
+			AA = {Password = "`+ChaosPassword+`"}
+			function onGet(caller, password)
+				if password == AA.Password then return NodeId end
+				return nil
+			end
+		`)
+	}
+}
+
+// armChurn drives the node's utilization with a seeded random walk ticking
+// once per virtual second, like a site monitoring agent. The walk dies with
+// the node's endpoint and is re-armed on restart.
+func (h *Harness) armChurn(n *core.Node, idx int) {
+	feed := monitor.NewFeed(h.scn.Seed*1000003 + int64(idx)*7)
+	feed.Track("CPU_utilization", &monitor.Walk{Cur: float64(idx%20) / 20.0, Min: 0, Max: 1, Step: 0.1})
+	var tick func()
+	tick = func() {
+		feed.Tick(n.Attributes())
+		n.Pastry().After(time.Second, tick)
+	}
+	n.Pastry().After(time.Second, tick)
+}
+
+func (h *Harness) globalIndex(site string, i int) int {
+	for s, name := range h.opts.Sites {
+		if name == site {
+			return s*h.opts.NodesPerSite + i
+		}
+	}
+	return i
+}
+
+func hostIndex(host string) int {
+	i, _ := strconv.Atoi(host[1:])
+	return i
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+
+func (h *Harness) liveSorted() []*core.Node {
+	keys := make([]string, 0, len(h.live))
+	for k := range h.live {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*core.Node, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, h.live[k])
+	}
+	return out
+}
+
+func (h *Harness) liveSite(site string) []*core.Node {
+	var out []*core.Node
+	for _, n := range h.liveSorted() {
+		if n.Site() == site {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (h *Harness) sitesSorted() []string {
+	out := append([]string(nil), h.opts.Sites...)
+	sort.Strings(out)
+	return out
+}
+
+// step logs a schedule event and appends it to the reproduction trace.
+func (h *Harness) step(msg string) {
+	line := h.logf("%s", msg)
+	h.trace = append(h.trace, line)
+}
+
+func (h *Harness) skip(st Step, why string) {
+	h.counters.Inc("faults.skipped")
+	h.step(fmt.Sprintf("skip %s site=%s (%s)", st.Kind, st.Site, why))
+}
+
+// logf emits one event-log line stamped with the virtual-time offset from
+// scenario start. Every value printed is deterministic, so two runs with
+// the same seed produce byte-identical logs.
+func (h *Harness) logf(format string, args ...any) string {
+	d := h.net.Now().Sub(h.start)
+	line := fmt.Sprintf("[t+%07.1fs] %s", d.Seconds(), fmt.Sprintf(format, args...))
+	h.logLines = append(h.logLines, line)
+	if h.opts.Log != nil {
+		fmt.Fprintln(h.opts.Log, line)
+	}
+	return line
+}
+
+// violate records an invariant violation with the seed and step trace
+// needed to reproduce it.
+func (h *Harness) violate(checker, detail string) {
+	v := Violation{
+		Checker: checker,
+		Detail:  detail,
+		Step:    h.stepIdx,
+		Seed:    h.scn.Seed,
+		Trace:   append([]string(nil), h.trace...),
+	}
+	h.violations = append(h.violations, v)
+	h.counters.Inc("checks.violations")
+	h.logf("VIOLATION %s: %s", checker, detail)
+}
+
+// probeApp records routing-convergence probe deliveries.
+type probeApp struct{ h *Harness }
+
+func (p *probeApp) Deliver(n *pastry.Node, m *pastry.Message) {
+	if tok, ok := m.Payload.(uint64); ok {
+		p.h.probeGot[tok] = n.ID()
+	}
+}
+
+func (p *probeApp) Forward(*pastry.Node, *pastry.Message, pastry.Entry) bool { return true }
+
+func (p *probeApp) Direct(*pastry.Node, pastry.Entry, any) {}

@@ -1,0 +1,450 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/ids"
+	"rbay/internal/naming"
+	"rbay/internal/pastry"
+	"rbay/internal/query"
+)
+
+// checkPassive runs the cheap structural checks that are safe to assert
+// between schedule steps, while faults are still active and the protocols
+// are mid-repair: a node must never list itself as its tree parent.
+// (Stronger properties — symmetry, acyclicity, aggregate accuracy — are
+// legitimately violated transiently during churn and are only asserted at
+// quiescence.)
+func (h *Harness) checkPassive() {
+	h.counters.Inc("checks.passive")
+	for _, n := range h.liveSorted() {
+		if h.planted[n.Addr().String()] {
+			continue
+		}
+		s := n.Scribe()
+		for _, topic := range s.Topics() {
+			info := s.Info(topic)
+			if info.InTree && !info.IsRoot && info.Parent.ID == n.Pastry().ID() {
+				h.violate("tree-parent-self",
+					fmt.Sprintf("node %s is its own parent in topic %s", n.Addr(), topic.Short()))
+			}
+		}
+	}
+}
+
+// checkQuiescent runs the full invariant suite after the schedule has
+// drained, all faults are healed, and the federation has settled.
+func (h *Harness) checkQuiescent() {
+	h.checkRoutingConvergence()
+	h.checkLeafSymmetry()
+	h.checkTrees()
+	h.checkAggregates()
+	h.checkNoDoubleAllocation()
+	h.checkQueryable()
+}
+
+// scopes returns the overlay scopes to check: global plus one per site.
+func (h *Harness) scopes() []string {
+	return append([]string{pastry.GlobalScope}, h.sitesSorted()...)
+}
+
+// scopeNodes returns the live nodes that belong to a scope and report
+// having joined it, in deterministic order.
+func (h *Harness) scopeNodes(scope string) []*core.Node {
+	var out []*core.Node
+	for _, n := range h.liveSorted() {
+		if scope != pastry.GlobalScope && n.Site() != scope {
+			continue
+		}
+		if n.Pastry().Joined(scope) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// await steps the simulation until *done or the timeout elapses.
+func (h *Harness) await(done *bool, timeout time.Duration) bool {
+	deadline := h.net.Now().Add(timeout)
+	for !*done && h.net.Now().Before(deadline) {
+		h.net.RunFor(50 * time.Millisecond)
+	}
+	return *done
+}
+
+// checkRoutingConvergence routes probe messages to random keys in every
+// scope and asserts each is delivered to the live node whose ID is
+// numerically closest to the key — Pastry's core routing correctness
+// property.
+func (h *Harness) checkRoutingConvergence() {
+	h.counters.Inc("checks.routing")
+	const probesPerScope = 6
+	probes := 0
+	for _, scope := range h.scopes() {
+		nodes := h.scopeNodes(scope)
+		if len(nodes) < 2 {
+			continue
+		}
+		for p := 0; p < probesPerScope; p++ {
+			key := ids.HashOf(fmt.Sprintf("chaos-probe/%d/%s/%d", h.scn.Seed, scope, p))
+			origin := nodes[h.rng.Intn(len(nodes))]
+
+			// The node that must receive the probe: closest live ID to key,
+			// counting every node the harness believes is alive (a covertly
+			// dead node in this set is exactly what the check must expose).
+			want := h.closestLive(scope, key)
+
+			token := h.nextProbe
+			h.nextProbe++
+			if err := origin.Pastry().RouteScoped(probeAppName, scope, key, token, false); err != nil {
+				h.violate("routing-convergence",
+					fmt.Sprintf("scope %q: route from %s failed: %v", scope, origin.Addr(), err))
+				continue
+			}
+			delivered := false
+			deadline := h.net.Now().Add(5 * time.Second)
+			for !delivered && h.net.Now().Before(deadline) {
+				h.net.RunFor(50 * time.Millisecond)
+				_, delivered = h.probeGot[token]
+			}
+			probes++
+			if !delivered {
+				h.violate("routing-convergence",
+					fmt.Sprintf("scope %q: probe to %s from %s never delivered", scope, key.Short(), origin.Addr()))
+				continue
+			}
+			if got := h.probeGot[token]; got != want {
+				h.violate("routing-convergence",
+					fmt.Sprintf("scope %q: probe to %s delivered at %s, closest live node is %s",
+						scope, key.Short(), got.Short(), want.Short()))
+			}
+		}
+	}
+	h.logf("check routing-convergence ok probes=%d", probes)
+}
+
+// closestLive returns the ID among the scope's live nodes numerically
+// closest to key (ties to the smaller ID, matching routing).
+func (h *Harness) closestLive(scope string, key ids.ID) ids.ID {
+	var best ids.ID
+	first := true
+	for _, n := range h.scopeNodes(scope) {
+		id := n.Pastry().ID()
+		if first || id.CloserToThan(key, best) {
+			best = id
+			first = false
+		}
+	}
+	return best
+}
+
+// checkLeafSymmetry asserts leaf-set convergence in every scope: with the
+// scope's live members ring-sorted, each node's immediate ring successor
+// and predecessor must appear in its leaf set. A converged Pastry overlay
+// satisfies this, and it is what makes Covers/Closest — and therefore
+// routing termination — correct.
+func (h *Harness) checkLeafSymmetry() {
+	h.counters.Inc("checks.leafsym")
+	checked := 0
+	for _, scope := range h.scopes() {
+		nodes := h.scopeNodes(scope)
+		if len(nodes) < 3 {
+			continue
+		}
+		ring := append([]*core.Node(nil), nodes...)
+		sort.Slice(ring, func(i, j int) bool { return ring[i].Pastry().ID().Less(ring[j].Pastry().ID()) })
+		for i, n := range ring {
+			succ := ring[(i+1)%len(ring)].Pastry()
+			pred := ring[(i-1+len(ring))%len(ring)].Pastry()
+			leaf := n.Pastry().Leaf(scope)
+			if leaf == nil {
+				h.violate("leaf-symmetry", fmt.Sprintf("scope %q: node %s has no leaf set", scope, n.Addr()))
+				continue
+			}
+			checked++
+			if !leaf.Contains(succ.ID()) {
+				h.violate("leaf-symmetry",
+					fmt.Sprintf("scope %q: node %s leaf set is missing ring successor %s (%s)",
+						scope, n.Addr(), succ.ID().Short(), succ.Addr()))
+			}
+			if !leaf.Contains(pred.ID()) {
+				h.violate("leaf-symmetry",
+					fmt.Sprintf("scope %q: node %s leaf set is missing ring predecessor %s (%s)",
+						scope, n.Addr(), pred.ID().Short(), pred.Addr()))
+			}
+		}
+	}
+	h.logf("check leaf-symmetry ok nodes=%d", checked)
+}
+
+// checkTrees validates every aggregation tree's shape: each in-tree
+// non-root node has a live parent that lists it as a child (parent
+// consistency), and following parent pointers terminates at the root
+// without revisiting a node (acyclicity).
+func (h *Harness) checkTrees() {
+	h.counters.Inc("checks.trees")
+	trees := 0
+	for _, def := range h.sortedDefs() {
+		for _, site := range h.sitesSorted() {
+			topic := h.reg.TopicFor(site, def)
+			members := make(map[ids.ID]*core.Node)
+			for _, n := range h.liveSite(site) {
+				if n.Scribe().Info(topic).InTree {
+					members[n.Pastry().ID()] = n
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			trees++
+			ids_ := make([]ids.ID, 0, len(members))
+			for id := range members {
+				ids_ = append(ids_, id)
+			}
+			sort.Slice(ids_, func(i, j int) bool { return ids_[i].Less(ids_[j]) })
+			for _, id := range ids_ {
+				n := members[id]
+				info := n.Scribe().Info(topic)
+				if info.IsRoot {
+					continue
+				}
+				if info.Parent.IsZero() {
+					h.violate("tree-parent-consistency",
+						fmt.Sprintf("tree %s@%s: node %s is in the tree with no parent and is not root",
+							def.Name, site, n.Addr()))
+					continue
+				}
+				parent, live := h.live[info.Parent.Addr.String()]
+				if !live || h.planted[info.Parent.Addr.String()] {
+					h.violate("tree-parent-consistency",
+						fmt.Sprintf("tree %s@%s: node %s's parent %s is dead",
+							def.Name, site, n.Addr(), info.Parent.Addr))
+					continue
+				}
+				childOK := false
+				for _, c := range parent.Scribe().Children(topic) {
+					if c.ID == id {
+						childOK = true
+						break
+					}
+				}
+				if !childOK {
+					h.violate("tree-parent-consistency",
+						fmt.Sprintf("tree %s@%s: node %s claims parent %s, which does not list it as a child",
+							def.Name, site, n.Addr(), info.Parent.Addr))
+				}
+			}
+			// Acyclicity: every member's parent chain must reach the root in
+			// at most |members| hops without revisiting anyone. A chain that
+			// leaves the live member set was already flagged by the parent
+			// consistency pass above, so the walk just stops there.
+			for _, id := range ids_ {
+				seen := map[ids.ID]bool{}
+				cur := members[id]
+				for hops := 0; cur != nil && hops <= len(members); hops++ {
+					cid := cur.Pastry().ID()
+					if seen[cid] {
+						h.violate("tree-acyclicity",
+							fmt.Sprintf("tree %s@%s: parent chain from %s revisits %s",
+								def.Name, site, members[id].Addr(), cur.Addr()))
+						break
+					}
+					seen[cid] = true
+					info := cur.Scribe().Info(topic)
+					if info.IsRoot {
+						break
+					}
+					cur = members[info.Parent.ID]
+				}
+			}
+		}
+	}
+	h.logf("check tree-shape ok trees=%d", trees)
+}
+
+// checkAggregates asserts each tree root's aggregate member count matches
+// the ground truth — the number of live nodes whose attributes satisfy the
+// tree predicate — within the scenario's staleness slack. Ground truth is
+// sampled before and after the aggregate query so legitimate in-flight
+// churn widens the accepted band instead of flaking.
+func (h *Harness) checkAggregates() {
+	h.counters.Inc("checks.aggregates")
+	checked := 0
+	for _, def := range h.sortedDefs() {
+		for _, site := range h.sitesSorted() {
+			issuers := h.liveSite(site)
+			if len(issuers) == 0 {
+				continue
+			}
+			pre := h.groundTruth(def, site)
+			var got core.TreeStats
+			var gotErr error
+			done := false
+			err := issuers[0].TreeStats(def.Name, func(st core.TreeStats, err error) {
+				got, gotErr, done = st, err, true
+			})
+			if err != nil {
+				h.violate("aggregate-correctness",
+					fmt.Sprintf("tree %s@%s: aggregate query failed to start: %v", def.Name, site, err))
+				continue
+			}
+			if !h.await(&done, 8*time.Second) {
+				h.violate("aggregate-correctness",
+					fmt.Sprintf("tree %s@%s: aggregate query never completed", def.Name, site))
+				continue
+			}
+			if gotErr != nil {
+				h.violate("aggregate-correctness",
+					fmt.Sprintf("tree %s@%s: aggregate query failed: %v", def.Name, site, gotErr))
+				continue
+			}
+			post := h.groundTruth(def, site)
+			lo, hi := pre, post
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			lo -= h.scn.AggSlack
+			hi += h.scn.AggSlack
+			checked++
+			if got.Count < lo || got.Count > hi {
+				h.violate("aggregate-correctness",
+					fmt.Sprintf("tree %s@%s: root aggregate count %d, ground truth %d..%d (slack %d)",
+						def.Name, site, got.Count, pre, post, h.scn.AggSlack))
+			}
+		}
+	}
+	h.logf("check aggregate-correctness ok trees=%d", checked)
+}
+
+// groundTruth counts the site's live nodes whose current attribute values
+// satisfy the tree predicate.
+func (h *Harness) groundTruth(def *naming.TreeDef, site string) int64 {
+	var count int64
+	for _, n := range h.liveSite(site) {
+		if v, ok := n.Attributes().Get(def.Pred.Attr); ok && def.Pred.Eval(v) {
+			count++
+		}
+	}
+	return count
+}
+
+// checkNoDoubleAllocation issues concurrent k-node queries over the same
+// predicate and asserts the reservation protocol hands no node to two
+// queries at once (the paper's lock-on-visit guarantee).
+func (h *Harness) checkNoDoubleAllocation() {
+	h.counters.Inc("checks.allocation")
+	issuers := h.liveSorted()
+	if len(issuers) < 3 {
+		h.logf("check no-double-allocation skipped: too few nodes")
+		return
+	}
+	q := query.MustParse(`SELECT 4 FROM * WHERE CPU_utilization < 50%;`)
+	const concurrent = 3
+	results := make([]core.QueryResult, concurrent)
+	done := make([]bool, concurrent)
+	picked := make([]*core.Node, concurrent)
+	for i := 0; i < concurrent; i++ {
+		picked[i] = issuers[h.rng.Intn(len(issuers))]
+	}
+	for i := 0; i < concurrent; i++ {
+		i := i
+		picked[i].Query(q, func(r core.QueryResult) {
+			results[i] = r
+			done[i] = true
+		})
+	}
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := h.net.Now().Add(30 * time.Second)
+	for !allDone() && h.net.Now().Before(deadline) {
+		h.net.RunFor(100 * time.Millisecond)
+	}
+	if !allDone() {
+		h.violate("no-double-allocation", "concurrent queries never completed")
+		return
+	}
+	holders := make(map[string]int) // candidate addr → query index
+	for i, r := range results {
+		for _, c := range r.Candidates {
+			key := c.Addr.String()
+			if prev, dup := holders[key]; dup {
+				h.violate("no-double-allocation",
+					fmt.Sprintf("node %s allocated to two concurrent queries (%d and %d)", key, prev, i))
+			}
+			holders[key] = i
+		}
+	}
+	for i, r := range results {
+		picked[i].Release(r.QueryID, r.Candidates)
+	}
+	h.net.RunFor(time.Second)
+	h.logf("check no-double-allocation ok queries=%d candidates=%d", concurrent, len(holders))
+}
+
+// checkQueryable issues a stream of end-to-end composite queries — GPU
+// lookups through the password policy and utilization threshold lookups —
+// from rotating issuers, asserting the plane answers and never hands out a
+// dead node.
+func (h *Harness) checkQueryable() {
+	h.counters.Inc("checks.queryable")
+	issuers := h.liveSorted()
+	if len(issuers) == 0 {
+		h.violate("queryability", "no live nodes")
+		return
+	}
+	gpuQ := query.MustParse(`SELECT 2 FROM * WHERE GPU = true;`)
+	utilQ := query.MustParse(`SELECT 3 FROM * WHERE CPU_utilization < 50%;`)
+	withCandidates := 0
+	for round := 0; round < h.scn.Queries; round++ {
+		issuer := issuers[h.rng.Intn(len(issuers))]
+		q := gpuQ
+		payload := any(ChaosPassword)
+		if round%2 == 0 {
+			q, payload = utilQ, nil
+		}
+		var res core.QueryResult
+		done := false
+		issuer.QueryAs(q, "chaos", payload, func(r core.QueryResult) {
+			res = r
+			done = true
+		})
+		if !h.await(&done, 30*time.Second) {
+			h.violate("queryability", fmt.Sprintf("round %d: query from %s never completed", round, issuer.Addr()))
+			continue
+		}
+		if len(res.Candidates) > 0 {
+			withCandidates++
+		}
+		for _, c := range res.Candidates {
+			if _, live := h.live[c.Addr.String()]; !live || h.planted[c.Addr.String()] {
+				h.violate("queryability",
+					fmt.Sprintf("round %d: query returned dead node %s", round, c.Addr))
+			}
+		}
+		issuer.Release(res.QueryID, res.Candidates)
+		h.net.RunFor(500 * time.Millisecond)
+	}
+	h.counters.Add("queries.issued", uint64(h.scn.Queries))
+	h.counters.Add("queries.nonempty", uint64(withCandidates))
+	if withCandidates < (h.scn.Queries+1)/2 {
+		h.violate("queryability",
+			fmt.Sprintf("plane went dark: only %d/%d queries found any candidate", withCandidates, h.scn.Queries))
+	}
+	h.logf("check queryability ok nonempty=%d/%d", withCandidates, h.scn.Queries)
+}
+
+// sortedDefs returns the registry's tree definitions sorted by name.
+func (h *Harness) sortedDefs() []*naming.TreeDef {
+	defs := h.reg.Defs()
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	return defs
+}

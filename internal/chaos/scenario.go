@@ -1,0 +1,160 @@
+// Package chaos is a seeded, deterministic fault-injection harness for the
+// simulated federation, plus a library of federation invariant checkers.
+//
+// A Scenario is a schedule of fault steps (crash, restart, partition, heal,
+// degrade) at virtual-time offsets, replayed against a federation built on
+// internal/simnet. The harness applies the schedule, runs cheap structural
+// invariant checks between steps, and at quiescence runs the full checker
+// suite: pastry leaf-set symmetry and routing convergence, scribe tree
+// acyclicity and parent consistency, aggregate correctness within staleness
+// bounds, and the core's no-double-allocation guarantee. Every decision —
+// which node crashes, which probe keys route, which fault rules fire — is
+// drawn from RNGs seeded off the scenario seed, so a failing campaign
+// reproduces byte-for-byte from `-seed`.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rbay/internal/simnet"
+)
+
+// StepKind enumerates the fault schedule's step types.
+type StepKind uint8
+
+const (
+	// Crash closes Count live nodes in Site (kept safe: at least two nodes
+	// and one boundary router per site survive).
+	Crash StepKind = iota + 1
+	// Restart revives Count previously crashed nodes of Site at their old
+	// addresses; they re-join the overlay through live seeds.
+	Restart
+	// Partition cuts all traffic between Site and Peer until healed.
+	Partition
+	// Heal removes the Site–Peer partition.
+	Heal
+	// Degrade installs the step's fault Rule on Site's cross-site traffic
+	// (or on all traffic when Site is empty): probabilistic loss,
+	// duplication, latency jitter, bounded reordering.
+	Degrade
+	// Undegrade removes Site's degradation rule.
+	Undegrade
+)
+
+// String returns the step kind's log name.
+func (k StepKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Degrade:
+		return "degrade"
+	case Undegrade:
+		return "undegrade"
+	default:
+		return fmt.Sprintf("step(%d)", k)
+	}
+}
+
+// Step is one scheduled fault.
+type Step struct {
+	// At is the step's virtual-time offset from scenario start.
+	At   time.Duration
+	Kind StepKind
+	// Site targets Crash/Restart/Degrade/Undegrade, and is the first site
+	// of Partition/Heal.
+	Site string
+	// Peer is the second site of Partition/Heal.
+	Peer string
+	// Count is how many nodes Crash/Restart affects. Default 1.
+	Count int
+	// Rule carries Degrade's fault parameters; its Match field is replaced
+	// by the harness with the site's matcher.
+	Rule simnet.Rule
+}
+
+// Scenario is a replayable fault schedule plus checker tuning.
+type Scenario struct {
+	Name string
+	// Seed drives every random decision of the run (federation latencies,
+	// fault rules, node selection, probe sampling).
+	Seed  int64
+	Steps []Step
+	// Settle is how long the federation runs fault-free after the last
+	// step before the quiescent invariant suite. Default 12s.
+	Settle time.Duration
+	// AggSlack is the allowed |root aggregate − actual member count| in the
+	// aggregate-correctness checker (staleness bound). Default 0; scenarios
+	// with continuous attribute churn set it to tolerate in-flight updates.
+	AggSlack int64
+	// Queries is how many end-to-end queries the queryability checker
+	// issues at quiescence. Default 6.
+	Queries int
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Name == "" {
+		s.Name = "scenario"
+	}
+	if s.Settle <= 0 {
+		s.Settle = 12 * time.Second
+	}
+	if s.Queries <= 0 {
+		s.Queries = 6
+	}
+	return s
+}
+
+// RandomScenario generates a steps-long schedule from seed: a weighted mix
+// of crashes, restarts, partitions, heals, and degradations spaced roughly
+// a second apart. The same (seed, steps, sites) produce the identical
+// schedule, so campaigns replay with one command.
+func RandomScenario(seed int64, steps int, sites []string) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	scn := Scenario{
+		Name: fmt.Sprintf("random-%d", seed),
+		Seed: seed,
+		// Randomized campaigns churn membership continuously; allow the
+		// aggregate to lag by a few in-flight updates.
+		AggSlack: 2,
+	}
+	at := time.Duration(0)
+	for i := 0; i < steps; i++ {
+		at += 500*time.Millisecond + time.Duration(rng.Int63n(int64(1500*time.Millisecond)))
+		site := sites[rng.Intn(len(sites))]
+		peer := sites[rng.Intn(len(sites))]
+		st := Step{At: at, Site: site, Count: 1}
+		switch roll := rng.Intn(100); {
+		case roll < 30:
+			st.Kind = Crash
+		case roll < 50:
+			st.Kind = Restart
+		case roll < 65:
+			st.Kind = Partition
+			st.Peer = peer
+		case roll < 80:
+			st.Kind = Heal
+			st.Peer = peer
+		case roll < 93:
+			st.Kind = Degrade
+			st.Rule = simnet.Rule{
+				Drop:          0.05 + 0.25*rng.Float64(),
+				Dup:           0.2 * rng.Float64(),
+				Jitter:        time.Duration(rng.Int63n(int64(200 * time.Millisecond))),
+				Reorder:       0.2,
+				ReorderWindow: 300 * time.Millisecond,
+			}
+		default:
+			st.Kind = Undegrade
+		}
+		scn.Steps = append(scn.Steps, st)
+	}
+	return scn
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetIncAddGet(t *testing.T) {
+	c := NewCounterSet()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+	c.Inc("a")
+	c.Inc("a")
+	c.Add("b", 40)
+	c.Add("b", 2)
+	if got := c.Get("a"); got != 2 {
+		t.Errorf("a = %d, want 2", got)
+	}
+	if got := c.Get("b"); got != 42 {
+		t.Errorf("b = %d, want 42", got)
+	}
+}
+
+func TestCounterSetNamesSorted(t *testing.T) {
+	c := NewCounterSet()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		c.Inc(name)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if got := c.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestCounterSetSnapshotIsCopy(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("x", 7)
+	snap := c.Snapshot()
+	snap["x"] = 999
+	snap["new"] = 1
+	if got := c.Get("x"); got != 7 {
+		t.Errorf("mutating snapshot changed live counter: x = %d", got)
+	}
+	if got := c.Get("new"); got != 0 {
+		t.Errorf("mutating snapshot created live counter: new = %d", got)
+	}
+}
+
+func TestCounterSetRender(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("faults.crash", 3)
+	c.Add("checks.routing", 12)
+	out := c.Render()
+	if !strings.Contains(out, "faults.crash") || !strings.Contains(out, "checks.routing") {
+		t.Fatalf("Render missing counters:\n%s", out)
+	}
+	// Sorted name order: checks.* before faults.*.
+	if strings.Index(out, "checks.routing") > strings.Index(out, "faults.crash") {
+		t.Fatalf("Render not sorted by name:\n%s", out)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}

@@ -262,6 +262,69 @@ func (d *IntDist) ensureSorted() {
 	}
 }
 
+// CounterSet is a bag of named monotonic counters. The chaos harness emits
+// its campaign counters (faults injected, invariant checks run, messages
+// dropped/duplicated) through one so runs are inspectable. All methods are
+// safe for concurrent use; Render lists counters in sorted name order so
+// output is deterministic.
+type CounterSet struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+// NewCounterSet creates an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{counts: make(map[string]uint64)} }
+
+// Inc increments a counter by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Add increments a counter by delta.
+func (c *CounterSet) Add(name string, delta uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[name] += delta
+}
+
+// Get returns a counter's current value (0 when never touched).
+func (c *CounterSet) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Names returns the touched counter names, sorted.
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.counts))
+	for name := range c.counts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (c *CounterSet) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Render returns one "name value" line per counter, sorted by name.
+func (c *CounterSet) Render() string {
+	names := c.Names()
+	t := NewTable("counter", "value")
+	for _, name := range names {
+		t.AddRow(name, c.Get(name))
+	}
+	return t.String()
+}
+
 // Table renders aligned text tables for experiment output, in the spirit
 // of the paper's tables.
 type Table struct {

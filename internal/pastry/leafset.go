@@ -128,9 +128,16 @@ func (ls *LeafSet) full() bool {
 
 // Covers reports whether key falls inside the leaf-set range — the arc from
 // the farthest left member to the farthest right member passing through the
-// owner. An underfull leaf set covers the whole ring.
+// owner. An underfull leaf set covers the whole ring. So does one whose two
+// sides overlap: with at most 2×half other nodes on the ring the same member
+// appears on both sides, the "farthest left" can sit clockwise past the
+// "farthest right", and the lo→hi arc test would wrongly exclude keys right
+// next to the owner — misrouting deliveries on small rings.
 func (ls *LeafSet) Covers(key ids.ID) bool {
 	if !ls.full() {
+		return true
+	}
+	if ls.Len() < len(ls.left)+len(ls.right) {
 		return true
 	}
 	lo := ls.left[len(ls.left)-1].ID

@@ -245,3 +245,36 @@ func TestRoutingTableNextHop(t *testing.T) {
 		t.Fatalf("NextHop for unpopulated digit should be zero, got %+v", got)
 	}
 }
+
+// TestLeafSetOverlappingSidesCoverEverything pins a small-ring routing bug:
+// with n ≤ 2×half other nodes, both sides hold ≥ half entries (so the set
+// reads as "full") yet share members, and the farthest-left member can sit
+// clockwise past the farthest-right one. The lo→hi arc test then excluded
+// keys immediately adjacent to the owner, so the true destination refused
+// to deliver and ping-ponged the message with its neighbor forever. A leaf
+// set whose sides overlap has seen every node it will ever see and must
+// cover the whole ring.
+func TestLeafSetOverlappingSidesCoverEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	owner := ids.HashOf("owner")
+	for n := 8; n <= 15; n++ { // half=8: with ≤ 15 others the sides must share a member
+		ls := NewLeafSet(owner, 8)
+		members := make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			e := testEntry(r, "s")
+			ls.Insert(e)
+			members = append(members, e)
+		}
+		for i := 0; i < 200; i++ {
+			var key ids.ID
+			r.Read(key[:])
+			if !ls.Covers(key) {
+				t.Fatalf("n=%d: leaf set with overlapping sides must cover key %s", n, key.Short())
+			}
+			// And Closest must agree with brute force over everyone known.
+			if got, want := ls.Closest(key).ID, bruteClosest(owner, members, key); got != want {
+				t.Fatalf("n=%d: Closest(%s) = %s, want %s", n, key.Short(), got.Short(), want.Short())
+			}
+		}
+	}
+}

@@ -77,6 +77,13 @@ type probe struct {
 
 type probeAck struct {
 	Seq uint64
+	// Leaves piggybacks the responder's global leaf set. This is the
+	// overlay's only steady-state membership gossip: after a healed
+	// partition both sides have forgotten each other's ring neighbors, and
+	// with no application traffic nothing would ever reintroduce them.
+	// Probe acks flow continuously, so surviving cross-partition links
+	// (typically routing-table entries) re-seed the leaf sets.
+	Leaves []Entry
 }
 
 // repairReq asks a surviving leaf neighbor for its leaf set after a

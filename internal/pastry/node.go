@@ -3,6 +3,7 @@ package pastry
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"rbay/internal/ids"
@@ -232,6 +233,17 @@ func (n *Node) Table(scope string) *RoutingTable {
 func (n *Node) Joined(scope string) bool {
 	st := n.states[scope]
 	return st != nil && st.joined
+}
+
+// Scopes returns the names of the routing scopes this node participates in
+// (the global scope plus its site), sorted.
+func (n *Node) Scopes() []string {
+	out := make([]string, 0, len(n.states))
+	for scope := range n.states {
+		out = append(out, scope)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // learn inserts a peer into the appropriate routing structures. Peers with
@@ -584,8 +596,10 @@ func (n *Node) NotePeerFailure(e Entry) {
 		return
 	}
 	// Leaf-set repair: ask the extreme surviving neighbors for their leaf
-	// sets to refill ours.
-	for scope, st := range n.states {
+	// sets to refill ours. Scopes are walked in sorted order so the repair
+	// message sequence is reproducible run-to-run.
+	for _, scope := range n.Scopes() {
+		st := n.states[scope]
 		left, right := st.leaf.Extremes()
 		for _, x := range []Entry{left, right} {
 			if !x.IsZero() {
@@ -633,7 +647,20 @@ func (n *Node) scheduleProbe() {
 
 func (n *Node) probeOnce() {
 	st := n.states[GlobalScope]
+	// Probe the leaf set and the routing table: leaf members for ring
+	// liveness, table entries so distant peers keep exchanging leaf-set
+	// gossip (see probeAck.Leaves) and dead table entries get evicted.
 	members := st.leaf.Members()
+	seen := make(map[ids.ID]bool, len(members))
+	for _, e := range members {
+		seen[e.ID] = true
+	}
+	for _, e := range st.table.Entries() {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			members = append(members, e)
+		}
+	}
 	if len(members) == 0 {
 		return
 	}
@@ -774,9 +801,27 @@ func (n *Node) handle(from transport.Addr, msg any) {
 	case announce:
 		n.handleAnnounce(v)
 	case probe:
-		_ = n.ep.Send(from, probeAck{Seq: v.Seq})
+		// A probe, like an announce, is first-person evidence the peer is
+		// alive: clear any stale failure tombstone (e.g. from a lossy spell
+		// that ate an earlier ack) so the peer is re-learned instead of
+		// being ignored for the whole tombstone TTL.
+		delete(n.failed, EntryFor(from).ID)
+		n.learn(EntryFor(from))
+		var leaves []Entry
+		if st := n.states[GlobalScope]; st != nil {
+			leaves = st.leaf.Members()
+		}
+		_ = n.ep.Send(from, probeAck{Seq: v.Seq, Leaves: leaves})
 	case probeAck:
+		delete(n.failed, EntryFor(from).ID)
+		n.learn(EntryFor(from))
 		delete(n.probePending, v.Seq)
+		// Gossiped entries are third-party information, so learn() keeps its
+		// tombstone guard: dead peers are not re-admitted until their
+		// failure record expires.
+		for _, e := range v.Leaves {
+			n.learn(e)
+		}
 	case repairReq:
 		n.handleRepairReq(EntryFor(from), v)
 	case repairResp:

@@ -270,7 +270,8 @@ func (s *Scribe) Info(topic ids.ID) TreeInfo {
 	}
 }
 
-// Topics returns the identifiers of all trees this node participates in.
+// Topics returns the identifiers of all trees this node participates in,
+// in ascending ID order.
 func (s *Scribe) Topics() []ids.ID {
 	out := make([]ids.ID, 0, len(s.topics))
 	for id, t := range s.topics {
@@ -278,7 +279,19 @@ func (s *Scribe) Topics() []ids.ID {
 			out = append(out, id)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
+}
+
+// Children returns this node's downstream tree neighbors for a topic in
+// ascending ID order (nil when the node is not in the tree). Invariant
+// checkers use it to validate tree shape against members' parent pointers.
+func (s *Scribe) Children(topic ids.ID) []pastry.Entry {
+	t := s.topics[topic]
+	if t == nil {
+		return nil
+	}
+	return t.sortedChildren()
 }
 
 // ---------------------------------------------------------------------------
@@ -455,14 +468,15 @@ func (s *Scribe) QueryAggregate(scope string, topic ids.ID, cb func(value any, e
 }
 
 // aggregate folds this node's subtree: its own contribution (if a member)
-// plus the children's cached partials.
+// plus the children's cached partials. Children fold in ID order so
+// non-commutative rounding (float sums) is reproducible run-to-run.
 func (s *Scribe) aggregate(t *topicState) any {
 	v := t.agg.Zero()
 	if t.subscribed && t.sub != nil {
 		v = t.agg.Combine(v, t.sub.LocalValue(t.id))
 	}
-	for _, c := range t.children {
-		if c.hasValue {
+	for _, e := range t.sortedChildren() {
+		if c := t.children[e.ID]; c != nil && c.hasValue {
 			v = t.agg.Combine(v, c.value)
 		}
 	}
@@ -477,11 +491,24 @@ func (s *Scribe) scheduleTick() {
 	})
 }
 
+// sortedTopics returns this node's topic states in ascending ID order.
+// Maintenance and failure handling iterate topics in this order so that the
+// message sequence — and with it a whole simulation — is reproducible
+// run-to-run (Go map iteration order is not).
+func (s *Scribe) sortedTopics() []*topicState {
+	out := make([]*topicState, 0, len(s.topics))
+	for _, t := range s.topics {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Less(out[j].id) })
+	return out
+}
+
 // tick pushes partial aggregates to parents, prunes silent children, and
 // repairs lost parents.
 func (s *Scribe) tick() {
 	now := s.node.Now()
-	for _, t := range s.topics {
+	for _, t := range s.sortedTopics() {
 		// Prune children we have not heard from.
 		for id, c := range t.children {
 			if now.Sub(c.lastSeen) > s.cfg.ChildTTL {
@@ -526,7 +553,7 @@ func (s *Scribe) dropChild(t *topicState, e pastry.Entry) {
 // onPeerFailure reacts to Pastry-level failure notices: lost parents
 // trigger rejoin, lost children are pruned.
 func (s *Scribe) onPeerFailure(e pastry.Entry) {
-	for _, t := range s.topics {
+	for _, t := range s.sortedTopics() {
 		if t.parent.ID == e.ID {
 			t.parent = pastry.Entry{}
 			if t.inTree() && !t.isRoot {

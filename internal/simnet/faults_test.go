@@ -1,0 +1,227 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+// twoSites wires one endpoint per site and returns the network plus a
+// delivery recorder.
+func twoSites(t *testing.T) (*Network, *transport.Addr, *transport.Addr, *[]string, *[]time.Time) {
+	t.Helper()
+	n := New(transport.ConstantLatency(10 * time.Millisecond))
+	var msgs []string
+	var at []time.Time
+	east := addr("east", "a")
+	west := addr("west", "b")
+	if _, err := n.NewEndpoint(east, func(_ transport.Addr, m any) {
+		msgs = append(msgs, m.(string))
+		at = append(at, n.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.NewEndpoint(west, func(_ transport.Addr, m any) {
+		msgs = append(msgs, m.(string))
+		at = append(at, n.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n, &east, &west, &msgs, &at
+}
+
+func TestDupRuleDeliversExactCopies(t *testing.T) {
+	n, east, west, msgs, _ := twoSites(t)
+	n.SeedFaults(1)
+	n.AddRule(Rule{Match: MatchSites("east", "west"), Dup: 1.0})
+	ep := n.endpoints[*east]
+	for i := 0; i < 5; i++ {
+		if err := ep.Send(*west, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run()
+	if len(*msgs) != 10 {
+		t.Fatalf("delivered %d messages, want 10 (each duplicated exactly once)", len(*msgs))
+	}
+	if st := n.Stats(); st.MessagesDuplicated != 5 {
+		t.Fatalf("MessagesDuplicated = %d, want 5", st.MessagesDuplicated)
+	}
+}
+
+func TestReorderDelaysStayInsideWindow(t *testing.T) {
+	n, east, west, msgs, at := twoSites(t)
+	n.SeedFaults(7)
+	const window = 50 * time.Millisecond
+	n.AddRule(Rule{Match: MatchSites("east", "west"), Reorder: 1.0, ReorderWindow: window})
+	ep := n.endpoints[*east]
+	const sends = 40
+	for i := 0; i < sends; i++ {
+		if err := ep.Send(*west, string(rune('a'+i%26))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run()
+	if len(*msgs) != sends {
+		t.Fatalf("delivered %d, want %d", len(*msgs), sends)
+	}
+	base := Epoch.Add(10 * time.Millisecond) // all sends at t=0, constant latency
+	for i, ts := range *at {
+		d := ts.Sub(base)
+		if d <= 0 || d > window {
+			t.Fatalf("delivery %d delayed by %v, want within (0, %v]", i, d, window)
+		}
+	}
+	// With every message perturbed inside the window, at least one pair
+	// must actually swap order.
+	reordered := false
+	for i := 1; i < len(*msgs); i++ {
+		if (*msgs)[i] != string(rune('a'+i%26)) {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("no message pair was reordered")
+	}
+	if st := n.Stats(); st.MessagesReordered != sends {
+		t.Fatalf("MessagesReordered = %d, want %d", st.MessagesReordered, sends)
+	}
+}
+
+func TestJitterDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []time.Time {
+		n, east, west, _, at := twoSites(t)
+		n.SeedFaults(seed)
+		n.AddRule(Rule{Match: MatchSites("east", "west"), Jitter: 30 * time.Millisecond})
+		ep := n.endpoints[*east]
+		for i := 0; i < 25; i++ {
+			if err := ep.Send(*west, "j"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Run()
+		return *at
+	}
+	a, b := run(5), run(5)
+	if len(a) != 25 || len(b) != 25 {
+		t.Fatalf("deliveries = %d/%d, want 25", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at delivery %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	base := Epoch.Add(10 * time.Millisecond)
+	varied := false
+	for i := range a {
+		d := a[i].Sub(base)
+		if d < 0 || d > 30*time.Millisecond {
+			t.Fatalf("jitter %v outside [0, 30ms]", d)
+		}
+		if d > 0 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never delayed any message")
+	}
+	c := run(6)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter sequence")
+	}
+}
+
+func TestDropRuleProbability(t *testing.T) {
+	n, east, west, msgs, _ := twoSites(t)
+	n.SeedFaults(11)
+	id := n.AddRule(Rule{Match: MatchSites("east", "west"), Drop: 0.5})
+	ep := n.endpoints[*east]
+	const sends = 200
+	for i := 0; i < sends; i++ {
+		if err := ep.Send(*west, "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run()
+	if got := len(*msgs); got == 0 || got == sends {
+		t.Fatalf("delivered %d of %d with Drop=0.5, want strictly between", got, sends)
+	}
+	if !n.RemoveRule(id) {
+		t.Fatal("RemoveRule reported missing rule")
+	}
+	if n.RemoveRule(id) {
+		t.Fatal("double remove reported success")
+	}
+	before := len(*msgs)
+	for i := 0; i < 10; i++ {
+		_ = ep.Send(*west, "d")
+	}
+	n.Run()
+	if len(*msgs) != before+10 {
+		t.Fatalf("after rule removal delivered %d new, want 10", len(*msgs)-before)
+	}
+}
+
+// TestPartitionHealNoRuleLeak pins the fix for the old closure-stacking
+// bug: PartitionSites used to wrap the previous drop func on every call,
+// so repeated partition/heal cycles accumulated state forever and healing
+// could silently resurrect earlier partitions.
+func TestPartitionHealNoRuleLeak(t *testing.T) {
+	n, east, west, msgs, _ := twoSites(t)
+	for i := 0; i < 100; i++ {
+		n.PartitionSites("east", "west")
+		n.PartitionSites("west", "east") // same pair, either order: idempotent
+		if !n.Partitioned("east", "west") {
+			t.Fatal("Partitioned = false while partitioned")
+		}
+		if got := n.RuleCount(); got != 1 {
+			t.Fatalf("cycle %d: RuleCount = %d, want 1", i, got)
+		}
+		if !n.HealSites("east", "west") {
+			t.Fatal("HealSites reported no partition")
+		}
+		if n.HealSites("east", "west") {
+			t.Fatal("double heal reported success")
+		}
+		if got := n.RuleCount(); got != 0 {
+			t.Fatalf("cycle %d: RuleCount after heal = %d, want 0", i, got)
+		}
+	}
+	ep := n.endpoints[*east]
+	if err := ep.Send(*west, "after"); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if len(*msgs) != 1 {
+		t.Fatalf("delivered %d after 100 partition/heal cycles, want 1", len(*msgs))
+	}
+
+	n.PartitionSites("east", "west")
+	n.PartitionSites("east", "north")
+	n.HealAllPartitions()
+	if n.RuleCount() != 0 || n.Partitioned("east", "west") {
+		t.Fatal("HealAllPartitions left state behind")
+	}
+}
+
+func TestMatchSiteCrossesBoundaryOnly(t *testing.T) {
+	m := MatchSite("east")
+	if !m(addr("east", "a"), addr("west", "b")) || !m(addr("west", "b"), addr("east", "a")) {
+		t.Fatal("cross-boundary traffic not matched")
+	}
+	if m(addr("east", "a"), addr("east", "b")) {
+		t.Fatal("intra-site traffic matched")
+	}
+	if m(addr("west", "a"), addr("north", "b")) {
+		t.Fatal("unrelated traffic matched")
+	}
+}

@@ -14,6 +14,7 @@ package simnet
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"rbay/internal/transport"
@@ -65,13 +66,68 @@ func (h *eventHeap) Pop() any {
 }
 
 // Stats tracks aggregate network activity, used by the overhead and
-// load-balance experiments.
+// load-balance experiments and by the chaos harness's campaign counters.
 type Stats struct {
-	MessagesSent      uint64
-	MessagesDelivered uint64
-	MessagesDropped   uint64
-	TimersFired       uint64
-	EventsProcessed   uint64
+	MessagesSent       uint64
+	MessagesDelivered  uint64
+	MessagesDropped    uint64
+	MessagesDuplicated uint64
+	MessagesJittered   uint64
+	MessagesReordered  uint64
+	TimersFired        uint64
+	EventsProcessed    uint64
+}
+
+// Rule is one composable fault-injection rule. A message matching several
+// rules accumulates their effects; probabilistic decisions are drawn from
+// the network's seeded fault RNG, so a simulation replays identically from
+// the same seed.
+type Rule struct {
+	// Match limits the rule to matching (from, to) pairs; nil matches every
+	// message.
+	Match func(from, to transport.Addr) bool
+	// Drop is the probability in [0,1] that a matching message is silently
+	// lost in flight (the sender sees no error).
+	Drop float64
+	// Dup is the probability that a matching message is delivered twice.
+	Dup float64
+	// Jitter adds uniform extra latency in [0, Jitter] to every matching
+	// message.
+	Jitter time.Duration
+	// Reorder is the probability that a matching message is held back by an
+	// extra delay uniform in (0, ReorderWindow], letting messages sent
+	// later overtake it. Reordering is therefore bounded: a delayed message
+	// arrives at most ReorderWindow after its undisturbed delivery time.
+	Reorder       float64
+	ReorderWindow time.Duration
+}
+
+func (r Rule) matches(from, to transport.Addr) bool {
+	return r.Match == nil || r.Match(from, to)
+}
+
+// RuleID names an installed rule so it can be removed later.
+type RuleID uint64
+
+type installedRule struct {
+	id RuleID
+	r  Rule
+}
+
+// MatchSites returns a Rule matcher selecting traffic between two sites,
+// in both directions.
+func MatchSites(a, b string) func(from, to transport.Addr) bool {
+	return func(from, to transport.Addr) bool {
+		return (from.Site == a && to.Site == b) || (from.Site == b && to.Site == a)
+	}
+}
+
+// MatchSite returns a Rule matcher selecting all traffic entering or
+// leaving one site, excluding site-internal messages.
+func MatchSite(site string) func(from, to transport.Addr) bool {
+	return func(from, to transport.Addr) bool {
+		return (from.Site == site) != (to.Site == site)
+	}
 }
 
 // Network is a simulated network. It is not safe for concurrent use; all
@@ -93,6 +149,13 @@ type Network struct {
 	// drop, if non-nil, is consulted for every send; returning true drops
 	// the message silently (failure injection: lossy links, partitions).
 	drop func(from, to transport.Addr) bool
+
+	// rules is the ordered fault-rule list; faultRNG drives its
+	// probabilistic decisions.
+	rules      []installedRule
+	nextRule   RuleID
+	faultRNG   *rand.Rand
+	partitions map[[2]string]RuleID
 
 	// running guards against reentrant Run calls from handlers.
 	running bool
@@ -127,19 +190,100 @@ func (n *Network) PerEndpointDelivered() map[transport.Addr]uint64 {
 }
 
 // SetDropFunc installs a failure-injection predicate consulted on every
-// send. Pass nil to clear.
+// send, in addition to any installed fault rules. Pass nil to clear.
 func (n *Network) SetDropFunc(f func(from, to transport.Addr) bool) { n.drop = f }
 
-// PartitionSites drops all traffic between the two given sites (both
-// directions) in addition to any previously installed drop rule.
-func (n *Network) PartitionSites(a, b string) {
-	prev := n.drop
-	n.drop = func(from, to transport.Addr) bool {
-		if prev != nil && prev(from, to) {
+// SeedFaults seeds the RNG behind probabilistic fault rules. Calling it
+// resets the fault stream; the default seed is 1.
+func (n *Network) SeedFaults(seed int64) { n.faultRNG = rand.New(rand.NewSource(seed)) }
+
+func (n *Network) faultRand() *rand.Rand {
+	if n.faultRNG == nil {
+		n.SeedFaults(1)
+	}
+	return n.faultRNG
+}
+
+// AddRule installs a fault rule, returning an identifier for later removal.
+// Rules are evaluated in installation order on every send.
+func (n *Network) AddRule(r Rule) RuleID {
+	n.nextRule++
+	id := n.nextRule
+	n.rules = append(n.rules, installedRule{id: id, r: r})
+	return id
+}
+
+// RemoveRule uninstalls a rule, reporting whether it was present.
+func (n *Network) RemoveRule(id RuleID) bool {
+	for i, ir := range n.rules {
+		if ir.id == id {
+			n.rules = append(n.rules[:i], n.rules[i+1:]...)
+			for pair, pid := range n.partitions {
+				if pid == id {
+					delete(n.partitions, pair)
+				}
+			}
 			return true
 		}
-		return (from.Site == a && to.Site == b) || (from.Site == b && to.Site == a)
 	}
+	return false
+}
+
+// RuleCount returns the number of installed fault rules (partitions
+// included).
+func (n *Network) RuleCount() int { return len(n.rules) }
+
+func sitePair(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// PartitionSites drops all traffic between the two given sites (both
+// directions) until HealSites or HealAll removes the partition. Repeated
+// calls for the same pair are idempotent: exactly one rule exists per
+// partitioned pair, so partition/heal cycles do not accumulate state.
+func (n *Network) PartitionSites(a, b string) {
+	pair := sitePair(a, b)
+	if n.partitions == nil {
+		n.partitions = make(map[[2]string]RuleID)
+	}
+	if _, up := n.partitions[pair]; up {
+		return
+	}
+	n.partitions[pair] = n.AddRule(Rule{Match: MatchSites(a, b), Drop: 1})
+}
+
+// HealSites removes the partition between two sites, reporting whether one
+// existed.
+func (n *Network) HealSites(a, b string) bool {
+	id, ok := n.partitions[sitePair(a, b)]
+	if !ok {
+		return false
+	}
+	return n.RemoveRule(id)
+}
+
+// HealAllPartitions removes every site partition installed with
+// PartitionSites. Other fault rules are untouched.
+func (n *Network) HealAllPartitions() {
+	for _, id := range n.partitions {
+		for i, ir := range n.rules {
+			if ir.id == id {
+				n.rules = append(n.rules[:i], n.rules[i+1:]...)
+				break
+			}
+		}
+	}
+	n.partitions = nil
+}
+
+// Partitioned reports whether traffic between the two sites is currently
+// partitioned.
+func (n *Network) Partitioned(a, b string) bool {
+	_, ok := n.partitions[sitePair(a, b)]
+	return ok
 }
 
 // NewEndpoint implements transport.Network.
@@ -156,7 +300,7 @@ func (n *Network) NewSimEndpoint(addr transport.Addr, h transport.Handler) (*End
 	if addr.IsZero() {
 		return nil, fmt.Errorf("simnet: zero address")
 	}
-	if _, ok := n.endpoints[addr]; ok {
+	if old, ok := n.endpoints[addr]; ok && !old.closed {
 		return nil, fmt.Errorf("simnet: address %v already attached", addr)
 	}
 	ep := &Endpoint{net: n, addr: addr, handler: h}
@@ -183,13 +327,42 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 		n.stats.MessagesDropped++
 		return nil
 	}
-	n.push(&event{
-		at:   n.now.Add(n.latency.Delay(from, to)),
-		kind: eventDeliver,
-		from: from,
-		to:   to,
-		msg:  msg,
-	})
+	copies := 1
+	var extra time.Duration
+	for _, ir := range n.rules {
+		r := ir.r
+		if !r.matches(from, to) {
+			continue
+		}
+		if r.Drop > 0 && (r.Drop >= 1 || n.faultRand().Float64() < r.Drop) {
+			n.stats.MessagesDropped++
+			return nil
+		}
+		if r.Dup > 0 && (r.Dup >= 1 || n.faultRand().Float64() < r.Dup) {
+			copies++
+			n.stats.MessagesDuplicated++
+		}
+		if r.Jitter > 0 {
+			if d := time.Duration(n.faultRand().Int63n(int64(r.Jitter) + 1)); d > 0 {
+				extra += d
+				n.stats.MessagesJittered++
+			}
+		}
+		if r.Reorder > 0 && r.ReorderWindow > 0 && (r.Reorder >= 1 || n.faultRand().Float64() < r.Reorder) {
+			extra += time.Duration(n.faultRand().Int63n(int64(r.ReorderWindow))) + 1
+			n.stats.MessagesReordered++
+		}
+	}
+	at := n.now.Add(n.latency.Delay(from, to) + extra)
+	for c := 0; c < copies; c++ {
+		n.push(&event{
+			at:   at,
+			kind: eventDeliver,
+			from: from,
+			to:   to,
+			msg:  msg,
+		})
+	}
 	return nil
 }
 
