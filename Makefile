@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench chaos
+.PHONY: ci vet build test race bench bench-all bench-baseline chaos
 
 ci: vet build race
 
@@ -28,5 +28,15 @@ CHAOS_STEPS ?= 100
 chaos:
 	$(GO) run ./cmd/rbaysim chaos -seed $(CHAOS_SEED) -steps $(CHAOS_STEPS)
 
+# Query/scribe hot-path benchmarks (probe, anycast, cross-site, parser).
+# BENCH_seed.json was produced from this set via `make bench-baseline`;
+# compare against it before landing perf-sensitive changes.
+BENCH_PATTERN ?= 'Query|Probe|Parse|Bootstrap'
 bench:
+	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' .
+
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+bench-baseline:
+	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_seed.json

@@ -201,6 +201,74 @@ func BenchmarkQueryLocalSite(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryCrossSite measures federated two-site composite queries:
+// per-tree probes, the anycast DFS, and the boundary-router hop all run
+// per iteration.
+func BenchmarkQueryCrossSite(b *testing.B) {
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name: "GPU", Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true}, Creator: "bench",
+	})
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia", "tokyo"},
+		NodesPerSite: 25,
+		Seed:         2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range fed.Nodes() {
+		n.SetAttribute("GPU", i%2 == 0)
+	}
+	fed.Settle()
+	issuer := fed.Site("virginia")[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fed.QuerySync(issuer, `SELECT 4 FROM * WHERE GPU = true;`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		issuer.Release(res.QueryID, res.Candidates)
+		fed.RunFor(time.Second)
+	}
+}
+
+// BenchmarkTreeSizeProbe measures the scribe aggregate probe: routing to
+// the tree root and reading its folded view.
+func BenchmarkTreeSizeProbe(b *testing.B) {
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name: "GPU", Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true}, Creator: "bench",
+	})
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia"},
+		NodesPerSite: 50,
+		Seed:         2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range fed.Nodes() {
+		n.SetAttribute("GPU", i%2 == 0)
+	}
+	fed.Settle()
+	issuer := fed.Nodes()[9]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fired := false
+		err := issuer.TreeSize("GPU", func(int64, error) { fired = true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100 && !fired; j++ {
+			fed.RunFor(50 * time.Millisecond)
+		}
+		if !fired {
+			b.Fatal("probe never answered")
+		}
+	}
+}
+
 // BenchmarkParseQuery measures the SQL-like parser.
 func BenchmarkParseQuery(b *testing.B) {
 	src := `SELECT 5 FROM virginia, tokyo WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% GROUPBY CPU_utilization DESC;`

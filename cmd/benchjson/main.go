@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, the format the repo's BENCH_seed.json
+// perf baseline uses:
+//
+//	go test -bench 'Query|Probe|Parse' -benchmem -run '^$' . | go run ./cmd/benchjson
+//
+// Each benchmark line ("BenchmarkX-8  100  12345 ns/op  64 B/op ...")
+// becomes an entry with its iteration count and every value/unit pair,
+// including custom b.ReportMetric units.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's parsed result.
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, out *os.File) error {
+	var (
+		entries []entry
+		meta    = map[string]string{}
+	)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			meta[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseBench(line); ok {
+				entries = append(entries, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	doc := map[string]any{"meta": meta, "benchmarks": entries}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parseBench parses one result line: name, iteration count, then
+// value/unit pairs.
+func parseBench(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix so baselines compare across machines.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}

@@ -38,6 +38,7 @@ func run(args []string) error {
 	registryPath := fs.String("registry", "", "tree registry JSON (empty: EC2 evaluation catalog)")
 	seedFlag := fs.String("seed", "", "peer to join through, site/host (required)")
 	password := fs.String("password", "", "payload presented to onGet handlers")
+	explain := fs.Bool("explain", false, "print the query's trace outline (plan, probes, anycasts, backoff)")
 	timeout := fs.Duration("timeout", 30*time.Second, "operation timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,7 +109,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: rbayctl ... query 'SELECT ...'")
 		}
-		return doQuery(node.Node, rest[1], *password, *timeout)
+		return doQuery(node.Node, rest[1], *password, *explain, *timeout)
 	case "treesize":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: rbayctl ... treesize <tree-name>")
@@ -135,7 +136,7 @@ func run(args []string) error {
 	}
 }
 
-func doQuery(n *rbay.Node, sql, password string, timeout time.Duration) error {
+func doQuery(n *rbay.Node, sql, password string, explain bool, timeout time.Duration) error {
 	q, err := rbay.ParseQuery(sql)
 	if err != nil {
 		return err
@@ -147,6 +148,9 @@ func doQuery(n *rbay.Node, sql, password string, timeout time.Duration) error {
 	select {
 	case r := <-done:
 		if r.Err != nil {
+			if explain && r.Trace != nil {
+				fmt.Println(r.Trace.Render())
+			}
 			return r.Err
 		}
 		fmt.Printf("query %s: %d candidate(s) in %v (%d attempt(s))\n",
@@ -156,6 +160,10 @@ func doQuery(n *rbay.Node, sql, password string, timeout time.Duration) error {
 		}
 		if r.Shortfall > 0 {
 			fmt.Printf("  (%d short of the requested count)\n", r.Shortfall)
+		}
+		if explain && r.Trace != nil {
+			fmt.Println()
+			fmt.Println(r.Trace.Render())
 		}
 		return nil
 	case <-time.After(timeout):

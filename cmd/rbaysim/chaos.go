@@ -22,6 +22,7 @@ func runChaos(args []string) error {
 	nodesPerSite := fs.Int("nodes-per-site", 20, "agents per site")
 	settle := fs.Duration("settle", 45*time.Second, "fault-free virtual time before the quiescent checks")
 	plant := fs.Int("plant", 0, "1-based step index after which to covertly kill a node (validates the checkers; 0 = off)")
+	dumpMetrics := fs.Bool("metrics", false, "print the merged per-node metric snapshot (counters + latency/count histograms) after the run")
 	verbose := fs.Bool("v", false, "stream the event log while running (also printed at the end)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +63,10 @@ func runChaos(args []string) error {
 	}
 	fmt.Println()
 	fmt.Print(res.Counters.Render())
+	if *dumpMetrics {
+		fmt.Println()
+		fmt.Print(res.Metrics.Summary())
+	}
 
 	if res.Failed() {
 		fmt.Println()

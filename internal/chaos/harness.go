@@ -128,8 +128,12 @@ type Result struct {
 	Scenario   Scenario
 	Violations []Violation
 	Counters   *metrics.CounterSet
-	Net        simnet.Stats
-	Log        []string
+	// Metrics merges every surviving node's metric registry (query rounds,
+	// anycast visits, reservation releases, …) at quiescence. Virtual time
+	// makes the values a pure function of the seed.
+	Metrics metrics.Snapshot
+	Net     simnet.Stats
+	Log     []string
 }
 
 // Failed reports whether any invariant was violated.
@@ -257,11 +261,16 @@ func (h *Harness) Run() *Result {
 	h.counters.Add("net.duplicated", st.MessagesDuplicated)
 	h.counters.Add("net.jittered", st.MessagesJittered)
 	h.counters.Add("net.reordered", st.MessagesReordered)
+	merged := metrics.Snapshot{Counters: map[string]uint64{}, Histograms: map[string]metrics.HistSnapshot{}}
+	for _, n := range h.liveSorted() {
+		merged.Merge(n.Metrics().Snapshot())
+	}
 	h.logf("done live=%d down=%d violations=%d", len(h.live), len(h.down), len(h.violations))
 	return &Result{
 		Scenario:   h.scn,
 		Violations: h.violations,
 		Counters:   h.counters,
+		Metrics:    merged,
 		Net:        st,
 		Log:        h.logLines,
 	}

@@ -61,12 +61,33 @@ type siteQueryReq struct {
 
 // siteQueryResp returns one site's candidates.
 type siteQueryResp struct {
-	ReqID      uint64
+	ReqID uint64
+	// QueryID echoes the originating query so a response that outlives its
+	// request (late arrival after the origin's timeout) still carries
+	// enough to release the reservations it holds.
+	QueryID    string
 	Site       string
 	Candidates []Candidate
 	Conflicts  int
 	TreeSize   int64
 	Err        string
+
+	// Observability measured inside the serving site (durations travel as
+	// nanoseconds on that site's clock; the origin re-anchors them under
+	// its own span tree).
+	Probes       []treeProbe
+	AnycastNanos int64
+	Visits       int
+	Hops         int
+}
+
+// treeProbe is one tree's aggregate probe during a site query: which tree
+// was sized, how big it was, and how long the probe took.
+type treeProbe struct {
+	Tree    string
+	Size    int64
+	Missing bool
+	Nanos   int64
 }
 
 // commitReq asks a reserved node to commit (lease) itself to the query.

@@ -10,11 +10,17 @@ import (
 	"rbay/internal/attr"
 	"rbay/internal/forecast"
 	"rbay/internal/ids"
+	"rbay/internal/metrics"
 	"rbay/internal/naming"
 	"rbay/internal/pastry"
 	"rbay/internal/scribe"
+	"rbay/internal/trace"
 	"rbay/internal/transport"
 )
+
+// recentQueryCap bounds the per-node ring of finished query records kept
+// for /debug/queries.
+const recentQueryCap = 64
 
 // StabilityPrefix marks the virtual ordering attributes backed by the
 // churn predictor (paper §VI future work): "GROUPBY _stability.<attr>"
@@ -110,6 +116,12 @@ type Node struct {
 	// Stats for experiments.
 	stats NodeStats
 
+	// metrics is the node's registry; pastry and scribe share it unless the
+	// caller wired their own.
+	metrics *metrics.Registry
+	// recent is a ring of the last finished queries this node originated.
+	recent []QueryRecord
+
 	// deliverHook, when set, observes every admin-command delivery (the
 	// Fig. 11 overhead experiment measures dissemination latency with it).
 	deliverHook func(attrName string, sentAt time.Time)
@@ -119,6 +131,21 @@ type Node struct {
 	// watched caches the attribute names worth tracking (those the
 	// registry's trees predicate over).
 	watched []string
+}
+
+// QueryRecord is one finished query kept in the node's recent-query ring
+// (served by /debug/queries and the EXPLAIN path).
+type QueryRecord struct {
+	QueryID    string        `json:"queryId"`
+	Caller     string        `json:"caller"`
+	Start      time.Time     `json:"start"`
+	Elapsed    time.Duration `json:"elapsed"`
+	Attempts   int           `json:"attempts"`
+	Conflicts  int           `json:"conflicts"`
+	Shortfall  int           `json:"shortfall"`
+	Candidates int           `json:"candidates"`
+	Err        string        `json:"err,omitempty"`
+	Trace      *trace.Span   `json:"trace,omitempty"`
 }
 
 // NodeStats counts per-node query activity.
@@ -168,6 +195,13 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 	if cfg.Scribe.AggregatorFor == nil {
 		cfg.Scribe.AggregatorFor = func(ids.ID) scribe.Aggregator { return statsAggregator{} }
 	}
+	reg2 := metrics.NewRegistry()
+	if cfg.Pastry.Metrics == nil {
+		cfg.Pastry.Metrics = reg2
+	}
+	if cfg.Scribe.Metrics == nil {
+		cfg.Scribe.Metrics = reg2
+	}
 	p, err := pastry.NewNode(net, addr, cfg.Pastry)
 	if err != nil {
 		return nil, err
@@ -181,6 +215,7 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		pendingSQ:  make(map[uint64]*siteQueryCall),
 		admin:      addr.Site + "-admin",
 		predictor:  forecast.NewPredictor(0),
+		metrics:    reg2,
 	}
 	seen := map[string]bool{}
 	for _, def := range reg.Defs() {
@@ -246,6 +281,41 @@ func (n *Node) DoWait(fn func()) {
 
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() NodeStats { return n.stats }
+
+// Metrics returns the node's metrics registry (shared with its pastry and
+// scribe layers unless the caller wired separate ones). Reading a snapshot
+// is safe from any goroutine; see metrics.Registry.
+func (n *Node) Metrics() *metrics.Registry { return n.metrics }
+
+// RecentQueries returns the node's ring of finished query records, newest
+// last. Must run on the node's event context (wrap in Do off-context).
+func (n *Node) RecentQueries() []QueryRecord {
+	out := make([]QueryRecord, len(n.recent))
+	copy(out, n.recent)
+	return out
+}
+
+// recordQuery appends a finished query to the recent ring.
+func (n *Node) recordQuery(r *queryRun, res QueryResult) {
+	rec := QueryRecord{
+		QueryID:    res.QueryID,
+		Caller:     r.caller,
+		Start:      r.started,
+		Elapsed:    res.Elapsed,
+		Attempts:   res.Attempts,
+		Conflicts:  res.Conflicts,
+		Shortfall:  res.Shortfall,
+		Candidates: len(res.Candidates),
+		Trace:      res.Trace,
+	}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+	}
+	n.recent = append(n.recent, rec)
+	if len(n.recent) > recentQueryCap {
+		n.recent = n.recent[len(n.recent)-recentQueryCap:]
+	}
+}
 
 // SetDirectory installs the federation directory (sites and routers).
 func (n *Node) SetDirectory(d Directory) { n.dir = d }
@@ -440,6 +510,7 @@ func (m *treeMember) LocalValue(topic ids.ID) any {
 // processVisit checks a query against this node and reserves it on match.
 func (m *Node) processVisit(qv queryVisit) (any, bool) {
 	m.stats.Visits++
+	m.metrics.Inc("rbay_visits_total")
 	// (i) every query predicate must hold on current attribute values.
 	for _, p := range qv.Preds {
 		v, ok := m.am.Get(p.Attr)
@@ -451,15 +522,18 @@ func (m *Node) processVisit(qv queryVisit) (any, bool) {
 	exposed, err := m.am.OnGet(qv.TreeAttr, qv.Caller, qv.Payload)
 	if err != nil || exposed == nil {
 		m.stats.Denied++
+		m.metrics.Inc("rbay_visit_denied_total")
 		return qv, false
 	}
 	// (iii) reserve the node for this query.
 	if !m.reserve(qv.QueryID) {
 		m.stats.Conflicts++
+		m.metrics.Inc("rbay_visit_conflicts_total")
 		qv.Conflicts++
 		return qv, false
 	}
 	m.stats.Authorized++
+	m.metrics.Inc("rbay_visit_reserved_total")
 	var sortKey any
 	switch {
 	case strings.HasPrefix(qv.OrderBy, StabilityPrefix):
@@ -511,13 +585,24 @@ func (n *Node) Reserved() (queryID string, committed, ok bool) {
 func (n *Node) handleCommit(q commitReq) {
 	if r := n.reserved; r != nil && r.queryID == q.QueryID {
 		r.committed = true
+		n.metrics.Inc("rbay_commits_total")
+		return
 	}
+	n.metrics.Inc("rbay_commit_unknown_total")
 }
 
+// handleRelease frees this node's reservation for the query. It is
+// idempotent: a release for a query that no longer holds the node (already
+// released, expired, or superseded) is a counted no-op, so duplicate
+// releases — surplus trimming across rounds, late-response cleanup racing
+// TTL expiry — are always safe.
 func (n *Node) handleRelease(q releaseReq) {
 	if r := n.reserved; r != nil && r.queryID == q.QueryID {
 		n.reserved = nil
+		n.metrics.Inc("rbay_releases_total")
+		return
 	}
+	n.metrics.Inc("rbay_release_unknown_total")
 }
 
 // ---------------------------------------------------------------------------

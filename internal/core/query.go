@@ -9,6 +9,7 @@ import (
 	"rbay/internal/naming"
 	"rbay/internal/query"
 	"rbay/internal/scribe"
+	"rbay/internal/trace"
 	"rbay/internal/transport"
 )
 
@@ -31,16 +32,30 @@ type QueryResult struct {
 	Conflicts int
 	// Elapsed is wall (virtual) time from Query to callback.
 	Elapsed time.Duration
-	// PerSite records each queried site's candidate count and tree size.
+	// PerSite records each queried site's contribution accumulated over
+	// every round of the query (not just the last one).
 	PerSite map[string]SiteStats
-	Err     error
+	// Trace is the query's span tree: plan, per-round fan-outs, per-site
+	// probes and anycasts, backoff waits, and the final merge.
+	Trace *trace.Span
+	Err   error
 }
 
-// SiteStats summarizes one site's contribution to a query.
+// SiteStats summarizes one site's contribution to a query, accumulated
+// across all backoff rounds.
 type SiteStats struct {
+	// Candidates counts distinct candidates this site contributed to the
+	// query's merged result set.
 	Candidates int
-	TreeSize   int64
-	Err        string
+	// Conflicts counts matching-but-reserved members the site reported,
+	// summed over rounds.
+	Conflicts int
+	// Rounds counts how many rounds queried the site.
+	Rounds int
+	// TreeSize is the probed size of the searched tree (latest round).
+	TreeSize int64
+	// Err is the site's error from the latest round ("" when it answered).
+	Err string
 }
 
 // siteQueryCall tracks one in-flight cross-site sub-query.
@@ -62,6 +77,7 @@ type queryRun struct {
 	acc       map[string]Candidate // keyed by Addr string
 	conflicts int
 	perSite   map[string]SiteStats
+	root      *trace.Span
 	cb        func(QueryResult)
 }
 
@@ -77,21 +93,33 @@ func (n *Node) Query(q *query.Query, cb func(QueryResult)) {
 // passed to every onGet handler (password, access level, …).
 func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(QueryResult)) {
 	n.nextQuery++
+	now := n.Now()
 	run := &queryRun{
 		n:       n,
 		q:       q,
 		caller:  caller,
 		payload: payload,
 		id:      fmt.Sprintf("%s#%d", n.Addr(), n.nextQuery),
-		started: n.Now(),
+		started: now,
 		acc:     make(map[string]Candidate),
 		perSite: make(map[string]SiteStats),
+		root:    trace.New("query", now),
 		cb:      cb,
 	}
+	run.root.Set("id", run.id)
+	run.root.Set("caller", caller)
+	run.root.SetInt("k", q.K)
+	n.metrics.Inc("rbay_queries_total")
 	if len(q.Preds) == 0 {
 		run.finish(ErrNoPlan)
 		return
 	}
+	plan := run.root.Child("plan", now)
+	sites := run.targetSites()
+	plan.SetInt("preds", len(q.Preds))
+	plan.SetInt("sites", len(sites))
+	plan.Set("targets", fmt.Sprintf("%v", sites))
+	plan.Finish(n.Now())
 	run.round()
 }
 
@@ -114,25 +142,52 @@ func (r *queryRun) round() {
 	if need > 0 {
 		need -= len(r.acc)
 	}
+	roundSpan := r.root.Child(fmt.Sprintf("round %d", r.attempt), r.n.Now())
+	roundSpan.SetInt("need", need)
 	pendingSites := len(sites)
+	roundNew, roundConflicts := 0, 0
 	anyErr := error(nil)
-	oneDone := func(site string, resp siteQueryResp) {
-		st := SiteStats{Candidates: len(resp.Candidates), TreeSize: resp.TreeSize, Err: resp.Err}
+	oneDone := func(site string, span *trace.Span, resp siteQueryResp) {
+		now := r.n.Now()
+		span.Finish(now)
+		r.n.metrics.Observe("rbay_site_query_latency_seconds", span.Duration())
+		// Accumulate per-site stats across rounds: a backoff re-query must
+		// add to the site's tally, not overwrite it (the whole query's
+		// PerSite is what experiments read).
+		st := r.perSite[site]
+		newCands := 0
+		for _, c := range resp.Candidates {
+			if _, dup := r.acc[c.Addr.String()]; !dup {
+				newCands++
+				r.acc[c.Addr.String()] = c
+			}
+		}
+		st.Candidates += newCands
+		st.Conflicts += resp.Conflicts
+		st.Rounds++
+		if resp.Err == "" {
+			st.TreeSize = resp.TreeSize
+		}
+		st.Err = resp.Err
 		r.perSite[site] = st
 		r.conflicts += resp.Conflicts
-		for _, c := range resp.Candidates {
-			r.acc[c.Addr.String()] = c
-		}
+		roundNew += newCands
+		roundConflicts += resp.Conflicts
+		annotateSiteSpan(span, resp, newCands)
 		if resp.Err != "" && anyErr == nil {
 			anyErr = errors.New(resp.Err)
 		}
 		pendingSites--
 		if pendingSites == 0 {
+			roundSpan.SetInt("new", roundNew)
+			roundSpan.SetInt("conflicts", roundConflicts)
+			roundSpan.Finish(r.n.Now())
 			r.roundDone(anyErr)
 		}
 	}
 	for _, site := range sites {
 		site := site
+		span := roundSpan.Child("site "+site, r.n.Now())
 		req := siteQueryReq{
 			QueryID: r.id,
 			K:       need,
@@ -142,7 +197,37 @@ func (r *queryRun) round() {
 			Payload: r.payload,
 			Origin:  r.n.p.Self(),
 		}
-		r.n.siteQuery(site, req, func(resp siteQueryResp) { oneDone(site, resp) })
+		r.n.siteQuery(site, req, func(resp siteQueryResp) { oneDone(site, span, resp) })
+	}
+}
+
+// annotateSiteSpan records a site response's observability payload under
+// the site span: one child per tree probe plus the anycast walk. Remote
+// durations were measured on the serving site's clock; they are
+// re-anchored at the site span's start, preserving length.
+func annotateSiteSpan(span *trace.Span, resp siteQueryResp, newCands int) {
+	span.SetInt("candidates", len(resp.Candidates))
+	span.SetInt("new", newCands)
+	span.SetInt("conflicts", resp.Conflicts)
+	span.SetInt64("treeSize", resp.TreeSize)
+	if resp.Err != "" {
+		span.Set("err", resp.Err)
+	}
+	for _, p := range resp.Probes {
+		ps := trace.New("probe "+p.Tree, span.Start)
+		ps.FinishDur(time.Duration(p.Nanos))
+		ps.SetInt64("size", p.Size)
+		if p.Missing {
+			ps.Set("missing", "true")
+		}
+		span.AddChild(ps)
+	}
+	if resp.AnycastNanos > 0 || resp.Visits > 0 {
+		as := trace.New("anycast", span.Start)
+		as.FinishDur(time.Duration(resp.AnycastNanos))
+		as.SetInt("visits", resp.Visits)
+		as.SetInt("hops", resp.Hops)
+		span.AddChild(as)
 	}
 }
 
@@ -160,24 +245,36 @@ func (r *queryRun) roundDone(roundErr error) {
 			c = r.n.cfg.BackoffCap
 		}
 		slots := r.n.rng.Int63n(1 << uint(c))
-		r.n.p.After(time.Duration(slots)*r.n.cfg.BackoffSlot, r.round)
+		wait := time.Duration(slots) * r.n.cfg.BackoffSlot
+		span := r.root.Child("backoff", r.n.Now())
+		span.SetInt("attempt", r.attempt)
+		span.SetInt64("slots", slots)
+		r.n.metrics.Inc("rbay_backoff_waits_total")
+		r.n.metrics.Observe("rbay_backoff_wait_seconds", wait)
+		r.n.p.After(wait, func() {
+			span.Finish(r.n.Now())
+			r.round()
+		})
 		return
 	}
 	r.finish(roundErr)
 }
 
 func (r *queryRun) finish(err error) {
+	now := r.n.Now()
 	res := QueryResult{
 		QueryID:   r.id,
 		Attempts:  r.attempt,
 		Conflicts: r.conflicts,
 		PerSite:   r.perSite,
-		Elapsed:   r.n.Now().Sub(r.started),
+		Elapsed:   now.Sub(r.started),
+		Trace:     r.root,
 		Err:       err,
 	}
 	if r.attempt == 0 {
 		res.Attempts = 1
 	}
+	merge := r.root.Child("merge", now)
 	cands := make([]Candidate, 0, len(r.acc))
 	for _, c := range r.acc {
 		cands = append(cands, c)
@@ -185,7 +282,11 @@ func (r *queryRun) finish(err error) {
 	sortCandidates(cands, r.q.OrderBy != "" && r.q.Desc)
 	if k := r.q.K; k > 0 {
 		if len(cands) > k {
-			// Release the surplus reservations.
+			// Release the surplus reservations. The owner-side release is
+			// idempotent (see handleRelease), so a node that was trimmed in
+			// an earlier round and re-collected is safe to release again.
+			merge.SetInt("released", len(cands)-k)
+			r.n.metrics.Add("rbay_surplus_released_total", uint64(len(cands)-k))
 			for _, c := range cands[k:] {
 				_ = r.n.p.SendApp(c.Addr, AppName, releaseReq{QueryID: r.id})
 			}
@@ -197,6 +298,25 @@ func (r *queryRun) finish(err error) {
 		}
 	}
 	res.Candidates = cands
+	merge.SetInt("returned", len(cands))
+	merge.SetInt("shortfall", res.Shortfall)
+	merge.Finish(r.n.Now())
+	r.root.SetInt("attempts", res.Attempts)
+	if err != nil {
+		r.root.Set("err", err.Error())
+	}
+	r.root.Finish(r.n.Now())
+
+	m := r.n.metrics
+	m.Inc("rbay_queries_completed_total")
+	if err != nil {
+		m.Inc("rbay_query_errors_total")
+	}
+	m.Observe("rbay_query_latency_seconds", res.Elapsed)
+	m.ObserveInt("rbay_query_rounds", res.Attempts)
+	m.Add("rbay_query_conflicts_total", uint64(res.Conflicts))
+	m.Add("rbay_query_shortfall_total", uint64(res.Shortfall))
+	r.n.recordQuery(r, res)
 	r.cb(res)
 }
 
@@ -244,6 +364,7 @@ func sortRank(v any) int {
 // Commit leases the given candidates to the query (the customer "takes"
 // the resources).
 func (n *Node) Commit(queryID string, cands []Candidate) {
+	n.metrics.Add("rbay_commits_sent_total", uint64(len(cands)))
 	for _, c := range cands {
 		_ = n.p.SendApp(c.Addr, AppName, commitReq{QueryID: queryID})
 	}
@@ -251,6 +372,7 @@ func (n *Node) Commit(queryID string, cands []Candidate) {
 
 // Release frees candidates' reservations or leases early.
 func (n *Node) Release(queryID string, cands []Candidate) {
+	n.metrics.Add("rbay_releases_sent_total", uint64(len(cands)))
 	for _, c := range cands {
 		_ = n.p.SendApp(c.Addr, AppName, releaseReq{QueryID: queryID})
 	}
@@ -264,6 +386,7 @@ func (n *Node) Release(queryID string, cands []Candidate) {
 func (n *Node) siteQuery(site string, req siteQueryReq, cb func(siteQueryResp)) {
 	if site == n.Site() {
 		n.stats.SiteQueries++
+		n.metrics.Inc("rbay_site_queries_served_total")
 		n.runSiteQuery(req, cb)
 		return
 	}
@@ -273,6 +396,7 @@ func (n *Node) siteQuery(site string, req siteQueryReq, cb func(siteQueryResp)) 
 	call.cancel = n.p.After(n.cfg.SiteQueryTimeout, func() {
 		if _, w := n.pendingSQ[req.ReqID]; w {
 			delete(n.pendingSQ, req.ReqID)
+			n.metrics.Inc("rbay_site_query_timeouts_total")
 			cb(siteQueryResp{Site: site, Err: "site query timed out"})
 		}
 	})
@@ -295,6 +419,16 @@ func (n *Node) siteQuery(site string, req siteQueryReq, cb func(siteQueryResp)) 
 func (n *Node) handleSiteQueryResp(resp siteQueryResp) {
 	call, ok := n.pendingSQ[resp.ReqID]
 	if !ok {
+		// Late response: the request already timed out here, but the remote
+		// site reserved these candidates on our behalf. Release them now
+		// instead of leaving them locked until lease expiry.
+		n.metrics.Inc("rbay_site_query_late_responses_total")
+		if resp.QueryID != "" {
+			n.metrics.Add("rbay_reservations_released_late_total", uint64(len(resp.Candidates)))
+			for _, c := range resp.Candidates {
+				_ = n.p.SendApp(c.Addr, AppName, releaseReq{QueryID: resp.QueryID})
+			}
+		}
 		return
 	}
 	delete(n.pendingSQ, resp.ReqID)
@@ -306,6 +440,7 @@ func (n *Node) handleSiteQueryResp(resp siteQueryResp) {
 // replies directly.
 func (n *Node) serveSiteQuery(req siteQueryReq) {
 	n.stats.SiteQueries++
+	n.metrics.Inc("rbay_site_queries_served_total")
 	n.runSiteQuery(req, func(resp siteQueryResp) {
 		resp.ReqID = req.ReqID
 		_ = n.p.SendApp(req.Origin.Addr, AppName, resp)
@@ -314,9 +449,15 @@ func (n *Node) serveSiteQuery(req siteQueryReq) {
 
 // runSiteQuery implements the paper's five steps within one site:
 // probe the candidate trees' sizes, anycast the smaller tree with a k-slot
-// buffer, and return the filled slots.
-func (n *Node) runSiteQuery(req siteQueryReq, cb func(siteQueryResp)) {
+// buffer, and return the filled slots. Every response path stamps the
+// originating QueryID so even a response that arrives after the origin
+// timed out can be unwound.
+func (n *Node) runSiteQuery(req siteQueryReq, cb0 func(siteQueryResp)) {
 	site := n.Site()
+	cb := func(r siteQueryResp) {
+		r.QueryID = req.QueryID
+		cb0(r)
+	}
 	// Step 0 (planning): map predicates to registered trees.
 	var defs []*naming.TreeDef
 	seen := map[string]bool{}
@@ -333,19 +474,25 @@ func (n *Node) runSiteQuery(req siteQueryReq, cb func(siteQueryResp)) {
 	}
 
 	// Steps 1-2: probe each tree's size via its root's aggregate.
+	probeStart := n.Now()
+	probes := make([]treeProbe, len(defs))
 	sizes := make([]int64, len(defs))
 	missing := make([]bool, len(defs))
 	pending := len(defs)
 	oneProbe := func(i int) func(v any, err error) {
 		return func(v any, err error) {
+			probes[i] = treeProbe{Tree: defs[i].Name, Nanos: int64(n.Now().Sub(probeStart))}
 			if err != nil {
 				missing[i] = true
+				probes[i].Missing = true
 			} else if st, ok := v.(TreeStats); ok {
 				sizes[i] = st.Count
+				probes[i].Size = st.Count
 			}
+			n.metrics.Observe("rbay_probe_latency_seconds", time.Duration(probes[i].Nanos))
 			pending--
 			if pending == 0 {
-				n.anycastSmallest(req, defs, sizes, missing, cb)
+				n.anycastSmallest(req, defs, sizes, missing, probes, cb)
 			}
 		}
 	}
@@ -358,7 +505,7 @@ func (n *Node) runSiteQuery(req siteQueryReq, cb func(siteQueryResp)) {
 }
 
 // anycastSmallest executes steps 3-5: DFS the smallest candidate tree.
-func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes []int64, missing []bool, cb func(siteQueryResp)) {
+func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes []int64, missing []bool, probes []treeProbe, cb func(siteQueryResp)) {
 	site := n.Site()
 	best := -1
 	for i := range defs {
@@ -371,11 +518,11 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes [
 	}
 	if best < 0 {
 		// Every planned tree is absent in this site: no candidates here.
-		cb(siteQueryResp{Site: site})
+		cb(siteQueryResp{Site: site, Probes: probes})
 		return
 	}
 	if sizes[best] == 0 {
-		cb(siteQueryResp{Site: site, TreeSize: 0})
+		cb(siteQueryResp{Site: site, TreeSize: 0, Probes: probes})
 		return
 	}
 	def := defs[best]
@@ -389,20 +536,27 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes [
 		Payload:  req.Payload,
 	}
 	topic := n.reg.TopicFor(site, def)
+	anycastStart := n.Now()
 	err := n.s.Anycast(site, topic, visit, func(res scribe.AnycastResult) {
+		elapsed := n.Now().Sub(anycastStart)
+		n.metrics.Observe("rbay_anycast_latency_seconds", elapsed)
 		if res.Err != nil {
-			cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: res.Err.Error()})
+			cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: res.Err.Error(), Probes: probes, AnycastNanos: int64(elapsed)})
 			return
 		}
 		out, _ := res.Payload.(queryVisit)
 		cb(siteQueryResp{
-			Site:       site,
-			Candidates: out.Slots,
-			Conflicts:  out.Conflicts,
-			TreeSize:   sizes[best],
+			Site:         site,
+			Candidates:   out.Slots,
+			Conflicts:    out.Conflicts,
+			TreeSize:     sizes[best],
+			Probes:       probes,
+			AnycastNanos: int64(elapsed),
+			Visits:       res.Visits,
+			Hops:         res.Hops,
 		})
 	})
 	if err != nil {
-		cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: err.Error()})
+		cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: err.Error(), Probes: probes})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"rbay/internal/core"
 	"rbay/internal/fedcfg"
 	"rbay/internal/query"
+	"rbay/internal/trace"
 	"rbay/internal/transport"
 )
 
@@ -45,6 +46,9 @@ func New(node *core.Node, timeout time.Duration) *Server {
 	s.mux.HandleFunc("POST /deliver/{name...}", s.handleDeliver)
 	s.mux.HandleFunc("POST /commit", s.handleCommitRelease)
 	s.mux.HandleFunc("POST /release", s.handleCommitRelease)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("GET /debug/queries/{id...}", s.handleDebugQueryTrace)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -102,6 +106,10 @@ type queryResponse struct {
 	Conflicts  int             `json:"conflicts,omitempty"`
 	ElapsedMS  float64         `json:"elapsedMs"`
 	Error      string          `json:"error,omitempty"`
+	// Trace carries the query's span tree when ?explain=1 is set; Explain
+	// is the same tree rendered as an indented outline.
+	Trace   *trace.Span `json:"trace,omitempty"`
+	Explain string      `json:"explain,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -144,12 +152,76 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
 	}
+	if explain := r.URL.Query().Get("explain"); explain != "" && explain != "0" && res.Trace != nil {
+		resp.Trace = res.Trace
+		resp.Explain = res.Trace.Render()
+	}
 	for _, c := range res.Candidates {
 		resp.Candidates = append(resp.Candidates, candidateJSON{
 			NodeID: c.NodeID, Site: c.Site, Host: c.Addr.Host,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the node's metric registry in Prometheus text
+// exposition format. The registry is internally synchronized, so this
+// reads it directly without hopping onto the node's event context.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.node.Metrics().Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, snap.RenderProm())
+}
+
+// handleDebugQueries lists the node's recent finished queries, newest
+// last. Traces are elided from the listing; fetch one by id for the tree.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	var recs []core.QueryRecord
+	err := s.onNode(func(done func()) {
+		recs = s.node.RecentQueries()
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	list := make([]core.QueryRecord, len(recs))
+	for i, rec := range recs {
+		list[i] = rec
+		list[i].Trace = nil
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleDebugQueryTrace serves one recent query's full record. With
+// ?format=text it renders the trace outline instead of JSON.
+func (s *Server) handleDebugQueryTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var rec core.QueryRecord
+	found := false
+	err := s.onNode(func(done func()) {
+		for _, qr := range s.node.RecentQueries() {
+			if qr.QueryID == id {
+				rec = qr
+				found = true
+			}
+		}
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if !found {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no recent query %q", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" && rec.Trace != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, rec.Trace.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 func (s *Server) handleTreeStats(w http.ResponseWriter, r *http.Request) {

@@ -252,3 +252,80 @@ func TestGatewayEndToEnd(t *testing.T) {
 		t.Fatalf("bad sql = %d", code)
 	}
 }
+
+func TestGatewayObservability(t *testing.T) {
+	f := newFixture(t)
+
+	// A query with ?explain=1 returns its span tree and rendered outline.
+	var qr struct {
+		QueryID string          `json:"queryId"`
+		Trace   json.RawMessage `json:"trace"`
+		Explain string          `json:"explain"`
+	}
+	path := "/query?explain=1&q=" + url.QueryEscape("SELECT * FROM lab WHERE GPU = true;")
+	if code := f.getJSON(t, path, &qr); code != http.StatusOK {
+		t.Fatalf("query = %d", code)
+	}
+	if len(qr.Trace) == 0 {
+		t.Fatal("explain=1 returned no trace")
+	}
+	for _, want := range []string{"query", "plan", "site lab", "merge"} {
+		if !strings.Contains(qr.Explain, want) {
+			t.Errorf("explain output missing %q:\n%s", want, qr.Explain)
+		}
+	}
+
+	// The query shows up in the Prometheus exposition.
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(raw)
+	resp.Body.Close()
+	prom := string(raw[:n])
+	for _, want := range []string{"rbay_queries_total 1", "rbay_query_latency_seconds_count", "pastry_delivered_total"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// And in the recent-query listing (traces elided there).
+	var recs []struct {
+		QueryID string          `json:"queryId"`
+		Trace   json.RawMessage `json:"trace"`
+	}
+	if code := f.getJSON(t, "/debug/queries", &recs); code != http.StatusOK {
+		t.Fatalf("debug/queries = %d", code)
+	}
+	if len(recs) != 1 || recs[0].QueryID != qr.QueryID {
+		t.Fatalf("recent queries = %+v, want the one just run", recs)
+	}
+	if len(recs[0].Trace) != 0 {
+		t.Fatal("listing must elide traces")
+	}
+
+	// The per-query endpoint serves the full record and a text rendering.
+	var rec struct {
+		QueryID string          `json:"queryId"`
+		Trace   json.RawMessage `json:"trace"`
+	}
+	if code := f.getJSON(t, "/debug/queries/"+url.PathEscape(qr.QueryID), &rec); code != http.StatusOK {
+		t.Fatalf("debug/queries/{id} = %d", code)
+	}
+	if rec.QueryID != qr.QueryID || len(rec.Trace) == 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	txt, err := http.Get(f.ts.URL + "/debug/queries/" + url.PathEscape(qr.QueryID) + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = txt.Body.Read(raw)
+	txt.Body.Close()
+	if !strings.Contains(string(raw[:n]), "site lab") {
+		t.Fatalf("text trace missing site span:\n%s", raw[:n])
+	}
+	if code := f.getJSON(t, "/debug/queries/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown query id = %d", code)
+	}
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram(CountBounds())
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Bucket-upper-bound estimates: the median of 1..100 lands in (32,64].
+	if q := h.Quantile(0.5); q != 64 {
+		t.Fatalf("p50 = %v, want 64", q)
+	}
+	// The max sample caps the +Inf-adjacent estimate.
+	if q := h.Quantile(1.0); q != 128 {
+		t.Fatalf("p100 = %v, want 128 (bucket bound)", q)
+	}
+	s := h.Snapshot()
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestRegistryCountersAndObserve(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a_total")
+	r.Add("a_total", 4)
+	if r.Counter("a_total") != 5 {
+		t.Fatalf("a_total = %d", r.Counter("a_total"))
+	}
+	if r.Counter("never") != 0 {
+		t.Fatal("untouched counter must read 0")
+	}
+	r.Observe("lat_seconds", 250*time.Millisecond)
+	r.Observe("lat_seconds", 500*time.Millisecond)
+	h := r.Histogram("lat_seconds")
+	if h == nil || h.Count() != 2 {
+		t.Fatalf("histogram missing or wrong count: %+v", h)
+	}
+	if m := h.Mean(); m < 0.374 || m > 0.376 {
+		t.Fatalf("mean = %v", m)
+	}
+	r.ObserveInt("hops", 3)
+	if r.Histogram("hops").Count() != 1 {
+		t.Fatal("int histogram not recorded")
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Inc("x")
+	r.Observe("y", time.Second)
+	r.ObserveInt("z", 1)
+	if r.Counter("x") != 0 {
+		t.Fatal("nil registry counter must be 0")
+	}
+	if r.Histogram("y") != nil {
+		t.Fatal("nil registry histogram must be nil")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotMergeAndRender(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Add("q_total", 2)
+	b.Add("q_total", 3)
+	b.Inc("only_b_total")
+	a.Observe("lat_seconds", 10*time.Millisecond)
+	b.Observe("lat_seconds", 20*time.Millisecond)
+	b.Observe("only_b_seconds", time.Second)
+
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged.Counters["q_total"] != 5 || merged.Counters["only_b_total"] != 1 {
+		t.Fatalf("counters = %v", merged.Counters)
+	}
+	if merged.Histograms["lat_seconds"].Count != 2 {
+		t.Fatalf("merged lat count = %d", merged.Histograms["lat_seconds"].Count)
+	}
+	if merged.Histograms["only_b_seconds"].Count != 1 {
+		t.Fatal("histogram present only in b must survive merge")
+	}
+
+	prom := merged.RenderProm()
+	for _, want := range []string{
+		"# TYPE q_total counter", "q_total 5",
+		"# TYPE lat_seconds histogram", "lat_seconds_count 2",
+		`lat_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom output missing %q:\n%s", want, prom)
+		}
+	}
+	// Cumulative bucket counts must be monotone and end at the count.
+	sum := merged.Summary()
+	if !strings.Contains(sum, "lat_seconds") || !strings.Contains(sum, "q_total") {
+		t.Errorf("summary missing metrics:\n%s", sum)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Inc("c_total")
+				r.Observe("d_seconds", time.Millisecond)
+				r.ObserveInt("i_hist", i%10)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c_total") != 4000 {
+		t.Fatalf("c_total = %d", r.Counter("c_total"))
+	}
+	if r.Histogram("d_seconds").Count() != 4000 {
+		t.Fatal("histogram lost samples")
+	}
+}

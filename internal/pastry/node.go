@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rbay/internal/ids"
+	"rbay/internal/metrics"
 	"rbay/internal/transport"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// RPCTimeout bounds RouteRequest/RequestDirect waits. Default 10s.
 	RPCTimeout time.Duration
+	// Metrics, when non-nil, receives routing observability samples
+	// (pastry_route_hops per delivered message, pastry_delivered_total,
+	// pastry_forwarded_total). Nil disables recording at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -346,6 +351,7 @@ func (n *Node) route(m *Message) {
 		}
 		if m.Origin.ID != n.self.ID || m.Hops > 0 {
 			n.stats.Forwarded++
+			n.cfg.Metrics.Inc("pastry_forwarded_total")
 		}
 		m.Hops++
 		if err := n.ep.Send(next.Addr, m); err != nil {
@@ -411,6 +417,8 @@ func (n *Node) nextHop(st *state, key ids.ID) Entry {
 
 func (n *Node) deliver(m *Message) {
 	n.stats.Delivered++
+	n.cfg.Metrics.Inc("pastry_delivered_total")
+	n.cfg.Metrics.ObserveInt("pastry_route_hops", m.Hops)
 	switch m.App {
 	case appJoin:
 		n.deliverJoin(m)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rbay/internal/ids"
+	"rbay/internal/metrics"
 	"rbay/internal/pastry"
 	"rbay/internal/transport"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	// nodes of a federation must agree on it. Defaults to Count for every
 	// topic.
 	AggregatorFor func(topic ids.ID) Aggregator
+	// Metrics, when non-nil, receives tree-substrate observability samples
+	// (anycast visits/hops, timeouts, aggregate staleness). Nil disables
+	// recording at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -332,6 +337,7 @@ func (s *Scribe) Anycast(scope string, topic ids.ID, payload any, cb func(Anycas
 	pc.cancel = s.node.After(s.cfg.AnycastTimeout, func() {
 		if _, w := s.pendingAny[id]; w {
 			delete(s.pendingAny, id)
+			s.cfg.Metrics.Inc("scribe_anycast_timeouts_total")
 			cb(AnycastResult{Err: ErrTimeout})
 		}
 	})
@@ -440,6 +446,12 @@ func (s *Scribe) handleAnycastDone(d anycastDone) {
 	}
 	delete(s.pendingAny, d.ID)
 	pc.cancel()
+	s.cfg.Metrics.Inc("scribe_anycasts_total")
+	if !d.Satisfied {
+		s.cfg.Metrics.Inc("scribe_anycast_exhausted_total")
+	}
+	s.cfg.Metrics.ObserveInt("scribe_anycast_visits", d.Visits)
+	s.cfg.Metrics.ObserveInt("scribe_anycast_hops", d.Hops)
 	pc.anyCB(AnycastResult{
 		Payload:   d.Payload,
 		Satisfied: d.Satisfied,
@@ -460,6 +472,7 @@ func (s *Scribe) QueryAggregate(scope string, topic ids.ID, cb func(value any, e
 	pc.cancel = s.node.After(s.cfg.AggQueryTimeout, func() {
 		if _, w := s.pendingAgg[id]; w {
 			delete(s.pendingAgg, id)
+			s.cfg.Metrics.Inc("scribe_aggquery_timeouts_total")
 			cb(nil, ErrTimeout)
 		}
 	})
@@ -471,12 +484,16 @@ func (s *Scribe) QueryAggregate(scope string, topic ids.ID, cb func(value any, e
 // plus the children's cached partials. Children fold in ID order so
 // non-commutative rounding (float sums) is reproducible run-to-run.
 func (s *Scribe) aggregate(t *topicState) any {
+	now := s.node.Now()
 	v := t.agg.Zero()
 	if t.subscribed && t.sub != nil {
 		v = t.agg.Combine(v, t.sub.LocalValue(t.id))
 	}
 	for _, e := range t.sortedChildren() {
 		if c := t.children[e.ID]; c != nil && c.hasValue {
+			// A child partial's age bounds how stale this fold can be —
+			// the "aggregate staleness" the paper's probe step tolerates.
+			s.cfg.Metrics.Observe("scribe_aggregate_staleness_seconds", now.Sub(c.lastSeen))
 			v = t.agg.Combine(v, c.value)
 		}
 	}

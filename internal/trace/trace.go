@@ -1,0 +1,165 @@
+// Package trace records per-query span trees: where a composite query's
+// time went — planning, per-tree aggregate probes, the anycast DFS,
+// per-site round trips, backoff waits, and the final merge. Spans are
+// stamped with the transport clock, so durations are virtual time under
+// simnet and wall time under tcpnet; the same query code produces the
+// same tree shape in both worlds.
+//
+// A Span is plain data (JSON-serializable) so gateways can ship it to
+// /debug/queries and CLIs can render it for EXPLAIN. Spans are not
+// goroutine-safe: a trace is built on its node's single event context and
+// only read after the query finishes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one timed region of a query, with optional nested children.
+type Span struct {
+	// Name identifies the region ("query", "round 1", "site tokyo",
+	// "probe GPU", "anycast", "backoff", "merge").
+	Name string `json:"name"`
+	// Start and End bound the region on the node's clock. Remote-measured
+	// spans (a probe executed inside another site) are re-anchored at the
+	// parent's start with their remote-measured duration preserved.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Attrs carries span annotations (candidate counts, hop counts, tree
+	// sizes, errors) as strings so the tree serializes without type games.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Children are sub-spans in creation order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// New starts a span at now.
+func New(name string, now time.Time) *Span {
+	return &Span{Name: name, Start: now, End: now}
+}
+
+// Child starts a nested span at now and returns it.
+func (s *Span) Child(name string, now time.Time) *Span {
+	c := New(name, now)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// AddChild attaches an already-built span (a remote sub-trace).
+func (s *Span) AddChild(c *Span) {
+	if c != nil {
+		s.Children = append(s.Children, c)
+	}
+}
+
+// Finish closes the span at now.
+func (s *Span) Finish(now time.Time) { s.End = now }
+
+// FinishDur closes the span d after its start — used for remote-measured
+// regions whose duration travelled over the wire.
+func (s *Span) FinishDur(d time.Duration) { s.End = s.Start.Add(d) }
+
+// Duration is the span's length (0 when never finished).
+func (s *Span) Duration() time.Duration {
+	if s.End.Before(s.Start) {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Set records an attribute.
+func (s *Span) Set(key, value string) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int) { s.Set(key, fmt.Sprintf("%d", v)) }
+
+// SetInt64 records a 64-bit integer attribute.
+func (s *Span) SetInt64(key string, v int64) { s.Set(key, fmt.Sprintf("%d", v)) }
+
+// Find returns the first span (depth-first, this span included) with the
+// given name, or nil. Tests and tools use it to assert tree shape.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindAll returns every span (depth-first) whose name starts with prefix.
+func (s *Span) FindAll(prefix string) []*Span {
+	if s == nil {
+		return nil
+	}
+	var out []*Span
+	if strings.HasPrefix(s.Name, prefix) {
+		out = append(out, s)
+	}
+	for _, c := range s.Children {
+		out = append(out, c.FindAll(prefix)...)
+	}
+	return out
+}
+
+// Render draws the span tree as an indented text outline with durations
+// and sorted attributes — the EXPLAIN output format:
+//
+//	query                      412ms  k=3 sites=2
+//	├─ round 1                 310ms
+//	│  ├─ site tokyo           305ms  candidates=2 conflicts=0
+//	...
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.render(&b, "", "")
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, head, tail string) {
+	label := head + s.Name
+	b.WriteString(fmt.Sprintf("%-36s %9s", label, fmtDur(s.Duration())))
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString("  " + k + "=" + s.Attrs[k])
+		}
+	}
+	b.WriteString("\n")
+	for i, c := range s.Children {
+		if i == len(s.Children)-1 {
+			c.render(b, tail+"└─ ", tail+"   ")
+		} else {
+			c.render(b, tail+"├─ ", tail+"│  ")
+		}
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	case d > 0:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	default:
+		return "0"
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShapeAndDurations(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	root := New("query", t0)
+	r1 := root.Child("round 1", t0)
+	site := r1.Child("site tokyo", t0)
+	site.SetInt("candidates", 2)
+	site.Finish(t0.Add(300 * time.Millisecond))
+	r1.Finish(t0.Add(310 * time.Millisecond))
+	bo := root.Child("backoff", t0.Add(310*time.Millisecond))
+	bo.Finish(t0.Add(350 * time.Millisecond))
+	root.Finish(t0.Add(400 * time.Millisecond))
+
+	if root.Duration() != 400*time.Millisecond {
+		t.Fatalf("root duration = %v", root.Duration())
+	}
+	if got := root.Find("site tokyo"); got == nil || got.Attrs["candidates"] != "2" {
+		t.Fatalf("Find site tokyo = %+v", got)
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find must return nil for unknown names")
+	}
+	if n := len(root.FindAll("site ")); n != 1 {
+		t.Fatalf("FindAll(site ) = %d", n)
+	}
+}
+
+func TestFinishDurAndUnfinished(t *testing.T) {
+	t0 := time.Unix(5, 0)
+	s := New("probe GPU", t0)
+	s.FinishDur(25 * time.Millisecond)
+	if s.Duration() != 25*time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+	u := New("u", t0)
+	u.End = t0.Add(-time.Second) // pathological clock: never negative
+	if u.Duration() != 0 {
+		t.Fatalf("negative span must clamp to 0, got %v", u.Duration())
+	}
+}
+
+func TestRenderOutline(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	root := New("query", t0)
+	r := root.Child("round 1", t0)
+	a := r.Child("site virginia", t0)
+	a.FinishDur(10 * time.Millisecond)
+	b := r.Child("site tokyo", t0)
+	b.SetInt("conflicts", 1)
+	b.FinishDur(200 * time.Millisecond)
+	r.FinishDur(210 * time.Millisecond)
+	root.FinishDur(250 * time.Millisecond)
+
+	out := root.Render()
+	for _, want := range []string{"query", "├─ site virginia", "└─ site tokyo", "conflicts=1", "250.0ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	t0 := time.Unix(42, 0)
+	root := New("query", t0)
+	root.Child("merge", t0).SetInt("returned", 3)
+	root.FinishDur(time.Second)
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || len(back.Children) != 1 || back.Children[0].Attrs["returned"] != "3" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
