@@ -3,12 +3,16 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-all bench-baseline chaos
+.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline chaos chaos-restart-smoke
 
-ci: vet build race
+ci: fmt-check vet build race chaos-restart-smoke
 
 vet:
 	$(GO) vet ./...
+
+# gofmt -l prints unformatted files; grep inverts that into a pass/fail.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -22,11 +26,22 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # Seeded fault-injection campaign against the simulated federation; see
-# docs/TESTING.md. Override with e.g. `make chaos CHAOS_SEED=7`.
+# docs/TESTING.md. Override with e.g. `make chaos CHAOS_SEED=7`. Add
+# CHAOS_FLAGS='-durable' to back nodes with crash-consistent disks and arm
+# the durability invariant (docs/RECOVERY.md).
 CHAOS_SEED ?= 1
 CHAOS_STEPS ?= 100
+CHAOS_FLAGS ?=
 chaos:
-	$(GO) run ./cmd/rbaysim chaos -seed $(CHAOS_SEED) -steps $(CHAOS_STEPS)
+	$(GO) run ./cmd/rbaysim chaos -seed $(CHAOS_SEED) -steps $(CHAOS_STEPS) $(CHAOS_FLAGS)
+
+# Fast deterministic crash/restart-with-disk gate: disk-backed nodes must
+# recover by WAL replay and re-federation under every fsync policy,
+# including a torn commit record and a corrupt WAL tail.
+chaos-restart-smoke:
+	$(GO) test -short -count=1 \
+		-run 'TestDurableRestartSmoke|TestCrashMidCommitLeaseReArmed|TestCorruptWALTailRestartRecovers' \
+		./internal/chaos/
 
 # Query/scribe hot-path benchmarks (probe, anycast, cross-site, parser).
 # BENCH_seed.json was produced from this set via `make bench-baseline`;

@@ -112,6 +112,123 @@ end
 	t.Fatalf("rbayctl never saw both GPUs; last output:\n%s (err=%v)", lastOut, err)
 }
 
+// TestCLIDurableRestart walks the full crash-recovery path over real TCP:
+// a daemon posts its inventory into a -data-dir store, leaves gracefully
+// on SIGTERM, and is restarted with no -attr/-policy flags at all — every
+// attribute and the password policy must come back from the WAL replay,
+// and the revived node must re-federate until queries find it again.
+func TestCLIDurableRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	rbayd := build("rbayd")
+	rbayctl := build("rbayctl")
+
+	ports := make([]string, 3)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().String()
+		l.Close()
+	}
+	peers := filepath.Join(dir, "peers.txt")
+	peersContent := fmt.Sprintf("lab/n1 %s\nlab/n2 %s\nlab/ctl %s\n", ports[0], ports[1], ports[2])
+	if err := os.WriteFile(peers, []byte(peersContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	registry := filepath.Join(dir, "registry.json")
+	regContent := `{"trees": [{"name": "GPU", "attr": "GPU", "op": "=", "value": true}]}`
+	if err := os.WriteFile(registry, []byte(regContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	policy := filepath.Join(dir, "password.aal")
+	policyContent := `
+AA = {Password = "pw"}
+function onGet(caller, password)
+    if password == AA.Password then return NodeId end
+    return nil
+end
+`
+	if err := os.WriteFile(policy, []byte(policyContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	spawn := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(rbayd, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		})
+		return cmd
+	}
+	queryBoth := func(what string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		var lastOut []byte
+		var err error
+		for time.Now().Before(deadline) {
+			cmd := exec.Command(rbayctl,
+				"-addr", "lab/ctl", "-listen", ports[2], "-peers", peers, "-registry", registry,
+				"-seed", "lab/n1", "-password", "pw", "-timeout", "20s",
+				"query", "SELECT * FROM lab WHERE GPU = true;")
+			lastOut, err = cmd.CombinedOutput()
+			if err == nil && strings.Contains(string(lastOut), "2 candidate(s)") {
+				return
+			}
+			time.Sleep(2 * time.Second)
+		}
+		t.Fatalf("%s: rbayctl never saw both GPUs; last output:\n%s (err=%v)", what, lastOut, err)
+	}
+
+	n1Dir, n2Dir := filepath.Join(dir, "n1-data"), filepath.Join(dir, "n2-data")
+	spawn("-addr", "lab/n1", "-listen", ports[0], "-peers", peers, "-registry", registry,
+		"-bootstrap", "-data-dir", n1Dir, "-attr", "GPU=true")
+	waitListening(t, ports[0])
+	n2 := spawn("-addr", "lab/n2", "-listen", ports[1], "-peers", peers, "-registry", registry,
+		"-seed", "lab/n1", "-data-dir", n2Dir, "-fsync", "always",
+		"-attr", "GPU=true", "-policy", "GPU="+policy)
+	waitListening(t, ports[1])
+	queryBoth("before restart")
+
+	// Graceful departure, then revive from disk alone: no -attr, no
+	// -policy — if the WAL didn't capture the inventory, the query below
+	// can never find two candidates again.
+	if err := n2.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- n2.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("n2 graceful shutdown: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("n2 did not exit on SIGINT")
+	}
+	spawn("-addr", "lab/n2", "-listen", ports[1], "-peers", peers, "-registry", registry,
+		"-seed", "lab/n1", "-data-dir", n2Dir, "-fsync", "always")
+	waitListening(t, ports[1])
+	queryBoth("after restart")
+}
+
 func waitListening(t *testing.T, hostport string) {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)

@@ -5,6 +5,7 @@
 //
 //	rbayd -addr site/host -listen :7946 -peers peers.txt -registry registry.json
 //	      [-bootstrap | -seed site/host] [-http :8080]
+//	      [-data-dir /var/lib/rbayd] [-fsync always|interval|never]
 //	      [-attr name=value]... [-policy attr=script.aal]...
 //
 // peers.txt maps node addresses to TCP endpoints ("virginia/n1 10.0.0.5:7946");
@@ -52,6 +53,9 @@ func run(args []string) error {
 	hbInterval := fs.Duration("hb", 2*time.Second, "transport heartbeat interval (negative disables)")
 	hbMisses := fs.Int("hb-misses", 3, "missed heartbeats before a peer conn is declared dead")
 	sendQueue := fs.Int("sendq", 1024, "per-endpoint delivery queue bound")
+	dataDir := fs.String("data-dir", "", "durable state directory (empty: in-memory only, state dies with the process)")
+	fsyncFlag := fs.String("fsync", "always", "store fsync policy: always, interval, or never")
+	fsyncInterval := fs.Duration("fsync-interval", 2*time.Second, "fsync period under -fsync interval")
 	var attrFlags, policyFlags repeated
 	fs.Var(&attrFlags, "attr", "attribute to publish, name=value (repeatable)")
 	fs.Var(&policyFlags, "policy", "AA policy to attach, attr=script-path (repeatable)")
@@ -81,9 +85,32 @@ func run(args []string) error {
 		}
 	}
 
+	// Open the durable store (if any) before the node exists, so every
+	// mutation from the first SetAttribute on is recorded.
+	var (
+		nodeCfg  rbay.NodeConfig
+		restored rbay.StoreState
+	)
+	if *dataDir != "" {
+		policy, err := rbay.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			return err
+		}
+		st, state, err := rbay.OpenStore(*dataDir, policy, *fsyncInterval)
+		if err != nil {
+			return fmt.Errorf("open data dir: %w", err)
+		}
+		nodeCfg.Store = st
+		restored = state
+		if len(state.Attrs) > 0 || state.Reservation != nil {
+			fmt.Printf("rbayd: recovered %d attributes from %s\n", len(state.Attrs), *dataDir)
+		}
+	}
+
 	node, err := rbay.NewTCPNode(addr, rbay.TCPOptions{
 		Listen:   *listen,
 		Registry: reg,
+		Node:     nodeCfg,
 		Resolve: func(a rbay.Addr) (string, error) {
 			hp, ok := peers[a]
 			if !ok {
@@ -108,6 +135,17 @@ func run(args []string) error {
 	})
 	fmt.Printf("rbayd: node %v listening on %s (NodeId %s)\n",
 		addr, node.ListenAddr(), node.Node.Pastry().ID().Short())
+
+	// Replay recovered state before joining: attributes re-posted, policy
+	// scripts re-attached, the reservation lease reconciled against its
+	// TTL. The overlay learns about it all via Refederate after the join.
+	if *dataDir != "" {
+		var restoreErr error
+		node.Node.DoWait(func() { restoreErr = node.Node.Restore(restored) })
+		if restoreErr != nil {
+			fmt.Fprintln(os.Stderr, "rbayd: restore: policy re-attach failed:", restoreErr)
+		}
+	}
 
 	// Publish attributes and attach policies before joining, so the first
 	// membership pass sees them. Node methods run on the node's event
@@ -161,6 +199,9 @@ func run(args []string) error {
 		}
 		fmt.Printf("rbayd: joined federation through %v\n", seed)
 	}
+	// Complete re-federation now that the overlay knows us: subscribe every
+	// matching tree and push aggregates without waiting an interval.
+	node.Node.DoWait(func() { node.Node.Refederate() })
 
 	if *httpAddr != "" {
 		gw := httpgw.New(node.Node, 30*time.Second)
@@ -176,8 +217,14 @@ func run(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("rbayd: shutting down")
+	s := <-sig
+	// Graceful departure: release releasable reservations, leave every
+	// tree so parents prune us immediately, flush and close the store.
+	// The deferred Close after this is a no-op on the already-closed net.
+	fmt.Printf("rbayd: %v received, shutting down gracefully\n", s)
+	if err := node.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "rbayd: shutdown:", err)
+	}
 	fmt.Println("rbayd: transport:", node.TransportStats())
 	return nil
 }

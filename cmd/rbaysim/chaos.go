@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rbay/internal/chaos"
+	"rbay/internal/store"
 )
 
 // runChaos runs a seeded fault-injection campaign. Everything printed is a
@@ -24,7 +25,14 @@ func runChaos(args []string) error {
 	plant := fs.Int("plant", 0, "1-based step index after which to covertly kill a node (validates the checkers; 0 = off)")
 	dumpMetrics := fs.Bool("metrics", false, "print the merged per-node metric snapshot (counters + latency/count histograms) after the run")
 	verbose := fs.Bool("v", false, "stream the event log while running (also printed at the end)")
+	durable := fs.Bool("durable", false, "back every node with a crash-consistent virtual disk; restarts recover by WAL replay + re-federation and the durability invariant is armed")
+	fsyncFlag := fs.String("fsync", "always", "durable nodes' fsync policy: always, interval, or never")
+	fsyncInterval := fs.Duration("fsync-interval", 2*time.Second, "fsync period under -fsync interval")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fsync, err := store.ParseSyncPolicy(*fsyncFlag)
+	if err != nil {
 		return err
 	}
 
@@ -41,11 +49,14 @@ func runChaos(args []string) error {
 	scn := chaos.RandomScenario(*seed, *steps, sites)
 	scn.Settle = *settle
 	opts := chaos.Options{
-		Sites:        sites,
-		NodesPerSite: *nodesPerSite,
-		Churn:        true,
-		Passwords:    true,
-		PlantStep:    *plant,
+		Sites:         sites,
+		NodesPerSite:  *nodesPerSite,
+		Churn:         true,
+		Passwords:     true,
+		PlantStep:     *plant,
+		Durable:       *durable,
+		Fsync:         fsync,
+		FsyncInterval: *fsyncInterval,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -77,6 +88,9 @@ func runChaos(args []string) error {
 			*seed, *steps, strings.Join(sites, ","), *nodesPerSite, *settle)
 		if *plant > 0 {
 			repro += fmt.Sprintf(" -plant %d", *plant)
+		}
+		if *durable {
+			repro += fmt.Sprintf(" -durable -fsync %v", fsync)
 		}
 		fmt.Printf("\nreproduce with: %s\n", repro)
 		os.Exit(1)

@@ -10,11 +10,13 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"rbay/internal/aal"
+	"rbay/internal/metrics"
 )
 
 // Handler names recognized by the AA runtime (paper Table I).
@@ -25,6 +27,16 @@ const (
 	HandlerDeliver     = "onDeliver"
 	HandlerTimer       = "onTimer"
 )
+
+// DefaultQuarantineAfter is the consecutive handler-failure count at
+// which an attribute's handlers are quarantined when Options leaves
+// QuarantineAfter at zero.
+const DefaultQuarantineAfter = 5
+
+// ErrQuarantined marks handler invocations refused because the attribute
+// tripped the consecutive-failure quarantine. Callers fail closed: gets
+// are denied, tree membership is dropped.
+var ErrQuarantined = errors.New("handler quarantined")
 
 // Options configures a node's attribute map.
 type Options struct {
@@ -37,6 +49,22 @@ type Options struct {
 	// AAL tunes handler execution limits. Now is overridden by the field
 	// above.
 	AAL aal.Options
+	// Metrics counts handler panics, failures and quarantines. Nil is
+	// fine (metrics.Registry is nil-safe).
+	Metrics *metrics.Registry
+	// QuarantineAfter is how many consecutive handler failures (errors or
+	// panics) quarantine an attribute — its handlers stop being invoked
+	// until a script is re-attached, so one bad script cannot take down
+	// the node or stall the timer loop. 0 means DefaultQuarantineAfter;
+	// negative disables quarantine.
+	QuarantineAfter int
+	// OnSet, OnDelete and OnAttach observe every successful mutation of
+	// the map, whoever performs it — the admin surface, a monitor feed, or
+	// an AA script calling setattr. The durable store hangs its WAL off
+	// these.
+	OnSet    func(name string, value any)
+	OnDelete func(name string)
+	OnAttach func(name, script string)
 }
 
 // Attribute is one resource attribute: a key-value pair that may carry an
@@ -49,6 +77,11 @@ type Attribute struct {
 	chunk       *aal.Chunk
 	rt          *aal.Runtime
 	baseGlobals int // stdlib globals present before the script ran
+
+	// failures counts consecutive handler errors/panics; quarantined trips
+	// once it reaches the map's threshold (see Options.QuarantineAfter).
+	failures    int
+	quarantined bool
 }
 
 // Name returns the attribute's key.
@@ -62,6 +95,10 @@ func (a *Attribute) Active() bool { return a.rt != nil }
 
 // Script returns the attached AA source ("" if plain).
 func (a *Attribute) Script() string { return a.script }
+
+// Quarantined reports whether consecutive handler failures disabled this
+// attribute's handlers (re-attach a script to clear it).
+func (a *Attribute) Quarantined() bool { return a.quarantined }
 
 // HasHandler reports whether the attached AA defines the named handler.
 func (a *Attribute) HasHandler(name string) bool {
@@ -146,6 +183,9 @@ func (m *Map) Set(name string, value any) {
 	if a.rt != nil {
 		a.rt.SetGlobal("AttrValue", aal.FromGo(value))
 	}
+	if m.opts.OnSet != nil {
+		m.opts.OnSet(name, value)
+	}
 }
 
 // Get returns an attribute's current value.
@@ -158,7 +198,15 @@ func (m *Map) Get(name string) (any, bool) {
 }
 
 // Delete removes an attribute entirely.
-func (m *Map) Delete(name string) { delete(m.attrs, name) }
+func (m *Map) Delete(name string) {
+	if _, ok := m.attrs[name]; !ok {
+		return
+	}
+	delete(m.attrs, name)
+	if m.opts.OnDelete != nil {
+		m.opts.OnDelete(name)
+	}
+}
 
 // Len returns the number of attributes.
 func (m *Map) Len() int { return len(m.attrs) }
@@ -220,6 +268,13 @@ func (m *Map) Attach(name, script string) error {
 	a.chunk = chunk
 	a.rt = rt
 	a.baseGlobals = base
+	// A fresh script gets a fresh record: re-attaching is how an admin
+	// clears a quarantine.
+	a.failures = 0
+	a.quarantined = false
+	if m.opts.OnAttach != nil {
+		m.opts.OnAttach(name, script)
+	}
 	return nil
 }
 
@@ -314,25 +369,65 @@ type Result struct {
 
 // Invoke runs the named handler of an attribute. Arguments are converted
 // with aal.FromGo. Unattached attributes and missing handlers return
-// Handled=false with no error.
+// Handled=false with no error. A panicking handler is contained (the
+// panic becomes the returned error, it never unwinds into the node), and
+// an attribute whose handlers fail QuarantineAfter times in a row is
+// quarantined: further invocations return ErrQuarantined without running
+// admin code, so callers fail closed rather than open.
 func (m *Map) Invoke(attrName, handler string, args ...any) (Result, error) {
 	a := m.attrs[attrName]
 	if a == nil || a.rt == nil || !a.rt.HasGlobal(handler) {
 		return Result{}, nil
 	}
+	if a.quarantined {
+		return Result{Handled: true}, fmt.Errorf("attr: %s.%s: %w", attrName, handler, ErrQuarantined)
+	}
 	vals := make([]aal.Value, len(args))
 	for i, arg := range args {
 		vals[i] = aal.FromGo(arg)
 	}
-	out, err := a.rt.CallGlobal(handler, vals...)
+	out, err := m.callGuarded(a, handler, vals)
 	res := Result{Handled: true, Steps: a.rt.Steps()}
 	if err != nil {
+		m.noteFailure(a)
 		return res, fmt.Errorf("attr: %s.%s: %w", attrName, handler, err)
 	}
+	a.failures = 0
 	if len(out) > 0 {
 		res.Value = aal.ToGo(out[0])
 	}
 	return res, nil
+}
+
+// callGuarded runs the handler with panic isolation: a panic anywhere in
+// the interpreter or a host function surfaces as an error on this
+// invocation only.
+func (m *Map) callGuarded(a *Attribute, handler string, vals []aal.Value) (out []aal.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.opts.Metrics.Inc("rbay_aa_panics_total")
+			err = fmt.Errorf("handler panicked: %v", r)
+		}
+	}()
+	return a.rt.CallGlobal(handler, vals...)
+}
+
+// noteFailure counts one handler error and trips the quarantine when the
+// consecutive-failure threshold is reached.
+func (m *Map) noteFailure(a *Attribute) {
+	m.opts.Metrics.Inc("rbay_aa_handler_failures_total")
+	limit := m.opts.QuarantineAfter
+	if limit == 0 {
+		limit = DefaultQuarantineAfter
+	}
+	if limit < 0 {
+		return
+	}
+	a.failures++
+	if a.failures >= limit && !a.quarantined {
+		a.quarantined = true
+		m.opts.Metrics.Inc("rbay_aa_quarantined_total")
+	}
 }
 
 // OnGet dispatches a get event (paper: invoked when a customer query

@@ -1,0 +1,172 @@
+package attr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rbay/internal/aal"
+	"rbay/internal/metrics"
+)
+
+// TestHandlerPanicIsolated: a panic inside handler dispatch (here a host
+// function planted in the runtime) must surface as this invocation's
+// error, not unwind into the caller.
+func TestHandlerPanicIsolated(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMap(Options{NodeID: "n1", Site: "virginia", Metrics: reg})
+	if err := m.Attach("GPU", `function onTimer() boom() end`); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	a, _ := m.Lookup("GPU")
+	a.rt.SetGlobal("boom", &aal.GoFunc{Name: "boom", Fn: func(*aal.Runtime, []aal.Value) ([]aal.Value, error) {
+		panic("host bug")
+	}})
+
+	err := m.OnTimer("GPU")
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	if got := reg.Snapshot().Counters["rbay_aa_panics_total"]; got != 1 {
+		t.Errorf("rbay_aa_panics_total = %d, want 1", got)
+	}
+	// The map must still be fully usable afterwards.
+	m.Set("GPU", true)
+	if v, ok := m.Get("GPU"); !ok || v != true {
+		t.Errorf("map unusable after contained panic: %v %v", v, ok)
+	}
+}
+
+// TestQuarantineAfterConsecutiveFailures: a script whose handler keeps
+// failing is cut off after the threshold, fails closed, and is restored
+// by re-attaching.
+func TestQuarantineAfterConsecutiveFailures(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMap(Options{NodeID: "n1", Site: "virginia", Metrics: reg, QuarantineAfter: 3})
+	m.Set("GPU", true)
+	script := `
+		function onGet(caller, payload) return no_such_fn() end
+		function onSubscribe(caller, topic) return true end
+	`
+	if err := m.Attach("GPU", script); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.OnGet("GPU", "joe", nil); err == nil {
+			t.Fatalf("call %d: want handler error", i)
+		}
+	}
+	a, _ := m.Lookup("GPU")
+	if !a.Quarantined() {
+		t.Fatal("attribute not quarantined after 3 consecutive failures")
+	}
+	// Quarantined invocations refuse without running admin code and fail
+	// closed: OnGet denies instead of defaulting to exposure.
+	v, err := m.OnGet("GPU", "joe", nil)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err = %v, want ErrQuarantined", err)
+	}
+	if v != nil {
+		t.Fatalf("quarantined OnGet exposed %v", v)
+	}
+	if ok, err := m.OnSubscribe("GPU", "rbay", "tree"); ok || err == nil {
+		t.Fatalf("quarantined OnSubscribe = %v, %v; want false + error", ok, err)
+	}
+	if got := reg.Snapshot().Counters["rbay_aa_quarantined_total"]; got != 1 {
+		t.Errorf("rbay_aa_quarantined_total = %d, want 1", got)
+	}
+
+	// Re-attaching a (fixed) script clears the quarantine.
+	if err := m.Attach("GPU", `function onGet(caller, payload) return AttrValue end`); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if a.Quarantined() {
+		t.Fatal("re-attach did not clear quarantine")
+	}
+	if v, err := m.OnGet("GPU", "joe", nil); err != nil || v != true {
+		t.Fatalf("after re-attach OnGet = %v, %v", v, err)
+	}
+}
+
+// TestFailureCountResetsOnSuccess: intermittent failures below the
+// threshold never quarantine.
+func TestFailureCountResetsOnSuccess(t *testing.T) {
+	m := NewMap(Options{NodeID: "n1", Site: "s", QuarantineAfter: 2})
+	m.Set("x", 1)
+	script := `
+		AA = {Fail = nil}
+		function onDeliver(caller, payload)
+			AA.Fail = payload
+			return nil
+		end
+		function onTimer()
+			if AA.Fail then return no_such_fn() end
+			return nil
+		end
+	`
+	if err := m.Attach("x", script); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.OnDeliver("x", "admin", true); err != nil {
+			t.Fatalf("arm fail: %v", err)
+		}
+		if err := m.OnTimer("x"); err == nil {
+			t.Fatal("want failure")
+		}
+		if _, err := m.OnDeliver("x", "admin", nil); err != nil {
+			t.Fatalf("disarm: %v", err)
+		}
+		if err := m.OnTimer("x"); err != nil {
+			t.Fatalf("healthy call failed: %v", err)
+		}
+	}
+	a, _ := m.Lookup("x")
+	if a.Quarantined() {
+		t.Fatal("intermittent failures tripped quarantine despite resets")
+	}
+}
+
+// TestNegativeQuarantineDisables: QuarantineAfter < 0 never quarantines.
+func TestNegativeQuarantineDisables(t *testing.T) {
+	m := NewMap(Options{NodeID: "n1", Site: "s", QuarantineAfter: -1})
+	if err := m.Attach("x", `function onTimer() return no_such_fn() end`); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := m.OnTimer("x"); errors.Is(err, ErrQuarantined) {
+			t.Fatalf("call %d quarantined despite QuarantineAfter=-1", i)
+		}
+	}
+}
+
+// TestMutationHooks: OnSet/OnDelete/OnAttach observe every mutation,
+// including writes from inside a script via setattr.
+func TestMutationHooks(t *testing.T) {
+	var events []string
+	m := NewMap(Options{
+		NodeID:   "n1",
+		Site:     "s",
+		OnSet:    func(name string, v any) { events = append(events, "set:"+name) },
+		OnDelete: func(name string) { events = append(events, "del:"+name) },
+		OnAttach: func(name, script string) { events = append(events, "attach:"+name) },
+	})
+	m.Set("GPU", true)
+	if err := m.Attach("GPU", `function onDeliver(caller, payload) setattr("shadow", payload) return nil end`); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if _, err := m.OnDeliver("GPU", "admin", 7); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	m.Delete("shadow")
+	m.Delete("missing") // no-op: must not fire the hook
+	want := []string{"set:GPU", "attach:GPU", "set:shadow", "del:shadow"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"rbay/internal/pastry"
 	"rbay/internal/scribe"
 	"rbay/internal/simnet"
+	"rbay/internal/store"
 	"rbay/internal/transport"
 )
 
@@ -53,6 +54,17 @@ type Options struct {
 	// crash in the harness's bookkeeping — a deliberately planted
 	// invariant violation used to validate the checkers themselves.
 	PlantStep int
+	// Durable backs every node with a crash-consistent virtual disk
+	// (store.MemDir): crashes cut the disk at its synced watermark, and
+	// restarts recover by snapshot+WAL replay and re-federation instead of
+	// re-applying the layout. Arms the durability invariant — no
+	// durably-posted resource permanently lost, no reservation
+	// double-honored across crash/restart.
+	Durable bool
+	// Fsync is the durable nodes' fsync policy. Default store.SyncAlways.
+	Fsync store.SyncPolicy
+	// FsyncInterval is the SyncInterval period (see store.Options).
+	FsyncInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +166,15 @@ type Harness struct {
 	planted map[string]bool
 	degrade map[string]simnet.RuleID // site (or "") → degradation rule
 
+	// Durable-mode state: each node's virtual disk and open store log, the
+	// durably-synced baseline attributes the durability invariant defends,
+	// and the committed leases restarted nodes re-hold (a candidate from
+	// this map in any later query is a double-honored reservation).
+	disks       map[string]*store.MemDir
+	logs        map[string]*store.Log
+	durableBase map[string]map[string]any
+	leased      map[string]string // addr → committed query ID
+
 	counters   *metrics.CounterSet
 	violations []Violation
 	logLines   []string
@@ -170,23 +191,40 @@ func New(scn Scenario, opts Options) (*Harness, error) {
 	scn = scn.withDefaults()
 	opts = opts.withDefaults()
 	h := &Harness{
-		scn:      scn,
-		opts:     opts,
-		reg:      opts.Registry,
-		rng:      rand.New(rand.NewSource(scn.Seed)),
-		live:     make(map[string]*core.Node),
-		down:     make(map[string]transport.Addr),
-		planted:  make(map[string]bool),
-		degrade:  make(map[string]simnet.RuleID),
-		counters: metrics.NewCounterSet(),
-		probeGot: make(map[uint64]ids.ID),
+		scn:         scn,
+		opts:        opts,
+		reg:         opts.Registry,
+		rng:         rand.New(rand.NewSource(scn.Seed)),
+		live:        make(map[string]*core.Node),
+		down:        make(map[string]transport.Addr),
+		planted:     make(map[string]bool),
+		degrade:     make(map[string]simnet.RuleID),
+		disks:       make(map[string]*store.MemDir),
+		logs:        make(map[string]*store.Log),
+		durableBase: make(map[string]map[string]any),
+		leased:      make(map[string]string),
+		counters:    metrics.NewCounterSet(),
+		probeGot:    make(map[uint64]ids.ID),
 	}
-	fed, err := core.NewFederation(h.reg, core.FedConfig{
+	fedCfg := core.FedConfig{
 		Sites:        opts.Sites,
 		NodesPerSite: opts.NodesPerSite,
 		Node:         *opts.Node,
 		Seed:         scn.Seed,
-	})
+	}
+	if opts.Durable {
+		fedCfg.StoreFor = func(addr transport.Addr) core.Store {
+			dir := store.NewMemDir()
+			l, _, err := store.Open(dir, h.storeOpts())
+			if err != nil {
+				return nil
+			}
+			h.disks[addr.String()] = dir
+			h.logs[addr.String()] = l
+			return l
+		}
+	}
+	fed, err := core.NewFederation(h.reg, fedCfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
@@ -197,6 +235,9 @@ func New(scn Scenario, opts Options) (*Harness, error) {
 		for i, n := range ns {
 			h.live[n.Addr().String()] = n
 			h.applyLayout(n, site, i)
+			if opts.Durable {
+				h.recordDurableBase(n)
+			}
 			n.Pastry().Register(probeAppName, &probeApp{h: h})
 			if opts.Churn {
 				h.armChurn(n, h.globalIndex(site, i))
@@ -204,8 +245,46 @@ func New(scn Scenario, opts Options) (*Harness, error) {
 		}
 	}
 	fed.Settle()
+	if opts.Durable {
+		// Force the baseline onto disk so the durability invariant holds
+		// under every fsync policy: what it defends is exactly what was
+		// durable before the schedule started.
+		h.syncAllStores()
+	}
 	h.start = h.net.Now()
 	return h, nil
+}
+
+// storeOpts maps the harness options onto the store's.
+func (h *Harness) storeOpts() store.Options {
+	return store.Options{Policy: h.opts.Fsync, Interval: h.opts.FsyncInterval}
+}
+
+// recordDurableBase snapshots the node's stable layout attributes — the
+// ones nothing in a scenario legitimately changes — as the durability
+// ground truth. CPU_utilization is deliberately absent: churn rewrites it
+// continuously, so only its post-restart existence is checkable (it is
+// re-posted either by replay or by the revived monitor feed).
+func (h *Harness) recordDurableBase(n *core.Node) {
+	base := make(map[string]any, 3)
+	for _, name := range []string{"GPU", "instance_type", "mem_gb"} {
+		if v, ok := n.Attributes().Get(name); ok {
+			base[name] = v
+		}
+	}
+	h.durableBase[n.Addr().String()] = base
+}
+
+// syncAllStores fsyncs every open store log, in deterministic order.
+func (h *Harness) syncAllStores() {
+	keys := make([]string, 0, len(h.logs))
+	for k := range h.logs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		_ = h.logs[k].Sync()
+	}
 }
 
 // Run applies the whole schedule and the invariant suite, returning the
@@ -345,6 +424,11 @@ func (h *Harness) crashOne(site string) {
 	n := elig[h.rng.Intn(len(elig))]
 	key := n.Addr().String()
 	_ = n.Close()
+	if disk := h.disks[key]; disk != nil {
+		// Power cut: the disk reverts to its synced watermark — whatever the
+		// fsync policy had not yet made durable is gone, deterministically.
+		disk.Crash()
+	}
 	delete(h.live, key)
 	h.down[key] = n.Addr()
 	h.counters.Inc("faults.crash")
@@ -393,14 +477,42 @@ func (h *Harness) restartOne(site string) {
 	}
 	sort.Slice(downSite, func(i, j int) bool { return downSite[i].String() < downSite[j].String() })
 	addr := downSite[h.rng.Intn(len(downSite))]
+	key := addr.String()
 
-	n, err := core.New(h.net, addr, h.reg, *h.opts.Node)
+	cfg := *h.opts.Node
+	var state store.State
+	disk := h.disks[key]
+	if disk != nil {
+		l, st, err := store.Open(disk, h.storeOpts())
+		if err != nil {
+			h.violate("durability", fmt.Sprintf("node %s: store unreadable on restart: %v", key, err))
+			h.skip(Step{Kind: Restart, Site: site}, "store open failed")
+			return
+		}
+		cfg.Store = l
+		h.logs[key] = l
+		state = st
+	}
+	n, err := core.New(h.net, addr, h.reg, cfg)
 	if err != nil {
 		h.skip(Step{Kind: Restart, Site: site}, "attach failed: "+err.Error())
 		return
 	}
 	i := hostIndex(addr.Host)
-	h.applyLayout(n, site, i)
+	if disk != nil {
+		// Durable restart: state comes from the disk, not from re-applying
+		// the layout — losing anything durably posted is the bug class this
+		// mode exists to catch.
+		if err := n.Restore(state); err != nil {
+			h.violate("durability", fmt.Sprintf("node %s: restore failed: %v", key, err))
+		}
+		h.checkRestoredFidelity(n)
+		if r := state.Reservation; r != nil && r.Committed {
+			h.leased[key] = r.QueryID
+		}
+	} else {
+		h.applyLayout(n, site, i)
+	}
 	n.Pastry().Register(probeAppName, &probeApp{h: h})
 	n.SetDirectory(h.fed.Directory)
 	h.ensureJoined(n, site)
@@ -439,9 +551,35 @@ func (h *Harness) ensureJoined(n *core.Node, site string) {
 		}
 		if !p.Joined(pastry.GlobalScope) || !p.Joined(site) {
 			p.After(2*time.Second, ensure)
+			return
 		}
+		// Both scopes joined: complete the re-federation sequence now —
+		// re-subscribe matching trees and push aggregates — instead of
+		// waiting out the membership and aggregation intervals.
+		n.Refederate()
 	}
 	ensure()
+}
+
+// checkRestoredFidelity asserts a durable restart recovered every
+// durably-synced baseline attribute with its original value.
+func (h *Harness) checkRestoredFidelity(n *core.Node) {
+	key := n.Addr().String()
+	base := h.durableBase[key]
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		got, ok := n.Attributes().Get(name)
+		if !ok || got != want {
+			h.violate("durability",
+				fmt.Sprintf("node %s: durably-posted %s=%v lost across restart (got %v, present=%v)",
+					key, name, want, got, ok))
+		}
+	}
 }
 
 // plant covertly closes one eligible node without updating the live/down

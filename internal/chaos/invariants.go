@@ -44,6 +44,7 @@ func (h *Harness) checkQuiescent() {
 	h.checkAggregates()
 	h.checkNoDoubleAllocation()
 	h.checkQueryable()
+	h.checkDurability()
 }
 
 // scopes returns the overlay scopes to check: global plus one per site.
@@ -380,6 +381,11 @@ func (h *Harness) checkNoDoubleAllocation() {
 				h.violate("no-double-allocation",
 					fmt.Sprintf("node %s allocated to two concurrent queries (%d and %d)", key, prev, i))
 			}
+			if lease, held := h.leased[key]; held {
+				h.violate("no-double-allocation",
+					fmt.Sprintf("node %s handed to query %d while re-holding committed lease %q across restart",
+						key, i, lease))
+			}
 			holders[key] = i
 		}
 	}
@@ -429,6 +435,11 @@ func (h *Harness) checkQueryable() {
 				h.violate("queryability",
 					fmt.Sprintf("round %d: query returned dead node %s", round, c.Addr))
 			}
+			if lease, held := h.leased[c.Addr.String()]; held {
+				h.violate("queryability",
+					fmt.Sprintf("round %d: node %s handed out while re-holding committed lease %q across restart",
+						round, c.Addr, lease))
+			}
 		}
 		issuer.Release(res.QueryID, res.Candidates)
 		h.net.RunFor(500 * time.Millisecond)
@@ -440,6 +451,64 @@ func (h *Harness) checkQueryable() {
 			fmt.Sprintf("plane went dark: only %d/%d queries found any candidate", withCandidates, h.scn.Queries))
 	}
 	h.logf("check queryability ok nonempty=%d/%d", withCandidates, h.scn.Queries)
+}
+
+// checkDurability asserts, at quiescence, that nothing durably posted
+// before the schedule started was permanently lost: every live
+// store-backed node still carries its durably-synced baseline attributes,
+// and every committed lease restored from disk is still held by exactly
+// the reservation that was committed. (Double-honoring — the leased node
+// appearing as a fresh candidate — is caught by the query checkers; this
+// check catches the lease being silently dropped.)
+func (h *Harness) checkDurability() {
+	if !h.opts.Durable {
+		return
+	}
+	h.counters.Inc("checks.durability")
+	nodes := 0
+	for _, n := range h.liveSorted() {
+		key := n.Addr().String()
+		if h.planted[key] {
+			continue
+		}
+		base, ok := h.durableBase[key]
+		if !ok {
+			continue
+		}
+		nodes++
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			want := base[name]
+			got, present := n.Attributes().Get(name)
+			if !present || got != want {
+				h.violate("durability",
+					fmt.Sprintf("node %s: durably-posted %s=%v lost at quiescence (got %v, present=%v)",
+						key, name, want, got, present))
+			}
+		}
+	}
+	leaseKeys := make([]string, 0, len(h.leased))
+	for k := range h.leased {
+		leaseKeys = append(leaseKeys, k)
+	}
+	sort.Strings(leaseKeys)
+	for _, key := range leaseKeys {
+		n, live := h.live[key]
+		if !live {
+			continue // crashed again after the restore; nothing to assert
+		}
+		q, committed, held := n.Reserved()
+		if !held || !committed || q != h.leased[key] {
+			h.violate("durability",
+				fmt.Sprintf("node %s: committed lease %q restored from disk but no longer held (%q committed=%v held=%v)",
+					key, h.leased[key], q, committed, held))
+		}
+	}
+	h.logf("check durability ok nodes=%d leases=%d", nodes, len(leaseKeys))
 }
 
 // sortedDefs returns the registry's tree definitions sorted by name.

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"rbay/internal/ids"
+	"rbay/internal/store"
+)
+
+// Store is the durable event sink a Node writes its recoverable state
+// through: attribute posts/withdrawals, AA policy attachments, and
+// reservation transitions. *store.Log implements it; the default is nil
+// (no store — simnet tests stay pure in-memory and pay nothing).
+type Store interface {
+	RecordSet(name string, value any)
+	RecordDelete(name string)
+	RecordAttach(name, script string)
+	RecordReserve(queryID string, expires time.Time)
+	RecordCommit(queryID string)
+	RecordRelease(queryID string)
+	// Sync makes everything recorded so far durable.
+	Sync() error
+	// SyncInterval is the period the node should call Sync at; 0 means the
+	// store syncs itself (always or never) and needs no timer.
+	SyncInterval() time.Duration
+	// Close syncs and detaches the store.
+	Close() error
+}
+
+// scheduleStoreSync arms the periodic fsync timer for interval-policy
+// stores. The timer lives on the node's event context, so it dies with
+// the endpoint on crash — a dead node cannot keep making its disk more
+// durable, which is exactly the semantics chaos crash tests need.
+func (n *Node) scheduleStoreSync(interval time.Duration) {
+	n.p.After(interval, func() {
+		_ = n.st.Sync()
+		n.scheduleStoreSync(interval)
+	})
+}
+
+// storeSet / storeDelete / storeAttach are the attr.Map mutation hooks.
+// They record every live mutation — admin surface, monitor feeds, AA
+// setattr — but stay quiet during Restore, which replays state that is
+// already on disk.
+func (n *Node) storeSet(name string, value any) {
+	if n.st != nil && !n.restoring {
+		n.st.RecordSet(name, value)
+	}
+}
+
+func (n *Node) storeDelete(name string) {
+	if n.st != nil && !n.restoring {
+		n.st.RecordDelete(name)
+	}
+}
+
+func (n *Node) storeAttach(name, script string) {
+	if n.st != nil && !n.restoring {
+		n.st.RecordAttach(name, script)
+	}
+}
+
+// recordReserve / recordCommit / recordRelease mirror reservation
+// transitions into the store.
+func (n *Node) recordReserve(queryID string, expires time.Time) {
+	if n.st != nil {
+		n.st.RecordReserve(queryID, expires)
+	}
+}
+
+func (n *Node) recordCommit(queryID string) {
+	if n.st != nil {
+		n.st.RecordCommit(queryID)
+	}
+}
+
+func (n *Node) recordRelease(queryID string) {
+	if n.st != nil {
+		n.st.RecordRelease(queryID)
+	}
+}
+
+// Restore rebuilds the node's in-memory state from a recovered store
+// snapshot: attributes are re-posted (scripts re-attached, then values
+// re-set), and the reservation lease is reconciled against its TTL — an
+// uncommitted lease that expired while the node was down is released
+// (durably, so a second restart agrees), an in-flight one is re-armed
+// with its original expiry, and a committed lease is re-held
+// indefinitely, exactly as it was before the crash. Call it after New
+// and before joining the overlay; follow the join with Refederate.
+//
+// The returned error is the first script that failed to re-attach; the
+// rest of the state is still restored (a broken policy must not hold the
+// node's whole inventory hostage).
+func (n *Node) Restore(state store.State) error {
+	n.restoring = true
+	defer func() { n.restoring = false }()
+	var firstErr error
+	for _, a := range state.SortedAttrs() {
+		if a.Script != "" {
+			if err := n.am.Attach(a.Name, a.Script); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		n.am.Set(a.Name, a.Value)
+	}
+	if r := state.Reservation; r != nil {
+		if !r.Committed && n.Now().After(r.Expires) {
+			// Expired while down: the origin's query has long moved on.
+			n.recordRelease(r.QueryID)
+		} else {
+			n.reserved = &reservation{queryID: r.QueryID, expires: r.Expires, committed: r.Committed}
+		}
+	}
+	return firstErr
+}
+
+// Refederate re-enters the federation after a restart: an immediate
+// membership pass re-subscribes every tree whose predicate the restored
+// attributes satisfy, and a forced scribe maintenance pass pushes the
+// node's aggregates up (or re-joins trees whose parents are gone) without
+// waiting an interval. The Pastry re-join itself happens when the caller
+// bootstraps the node (Join / Wire); re-joining announces the node to
+// survivors, which clears any failure tombstones they hold for it.
+func (n *Node) Refederate() {
+	n.evaluateMembership()
+	n.s.Republish()
+}
+
+// Shutdown leaves the federation gracefully instead of dying mid-write:
+// it releases a still-releasable (uncommitted) local reservation,
+// announces departure to the overlay by leaving every subscribed tree
+// (parents prune the node immediately instead of waiting out a TTL),
+// flushes and closes the durable store, and closes the transport. It
+// must run on the node's event context; rbayd wraps it in DoWait from
+// the signal handler. Close, by contrast, simulates a crash: it drops
+// the transport and leaves the store unsynced.
+func (n *Node) Shutdown() error {
+	if r := n.reserved; r != nil && !r.committed {
+		n.handleRelease(releaseReq{QueryID: r.queryID})
+	}
+	topics := make([]ids.ID, 0, len(n.subscribed))
+	for topic := range n.subscribed {
+		topics = append(topics, topic)
+	}
+	sort.Slice(topics, func(i, j int) bool { return topics[i].Less(topics[j]) })
+	for _, topic := range topics {
+		n.s.Unsubscribe(topic)
+		delete(n.subscribed, topic)
+	}
+	var firstErr error
+	if n.st != nil {
+		if err := n.st.Sync(); err != nil {
+			firstErr = err
+		}
+		if err := n.st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := n.p.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -34,6 +34,10 @@ type FedConfig struct {
 	// Seed drives all randomness (latency jitter and workloads seeded off
 	// this are reproducible).
 	Seed int64
+	// StoreFor, when set, gives individual nodes their own durable store
+	// (the chaos harness backs some nodes with crash-consistent virtual
+	// disks this way). Returning nil leaves that node in-memory only.
+	StoreFor func(addr transport.Addr) Store
 }
 
 func (c FedConfig) withDefaults() FedConfig {
@@ -82,7 +86,11 @@ func NewFederation(reg *naming.Registry, cfg FedConfig) (*Federation, error) {
 	for _, site := range cfg.Sites {
 		for i := 0; i < cfg.NodesPerSite; i++ {
 			addr := transport.Addr{Site: site, Host: fmt.Sprintf("n%04d", i)}
-			n, err := New(net, addr, reg, cfg.Node)
+			nodeCfg := cfg.Node
+			if cfg.StoreFor != nil {
+				nodeCfg.Store = cfg.StoreFor(addr)
+			}
+			n, err := New(net, addr, reg, nodeCfg)
 			if err != nil {
 				return nil, fmt.Errorf("core: federation: %w", err)
 			}

@@ -53,6 +53,15 @@ type Config struct {
 	MaxAttempts int
 	// SiteQueryTimeout bounds one site's query round. Default 10s.
 	SiteQueryTimeout time.Duration
+
+	// Store, when set, durably records attribute and reservation events so
+	// the node's state survives a crash (see internal/store and Restore).
+	// Nil — the default — keeps everything in memory.
+	Store Store
+	// AAQuarantineAfter is the consecutive AA handler-failure threshold
+	// after which an attribute's handlers are quarantined. 0 uses
+	// attr.DefaultQuarantineAfter; negative disables quarantine.
+	AAQuarantineAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +140,12 @@ type Node struct {
 	// watched caches the attribute names worth tracking (those the
 	// registry's trees predicate over).
 	watched []string
+
+	// st is the durable store (nil: in-memory only). restoring gates the
+	// attr mutation hooks off while Restore replays state that is already
+	// on disk.
+	st        Store
+	restoring bool
 }
 
 // QueryRecord is one finished query kept in the node's recent-query ring
@@ -226,14 +241,25 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 	}
 	n.s = scribe.New(p, cfg.Scribe)
 	aalOpts := cfg.AAL
+	n.st = cfg.Store
 	n.am = attr.NewMap(attr.Options{
-		NodeID: addr.String(),
-		Site:   addr.Site,
-		Now:    p.Now,
-		AAL:    aalOpts,
+		NodeID:          addr.String(),
+		Site:            addr.Site,
+		Now:             p.Now,
+		AAL:             aalOpts,
+		Metrics:         reg2,
+		QuarantineAfter: cfg.AAQuarantineAfter,
+		OnSet:           n.storeSet,
+		OnDelete:        n.storeDelete,
+		OnAttach:        n.storeAttach,
 	})
 	p.Register(AppName, n)
 	n.scheduleMembership()
+	if n.st != nil {
+		if iv := n.st.SyncInterval(); iv > 0 {
+			n.scheduleStoreSync(iv)
+		}
+	}
 	return n, nil
 }
 
@@ -326,7 +352,9 @@ func (n *Node) SetDeliverHook(h func(attrName string, sentAt time.Time)) { n.del
 // Directory returns the installed federation directory.
 func (n *Node) Directory() Directory { return n.dir }
 
-// Close detaches the node.
+// Close detaches the node abruptly — the crash path: the transport drops
+// and any durable store keeps only what was already synced. Graceful exit
+// is Shutdown (see durable.go).
 func (n *Node) Close() error { return n.p.Close() }
 
 // ---------------------------------------------------------------------------
@@ -558,6 +586,7 @@ func (n *Node) reserve(queryID string) bool {
 	if r := n.reserved; r != nil {
 		if r.queryID == queryID {
 			r.expires = now.Add(n.cfg.ReserveTTL)
+			n.recordReserve(queryID, r.expires)
 			return true
 		}
 		if !r.committed && now.After(r.expires) {
@@ -567,6 +596,7 @@ func (n *Node) reserve(queryID string) bool {
 		}
 	}
 	n.reserved = &reservation{queryID: queryID, expires: now.Add(n.cfg.ReserveTTL)}
+	n.recordReserve(queryID, n.reserved.expires)
 	return true
 }
 
@@ -585,6 +615,7 @@ func (n *Node) Reserved() (queryID string, committed, ok bool) {
 func (n *Node) handleCommit(q commitReq) {
 	if r := n.reserved; r != nil && r.queryID == q.QueryID {
 		r.committed = true
+		n.recordCommit(q.QueryID)
 		n.metrics.Inc("rbay_commits_total")
 		return
 	}
@@ -599,6 +630,7 @@ func (n *Node) handleCommit(q commitReq) {
 func (n *Node) handleRelease(q releaseReq) {
 	if r := n.reserved; r != nil && r.queryID == q.QueryID {
 		n.reserved = nil
+		n.recordRelease(q.QueryID)
 		n.metrics.Inc("rbay_releases_total")
 		return
 	}

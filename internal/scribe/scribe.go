@@ -521,6 +521,13 @@ func (s *Scribe) sortedTopics() []*topicState {
 	return out
 }
 
+// Republish forces an immediate maintenance pass — push partial
+// aggregates to parents, (re-)join any tree whose parent is missing —
+// instead of waiting for the next periodic tick. A node restarting from
+// its durable store calls this after re-subscribing so its aggregates
+// reach the trees without an AggregateInterval of silence.
+func (s *Scribe) Republish() { s.tick() }
+
 // tick pushes partial aggregates to parents, prunes silent children, and
 // repairs lost parents.
 func (s *Scribe) tick() {
@@ -684,7 +691,17 @@ func (s *Scribe) Direct(n *pastry.Node, from pastry.Entry, payload any) {
 		}
 		t.parent = p.Parent
 		t.joining = false
-		t.isRoot = false
+		if t.isRoot {
+			// Root hand-off: the rendezvous moved (e.g. a closer node
+			// rejoined the overlay) and our re-join attached us under it. If
+			// we only stood in the tree as root but still connect children,
+			// we must stay as a forwarder or the subtree's aggregates would
+			// strand here, skipped by every maintenance tick.
+			t.isRoot = false
+			if !t.subscribed && len(t.children) > 0 {
+				t.forwarder = true
+			}
+		}
 	case leaveMsg:
 		t := s.topics[p.Topic]
 		if t == nil {
@@ -701,12 +718,17 @@ func (s *Scribe) Direct(n *pastry.Node, from pastry.Entry, payload any) {
 	case aggUpdateMsg:
 		t := s.topics[p.Topic]
 		if t == nil {
-			// A child believes we are its parent (e.g. after we detached):
-			// re-adopt so the tree stays connected; we will detach again
-			// once it leaves.
 			t = s.topic(p.Topic, from.Addr.Site, true)
+		}
+		if !t.inTree() {
+			// A child believes we are its parent (e.g. after we detached, or
+			// a root hand-off left us with children but no role): re-adopt as
+			// forwarder so the tree stays connected; we will detach again
+			// once the children leave.
 			t.forwarder = true
-			_ = s.sendJoin(t)
+			if t.parent.IsZero() && !t.joining {
+				_ = s.sendJoin(t)
+			}
 		}
 		s.addChild(t, p.Child)
 		c := t.children[p.Child.ID]

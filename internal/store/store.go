@@ -1,0 +1,545 @@
+// Package store is the durable node state layer: an append-only,
+// checksummed write-ahead log plus periodic snapshot/compaction, stdlib
+// only. It records the events that make a site's posted inventory
+// recoverable across a daemon crash — resource posts and withdrawals,
+// active-attribute policy attachments, and reservation
+// reserve/commit/release transitions — and rebuilds the node's state by
+// replaying snapshot+WAL on restart (see docs/RECOVERY.md).
+//
+// Crash semantics: a record is durable once it has been fsynced, which
+// the SyncPolicy controls. A torn final record (the write the crash
+// interrupted) is detected by its CRC or truncated frame and dropped;
+// every record before it survives. Compaction writes the full state as a
+// snapshot and truncates the WAL; records carry monotonic sequence
+// numbers so a crash between the snapshot rename and the WAL truncation
+// replays cleanly (records at or below the snapshot's sequence are
+// skipped).
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File names inside a store directory.
+const (
+	// WALName is the append-only record log.
+	WALName = "wal"
+	// SnapName is the most recent compacted snapshot.
+	SnapName = "snap"
+	// snapTmpName is the in-progress snapshot, renamed over SnapName once
+	// durable.
+	snapTmpName = "snap.tmp"
+)
+
+// maxRecordLen bounds one WAL record's payload; a longer length prefix
+// means the tail is garbage, not a record.
+const maxRecordLen = 1 << 24
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: nothing acknowledged is ever
+	// lost, at one fsync per event.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval leaves fsync to a periodic timer (the node arms it from
+	// Log.SyncInterval); a crash loses at most one interval of events.
+	SyncInterval
+	// SyncNever leaves fsync entirely to explicit Sync calls and Close.
+	SyncNever
+)
+
+// String returns the policy's flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag spelling.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return SyncAlways, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Policy selects the fsync policy. Default SyncAlways.
+	Policy SyncPolicy
+	// Interval is the SyncInterval period. Default 2s.
+	Interval time.Duration
+	// CompactEvery is how many appended records trigger a
+	// snapshot+truncate compaction. Default 4096.
+	CompactEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 4096
+	}
+	return o
+}
+
+// Record operations.
+const (
+	opSet     = "set"     // attribute value posted/updated
+	opDelete  = "del"     // attribute withdrawn
+	opAttach  = "attach"  // AA policy script attached
+	opReserve = "reserve" // reservation taken or its lease extended
+	opCommit  = "commit"  // reservation committed (leased)
+	opRelease = "release" // reservation released
+)
+
+// record is one WAL entry. Values travel through the tagged codec in
+// value.go so bool/int/float64/string round-trip with their Go types.
+type record struct {
+	Seq    uint64       `json:"q"`
+	Op     string       `json:"op"`
+	Attr   string       `json:"a,omitempty"`
+	Val    *taggedValue `json:"v,omitempty"`
+	Script string       `json:"s,omitempty"`
+	Query  string       `json:"id,omitempty"`
+	// Exp is a reservation's expiry as Unix nanoseconds.
+	Exp int64 `json:"exp,omitempty"`
+}
+
+// StoredAttr is one recovered attribute: its value and, when an AA policy
+// was attached, the script source.
+type StoredAttr struct {
+	Name   string
+	Value  any
+	Script string
+}
+
+// StoredReservation is the recovered reservation lock, if the node held
+// one when it went down.
+type StoredReservation struct {
+	QueryID   string
+	Expires   time.Time
+	Committed bool
+}
+
+// State is the durable node state a replay reconstructs.
+type State struct {
+	// Seq is the highest applied record sequence number.
+	Seq         uint64
+	Attrs       map[string]StoredAttr
+	Reservation *StoredReservation
+}
+
+// SortedAttrs returns the attributes ordered by name, for deterministic
+// restoration.
+func (s State) SortedAttrs() []StoredAttr {
+	out := make([]StoredAttr, 0, len(s.Attrs))
+	for _, a := range s.Attrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// clone deep-copies the state so callers can hold it while the Log keeps
+// mutating its live copy.
+func (s State) clone() State {
+	out := State{Seq: s.Seq, Attrs: make(map[string]StoredAttr, len(s.Attrs))}
+	for k, v := range s.Attrs {
+		out.Attrs[k] = v
+	}
+	if s.Reservation != nil {
+		r := *s.Reservation
+		out.Reservation = &r
+	}
+	return out
+}
+
+// apply folds one record into the state.
+func (s *State) apply(r record) {
+	if r.Seq > s.Seq {
+		s.Seq = r.Seq
+	}
+	switch r.Op {
+	case opSet:
+		a := s.Attrs[r.Attr]
+		a.Name = r.Attr
+		a.Value = r.Val.Go()
+		s.Attrs[r.Attr] = a
+	case opDelete:
+		delete(s.Attrs, r.Attr)
+	case opAttach:
+		a := s.Attrs[r.Attr]
+		a.Name = r.Attr
+		a.Script = r.Script
+		s.Attrs[r.Attr] = a
+	case opReserve:
+		if rsv := s.Reservation; rsv != nil && rsv.QueryID == r.Query {
+			rsv.Expires = time.Unix(0, r.Exp)
+			return
+		}
+		s.Reservation = &StoredReservation{QueryID: r.Query, Expires: time.Unix(0, r.Exp)}
+	case opCommit:
+		if rsv := s.Reservation; rsv != nil && rsv.QueryID == r.Query {
+			rsv.Committed = true
+		}
+	case opRelease:
+		if rsv := s.Reservation; rsv != nil && rsv.QueryID == r.Query {
+			s.Reservation = nil
+		}
+	}
+}
+
+// snapshot is the on-disk snapshot envelope. The reservation expiry is
+// Unix nanoseconds, same as WAL records, so replayed and snapshotted
+// state compare equal (a time.Time JSON round trip would not: it drops
+// the monotonic reading and normalizes the location).
+type snapshot struct {
+	Seq         uint64           `json:"seq"`
+	Attrs       []snapAttr       `json:"attrs"`
+	Reservation *snapReservation `json:"reservation,omitempty"`
+}
+
+type snapReservation struct {
+	QueryID   string `json:"id"`
+	Exp       int64  `json:"exp"`
+	Committed bool   `json:"committed,omitempty"`
+}
+
+type snapAttr struct {
+	Name   string       `json:"name"`
+	Val    *taggedValue `json:"val,omitempty"`
+	Script string       `json:"script,omitempty"`
+}
+
+// Log is one node's durable store: WAL + snapshot over a Dir. It is safe
+// for concurrent use (rbayd syncs from a timer goroutine while the node's
+// event loop appends).
+type Log struct {
+	mu   sync.Mutex
+	dir  Dir
+	opts Options
+
+	w        File
+	state    State
+	unsynced int // records appended since the last sync
+	sinceCpt int // records appended since the last compaction
+	closed   bool
+	firstErr error
+}
+
+// Stats reports a Log's write-path counters.
+type Stats struct {
+	Seq      uint64
+	Unsynced int
+	FirstErr error
+}
+
+// Open loads the store in dir — snapshot first, then the WAL records past
+// it, dropping a torn or corrupt tail — and returns the Log ready for
+// appending plus the recovered state. A missing directory content is an
+// empty store, not an error.
+func Open(dir Dir, opts Options) (*Log, State, error) {
+	opts = opts.withDefaults()
+	l := &Log{
+		dir:   dir,
+		opts:  opts,
+		state: State{Attrs: make(map[string]StoredAttr)},
+	}
+
+	if raw, ok, err := dir.ReadFile(SnapName); err != nil {
+		return nil, State{}, fmt.Errorf("store: read snapshot: %w", err)
+	} else if ok {
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, State{}, fmt.Errorf("store: decode snapshot: %w", err)
+		}
+		l.state.Seq = snap.Seq
+		for _, a := range snap.Attrs {
+			l.state.Attrs[a.Name] = StoredAttr{Name: a.Name, Value: a.Val.Go(), Script: a.Script}
+		}
+		if r := snap.Reservation; r != nil {
+			l.state.Reservation = &StoredReservation{
+				QueryID:   r.QueryID,
+				Expires:   time.Unix(0, r.Exp),
+				Committed: r.Committed,
+			}
+		}
+	}
+
+	raw, ok, err := dir.ReadFile(WALName)
+	if err != nil {
+		return nil, State{}, fmt.Errorf("store: read wal: %w", err)
+	}
+	if ok {
+		recs, good := decodeWAL(raw)
+		for _, r := range recs {
+			if r.Seq <= l.state.Seq && r.Seq != 0 {
+				// Already folded into the snapshot (crash landed between the
+				// snapshot rename and the WAL truncation).
+				continue
+			}
+			l.state.apply(r)
+		}
+		if good < len(raw) {
+			// Torn or corrupt tail: drop it durably so the next append does
+			// not splice valid records onto garbage.
+			if err := dir.WriteFile(WALName, raw[:good]); err != nil {
+				return nil, State{}, fmt.Errorf("store: truncate torn wal tail: %w", err)
+			}
+		}
+	}
+
+	w, err := dir.OpenAppend(WALName)
+	if err != nil {
+		return nil, State{}, fmt.Errorf("store: open wal: %w", err)
+	}
+	l.w = w
+	return l, l.state.clone(), nil
+}
+
+// decodeWAL parses framed records from raw, returning the records and the
+// byte offset of the last fully valid frame. Parsing stops at the first
+// truncated or checksum-failing frame: everything after it is treated as
+// the torn tail of the final (interrupted) write.
+func decodeWAL(raw []byte) (recs []record, good int) {
+	off := 0
+	for off+8 <= len(raw) {
+		n := binary.LittleEndian.Uint32(raw[off:])
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		if n == 0 || n > maxRecordLen || off+8+int(n) > len(raw) {
+			break
+		}
+		payload := raw[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break
+		}
+		recs = append(recs, r)
+		off += 8 + int(n)
+	}
+	return recs, off
+}
+
+// encodeFrame frames one record payload: u32 length, u32 CRC32, payload.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// append writes one record under the lock, applying the sync and
+// compaction policies. Append errors are sticky: the first one is kept
+// and surfaced by Sync/Close/Err so the node can report a dying disk.
+func (l *Log) append(r record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.state.Seq++
+	r.Seq = l.state.Seq
+	l.state.apply(r)
+	payload, err := json.Marshal(r)
+	if err != nil {
+		l.noteErr(err)
+		return
+	}
+	if _, err := l.w.Write(encodeFrame(payload)); err != nil {
+		l.noteErr(err)
+		return
+	}
+	l.unsynced++
+	l.sinceCpt++
+	if l.opts.Policy == SyncAlways {
+		l.syncLocked()
+	}
+	if l.sinceCpt >= l.opts.CompactEvery {
+		l.compactLocked()
+	}
+}
+
+func (l *Log) noteErr(err error) {
+	if l.firstErr == nil {
+		l.firstErr = err
+	}
+}
+
+// RecordSet records an attribute post/update.
+func (l *Log) RecordSet(name string, value any) {
+	l.append(record{Op: opSet, Attr: name, Val: tagValue(value)})
+}
+
+// RecordDelete records an attribute withdrawal.
+func (l *Log) RecordDelete(name string) {
+	l.append(record{Op: opDelete, Attr: name})
+}
+
+// RecordAttach records an AA policy attachment.
+func (l *Log) RecordAttach(name, script string) {
+	l.append(record{Op: opAttach, Attr: name, Script: script})
+}
+
+// RecordReserve records a reservation being taken or extended.
+func (l *Log) RecordReserve(queryID string, expires time.Time) {
+	l.append(record{Op: opReserve, Query: queryID, Exp: expires.UnixNano()})
+}
+
+// RecordCommit records a reservation commit (lease).
+func (l *Log) RecordCommit(queryID string) {
+	l.append(record{Op: opCommit, Query: queryID})
+}
+
+// RecordRelease records a reservation release.
+func (l *Log) RecordRelease(queryID string) {
+	l.append(record{Op: opRelease, Query: queryID})
+}
+
+// Sync makes every appended record durable and returns the first write
+// error seen so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncLocked()
+	return l.firstErr
+}
+
+func (l *Log) syncLocked() {
+	if l.unsynced == 0 || l.w == nil {
+		return
+	}
+	if err := l.w.Sync(); err != nil {
+		l.noteErr(err)
+		return
+	}
+	l.unsynced = 0
+}
+
+// SyncInterval returns the period the owner should call Sync at, or 0
+// when the policy needs no timer.
+func (l *Log) SyncInterval() time.Duration {
+	if l.opts.Policy == SyncInterval {
+		return l.opts.Interval
+	}
+	return 0
+}
+
+// Compact snapshots the current state and truncates the WAL.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactLocked()
+	return l.firstErr
+}
+
+// compactLocked writes the snapshot durably, renames it into place, then
+// truncates the WAL. Crash ordering: the snapshot carries the last
+// applied sequence number, so replaying a stale WAL over a fresh snapshot
+// skips everything the snapshot already holds.
+func (l *Log) compactLocked() {
+	l.syncLocked()
+	if l.firstErr != nil {
+		return
+	}
+	snap := snapshot{Seq: l.state.Seq}
+	if r := l.state.Reservation; r != nil {
+		snap.Reservation = &snapReservation{QueryID: r.QueryID, Exp: r.Expires.UnixNano(), Committed: r.Committed}
+	}
+	for _, a := range l.state.SortedAttrs() {
+		snap.Attrs = append(snap.Attrs, snapAttr{Name: a.Name, Val: tagValue(a.Value), Script: a.Script})
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		l.noteErr(err)
+		return
+	}
+	if err := l.dir.WriteFile(snapTmpName, raw); err != nil {
+		l.noteErr(err)
+		return
+	}
+	if err := l.dir.Rename(snapTmpName, SnapName); err != nil {
+		l.noteErr(err)
+		return
+	}
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+	if err := l.dir.WriteFile(WALName, nil); err != nil {
+		l.noteErr(err)
+		return
+	}
+	w, err := l.dir.OpenAppend(WALName)
+	if err != nil {
+		l.noteErr(err)
+		return
+	}
+	l.w = w
+	l.unsynced = 0
+	l.sinceCpt = 0
+}
+
+// State returns a copy of the live (not necessarily synced) state.
+func (l *Log) State() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state.clone()
+}
+
+// Err returns the first write error the Log has seen.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstErr
+}
+
+// LogStats returns the Log's counters.
+func (l *Log) LogStats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Seq: l.state.Seq, Unsynced: l.unsynced, FirstErr: l.firstErr}
+}
+
+// Close syncs and closes the WAL handle. Further records are dropped.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.firstErr
+	}
+	l.closed = true
+	l.syncLocked()
+	if l.w != nil {
+		if err := l.w.Close(); err != nil {
+			l.noteErr(err)
+		}
+		l.w = nil
+	}
+	return l.firstErr
+}

@@ -1,0 +1,311 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func openOrDie(t *testing.T, dir Dir, opts Options) (*Log, State) {
+	t.Helper()
+	l, st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, st
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		true,
+		false,
+		int(42),
+		int(-7),
+		float64(3.25),
+		"c3.large",
+		[]string{"a", "b"},
+		map[string]any{"k": float64(1)},
+	}
+	for _, want := range cases {
+		raw, err := json.Marshal(tagValue(want))
+		if err != nil {
+			t.Fatalf("marshal %#v: %v", want, err)
+		}
+		var tv taggedValue
+		if err := json.Unmarshal(raw, &tv); err != nil {
+			t.Fatalf("unmarshal %#v: %v", want, err)
+		}
+		got := tv.Go()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %#v: got %#v", want, got)
+		}
+		// Type must survive too: int stays int, not float64.
+		if want != nil && reflect.TypeOf(got) != reflect.TypeOf(want) {
+			t.Errorf("round trip %#v: type %T became %T", want, want, got)
+		}
+	}
+}
+
+func TestAppendReplayBasic(t *testing.T) {
+	dir := NewMemDir()
+	l, st := openOrDie(t, dir, Options{Policy: SyncAlways})
+	if len(st.Attrs) != 0 || st.Reservation != nil {
+		t.Fatalf("fresh store not empty: %+v", st)
+	}
+	l.RecordSet("GPU", true)
+	l.RecordSet("mem_gb", 8)
+	l.RecordAttach("CPU_utilization", "function read() return 0.5 end")
+	l.RecordSet("CPU_utilization", 0.5)
+	l.RecordSet("gone", "x")
+	l.RecordDelete("gone")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, st2 := openOrDie(t, dir, Options{})
+	if _, ok := st2.Attrs["gone"]; ok {
+		t.Fatal("deleted attribute resurrected")
+	}
+	if got := st2.Attrs["GPU"].Value; got != true {
+		t.Fatalf("GPU = %#v, want true", got)
+	}
+	if got := st2.Attrs["mem_gb"].Value; got != 8 {
+		t.Fatalf("mem_gb = %#v (%T), want int 8", got, got)
+	}
+	cpu := st2.Attrs["CPU_utilization"]
+	if cpu.Script == "" || cpu.Value != 0.5 {
+		t.Fatalf("CPU_utilization lost script or value: %+v", cpu)
+	}
+}
+
+func TestReservationReplay(t *testing.T) {
+	exp := time.Unix(100, 500)
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncAlways})
+	l.RecordReserve("q1", exp)
+	l.RecordCommit("q1")
+	l.Close()
+
+	_, st := openOrDie(t, dir, Options{})
+	r := st.Reservation
+	if r == nil || r.QueryID != "q1" || !r.Committed || !r.Expires.Equal(exp) {
+		t.Fatalf("reservation = %+v, want committed q1 expiring %v", r, exp)
+	}
+
+	l2, _ := openOrDie(t, dir, Options{Policy: SyncAlways})
+	l2.RecordRelease("q1")
+	l2.Close()
+	_, st2 := openOrDie(t, dir, Options{})
+	if st2.Reservation != nil {
+		t.Fatalf("released reservation survived: %+v", st2.Reservation)
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncNever})
+	l.RecordSet("a", 1)
+	l.RecordSet("b", 2)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// Appended but never synced: the crash tears this record.
+	l.RecordSet("c", 3)
+	dir.Crash()
+
+	_, st := openOrDie(t, dir, Options{})
+	if _, ok := st.Attrs["c"]; ok {
+		t.Fatal("unsynced record survived the crash")
+	}
+	if st.Attrs["a"].Value != 1 || st.Attrs["b"].Value != 2 {
+		t.Fatalf("synced records lost: %+v", st.Attrs)
+	}
+}
+
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncAlways})
+	l.RecordSet("a", 1)
+	l.RecordSet("b", 2)
+	l.Close()
+
+	// Plant garbage after the valid records, as if a partial final frame
+	// made it to disk: a plausible length prefix with a wrong checksum.
+	dir.AppendSynced(WALName, []byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x', 'y'})
+	before := len(dir.Bytes(WALName))
+
+	l2, st := openOrDie(t, dir, Options{Policy: SyncAlways})
+	if st.Attrs["a"].Value != 1 || st.Attrs["b"].Value != 2 {
+		t.Fatalf("records before the corrupt tail lost: %+v", st.Attrs)
+	}
+	if after := len(dir.Bytes(WALName)); after >= before {
+		t.Fatalf("corrupt tail not truncated: %d -> %d bytes", before, after)
+	}
+	// Appending after truncation must produce a cleanly replayable log.
+	l2.RecordSet("c", 3)
+	l2.Close()
+	_, st3 := openOrDie(t, dir, Options{})
+	if st3.Attrs["c"].Value != 3 || st3.Attrs["a"].Value != 1 {
+		t.Fatalf("append after truncation broke replay: %+v", st3.Attrs)
+	}
+}
+
+func TestSnapshotWALReplayEquivalence(t *testing.T) {
+	// Same event sequence through a compacting store and a WAL-only store
+	// must recover identical state.
+	events := func(l *Log) {
+		for i := 0; i < 10; i++ {
+			l.RecordSet("a", i)
+			l.RecordSet("b", float64(i)/2)
+		}
+		l.RecordAttach("a", "script-a")
+		l.RecordSet("gone", true)
+		l.RecordDelete("gone")
+		l.RecordReserve("q", time.Unix(9, 0))
+		l.RecordCommit("q")
+	}
+
+	walOnly := NewMemDir()
+	l1, _ := openOrDie(t, walOnly, Options{Policy: SyncAlways, CompactEvery: 1 << 20})
+	events(l1)
+	l1.Close()
+
+	compacting := NewMemDir()
+	l2, _ := openOrDie(t, compacting, Options{Policy: SyncAlways, CompactEvery: 3})
+	events(l2)
+	l2.Close()
+
+	_, st1 := openOrDie(t, walOnly, Options{})
+	_, st2 := openOrDie(t, compacting, Options{})
+	st1.Seq, st2.Seq = 0, 0 // seq differs by compaction timing; state must not
+	if !reflect.DeepEqual(st1.Attrs, st2.Attrs) {
+		t.Fatalf("attrs diverge:\nwal-only:   %+v\ncompacting: %+v", st1.Attrs, st2.Attrs)
+	}
+	if !reflect.DeepEqual(st1.Reservation, st2.Reservation) {
+		t.Fatalf("reservation diverges: %+v vs %+v", st1.Reservation, st2.Reservation)
+	}
+	// The compacting store must actually have compacted.
+	if snap := compacting.Bytes(SnapName); len(snap) == 0 {
+		t.Fatal("compacting store produced no snapshot")
+	}
+}
+
+func TestDoubleRestartIdempotent(t *testing.T) {
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncAlways, CompactEvery: 4})
+	for i := 0; i < 9; i++ {
+		l.RecordSet("k", i)
+	}
+	l.RecordReserve("q", time.Unix(50, 0))
+	l.Close()
+
+	_, st1 := openOrDie(t, dir, Options{})
+	wal1 := dir.Bytes(WALName)
+	snap1 := dir.Bytes(SnapName)
+	// Second restart with no writes in between: same state, same files.
+	_, st2 := openOrDie(t, dir, Options{})
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("double restart diverged:\n1: %+v\n2: %+v", st1, st2)
+	}
+	if !bytes.Equal(wal1, dir.Bytes(WALName)) || !bytes.Equal(snap1, dir.Bytes(SnapName)) {
+		t.Fatal("restart without writes mutated store files")
+	}
+}
+
+func TestCompactionCrashOrdering(t *testing.T) {
+	// Crash after the snapshot rename but before the WAL truncation: the
+	// WAL still holds records the snapshot already folded in. Replay must
+	// skip them (by seq) and not, e.g., resurrect a released reservation.
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncAlways, CompactEvery: 1 << 20})
+	l.RecordSet("a", 1)
+	l.RecordReserve("q", time.Unix(5, 0))
+	l.RecordRelease("q")
+	l.RecordSet("a", 2)
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l.Close()
+
+	// Simulate the stale WAL surviving next to the fresh snapshot.
+	stale := NewMemDir()
+	stale.AppendSynced(SnapName, dir.Bytes(SnapName))
+	wl, _ := openOrDie(t, NewMemDir(), Options{Policy: SyncAlways, CompactEvery: 1 << 20})
+	wl.RecordSet("a", 1)
+	wl.RecordReserve("q", time.Unix(5, 0))
+	wl.RecordRelease("q")
+	wl.RecordSet("a", 2)
+	wl.Close()
+
+	_, st := openOrDie(t, stale, Options{})
+	if st.Attrs["a"].Value != 2 {
+		t.Fatalf("a = %#v, want 2", st.Attrs["a"].Value)
+	}
+	if st.Reservation != nil {
+		t.Fatalf("stale WAL resurrected released reservation: %+v", st.Reservation)
+	}
+}
+
+func TestMemDirCrashSemantics(t *testing.T) {
+	d := NewMemDir()
+	if err := d.WriteFile("durable", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := d.OpenAppend("never-synced")
+	f.Write([]byte("gone"))
+	g, _ := d.OpenAppend("partial")
+	g.Write([]byte("keep"))
+	g.Sync()
+	g.Write([]byte("-lost"))
+	d.Crash()
+
+	if _, ok, _ := d.ReadFile("never-synced"); ok {
+		t.Fatal("never-synced file survived crash")
+	}
+	if b := d.Bytes("partial"); string(b) != "keep" {
+		t.Fatalf("partial = %q, want synced prefix %q", b, "keep")
+	}
+	if b := d.Bytes("durable"); string(b) != "x" {
+		t.Fatalf("durable = %q, want %q", b, "x")
+	}
+}
+
+func TestOSDirRoundTrip(t *testing.T) {
+	d, err := OpenOSDir(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatalf("OpenOSDir: %v", err)
+	}
+	l, _ := openOrDie(t, d, Options{Policy: SyncAlways, CompactEvery: 3})
+	l.RecordSet("GPU", true)
+	for i := 0; i < 8; i++ {
+		l.RecordSet("mem_gb", 4+i)
+	}
+	l.RecordReserve("q", time.Unix(77, 0))
+	l.Close()
+
+	_, st := openOrDie(t, d, Options{})
+	if st.Attrs["GPU"].Value != true || st.Attrs["mem_gb"].Value != 11 {
+		t.Fatalf("OSDir replay wrong: %+v", st.Attrs)
+	}
+	if st.Reservation == nil || st.Reservation.QueryID != "q" {
+		t.Fatalf("OSDir reservation lost: %+v", st.Reservation)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted garbage")
+	}
+}

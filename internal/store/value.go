@@ -1,0 +1,77 @@
+package store
+
+import "encoding/json"
+
+// taggedValue carries an attribute value through JSON without flattening
+// its Go type: plain encoding/json turns every number into float64 and
+// cannot express "nil value present". The tag preserves bool, int,
+// float64, string and []string exactly — the types attribute predicates
+// and AAL scripts produce — and anything else rides in J as raw JSON
+// (decoding to the generic map/slice/float64 shapes).
+type taggedValue struct {
+	T  string          `json:"t"`
+	B  bool            `json:"b,omitempty"`
+	N  float64         `json:"n,omitempty"`
+	I  int64           `json:"i,omitempty"`
+	S  string          `json:"s,omitempty"`
+	SS []string        `json:"ss,omitempty"`
+	J  json.RawMessage `json:"j,omitempty"`
+}
+
+// tagValue wraps a Go value for storage. Unmarshalable values degrade to
+// nil rather than poisoning the WAL record.
+func tagValue(v any) *taggedValue {
+	switch x := v.(type) {
+	case nil:
+		return &taggedValue{T: "z"}
+	case bool:
+		return &taggedValue{T: "b", B: x}
+	case int:
+		return &taggedValue{T: "i", I: int64(x)}
+	case int32:
+		return &taggedValue{T: "i", I: int64(x)}
+	case int64:
+		return &taggedValue{T: "i", I: x}
+	case float32:
+		return &taggedValue{T: "n", N: float64(x)}
+	case float64:
+		return &taggedValue{T: "n", N: x}
+	case string:
+		return &taggedValue{T: "s", S: x}
+	case []string:
+		return &taggedValue{T: "ss", SS: x}
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return &taggedValue{T: "z"}
+		}
+		return &taggedValue{T: "j", J: raw}
+	}
+}
+
+// Go unwraps the stored value back to its Go type.
+func (t *taggedValue) Go() any {
+	if t == nil {
+		return nil
+	}
+	switch t.T {
+	case "b":
+		return t.B
+	case "i":
+		return int(t.I)
+	case "n":
+		return t.N
+	case "s":
+		return t.S
+	case "ss":
+		return t.SS
+	case "j":
+		var v any
+		if err := json.Unmarshal(t.J, &v); err != nil {
+			return nil
+		}
+		return v
+	default:
+		return nil
+	}
+}

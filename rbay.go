@@ -47,6 +47,7 @@ import (
 	"rbay/internal/naming"
 	"rbay/internal/query"
 	"rbay/internal/sites"
+	"rbay/internal/store"
 	"rbay/internal/tcpnet"
 	"rbay/internal/transport"
 	"rbay/internal/workload"
@@ -90,6 +91,51 @@ const (
 	OpGt = naming.OpGt
 	OpGe = naming.OpGe
 )
+
+// Durable-store re-exports. A node given a Store (NodeConfig.Store)
+// records every recoverable state change — attribute posts/withdrawals,
+// policy attachments, reservation transitions — through it; after a
+// restart, OpenStore replays the disk and Node.Restore + Node.Refederate
+// bring the node back. See docs/RECOVERY.md.
+type (
+	// Store is a node's durable event sink; OpenStore builds one.
+	Store = core.Store
+	// StoreState is the recovered state OpenStore returns, fed to
+	// Node.Restore before the node rejoins the overlay.
+	StoreState = store.State
+	// SyncPolicy selects when the write-ahead log fsyncs.
+	SyncPolicy = store.SyncPolicy
+)
+
+// Fsync policies (see docs/RECOVERY.md for the durability trade-offs).
+const (
+	SyncAlways   = store.SyncAlways
+	SyncInterval = store.SyncInterval
+	SyncNever    = store.SyncNever
+)
+
+// ParseSyncPolicy parses the -fsync flag spelling: "always", "interval",
+// or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return store.ParseSyncPolicy(s) }
+
+// OpenStore opens (creating as needed) the snapshot+WAL store under dir
+// and replays it. Wire the returned Store into NodeConfig.Store, feed the
+// StoreState to Node.Restore after construction, and call Node.Refederate
+// once the node has rejoined the overlay. A torn or corrupt WAL tail — the
+// write a crash interrupted — is detected by checksum, truncated durably,
+// and every record before it recovered. interval only applies under
+// SyncInterval (0 means the store default).
+func OpenStore(dir string, policy SyncPolicy, interval time.Duration) (Store, StoreState, error) {
+	d, err := store.OpenOSDir(dir)
+	if err != nil {
+		return nil, StoreState{}, err
+	}
+	l, state, err := store.Open(d, store.Options{Policy: policy, Interval: interval})
+	if err != nil {
+		return nil, StoreState{}, err
+	}
+	return l, state, nil
+}
 
 // NewRegistry creates an empty tree catalog.
 func NewRegistry() *Registry { return naming.NewRegistry() }
@@ -276,8 +322,24 @@ func (t *TCPNode) Transport() *tcpnet.Network { return t.net }
 // TransportStats returns a snapshot of the TCP transport counters.
 func (t *TCPNode) TransportStats() TransportStats { return t.net.Stats() }
 
-// Close shuts the node and its network down.
+// Close shuts the node and its network down abruptly (the crash path: no
+// departure announcement, the store left unsynced past its policy). Use
+// Shutdown for a graceful exit.
 func (t *TCPNode) Close() error {
 	_ = t.Node.Close()
 	return t.net.Close()
+}
+
+// Shutdown leaves the federation gracefully: releasable reservations are
+// released, every subscribed tree is left (parents prune immediately), the
+// durable store is flushed and closed, and the network shut down. Safe to
+// call from any goroutine — the node work is marshalled onto the node's
+// event context.
+func (t *TCPNode) Shutdown() error {
+	var err error
+	t.Node.DoWait(func() { err = t.Node.Shutdown() })
+	if cerr := t.net.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
