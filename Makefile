@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline chaos chaos-restart-smoke
+.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale chaos chaos-restart-smoke
 
-ci: fmt-check vet build race chaos-restart-smoke
+ci: fmt-check vet build race chaos-restart-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,3 +55,22 @@ bench-all:
 
 bench-baseline:
 	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_seed.json
+
+# Compare a fresh run against the recorded baseline. 3 runs folded to
+# their per-metric minimum denoise wall clock (benchjson picks the min).
+bench-diff:
+	$(GO) test -bench $(BENCH_PATTERN) -benchtime 20x -count 3 -benchmem -run '^$$' . | \
+		$(GO) run ./cmd/benchjson -diff BENCH_seed.json
+
+# Perf smoke gate (part of `make ci`): the cross-site query hot path must
+# stay within 20% of BENCH_seed.json on ns/op and allocs/op. allocs/op is
+# deterministic; ns/op uses the min of 3 runs so scheduler noise doesn't
+# flag a phantom regression.
+bench-smoke:
+	$(GO) test -bench QueryCrossSite -benchtime 20x -count 3 -benchmem -run '^$$' . | \
+		$(GO) run ./cmd/benchjson -diff BENCH_seed.json -gate QueryCrossSite -max-regress 20
+
+# Target-scale wire-codec scenario: 10k nodes / 1M resources with every
+# simulated message round-tripped through the binary codec (scale_test.go).
+bench-scale:
+	RBAY_SCALE=1 $(GO) test -run TestScaleFederation10k -v -timeout 30m .

@@ -7,13 +7,29 @@
 // Each benchmark line ("BenchmarkX-8  100  12345 ns/op  64 B/op ...")
 // becomes an entry with its iteration count and every value/unit pair,
 // including custom b.ReportMetric units.
+//
+// With -diff it instead compares the fresh run on stdin against a saved
+// baseline and prints a per-metric delta table:
+//
+//	go test -bench Query -benchmem -run '^$' . | go run ./cmd/benchjson -diff BENCH_seed.json
+//
+// Repeated runs of the same benchmark (go test -count N) are folded to
+// their per-metric minimum before diffing — the benchstat-style
+// least-noise estimator, so one scheduler hiccup doesn't read as a
+// regression. -gate <regexp> arms the comparison: if any matching
+// benchmark's ns/op or allocs/op regresses by more than -max-regress
+// percent, benchjson exits nonzero listing the offenders. `make ci` runs
+// this as the perf smoke gate on the cross-site query path.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,14 +42,54 @@ type entry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// doc is the benchjson JSON document (and the BENCH_seed.json schema).
+type doc struct {
+	Meta       map[string]string `json:"meta"`
+	Benchmarks []entry           `json:"benchmarks"`
+}
+
+// gatedMetrics are the metrics -gate enforces; everything else (B/op,
+// custom b.ReportMetric units) is reported in the diff but never fails it.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	diffPath := flag.String("diff", "", "baseline JSON (e.g. BENCH_seed.json) to diff the fresh run against")
+	gatePat := flag.String("gate", "", "regexp of benchmark names whose ns/op or allocs/op regressions fail the run (requires -diff)")
+	maxRegress := flag.Float64("max-regress", 20, "gated regression threshold in percent")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *diffPath, *gatePat, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in *os.File, out *os.File) error {
+func run(in io.Reader, out io.Writer, diffPath, gatePat string, maxRegress float64) error {
+	entries, meta, err := parseInput(in)
+	if err != nil {
+		return err
+	}
+	if diffPath == "" {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc{Meta: meta, Benchmarks: entries})
+	}
+	base, err := loadBaseline(diffPath)
+	if err != nil {
+		return err
+	}
+	var gate *regexp.Regexp
+	if gatePat != "" {
+		gate, err = regexp.Compile(gatePat)
+		if err != nil {
+			return fmt.Errorf("-gate: %w", err)
+		}
+	}
+	return diff(out, base, foldMin(entries), gate, maxRegress)
+}
+
+// parseInput scans `go test -bench` output into entries plus run metadata.
+func parseInput(in io.Reader) ([]entry, map[string]string, error) {
 	var (
 		entries []entry
 		meta    = map[string]string{}
@@ -56,16 +112,12 @@ func run(in *os.File, out *os.File) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, nil, err
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin")
+		return nil, nil, fmt.Errorf("no benchmark lines on stdin")
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
-	doc := map[string]any{"meta": meta, "benchmarks": entries}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return entries, meta, nil
 }
 
 // parseBench parses one result line: name, iteration count, then
@@ -95,4 +147,109 @@ func parseBench(line string) (entry, bool) {
 		e.Metrics[fields[i+1]] = v
 	}
 	return e, true
+}
+
+// loadBaseline reads a benchjson document from disk into a by-name map.
+func loadBaseline(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]entry, len(d.Benchmarks))
+	for _, e := range d.Benchmarks {
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+// foldMin collapses repeated runs of one benchmark (-count N) to the
+// per-metric minimum, the least-noise estimate of its true cost.
+func foldMin(entries []entry) []entry {
+	byName := map[string]*entry{}
+	var order []string
+	for _, e := range entries {
+		cur, ok := byName[e.Name]
+		if !ok {
+			c := e
+			byName[e.Name] = &c
+			order = append(order, e.Name)
+			continue
+		}
+		for unit, v := range e.Metrics {
+			if old, ok := cur.Metrics[unit]; !ok || v < old {
+				cur.Metrics[unit] = v
+			}
+		}
+	}
+	out := make([]entry, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// diff prints old/new/delta per metric and enforces the gate.
+func diff(out io.Writer, base map[string]entry, fresh []entry, gate *regexp.Regexp, maxRegress float64) error {
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-36s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	var failures []string
+	for _, e := range fresh {
+		b, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-36s %-12s %14s %14s %9s\n", e.Name, "-", "(no baseline)", "", "")
+			continue
+		}
+		units := make([]string, 0, len(e.Metrics))
+		for unit := range e.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			nv := e.Metrics[unit]
+			ov, ok := b.Metrics[unit]
+			if !ok {
+				continue
+			}
+			delta := "n/a"
+			var pct float64
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+			}
+			fmt.Fprintf(w, "%-36s %-12s %14s %14s %9s\n", e.Name, unit, fnum(ov), fnum(nv), delta)
+			if gate != nil && gate.MatchString(e.Name) && isGated(unit) && ov != 0 && pct > maxRegress {
+				failures = append(failures,
+					fmt.Sprintf("%s %s regressed %+.1f%% (%s -> %s, limit +%.0f%%)",
+						e.Name, unit, pct, fnum(ov), fnum(nv), maxRegress))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		w.Flush()
+		return fmt.Errorf("perf gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func isGated(unit string) bool {
+	for _, g := range gatedMetrics {
+		if unit == g {
+			return true
+		}
+	}
+	return false
+}
+
+// fnum renders a metric value without float noise.
+func fnum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rbay
+cpu: test
+BenchmarkQueryCrossSite-8 	      20	    210000 ns/op	   28000 B/op	     400 allocs/op
+BenchmarkQueryCrossSite-8 	      20	    190000 ns/op	   28000 B/op	     400 allocs/op
+BenchmarkParseQuery-8     	  100000	     18000 ns/op	     360 B/op	      12 allocs/op
+PASS
+`
+
+const baseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkQueryCrossSite", "iterations": 1,
+     "metrics": {"ns/op": 200000, "allocs/op": 819, "B/op": 63800}},
+    {"name": "BenchmarkParseQuery", "iterations": 1,
+     "metrics": {"ns/op": 17600, "allocs/op": 12, "B/op": 360}}
+  ]
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestJSONMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out, "", "", 20); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"BenchmarkQueryCrossSite"`, `"ns/op"`, `"cpu": "test"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+// Repeated -count runs fold to their minimum, so the lower 190000 ns/op
+// sample (within 20% of the 200000 baseline) passes the gate even though
+// the noisier 210000 sample alone would not at a tighter threshold.
+func TestDiffFoldsMinAndPasses(t *testing.T) {
+	var out strings.Builder
+	err := run(strings.NewReader(sample), &out, writeBaseline(t), "QueryCrossSite", 20)
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "190000") {
+		t.Errorf("diff should report the folded minimum 190000:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "-51.2%") { // 819 -> 400 allocs/op
+		t.Errorf("diff missing allocs/op delta:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	var out strings.Builder
+	// 1% threshold: the folded 190000 ns/op is 5% under baseline and fine,
+	// but ParseQuery's 18000 vs 17600 (+2.3%) must trip when gated.
+	err := run(strings.NewReader(sample), &out, writeBaseline(t), "ParseQuery", 1)
+	if err == nil {
+		t.Fatalf("gate should have failed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "ParseQuery ns/op regressed") {
+		t.Errorf("unexpected gate error: %v", err)
+	}
+}
+
+func TestGateIgnoresUngatedBenchmarks(t *testing.T) {
+	var out strings.Builder
+	// Same 1% threshold but gating only QueryCrossSite: ParseQuery's
+	// regression is reported, not enforced.
+	if err := run(strings.NewReader(sample), &out, writeBaseline(t), "QueryCrossSite", 1); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+}

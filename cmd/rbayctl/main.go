@@ -40,6 +40,7 @@ func run(args []string) error {
 	password := fs.String("password", "", "payload presented to onGet handlers")
 	explain := fs.Bool("explain", false, "print the query's trace outline (plan, probes, anycasts, backoff)")
 	timeout := fs.Duration("timeout", 30*time.Second, "operation timeout")
+	wireFlag := fs.String("wire", "binary", "wire codec: binary, or gob to talk to gob-era daemons (docs/WIRE.md); must match the daemons")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +82,7 @@ func run(args []string) error {
 		// skip heartbeats and background reconnects so a detaching
 		// daemon is not misreported as a failed peer.
 		Transport: rbay.TransportConfig{
+			Codec:             *wireFlag,
 			HeartbeatInterval: -1,
 			ReconnectAttempts: -1,
 		},

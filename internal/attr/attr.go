@@ -379,6 +379,19 @@ func (m *Map) Invoke(attrName, handler string, args ...any) (Result, error) {
 	if a == nil || a.rt == nil || !a.rt.HasGlobal(handler) {
 		return Result{}, nil
 	}
+	return m.invoke(a, attrName, handler, args)
+}
+
+// hasHandler reports whether the attribute has admin code for the event.
+// The On* wrappers check it before boxing arguments: most attributes have
+// no handlers, and building a variadic []any per event on every membership
+// pass of every node was pure overhead.
+func (m *Map) hasHandler(attrName, handler string) bool {
+	a := m.attrs[attrName]
+	return a != nil && a.rt != nil && a.rt.HasGlobal(handler)
+}
+
+func (m *Map) invoke(a *Attribute, attrName, handler string, args []any) (Result, error) {
 	if a.quarantined {
 		return Result{Handled: true}, fmt.Errorf("attr: %s.%s: %w", attrName, handler, ErrQuarantined)
 	}
@@ -434,6 +447,13 @@ func (m *Map) noteFailure(a *Attribute) {
 // performs a get on this node). Without a handler the attribute's value is
 // returned directly — exposure is the default, policy restricts it.
 func (m *Map) OnGet(attrName string, caller string, payload any) (any, error) {
+	if !m.hasHandler(attrName, HandlerGet) {
+		v, ok := m.Get(attrName)
+		if !ok {
+			return nil, nil
+		}
+		return v, nil
+	}
 	res, err := m.Invoke(attrName, HandlerGet, caller, payload)
 	if err != nil {
 		return nil, err
@@ -452,6 +472,9 @@ func (m *Map) OnGet(attrName string, caller string, payload any) (any, error) {
 // tree. A handler returning non-nil means join/stay; absent handlers
 // default to true.
 func (m *Map) OnSubscribe(attrName, caller, topic string) (bool, error) {
+	if !m.hasHandler(attrName, HandlerSubscribe) {
+		return true, nil
+	}
 	res, err := m.Invoke(attrName, HandlerSubscribe, caller, topic)
 	if err != nil {
 		return false, err
@@ -465,6 +488,9 @@ func (m *Map) OnSubscribe(attrName, caller, topic string) (bool, error) {
 // OnUnsubscribe asks whether the node should leave the topic's tree. A
 // handler returning non-nil means leave; absent handlers default to false.
 func (m *Map) OnUnsubscribe(attrName, caller, topic string) (bool, error) {
+	if !m.hasHandler(attrName, HandlerUnsubscribe) {
+		return false, nil
+	}
 	res, err := m.Invoke(attrName, HandlerUnsubscribe, caller, topic)
 	if err != nil {
 		return false, err

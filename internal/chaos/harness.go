@@ -211,6 +211,10 @@ func New(scn Scenario, opts Options) (*Harness, error) {
 		NodesPerSite: opts.NodesPerSite,
 		Node:         *opts.Node,
 		Seed:         scn.Seed,
+		// Every chaos campaign round-trips each message through the binary
+		// wire codec, so codec regressions fail fault-injection runs, not
+		// just unit tests.
+		WireRoundtrip: true,
 	}
 	if opts.Durable {
 		fedCfg.StoreFor = func(addr transport.Addr) core.Store {

@@ -9,6 +9,7 @@ import (
 	"rbay/internal/simnet"
 	"rbay/internal/sites"
 	"rbay/internal/transport"
+	"rbay/internal/wire"
 )
 
 // FedConfig describes a simulated federation.
@@ -38,6 +39,12 @@ type FedConfig struct {
 	// (the chaos harness backs some nodes with crash-consistent virtual
 	// disks this way). Returning nil leaves that node in-memory only.
 	StoreFor func(addr transport.Addr) Store
+	// WireRoundtrip routes every simulated payload through the binary wire
+	// codec (encode + immediate decode) at send time, so simnet runs
+	// exercise exactly the marshal/unmarshal paths a TCP deployment uses.
+	// An unregistered or non-round-trippable message surfaces as a dropped
+	// message instead of silently working only under simulation.
+	WireRoundtrip bool
 }
 
 func (c FedConfig) withDefaults() FedConfig {
@@ -76,6 +83,10 @@ type Federation struct {
 func NewFederation(reg *naming.Registry, cfg FedConfig) (*Federation, error) {
 	cfg = cfg.withDefaults()
 	net := simnet.New(cfg.Latency)
+	if cfg.WireRoundtrip {
+		RegisterWire()
+		net.SetTranscode(wire.Roundtrip)
+	}
 	fed := &Federation{
 		Net:      net,
 		Registry: reg,

@@ -121,6 +121,9 @@ type Node struct {
 	nextReq   uint64
 	nextQuery uint64
 	pendingSQ map[uint64]*siteQueryCall
+	// idPrefix is the node's pre-rendered "site/host#" query-ID prefix, so
+	// minting a query ID is one small-int format plus one concat.
+	idPrefix string
 
 	// Stats for experiments.
 	stats NodeStats
@@ -134,6 +137,10 @@ type Node struct {
 	// deliverHook, when set, observes every admin-command delivery (the
 	// Fig. 11 overhead experiment measures dissemination latency with it).
 	deliverHook func(attrName string, sentAt time.Time)
+
+	// membershipFn is the periodic maintenance closure, allocated once and
+	// re-armed each interval.
+	membershipFn func()
 
 	// predictor tracks queryable attributes' churn histories (§VI).
 	predictor *forecast.Predictor
@@ -195,11 +202,27 @@ func (t TreeStats) Mean() float64 {
 // paper's composability requirement (associative, commutative, identity).
 type statsAggregator struct{}
 
-func (statsAggregator) Zero() any { return TreeStats{} }
+// zeroStats is the interned identity element: Zero and identity-preserving
+// Combine calls return it instead of re-boxing a fresh TreeStats on every
+// fold step of every maintenance tick.
+var zeroStats any = TreeStats{}
+
+func (statsAggregator) Zero() any { return zeroStats }
 
 func (statsAggregator) Combine(a, b any) any {
 	x, _ := a.(TreeStats)
-	y, _ := b.(TreeStats)
+	y, yok := b.(TreeStats)
+	// Folding with the identity returns the other operand's existing box;
+	// non-TreeStats operands still coerce to the identity as before.
+	if x == (TreeStats{}) {
+		if yok {
+			return b
+		}
+		return zeroStats
+	}
+	if y == (TreeStats{}) {
+		return a
+	}
 	return TreeStats{Count: x.Count + y.Count, Sum: x.Sum + y.Sum}
 }
 
@@ -231,7 +254,18 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		admin:      addr.Site + "-admin",
 		predictor:  forecast.NewPredictor(0),
 		metrics:    reg2,
+		idPrefix:   addr.String() + "#",
 	}
+	// Declare the query-path metric surface up front so the first query a
+	// node serves doesn't pay lazy histogram construction mid-request.
+	reg2.Declare(
+		"rbay_query_latency_seconds",
+		"rbay_site_query_latency_seconds",
+		"rbay_probe_latency_seconds",
+		"rbay_anycast_latency_seconds",
+		"rbay_backoff_wait_seconds",
+	)
+	reg2.DeclareInt("rbay_query_rounds")
 	seen := map[string]bool{}
 	for _, def := range reg.Defs() {
 		if !seen[def.Pred.Attr] {
@@ -428,16 +462,21 @@ func (n *Node) SubscribedTrees() []string {
 // Tree membership (periodic onSubscribe / onUnsubscribe evaluation)
 
 func (n *Node) scheduleMembership() {
-	n.p.After(n.cfg.MembershipInterval, func() {
-		n.observeChurn()
-		n.evaluateMembership()
-		if err := n.am.OnTimerAll(); err != nil {
-			// Handler faults must not kill maintenance; the admin sees the
-			// effect through their own attribute state.
-			_ = err
+	if n.membershipFn == nil {
+		// One closure for the lifetime of the node; re-arming every
+		// interval with a fresh one was measurable at scale.
+		n.membershipFn = func() {
+			n.observeChurn()
+			n.evaluateMembership()
+			if err := n.am.OnTimerAll(); err != nil {
+				// Handler faults must not kill maintenance; the admin sees
+				// the effect through their own attribute state.
+				_ = err
+			}
+			n.scheduleMembership()
 		}
-		n.scheduleMembership()
-	})
+	}
+	n.p.After(n.cfg.MembershipInterval, n.membershipFn)
 }
 
 // EvaluateMembershipNow forces an immediate membership pass (tests and
@@ -491,6 +530,12 @@ func (n *Node) evaluateMembership() {
 type treeMember struct {
 	n   *Node
 	def *naming.TreeDef
+
+	// lastBox caches the boxed LocalValue while the underlying attribute is
+	// unchanged (the common case between maintenance ticks). Access is
+	// confined to the node's event context, like all Node state.
+	lastStats TreeStats
+	lastBox   any
 }
 
 // OnMulticast implements scribe.Subscriber: admin commands run the
@@ -532,7 +577,11 @@ func (m *treeMember) LocalValue(topic ids.ID) any {
 			}
 		}
 	}
-	return st
+	if m.lastBox == nil || st != m.lastStats {
+		m.lastStats = st
+		m.lastBox = st
+	}
+	return m.lastBox
 }
 
 // processVisit checks a query against this node and reserves it on match.

@@ -2,8 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"rbay/internal/naming"
@@ -74,7 +75,7 @@ type queryRun struct {
 	started time.Time
 	attempt int
 
-	acc       map[string]Candidate // keyed by Addr string
+	acc       map[transport.Addr]Candidate
 	conflicts int
 	perSite   map[string]SiteStats
 	root      *trace.Span
@@ -99,9 +100,9 @@ func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(Query
 		q:       q,
 		caller:  caller,
 		payload: payload,
-		id:      fmt.Sprintf("%s#%d", n.Addr(), n.nextQuery),
+		id:      n.idPrefix + strconv.FormatUint(n.nextQuery, 10),
 		started: now,
-		acc:     make(map[string]Candidate),
+		acc:     make(map[transport.Addr]Candidate),
 		perSite: make(map[string]SiteStats),
 		root:    trace.New("query", now),
 		cb:      cb,
@@ -118,7 +119,7 @@ func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(Query
 	sites := run.targetSites()
 	plan.SetInt("preds", len(q.Preds))
 	plan.SetInt("sites", len(sites))
-	plan.Set("targets", fmt.Sprintf("%v", sites))
+	plan.Set("targets", strings.Join(sites, " "))
 	plan.Finish(n.Now())
 	run.round()
 }
@@ -142,7 +143,7 @@ func (r *queryRun) round() {
 	if need > 0 {
 		need -= len(r.acc)
 	}
-	roundSpan := r.root.Child(fmt.Sprintf("round %d", r.attempt), r.n.Now())
+	roundSpan := r.root.Child("round "+strconv.Itoa(r.attempt), r.n.Now())
 	roundSpan.SetInt("need", need)
 	pendingSites := len(sites)
 	roundNew, roundConflicts := 0, 0
@@ -157,9 +158,9 @@ func (r *queryRun) round() {
 		st := r.perSite[site]
 		newCands := 0
 		for _, c := range resp.Candidates {
-			if _, dup := r.acc[c.Addr.String()]; !dup {
+			if _, dup := r.acc[c.Addr]; !dup {
 				newCands++
-				r.acc[c.Addr.String()] = c
+				r.acc[c.Addr] = c
 			}
 		}
 		st.Candidates += newCands
@@ -341,7 +342,10 @@ func sortCandidates(cs []Candidate, desc bool) {
 				return x < y
 			}
 		}
-		return a.Addr.String() < b.Addr.String()
+		if a.Addr.Site != b.Addr.Site {
+			return a.Addr.Site < b.Addr.Site
+		}
+		return a.Addr.Host < b.Addr.Host
 	}
 	if desc {
 		sort.Slice(cs, func(i, j int) bool { return less(j, i) })
@@ -458,41 +462,49 @@ func (n *Node) runSiteQuery(req siteQueryReq, cb0 func(siteQueryResp)) {
 		r.QueryID = req.QueryID
 		cb0(r)
 	}
-	// Step 0 (planning): map predicates to registered trees.
+	// Step 0 (planning): map predicates to registered trees. The dedup map
+	// is only needed for multi-predicate queries; the common single-pred
+	// case stays allocation-light.
 	var defs []*naming.TreeDef
-	seen := map[string]bool{}
+	var seen map[string]bool
+	if len(req.Preds) > 1 {
+		seen = make(map[string]bool, len(req.Preds))
+	}
 	for _, p := range req.Preds {
 		def, _ := n.reg.PlanPredicate(p)
-		if def != nil && !seen[def.Name] {
-			seen[def.Name] = true
-			defs = append(defs, def)
+		if def == nil {
+			continue
 		}
+		if seen != nil {
+			if seen[def.Name] {
+				continue
+			}
+			seen[def.Name] = true
+		}
+		defs = append(defs, def)
 	}
 	if len(defs) == 0 {
 		cb(siteQueryResp{Site: site, Err: ErrNoPlan.Error()})
 		return
 	}
 
-	// Steps 1-2: probe each tree's size via its root's aggregate.
+	// Steps 1-2: probe each tree's size via its root's aggregate. The probe
+	// records double as the size/missing inputs to tree selection.
 	probeStart := n.Now()
 	probes := make([]treeProbe, len(defs))
-	sizes := make([]int64, len(defs))
-	missing := make([]bool, len(defs))
 	pending := len(defs)
 	oneProbe := func(i int) func(v any, err error) {
 		return func(v any, err error) {
 			probes[i] = treeProbe{Tree: defs[i].Name, Nanos: int64(n.Now().Sub(probeStart))}
 			if err != nil {
-				missing[i] = true
 				probes[i].Missing = true
 			} else if st, ok := v.(TreeStats); ok {
-				sizes[i] = st.Count
 				probes[i].Size = st.Count
 			}
 			n.metrics.Observe("rbay_probe_latency_seconds", time.Duration(probes[i].Nanos))
 			pending--
 			if pending == 0 {
-				n.anycastSmallest(req, defs, sizes, missing, probes, cb)
+				n.anycastSmallest(req, defs, probes, cb)
 			}
 		}
 	}
@@ -505,14 +517,14 @@ func (n *Node) runSiteQuery(req siteQueryReq, cb0 func(siteQueryResp)) {
 }
 
 // anycastSmallest executes steps 3-5: DFS the smallest candidate tree.
-func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes []int64, missing []bool, probes []treeProbe, cb func(siteQueryResp)) {
+func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, probes []treeProbe, cb func(siteQueryResp)) {
 	site := n.Site()
 	best := -1
 	for i := range defs {
-		if missing[i] {
+		if probes[i].Missing {
 			continue
 		}
-		if best < 0 || sizes[i] < sizes[best] {
+		if best < 0 || probes[i].Size < probes[best].Size {
 			best = i
 		}
 	}
@@ -521,7 +533,8 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes [
 		cb(siteQueryResp{Site: site, Probes: probes})
 		return
 	}
-	if sizes[best] == 0 {
+	bestSize := probes[best].Size
+	if bestSize == 0 {
 		cb(siteQueryResp{Site: site, TreeSize: 0, Probes: probes})
 		return
 	}
@@ -541,7 +554,7 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes [
 		elapsed := n.Now().Sub(anycastStart)
 		n.metrics.Observe("rbay_anycast_latency_seconds", elapsed)
 		if res.Err != nil {
-			cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: res.Err.Error(), Probes: probes, AnycastNanos: int64(elapsed)})
+			cb(siteQueryResp{Site: site, TreeSize: bestSize, Err: res.Err.Error(), Probes: probes, AnycastNanos: int64(elapsed)})
 			return
 		}
 		out, _ := res.Payload.(queryVisit)
@@ -549,7 +562,7 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes [
 			Site:         site,
 			Candidates:   out.Slots,
 			Conflicts:    out.Conflicts,
-			TreeSize:     sizes[best],
+			TreeSize:     bestSize,
 			Probes:       probes,
 			AnycastNanos: int64(elapsed),
 			Visits:       res.Visits,
@@ -557,6 +570,6 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, sizes [
 		})
 	})
 	if err != nil {
-		cb(siteQueryResp{Site: site, TreeSize: sizes[best], Err: err.Error(), Probes: probes})
+		cb(siteQueryResp{Site: site, TreeSize: bestSize, Err: err.Error(), Probes: probes})
 	}
 }

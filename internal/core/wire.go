@@ -5,16 +5,276 @@ import (
 	"sync"
 
 	"rbay/internal/naming"
+	"rbay/internal/pastry"
 	"rbay/internal/scribe"
+	"rbay/internal/wire"
+)
+
+// Wire tags 64-73 belong to the RBAY core (see internal/wire for the tag
+// map).
+const (
+	tagQueryVisit byte = 64 + iota
+	tagSiteQueryReq
+	tagSiteQueryResp
+	tagCommitReq
+	tagReleaseReq
+	tagAdminCmd
+	tagCandidate
+	tagTreeStats
+	tagPred
+	tagCandidates
 )
 
 var wireOnce sync.Once
 
-// RegisterWire registers the RBAY core's message types with encoding/gob
-// for tcpnet deployments. Safe to call multiple times.
+// RegisterWire registers explicit binary codecs for the RBAY core's
+// message types with internal/wire, for tcpnet deployments. Safe to call
+// multiple times.
 func RegisterWire() {
 	scribe.RegisterWire()
 	wireOnce.Do(func() {
+		wire.Register[queryVisit](tagQueryVisit,
+			func(e *wire.Encoder, v queryVisit) {
+				e.String(v.QueryID)
+				e.Varint(int64(v.K))
+				encodePreds(e, v.Preds)
+				e.String(v.OrderBy)
+				e.String(v.TreeAttr)
+				e.String(v.Caller)
+				e.Value(v.Payload)
+				encodeCandidates(e, v.Slots)
+				e.Varint(int64(v.Conflicts))
+			},
+			func(d *wire.Decoder) queryVisit {
+				var v queryVisit
+				v.QueryID = d.String()
+				v.K = int(d.Varint())
+				v.Preds = decodePreds(d)
+				v.OrderBy = d.String()
+				v.TreeAttr = d.String()
+				v.Caller = d.String()
+				v.Payload = d.Value()
+				v.Slots = decodeCandidates(d)
+				v.Conflicts = int(d.Varint())
+				return v
+			})
+		wire.Register[siteQueryReq](tagSiteQueryReq,
+			func(e *wire.Encoder, v siteQueryReq) {
+				e.Uvarint(v.ReqID)
+				e.String(v.QueryID)
+				e.Varint(int64(v.K))
+				encodePreds(e, v.Preds)
+				e.String(v.OrderBy)
+				e.String(v.Caller)
+				e.Value(v.Payload)
+				pastry.EncodeEntry(e, v.Origin)
+			},
+			func(d *wire.Decoder) siteQueryReq {
+				var v siteQueryReq
+				v.ReqID = d.Uvarint()
+				v.QueryID = d.String()
+				v.K = int(d.Varint())
+				v.Preds = decodePreds(d)
+				v.OrderBy = d.String()
+				v.Caller = d.String()
+				v.Payload = d.Value()
+				v.Origin = pastry.DecodeEntry(d)
+				return v
+			})
+		wire.Register[siteQueryResp](tagSiteQueryResp,
+			func(e *wire.Encoder, v siteQueryResp) {
+				e.Uvarint(v.ReqID)
+				e.String(v.QueryID)
+				e.String(v.Site)
+				encodeCandidates(e, v.Candidates)
+				e.Varint(int64(v.Conflicts))
+				e.Varint(v.TreeSize)
+				e.String(v.Err)
+				encodeProbes(e, v.Probes)
+				e.Varint(v.AnycastNanos)
+				e.Varint(int64(v.Visits))
+				e.Varint(int64(v.Hops))
+			},
+			func(d *wire.Decoder) siteQueryResp {
+				var v siteQueryResp
+				v.ReqID = d.Uvarint()
+				v.QueryID = d.String()
+				v.Site = d.String()
+				v.Candidates = decodeCandidates(d)
+				v.Conflicts = int(d.Varint())
+				v.TreeSize = d.Varint()
+				v.Err = d.String()
+				v.Probes = decodeProbes(d)
+				v.AnycastNanos = d.Varint()
+				v.Visits = int(d.Varint())
+				v.Hops = int(d.Varint())
+				return v
+			})
+		wire.Register[commitReq](tagCommitReq,
+			func(e *wire.Encoder, v commitReq) { e.String(v.QueryID) },
+			func(d *wire.Decoder) commitReq { return commitReq{QueryID: d.String()} })
+		wire.Register[releaseReq](tagReleaseReq,
+			func(e *wire.Encoder, v releaseReq) { e.String(v.QueryID) },
+			func(d *wire.Decoder) releaseReq { return releaseReq{QueryID: d.String()} })
+		wire.Register[adminCmd](tagAdminCmd,
+			func(e *wire.Encoder, v adminCmd) {
+				e.String(v.Attr)
+				e.String(v.From)
+				e.Value(v.Payload)
+				e.Varint(v.SentAtNanos)
+			},
+			func(d *wire.Decoder) adminCmd {
+				var v adminCmd
+				v.Attr = d.String()
+				v.From = d.String()
+				v.Payload = d.Value()
+				v.SentAtNanos = d.Varint()
+				return v
+			})
+		wire.Register[Candidate](tagCandidate, encodeCandidate, decodeCandidate)
+		wire.Register[TreeStats](tagTreeStats,
+			func(e *wire.Encoder, v TreeStats) {
+				e.Varint(v.Count)
+				e.Float64(v.Sum)
+			},
+			func(d *wire.Decoder) TreeStats {
+				return TreeStats{Count: d.Varint(), Sum: d.Float64()}
+			})
+		wire.Register[naming.Pred](tagPred, encodePred, decodePred)
+		wire.Register[[]Candidate](tagCandidates, encodeCandidates, decodeCandidates)
+	})
+}
+
+func encodeCandidate(e *wire.Encoder, c Candidate) {
+	e.String(c.NodeID)
+	e.Addr(c.Addr)
+	e.String(c.Site)
+	e.Value(c.SortKey)
+}
+
+func decodeCandidate(d *wire.Decoder) Candidate {
+	var c Candidate
+	c.NodeID = d.String()
+	c.Addr = d.Addr()
+	c.Site = d.String()
+	c.SortKey = d.Value()
+	return c
+}
+
+func encodeCandidates(e *wire.Encoder, cs []Candidate) {
+	if cs == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(cs)) + 1)
+	for _, c := range cs {
+		encodeCandidate(e, c)
+	}
+}
+
+func decodeCandidates(d *wire.Decoder) []Candidate {
+	u := d.Uvarint()
+	if u == 0 {
+		return nil
+	}
+	n := int(u - 1)
+	// An encoded Candidate is at least 3 empty strings + addr + nil key.
+	if maxN := d.Remaining() / 6; n > maxN {
+		n = maxN
+	}
+	out := make([]Candidate, 0, n)
+	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
+		out = append(out, decodeCandidate(d))
+	}
+	return out
+}
+
+func encodePred(e *wire.Encoder, p naming.Pred) {
+	e.String(p.Attr)
+	e.String(string(p.Op))
+	e.Value(p.Value)
+}
+
+func decodePred(d *wire.Decoder) naming.Pred {
+	var p naming.Pred
+	p.Attr = d.String()
+	p.Op = naming.Op(d.String())
+	p.Value = d.Value()
+	return p
+}
+
+func encodePreds(e *wire.Encoder, ps []naming.Pred) {
+	if ps == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(ps)) + 1)
+	for _, p := range ps {
+		encodePred(e, p)
+	}
+}
+
+func decodePreds(d *wire.Decoder) []naming.Pred {
+	u := d.Uvarint()
+	if u == 0 {
+		return nil
+	}
+	n := int(u - 1)
+	if maxN := d.Remaining() / 3; n > maxN {
+		n = maxN
+	}
+	out := make([]naming.Pred, 0, n)
+	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
+		out = append(out, decodePred(d))
+	}
+	return out
+}
+
+func encodeProbes(e *wire.Encoder, ps []treeProbe) {
+	if ps == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(ps)) + 1)
+	for _, p := range ps {
+		e.String(p.Tree)
+		e.Varint(p.Size)
+		e.Bool(p.Missing)
+		e.Varint(p.Nanos)
+	}
+}
+
+func decodeProbes(d *wire.Decoder) []treeProbe {
+	u := d.Uvarint()
+	if u == 0 {
+		return nil
+	}
+	n := int(u - 1)
+	if maxN := d.Remaining() / 4; n > maxN {
+		n = maxN
+	}
+	out := make([]treeProbe, 0, n)
+	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
+		var p treeProbe
+		p.Tree = d.String()
+		p.Size = d.Varint()
+		p.Missing = d.Bool()
+		p.Nanos = d.Varint()
+		out = append(out, p)
+	}
+	return out
+}
+
+var gobOnce sync.Once
+
+// RegisterGob registers the RBAY core's message types with encoding/gob.
+//
+// Deprecated: gob framing survives only behind rbayd's -wire=gob
+// compatibility flag for one release; the binary codec (RegisterWire) is
+// the default. Safe to call multiple times.
+func RegisterGob() {
+	scribe.RegisterGob()
+	gobOnce.Do(func() {
 		gob.Register(queryVisit{})
 		gob.Register(siteQueryReq{})
 		gob.Register(siteQueryResp{})

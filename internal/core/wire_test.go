@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rbay/internal/naming"
+	"rbay/internal/pastry"
+	"rbay/internal/transport"
+	"rbay/internal/wire"
+)
+
+// TestWireRoundTrip checks encode/decode equality for every registered
+// core message type, including any-typed sort keys, predicate values, and
+// nil-vs-empty candidate slices.
+func TestWireRoundTrip(t *testing.T) {
+	RegisterWire()
+	origin := pastry.EntryFor(transport.Addr{Site: "s1", Host: "a"})
+	cand := Candidate{
+		NodeID:  "node-7",
+		Addr:    transport.Addr{Site: "s2", Host: "h7"},
+		Site:    "s2",
+		SortKey: 0.75,
+	}
+	preds := []naming.Pred{
+		{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.1},
+		{Attr: "OS", Op: naming.OpEq, Value: "linux"},
+	}
+	cases := []any{
+		queryVisit{},
+		queryVisit{
+			QueryID:   "q1",
+			K:         2,
+			Preds:     preds,
+			OrderBy:   "CPU_free",
+			TreeAttr:  "CPU_free",
+			Caller:    "alice",
+			Payload:   map[string]any{"password": "x"},
+			Slots:     []Candidate{cand, {}},
+			Conflicts: 3,
+		},
+		queryVisit{Slots: []Candidate{}, Preds: []naming.Pred{}},
+		siteQueryReq{},
+		siteQueryReq{ReqID: 5, QueryID: "q2", K: 1, Preds: preds, OrderBy: "mem", Caller: "bob", Payload: nil, Origin: origin},
+		siteQueryResp{},
+		siteQueryResp{
+			ReqID:        5,
+			QueryID:      "q2",
+			Site:         "s2",
+			Candidates:   []Candidate{cand},
+			Conflicts:    1,
+			TreeSize:     999,
+			Err:          "partial",
+			Probes:       []treeProbe{{Tree: "CPU_free", Size: 10, Missing: false, Nanos: 1234}, {Tree: "mem", Missing: true}},
+			AnycastNanos: 5678,
+			Visits:       4,
+			Hops:         9,
+		},
+		siteQueryResp{Probes: []treeProbe{}},
+		commitReq{QueryID: "q3"},
+		releaseReq{},
+		adminCmd{Attr: "OS", From: "admin", Payload: []any{"patch", 1}, SentAtNanos: 42},
+		adminCmd{},
+		cand,
+		Candidate{},
+		TreeStats{Count: 3, Sum: 1.5},
+		naming.Pred{Attr: "x", Op: naming.OpGe, Value: false},
+		[]Candidate{cand, {}},
+		[]Candidate{},
+	}
+	for _, v := range cases {
+		got, err := wire.Roundtrip(v)
+		if err != nil {
+			t.Fatalf("Roundtrip(%#v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}

@@ -238,6 +238,28 @@ func (r *Registry) ObserveInt(name string, v int) {
 	r.hist(name, CountBounds).Observe(float64(v))
 }
 
+// Declare pre-creates latency histograms (DurationBounds) for the given
+// names. Nodes declare their known metric surface at startup so the first
+// observation on a hot path does not pay histogram construction.
+func (r *Registry) Declare(names ...string) {
+	if r == nil {
+		return
+	}
+	for _, name := range names {
+		r.hist(name, DurationBounds)
+	}
+}
+
+// DeclareInt pre-creates integer-sample histograms (CountBounds).
+func (r *Registry) DeclareInt(names ...string) {
+	if r == nil {
+		return
+	}
+	for _, name := range names {
+		r.hist(name, CountBounds)
+	}
+}
+
 // Histogram returns the named histogram, or nil when never observed.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {

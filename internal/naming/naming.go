@@ -12,6 +12,7 @@ package naming
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rbay/internal/ids"
 	"rbay/internal/scribe"
@@ -170,6 +171,19 @@ type Registry struct {
 	// links maps an attribute with no tree of its own to the major tree
 	// searched for it.
 	links map[string]string
+
+	// cacheMu guards the derived-data caches below. Tree topics and the
+	// sorted definition list are recomputed on every membership pass of
+	// every node sharing the registry — hashing and sorting them each
+	// time dominated the query hot path's allocations.
+	cacheMu   sync.RWMutex
+	topics    map[topicKey]ids.ID
+	defsCache []*TreeDef
+}
+
+// topicKey identifies one tree topic within one site's scope.
+type topicKey struct {
+	site, name, creator string
 }
 
 // NewRegistry creates an empty registry.
@@ -178,6 +192,7 @@ func NewRegistry() *Registry {
 		defs:     make(map[string]*TreeDef),
 		children: make(map[string][]string),
 		links:    make(map[string]string),
+		topics:   make(map[topicKey]ids.ID),
 	}
 }
 
@@ -199,6 +214,9 @@ func (r *Registry) Define(def TreeDef) error {
 	if def.Parent != "" {
 		r.children[def.Parent] = append(r.children[def.Parent], def.Name)
 	}
+	r.cacheMu.Lock()
+	r.defsCache = nil
+	r.cacheMu.Unlock()
 	return nil
 }
 
@@ -237,13 +255,23 @@ func (r *Registry) Links() map[string]string {
 	return out
 }
 
-// Defs returns all tree definitions sorted by name.
+// Defs returns all tree definitions sorted by name. The returned slice is
+// shared and cached until the next Define; callers must not modify it.
 func (r *Registry) Defs() []*TreeDef {
-	out := make([]*TreeDef, 0, len(r.defs))
+	r.cacheMu.RLock()
+	out := r.defsCache
+	r.cacheMu.RUnlock()
+	if out != nil {
+		return out
+	}
+	out = make([]*TreeDef, 0, len(r.defs))
 	for _, d := range r.defs {
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	r.cacheMu.Lock()
+	r.defsCache = out
+	r.cacheMu.Unlock()
 	return out
 }
 
@@ -266,8 +294,22 @@ func (r *Registry) Depth(name string) int {
 }
 
 // TopicFor derives the Scribe topic of a tree within one site's scope.
+// Topics are memoized: every node sharing the registry derives the same
+// topics once per membership pass, and the SHA-1 behind TopicID was the
+// single largest allocator on the query hot path.
 func (r *Registry) TopicFor(site string, def *TreeDef) ids.ID {
-	return scribe.TopicID(site, def.Name+"@"+def.Creator)
+	key := topicKey{site: site, name: def.Name, creator: def.Creator}
+	r.cacheMu.RLock()
+	id, ok := r.topics[key]
+	r.cacheMu.RUnlock()
+	if ok {
+		return id
+	}
+	id = scribe.TopicID(site, def.Name+"@"+def.Creator)
+	r.cacheMu.Lock()
+	r.topics[key] = id
+	r.cacheMu.Unlock()
+	return id
 }
 
 // TreesFor returns the definitions whose predicate a node's attribute

@@ -27,16 +27,24 @@ func NewLeafSet(owner ids.ID, half int) *LeafSet {
 	return &LeafSet{owner: owner, half: half}
 }
 
-// Len returns the number of distinct members (owner excluded).
+// Len returns the number of distinct members (owner excluded). Each side
+// holds at most half entries and is itself duplicate-free, so a linear
+// cross-check beats building a set (Len runs on routing hot paths).
 func (ls *LeafSet) Len() int {
-	seen := make(map[ids.ID]struct{}, len(ls.left)+len(ls.right))
-	for _, e := range ls.left {
-		seen[e.ID] = struct{}{}
-	}
+	n := len(ls.left)
 	for _, e := range ls.right {
-		seen[e.ID] = struct{}{}
+		dup := false
+		for _, l := range ls.left {
+			if l.ID == e.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // Insert offers a candidate to the leaf set. It reports whether the set
@@ -45,14 +53,23 @@ func (ls *LeafSet) Insert(e Entry) bool {
 	if e.ID == ls.owner || e.IsZero() {
 		return false
 	}
-	changed := insertSide(&ls.right, e, ls.half, func(x Entry) ids.ID { return x.ID.Sub(ls.owner) })
-	if insertSide(&ls.left, e, ls.half, func(x Entry) ids.ID { return ls.owner.Sub(x.ID) }) {
+	changed := insertSide(&ls.right, e, ls.half, ls.owner, true)
+	if insertSide(&ls.left, e, ls.half, ls.owner, false) {
 		changed = true
 	}
 	return changed
 }
 
-func insertSide(side *[]Entry, e Entry, half int, dist func(Entry) ids.ID) bool {
+// insertSide inserts into one sorted side; clockwise selects the distance
+// direction (a parameter rather than a distance closure so the routine
+// stays allocation-free on the maintenance hot path).
+func insertSide(side *[]Entry, e Entry, half int, owner ids.ID, clockwise bool) bool {
+	dist := func(x Entry) ids.ID {
+		if clockwise {
+			return x.ID.Sub(owner)
+		}
+		return owner.Sub(x.ID)
+	}
 	s := *side
 	d := dist(e)
 	pos := len(s)
@@ -74,12 +91,18 @@ func insertSide(side *[]Entry, e Entry, half int, dist func(Entry) ids.ID) bool 
 	if pos >= half {
 		return false
 	}
+	if len(s) >= half {
+		// Side is full: shift right in place, dropping the farthest entry,
+		// instead of growing past cap and re-truncating (which reallocated
+		// the side on every accepted insert at steady state).
+		copy(s[pos+1:], s[pos:half-1])
+		s[pos] = e
+		*side = s
+		return true
+	}
 	s = append(s, Entry{})
 	copy(s[pos+1:], s[pos:])
 	s[pos] = e
-	if len(s) > half {
-		s = s[:half]
-	}
 	*side = s
 	return true
 }

@@ -140,6 +140,8 @@ func NewNode(net transport.Network, addr transport.Addr, cfg Config) (*Node, err
 		probePending: make(map[uint64]Entry),
 		failed:       make(map[ids.ID]time.Time),
 	}
+	// Pre-create the routing histogram so first delivery is construction-free.
+	n.cfg.Metrics.DeclareInt("pastry_route_hops")
 	ep, err := net.NewEndpoint(addr, n.handle)
 	if err != nil {
 		return nil, fmt.Errorf("pastry: attach %v: %w", addr, err)

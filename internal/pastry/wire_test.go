@@ -1,0 +1,80 @@
+package pastry
+
+import (
+	"reflect"
+	"testing"
+
+	"rbay/internal/ids"
+	"rbay/internal/transport"
+	"rbay/internal/wire"
+)
+
+func wireEntry(site, host string) Entry {
+	return EntryFor(transport.Addr{Site: site, Host: host})
+}
+
+// TestWireRoundTrip checks encode/decode equality for every registered
+// Pastry message type, including zero values and any-typed payloads.
+func TestWireRoundTrip(t *testing.T) {
+	RegisterWire()
+	e1 := wireEntry("s1", "a")
+	e2 := wireEntry("s2", "b")
+	cases := []any{
+		&Message{},
+		&Message{
+			App:         "rbay",
+			Key:         ids.HashOf("k"),
+			Scope:       "s1",
+			Origin:      e1,
+			Hops:        3,
+			RecordTrace: true,
+			Trace:       []ids.ID{e1.ID, e2.ID},
+			Payload:     map[string]any{"x": []any{1, "y"}},
+		},
+		&Message{Payload: uint64(12345)}, // chaos probe tokens
+		directEnvelope{},
+		directEnvelope{App: "rbay", From: e1, Payload: rpcReply{ReqID: 9, Body: "ok"}},
+		joinStart{Scope: "s", Joiner: e1},
+		joinPayload{Joiner: e2},
+		joinRows{},
+		joinRows{Scope: "s", Rows: []Entry{e1, e2}},
+		joinRows{Rows: []Entry{}},
+		joinWelcome{Scope: "", Host: e1, Leaves: []Entry{e2}},
+		announce{Scope: "s2", Who: e2},
+		probe{},
+		probe{Seq: 1 << 50},
+		probeAck{Seq: 7, Leaves: []Entry{e1}},
+		probeAck{},
+		repairReq{Scope: "x"},
+		repairResp{Scope: "x", Leaves: []Entry{e1, e2}},
+		rpcRequest{ReqID: 1, Body: nil},
+		rpcRequest{ReqID: 2, Body: []string{}},
+		rpcDirectRequest{ReqID: 3, Body: map[string]any{"k": 0}},
+		rpcReply{ReqID: 4, Body: false},
+		Entry{},
+		e1,
+	}
+	for _, v := range cases {
+		got, err := wire.Roundtrip(v)
+		if err != nil {
+			t.Fatalf("Roundtrip(%#v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+// TestWireCorruptEntries ensures corrupt entry counts error instead of
+// over-allocating.
+func TestWireCorruptEntries(t *testing.T) {
+	RegisterWire()
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.Uvarint(1 << 40) // absurd count with no data behind it
+	d := wire.NewDecoder(e.Bytes())
+	out := DecodeEntries(d)
+	if d.Err() == nil {
+		t.Fatalf("expected error, got %d entries", len(out))
+	}
+}

@@ -108,6 +108,11 @@ type topicState struct {
 	children map[ids.ID]*child
 	sub      Subscriber
 	agg      Aggregator
+
+	// childSorted caches sortedChildren between membership changes; every
+	// maintenance tick folds children in ID order and re-sorting an
+	// unchanged set dominated the tick's allocations.
+	childSorted []pastry.Entry
 }
 
 func (t *topicState) inTree() bool { return t.subscribed || t.forwarder || t.isRoot }
@@ -115,12 +120,23 @@ func (t *topicState) inTree() bool { return t.subscribed || t.forwarder || t.isR
 // sortedChildren returns the children in ascending ID order, keeping fan-out
 // deterministic under the reproducible simulator.
 func (t *topicState) sortedChildren() []pastry.Entry {
-	out := make([]pastry.Entry, 0, len(t.children))
-	for _, c := range t.children {
-		out = append(out, c.entry)
+	if t.childSorted == nil {
+		out := make([]pastry.Entry, 0, len(t.children))
+		for _, c := range t.children {
+			out = append(out, c.entry)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+		t.childSorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
-	return out
+	return t.childSorted
+}
+
+// removeChild deletes a child and invalidates the sorted-children cache.
+func (t *topicState) removeChild(id ids.ID) {
+	if _, ok := t.children[id]; ok {
+		delete(t.children, id)
+		t.childSorted = nil
+	}
 }
 
 // AnycastResult reports the outcome of an Anycast.
@@ -144,6 +160,12 @@ type Scribe struct {
 	node   *pastry.Node
 	cfg    Config
 	topics map[ids.ID]*topicState
+
+	// topicsSorted caches sortedTopics between topic-set changes; tickFn is
+	// the periodic maintenance closure, allocated once and re-armed on every
+	// tick. Both trim per-tick allocations on the maintenance path.
+	topicsSorted []*topicState
+	tickFn       func()
 
 	nextAny    uint64
 	pendingAny map[uint64]*pendingCall
@@ -169,6 +191,14 @@ func New(node *pastry.Node, cfg Config) *Scribe {
 	}
 	node.Register(AppName, s)
 	node.OnFailure(s.onPeerFailure)
+	// Pre-create the anycast metric surface so the first query through this
+	// node doesn't pay lazy histogram construction.
+	s.cfg.Metrics.Declare("scribe_aggregate_staleness_seconds")
+	s.cfg.Metrics.DeclareInt("scribe_anycast_visits", "scribe_anycast_hops")
+	s.tickFn = func() {
+		s.tick()
+		s.scheduleTick()
+	}
 	s.scheduleTick()
 	return s
 }
@@ -186,6 +216,7 @@ func (s *Scribe) topic(id ids.ID, scope string, create bool) *topicState {
 			agg:      s.cfg.AggregatorFor(id),
 		}
 		s.topics[id] = t
+		s.topicsSorted = nil
 	}
 	return t
 }
@@ -240,6 +271,7 @@ func (s *Scribe) maybeDetach(t *topicState) {
 		_ = s.node.SendApp(t.parent.Addr, AppName, leaveMsg{Topic: t.id, Child: s.node.Self()})
 	}
 	delete(s.topics, t.id)
+	s.topicsSorted = nil
 }
 
 // Subscribed reports whether this node is a member of the topic.
@@ -347,6 +379,11 @@ func (s *Scribe) Anycast(scope string, topic ids.ID, payload any, cb func(Anycas
 		ID:      id,
 		Origin:  s.node.Self(),
 		Payload: payload,
+		// Pre-size the traversal state: the DFS appends every visited
+		// member and its backtrack path, and growing from nil re-allocates
+		// at each of the first few hops.
+		Visited: make([]ids.ID, 0, 8),
+		Stack:   make([]pastry.Entry, 0, 8),
 	}
 	return s.node.RouteScoped(AppName, scope, topic, msg, false)
 }
@@ -502,23 +539,24 @@ func (s *Scribe) aggregate(t *topicState) any {
 
 // scheduleTick arms the periodic aggregation/maintenance timer.
 func (s *Scribe) scheduleTick() {
-	s.node.After(s.cfg.AggregateInterval, func() {
-		s.tick()
-		s.scheduleTick()
-	})
+	s.node.After(s.cfg.AggregateInterval, s.tickFn)
 }
 
 // sortedTopics returns this node's topic states in ascending ID order.
 // Maintenance and failure handling iterate topics in this order so that the
 // message sequence — and with it a whole simulation — is reproducible
-// run-to-run (Go map iteration order is not).
+// run-to-run (Go map iteration order is not). The result is cached until
+// the topic set changes; callers iterate it but must not modify it.
 func (s *Scribe) sortedTopics() []*topicState {
-	out := make([]*topicState, 0, len(s.topics))
-	for _, t := range s.topics {
-		out = append(out, t)
+	if s.topicsSorted == nil {
+		out := make([]*topicState, 0, len(s.topics))
+		for _, t := range s.topics {
+			out = append(out, t)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].id.Less(out[j].id) })
+		s.topicsSorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id.Less(out[j].id) })
-	return out
+	return s.topicsSorted
 }
 
 // Republish forces an immediate maintenance pass — push partial
@@ -536,7 +574,7 @@ func (s *Scribe) tick() {
 		// Prune children we have not heard from.
 		for id, c := range t.children {
 			if now.Sub(c.lastSeen) > s.cfg.ChildTTL {
-				delete(t.children, id)
+				t.removeChild(id)
 			}
 		}
 		if !t.inTree() {
@@ -570,7 +608,7 @@ func (s *Scribe) tick() {
 
 // dropChild removes a failed child and tells Pastry about the failure.
 func (s *Scribe) dropChild(t *topicState, e pastry.Entry) {
-	delete(t.children, e.ID)
+	t.removeChild(e.ID)
 	s.node.NotePeerFailure(e)
 }
 
@@ -584,7 +622,7 @@ func (s *Scribe) onPeerFailure(e pastry.Entry) {
 				_ = s.sendJoin(t)
 			}
 		}
-		delete(t.children, e.ID)
+		t.removeChild(e.ID)
 	}
 }
 
@@ -596,6 +634,7 @@ func (s *Scribe) addChild(t *topicState, e pastry.Entry) {
 	if c == nil {
 		c = &child{entry: e}
 		t.children[e.ID] = c
+		t.childSorted = nil
 	}
 	c.lastSeen = s.node.Now()
 }
@@ -707,7 +746,7 @@ func (s *Scribe) Direct(n *pastry.Node, from pastry.Entry, payload any) {
 		if t == nil {
 			return
 		}
-		delete(t.children, p.Child.ID)
+		t.removeChild(p.Child.ID)
 		s.maybeDetach(t)
 	case downcastMsg:
 		t := s.topics[p.Topic]

@@ -4,16 +4,177 @@ import (
 	"encoding/gob"
 	"sync"
 
+	"rbay/internal/ids"
 	"rbay/internal/pastry"
+	"rbay/internal/wire"
+)
+
+// Wire tags 40-50 belong to Scribe (see internal/wire for the tag map).
+const (
+	tagJoinMsg byte = 40 + iota
+	tagChildAckMsg
+	tagLeaveMsg
+	tagMulticastMsg
+	tagDowncastMsg
+	tagAggUpdateMsg
+	tagAggQueryMsg
+	tagAggReplyMsg
+	tagAnycastMsg
+	tagAnycastDone
+	tagMeanValue
 )
 
 var wireOnce sync.Once
 
-// RegisterWire registers Scribe's message types with encoding/gob for
-// tcpnet deployments. Safe to call multiple times.
+// RegisterWire registers explicit binary codecs for Scribe's message types
+// with internal/wire, for tcpnet deployments. Safe to call multiple times.
 func RegisterWire() {
 	pastry.RegisterWire()
 	wireOnce.Do(func() {
+		wire.Register[joinMsg](tagJoinMsg,
+			func(e *wire.Encoder, v joinMsg) { pastry.EncodeEntry(e, v.Child) },
+			func(d *wire.Decoder) joinMsg { return joinMsg{Child: pastry.DecodeEntry(d)} })
+		wire.Register[childAckMsg](tagChildAckMsg,
+			func(e *wire.Encoder, v childAckMsg) {
+				e.ID(v.Topic)
+				pastry.EncodeEntry(e, v.Parent)
+			},
+			func(d *wire.Decoder) childAckMsg {
+				return childAckMsg{Topic: d.ID(), Parent: pastry.DecodeEntry(d)}
+			})
+		wire.Register[leaveMsg](tagLeaveMsg,
+			func(e *wire.Encoder, v leaveMsg) {
+				e.ID(v.Topic)
+				pastry.EncodeEntry(e, v.Child)
+			},
+			func(d *wire.Decoder) leaveMsg {
+				return leaveMsg{Topic: d.ID(), Child: pastry.DecodeEntry(d)}
+			})
+		wire.Register[multicastMsg](tagMulticastMsg,
+			func(e *wire.Encoder, v multicastMsg) { e.Value(v.Payload) },
+			func(d *wire.Decoder) multicastMsg { return multicastMsg{Payload: d.Value()} })
+		wire.Register[downcastMsg](tagDowncastMsg,
+			func(e *wire.Encoder, v downcastMsg) {
+				e.ID(v.Topic)
+				e.Value(v.Payload)
+			},
+			func(d *wire.Decoder) downcastMsg {
+				return downcastMsg{Topic: d.ID(), Payload: d.Value()}
+			})
+		wire.Register[aggUpdateMsg](tagAggUpdateMsg,
+			func(e *wire.Encoder, v aggUpdateMsg) {
+				e.ID(v.Topic)
+				pastry.EncodeEntry(e, v.Child)
+				e.Value(v.Value)
+			},
+			func(d *wire.Decoder) aggUpdateMsg {
+				return aggUpdateMsg{Topic: d.ID(), Child: pastry.DecodeEntry(d), Value: d.Value()}
+			})
+		wire.Register[aggQueryMsg](tagAggQueryMsg,
+			func(e *wire.Encoder, v aggQueryMsg) {
+				e.Uvarint(v.ReqID)
+				pastry.EncodeEntry(e, v.Origin)
+			},
+			func(d *wire.Decoder) aggQueryMsg {
+				return aggQueryMsg{ReqID: d.Uvarint(), Origin: pastry.DecodeEntry(d)}
+			})
+		wire.Register[aggReplyMsg](tagAggReplyMsg,
+			func(e *wire.Encoder, v aggReplyMsg) {
+				e.Uvarint(v.ReqID)
+				e.Value(v.Value)
+				e.Bool(v.NoTree)
+			},
+			func(d *wire.Decoder) aggReplyMsg {
+				return aggReplyMsg{ReqID: d.Uvarint(), Value: d.Value(), NoTree: d.Bool()}
+			})
+		wire.Register[anycastMsg](tagAnycastMsg,
+			func(e *wire.Encoder, v anycastMsg) {
+				e.ID(v.Topic)
+				e.Uvarint(v.ID)
+				pastry.EncodeEntry(e, v.Origin)
+				e.Value(v.Payload)
+				encodeIDList(e, v.Visited)
+				pastry.EncodeEntries(e, v.Stack)
+				e.Varint(int64(v.Visits))
+				e.Varint(int64(v.Hops))
+			},
+			func(d *wire.Decoder) anycastMsg {
+				var v anycastMsg
+				v.Topic = d.ID()
+				v.ID = d.Uvarint()
+				v.Origin = pastry.DecodeEntry(d)
+				v.Payload = d.Value()
+				v.Visited = decodeIDList(d)
+				v.Stack = pastry.DecodeEntries(d)
+				v.Visits = int(d.Varint())
+				v.Hops = int(d.Varint())
+				return v
+			})
+		wire.Register[anycastDone](tagAnycastDone,
+			func(e *wire.Encoder, v anycastDone) {
+				e.Uvarint(v.ID)
+				e.Value(v.Payload)
+				e.Bool(v.Satisfied)
+				e.Varint(int64(v.Visits))
+				e.Varint(int64(v.Hops))
+			},
+			func(d *wire.Decoder) anycastDone {
+				var v anycastDone
+				v.ID = d.Uvarint()
+				v.Payload = d.Value()
+				v.Satisfied = d.Bool()
+				v.Visits = int(d.Varint())
+				v.Hops = int(d.Varint())
+				return v
+			})
+		wire.Register[MeanValue](tagMeanValue,
+			func(e *wire.Encoder, v MeanValue) {
+				e.Float64(v.Sum)
+				e.Varint(v.Count)
+			},
+			func(d *wire.Decoder) MeanValue {
+				return MeanValue{Sum: d.Float64(), Count: d.Varint()}
+			})
+	})
+}
+
+func encodeIDList(e *wire.Encoder, list []ids.ID) {
+	if list == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(list)) + 1)
+	for _, id := range list {
+		e.ID(id)
+	}
+}
+
+func decodeIDList(d *wire.Decoder) []ids.ID {
+	u := d.Uvarint()
+	if u == 0 {
+		return nil
+	}
+	n := int(u - 1)
+	if maxN := d.Remaining() / len(ids.ID{}); n > maxN {
+		n = maxN
+	}
+	out := make([]ids.ID, 0, n)
+	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
+		out = append(out, d.ID())
+	}
+	return out
+}
+
+var gobOnce sync.Once
+
+// RegisterGob registers Scribe's message types with encoding/gob.
+//
+// Deprecated: gob framing survives only behind rbayd's -wire=gob
+// compatibility flag for one release; the binary codec (RegisterWire) is
+// the default. Safe to call multiple times.
+func RegisterGob() {
+	pastry.RegisterGob()
+	gobOnce.Do(func() {
 		gob.Register(joinMsg{})
 		gob.Register(childAckMsg{})
 		gob.Register(leaveMsg{})

@@ -157,6 +157,19 @@ type Network struct {
 	faultRNG   *rand.Rand
 	partitions map[[2]string]RuleID
 
+	// transcode, if non-nil, is applied to every payload at send time.
+	// The chaos harness installs a wire-codec round-trip here so that
+	// simulated runs exercise the same serialization the TCP transport
+	// uses, catching unregistered message types and lossy codecs that an
+	// in-memory simulation would otherwise hide.
+	transcode func(msg any) (any, error)
+
+	// free recycles event structs between dispatches. The simulator is
+	// single-threaded by contract, and an event is dead as soon as its
+	// handler returns, so Step can return it to this stack instead of
+	// leaving one ~140-byte allocation per send/timer for the GC.
+	free []*event
+
 	// running guards against reentrant Run calls from handlers.
 	running bool
 }
@@ -308,6 +321,29 @@ func (n *Network) NewSimEndpoint(addr transport.Addr, h transport.Handler) (*End
 	return ep, nil
 }
 
+// SetTranscode installs a payload transform applied on every send before
+// delivery is scheduled; a transform error fails the send. Pass nil to
+// clear. Transforms let simulations round-trip payloads through the real
+// wire codec (see chaos harness), so codec bugs surface under simnet too.
+func (n *Network) SetTranscode(f func(msg any) (any, error)) { n.transcode = f }
+
+// newEvent takes an event from the freelist, or allocates one.
+func (n *Network) newEvent() *event {
+	if len(n.free) == 0 {
+		return new(event)
+	}
+	e := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	return e
+}
+
+// recycle returns a dispatched event to the freelist, dropping references
+// so recycled events don't pin payloads or closures.
+func (n *Network) recycle(e *event) {
+	*e = event{}
+	n.free = append(n.free, e)
+}
+
 func (n *Network) push(e *event) {
 	n.seq++
 	e.seq = n.seq
@@ -317,6 +353,14 @@ func (n *Network) push(e *event) {
 // send enqueues a delivery event, applying latency and drop rules.
 func (n *Network) send(from, to transport.Addr, msg any) error {
 	n.stats.MessagesSent++
+	if n.transcode != nil {
+		decoded, err := n.transcode(msg)
+		if err != nil {
+			n.stats.MessagesDropped++
+			return fmt.Errorf("simnet: transcode %T: %w", msg, err)
+		}
+		msg = decoded
+	}
 	dst, ok := n.endpoints[to]
 	if !ok || dst.closed {
 		n.stats.MessagesDropped++
@@ -355,13 +399,13 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 	}
 	at := n.now.Add(n.latency.Delay(from, to) + extra)
 	for c := 0; c < copies; c++ {
-		n.push(&event{
-			at:   at,
-			kind: eventDeliver,
-			from: from,
-			to:   to,
-			msg:  msg,
-		})
+		e := n.newEvent()
+		e.at = at
+		e.kind = eventDeliver
+		e.from = from
+		e.to = to
+		e.msg = msg
+		n.push(e)
 	}
 	return nil
 }
@@ -385,7 +429,7 @@ func (n *Network) Step() bool {
 		dst, ok := n.endpoints[e.to]
 		if !ok || dst.closed {
 			n.stats.MessagesDropped++
-			return true
+			break
 		}
 		n.stats.MessagesDelivered++
 		n.perDst[e.to]++
@@ -393,11 +437,12 @@ func (n *Network) Step() bool {
 	case eventTimer:
 		if e.ep.closed || e.ep.cancelled[e.id] {
 			delete(e.ep.cancelled, e.id)
-			return true
+			break
 		}
 		n.stats.TimersFired++
 		e.fn()
 	}
+	n.recycle(e)
 	return true
 }
 
@@ -472,13 +517,13 @@ func (e *Endpoint) After(d time.Duration, fn func()) transport.CancelFunc {
 	}
 	e.net.timerID++
 	id := e.net.timerID
-	e.net.push(&event{
-		at:   e.net.now.Add(d),
-		kind: eventTimer,
-		ep:   e,
-		fn:   fn,
-		id:   id,
-	})
+	ev := e.net.newEvent()
+	ev.at = e.net.now.Add(d)
+	ev.kind = eventTimer
+	ev.ep = e
+	ev.fn = fn
+	ev.id = id
+	e.net.push(ev)
 	return func() bool {
 		if e.cancelled == nil {
 			e.cancelled = make(map[uint64]bool)

@@ -1,7 +1,6 @@
 package tcpnet
 
 import (
-	"encoding/gob"
 	"net"
 	"sync"
 	"testing"
@@ -11,14 +10,28 @@ import (
 	"rbay/internal/transport"
 )
 
+// plantConn caches a pre-built connection in n, as if it had been dialed
+// earlier (no read loop, no heartbeat — the test controls its fate).
+func plantConn(n *Network, hostport string, c net.Conn, peers ...transport.Addr) *clientConn {
+	cc := n.newClientConn(hostport, c)
+	for _, a := range peers {
+		cc.track(a)
+	}
+	n.mu.Lock()
+	n.conns[hostport] = cc
+	n.mu.Unlock()
+	return cc
+}
+
 // TestSendRedialsStaleConn reproduces the stale-connection bug: a cached
 // conn whose socket has died must not poison the next Send. The send path
-// has to drop it, redial, and deliver within the same call.
+// has to drop it, redial, and deliver within the same call. Batching is
+// disabled so the write error surfaces synchronously inside Send.
 func TestSendRedialsStaleConn(t *testing.T) {
 	table := map[transport.Addr]string{}
 	resolver := func(a transport.Addr) (string, error) { return StaticResolver(table)(a) }
 
-	n1, err := Listen("127.0.0.1:0", resolver)
+	n1, err := ListenConfig("127.0.0.1:0", resolver, Config{FlushInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,23 +48,14 @@ func TestSendRedialsStaleConn(t *testing.T) {
 	var got collect
 	n2.NewEndpoint(addr("b", "h2"), func(_ transport.Addr, m any) { got.add(m) })
 
-	// Plant a cached conn whose socket is already dead: every encode on
-	// it fails, exactly like a conn left over from before a peer restart.
+	// Plant a cached conn whose socket is already dead: every write on it
+	// fails, exactly like a conn left over from before a peer restart.
 	c, err := net.Dial("tcp", n2.ListenAddr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = c.Close()
-	stale := &clientConn{
-		hostport: n2.ListenAddr(),
-		c:        c,
-		enc:      gob.NewEncoder(c),
-		peers:    map[transport.Addr]struct{}{},
-		lastPong: time.Now(),
-	}
-	n1.mu.Lock()
-	n1.conns[n2.ListenAddr()] = stale
-	n1.mu.Unlock()
+	plantConn(n1, n2.ListenAddr(), c)
 
 	if err := e1.Send(addr("b", "h2"), "after-restart"); err != nil {
 		t.Fatalf("send over stale conn should redial, got %v", err)
@@ -59,6 +63,85 @@ func TestSendRedialsStaleConn(t *testing.T) {
 	waitFor(t, func() bool { return len(got.snapshot()) == 1 })
 	if s := n1.Stats(); s.SendRetries == 0 || s.ConnDrops == 0 {
 		t.Errorf("stats should show the retry: %+v", s)
+	}
+}
+
+// TestSendFailureStartsReconnect is the regression test for the send-path
+// reconnect-suppression bug: Network.send retires a stale conn with
+// connDead(cc, false), and because connDead is first-caller-wins, a send
+// that beats the conn read loop to it used to permanently suppress
+// background reconnect — and therefore OnPeerDown — for a genuinely dead
+// peer. The peer here is killed mid-send (no read loop ever sees the
+// death: the planted conn has none), so only the send path can detect it;
+// after the synchronous retry budget is exhausted, reconnect must still
+// run and OnPeerDown must still fire.
+func TestSendFailureStartsReconnect(t *testing.T) {
+	table := map[transport.Addr]string{}
+	resolver := func(a transport.Addr) (string, error) { return StaticResolver(table)(a) }
+
+	n1, err := ListenConfig("127.0.0.1:0", resolver, Config{
+		FlushInterval:     -1, // sync writes: the send itself sees the failure
+		SendRetries:       1,
+		ReconnectAttempts: 1,
+		BackoffMin:        5 * time.Millisecond,
+		BackoffMax:        10 * time.Millisecond,
+		HeartbeatInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+
+	// A peer that is already gone: grab a real host:port, then kill it.
+	n2, err := Listen("127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostport := n2.ListenAddr()
+	peer := addr("b", "h2")
+	table[addr("a", "h1")] = n1.ListenAddr()
+	table[peer] = hostport
+	if err := n2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var downMu sync.Mutex
+	var down []transport.Addr
+	n1.OnPeerDown(func(a transport.Addr) {
+		downMu.Lock()
+		down = append(down, a)
+		downMu.Unlock()
+	})
+
+	e1, _ := n1.NewEndpoint(addr("a", "h1"), func(transport.Addr, any) {})
+
+	// The dead cached conn: a socket pair whose both ends are closed.
+	c1, c2 := net.Pipe()
+	_ = c1.Close()
+	_ = c2.Close()
+	plantConn(n1, hostport, c1, peer)
+
+	// Mid-send the writes fail, the redial fails (peer is gone), and the
+	// retry budget runs out.
+	if err := e1.Send(peer, "doomed"); err == nil {
+		t.Fatal("send to dead peer should fail")
+	}
+
+	// The fix: exhausting the synchronous budget hands the peer to the
+	// background reconnect loop, which exhausts its own budget and
+	// declares the peer down.
+	waitFor(t, func() bool {
+		downMu.Lock()
+		defer downMu.Unlock()
+		for _, a := range down {
+			if a == peer {
+				return true
+			}
+		}
+		return false
+	})
+	if s := n1.Stats(); s.PeerDownEvents == 0 || s.Redials == 0 {
+		t.Errorf("expected redials and peer-down events, got %+v", s)
 	}
 }
 

@@ -1,12 +1,19 @@
-// Package tcpnet implements transport.Network over real TCP sockets with
-// gob encoding, so the same Pastry/Scribe/RBAY node code that runs under
-// the discrete-event simulator can be deployed as one process per node
-// (cmd/rbayd) across real machines.
+// Package tcpnet implements transport.Network over real TCP sockets, so
+// the same Pastry/Scribe/RBAY node code that runs under the discrete-event
+// simulator can be deployed as one process per node (cmd/rbayd) across
+// real machines.
+//
+// Messages travel as length-prefixed binary frames (internal/wire, see
+// docs/WIRE.md): each cached peer connection coalesces small data frames
+// written within a short flush window into one batch frame — one syscall
+// for a burst of aggregate updates, announces, or probe acks. The previous
+// gob encoding survives one release behind Config.Codec = "gob" for mixed
+// deployments mid-upgrade.
 //
 // Each Network owns one listener; all endpoints attached to it share the
-// listener and are demultiplexed by the envelope's To address. Every
-// endpoint runs a single dispatch goroutine, preserving the "no concurrent
-// handler invocations" guarantee node code relies on.
+// listener and are demultiplexed by the frame's To address. Every endpoint
+// runs a single dispatch goroutine, preserving the "no concurrent handler
+// invocations" guarantee node code relies on.
 //
 // The transport is hardened for long-lived daemons: cached peer
 // connections are health-checked with lightweight ping/pong heartbeats, a
@@ -18,26 +25,37 @@
 package tcpnet
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rbay/internal/transport"
+	"rbay/internal/wire"
 )
 
-// envelope kinds. Data envelopes carry application payloads; ping/pong
-// are the transport-level heartbeat and never reach endpoints.
+// Codec names for Config.Codec.
 const (
-	kindData uint8 = iota
-	kindPing
-	kindPong
+	// CodecBinary is the internal/wire length-prefixed binary codec with
+	// per-peer frame batching (the default).
+	CodecBinary = "binary"
+	// CodecGob selects encoding/gob framing.
+	//
+	// Deprecated: kept one release for mixed-version deployments; both
+	// ends of every connection must use the same codec.
+	CodecGob = "gob"
 )
 
-// envelope frames every wire message.
+// envelope frames every gob-mode wire message. Seq is the writer's
+// per-connection monotonic frame sequence number (pongs echo the ping's
+// Seq); in binary mode the same sequence lives in the frame header
+// (internal/wire) so batch frames are sequenced too.
 type envelope struct {
 	Kind    uint8
 	Seq     uint64
@@ -75,10 +93,24 @@ const (
 	Block
 )
 
-// Config tunes the transport's resilience machinery. The zero value means
-// "use the default"; negative values disable the corresponding feature
-// where that is meaningful.
+// Config tunes the transport's wire format and resilience machinery. The
+// zero value means "use the default"; negative values disable the
+// corresponding feature where that is meaningful.
 type Config struct {
+	// Codec selects the wire encoding: CodecBinary (the default) or the
+	// deprecated CodecGob. Both ends of a deployment must agree.
+	Codec string
+	// FlushInterval is the age cap on the per-peer write coalescer: a
+	// data frame may sit in the batch buffer at most this long before it
+	// is written. Default 500µs. Negative disables batching entirely —
+	// every message is written synchronously in its own frame (lowest
+	// latency, one syscall per message). Ignored under CodecGob, which
+	// never batches.
+	FlushInterval time.Duration
+	// BatchBytes is the size cap on one batch frame; reaching it flushes
+	// synchronously from the sending goroutine (so write errors feed the
+	// send retry path). Default 64KiB.
+	BatchBytes int
 	// DialTimeout bounds one TCP dial. Default 3s.
 	DialTimeout time.Duration
 	// SendRetries is how many times a failed Send redials and re-encodes
@@ -108,6 +140,15 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Codec == "" {
+		c.Codec = CodecBinary
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 3 * time.Second
 	}
@@ -154,13 +195,16 @@ type Stats struct {
 	ConnDrops         uint64 // cached conns dropped for any reason
 	QueueDrops        uint64 // deliveries dropped by a full endpoint queue
 	PeerDownEvents    uint64 // peer addresses reported through OnPeerDown
+	BatchFrames       uint64 // coalesced batch frames written
+	BatchedMessages   uint64 // data messages carried inside batch frames
 }
 
 // String renders a compact one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("dials=%d (fail %d, redial %d) retries=%d sendfail=%d hb=%d (timeout %d) drops=%d qdrops=%d peerdown=%d",
+	return fmt.Sprintf("dials=%d (fail %d, redial %d) retries=%d sendfail=%d hb=%d (timeout %d) drops=%d qdrops=%d peerdown=%d batches=%d/%d",
 		s.Dials, s.DialFailures, s.Redials, s.SendRetries, s.SendFailures,
-		s.HeartbeatsSent, s.HeartbeatTimeouts, s.ConnDrops, s.QueueDrops, s.PeerDownEvents)
+		s.HeartbeatsSent, s.HeartbeatTimeouts, s.ConnDrops, s.QueueDrops, s.PeerDownEvents,
+		s.BatchedMessages, s.BatchFrames)
 }
 
 type counters struct {
@@ -174,6 +218,8 @@ type counters struct {
 	connDrops         atomic.Uint64
 	queueDrops        atomic.Uint64
 	peerDownEvents    atomic.Uint64
+	batchFrames       atomic.Uint64
+	batchedMessages   atomic.Uint64
 }
 
 // dialBackoff tracks the fail-fast window for one peer hostport.
@@ -187,6 +233,7 @@ type Network struct {
 	listener net.Listener
 	resolver Resolver
 	cfg      Config
+	binary   bool // cfg.Codec == CodecBinary
 
 	mu         sync.Mutex
 	endpoints  map[transport.Addr]*Endpoint
@@ -202,17 +249,37 @@ type Network struct {
 	stats counters
 }
 
-// clientConn is one cached outbound connection. Its mutex guards the gob
-// encoder (data, pings) and the liveness bookkeeping.
+// clientConn is one cached outbound connection. Its mutex guards the
+// writer state (gob encoder or batch buffer), the frame sequence counter,
+// and the liveness bookkeeping.
 type clientConn struct {
 	hostport string
 
-	mu       sync.Mutex
-	c        net.Conn
-	enc      *gob.Encoder
-	peers    map[transport.Addr]struct{} // overlay addrs routed through this conn
-	lastPong time.Time
-	dead     bool
+	mu        sync.Mutex
+	c         net.Conn
+	enc       *gob.Encoder // gob mode only
+	seq       uint64       // per-connection frame sequence (all kinds)
+	pend      *wire.Encoder
+	pendCount int
+	flush     *time.Timer
+	peers     map[transport.Addr]struct{} // overlay addrs routed through this conn
+	lastPong  time.Time
+	dead      bool
+}
+
+// newClientConn wraps an established socket in a cached connection for
+// the network's codec (the dial path and tests share it).
+func (n *Network) newClientConn(hostport string, c net.Conn) *clientConn {
+	cc := &clientConn{
+		hostport: hostport,
+		c:        c,
+		peers:    make(map[transport.Addr]struct{}),
+		lastPong: time.Now(),
+	}
+	if !n.binary {
+		cc.enc = gob.NewEncoder(c)
+	}
+	return cc
 }
 
 func (cc *clientConn) track(to transport.Addr) {
@@ -224,13 +291,157 @@ func (cc *clientConn) track(to transport.Addr) {
 	cc.mu.Unlock()
 }
 
-func (cc *clientConn) encode(env envelope) error {
+func (cc *clientConn) peerList(extra transport.Addr) []transport.Addr {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	peers := make([]transport.Addr, 0, len(cc.peers)+1)
+	seen := false
+	for a := range cc.peers {
+		if a == extra {
+			seen = true
+		}
+		peers = append(peers, a)
+	}
+	if !seen && !extra.IsZero() {
+		peers = append(peers, extra)
+	}
+	return peers
+}
+
+var errConnDead = errors.New("connection is dead")
+
+// encodeGob writes one gob envelope, stamping the per-connection frame
+// sequence.
+func (cc *clientConn) encodeGob(env envelope) error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.dead {
-		return errors.New("connection is dead")
+		return errConnDead
 	}
+	cc.seq++
+	env.Seq = cc.seq
 	return cc.enc.Encode(env)
+}
+
+// writeData queues or writes one pre-encoded data-rest (binary mode).
+// With batching enabled the message lands in the per-peer batch buffer
+// and nil is returned: the frame is written when the buffer reaches
+// BatchBytes (synchronously, errors returned here) or when the flush
+// timer fires (asynchronously, errors retire the connection toward
+// background reconnect). With batching disabled every call writes one
+// data frame synchronously.
+func (n *Network) writeData(cc *clientConn, rest []byte) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead {
+		return errConnDead
+	}
+	if n.cfg.FlushInterval < 0 {
+		return cc.writeDataFrameLocked(rest)
+	}
+	// Oversized for one batch: flush what's pending (order!) and write
+	// the message as its own frame.
+	if len(rest)+2*binary.MaxVarintLen64 >= n.cfg.BatchBytes {
+		if err := n.flushLocked(cc); err != nil {
+			return err
+		}
+		return cc.writeDataFrameLocked(rest)
+	}
+	if cc.pend == nil {
+		cc.pend = wire.GetEncoder()
+	}
+	cc.pend.Uvarint(uint64(len(rest)))
+	cc.pend.Append(rest)
+	cc.pendCount++
+	if cc.pendCount == 1 {
+		cc.flush = time.AfterFunc(n.cfg.FlushInterval, func() { n.flushConn(cc) })
+	}
+	if cc.pend.Len() >= n.cfg.BatchBytes {
+		return n.flushLocked(cc)
+	}
+	return nil
+}
+
+// writeDataFrameLocked writes one data frame carrying rest.
+func (cc *clientConn) writeDataFrameLocked(rest []byte) error {
+	f := wire.GetEncoder()
+	defer wire.PutEncoder(f)
+	cc.seq++
+	at := f.BeginFrame(wire.KindData, cc.seq)
+	f.Append(rest)
+	f.EndFrame(at)
+	_, err := cc.c.Write(f.Bytes())
+	return err
+}
+
+// flushLocked writes the pending batch (if any) as one frame — a plain
+// data frame when a single message is pending, a batch frame otherwise.
+func (n *Network) flushLocked(cc *clientConn) error {
+	if cc.pendCount == 0 {
+		return nil
+	}
+	if cc.flush != nil {
+		cc.flush.Stop()
+		cc.flush = nil
+	}
+	pend, count := cc.pend, cc.pendCount
+	cc.pend, cc.pendCount = nil, 0
+	defer wire.PutEncoder(pend)
+
+	f := wire.GetEncoder()
+	defer wire.PutEncoder(f)
+	cc.seq++
+	if count == 1 {
+		// Strip the entry's length prefix and send a plain data frame.
+		b := pend.Bytes()
+		_, nn := binary.Uvarint(b)
+		at := f.BeginFrame(wire.KindData, cc.seq)
+		f.Append(b[nn:])
+		f.EndFrame(at)
+	} else {
+		at := f.BeginFrame(wire.KindBatch, cc.seq)
+		f.Uvarint(uint64(count))
+		f.Append(pend.Bytes())
+		f.EndFrame(at)
+		n.stats.batchFrames.Add(1)
+		n.stats.batchedMessages.Add(uint64(count))
+	}
+	_, err := cc.c.Write(f.Bytes())
+	return err
+}
+
+// flushConn is the flush timer's callback: an asynchronous write failure
+// here retires the connection toward background reconnect (there is no
+// caller to hand the error to).
+func (n *Network) flushConn(cc *clientConn) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	err := n.flushLocked(cc)
+	cc.mu.Unlock()
+	if err != nil {
+		n.connDead(cc, true)
+	}
+}
+
+// writePing writes one heartbeat frame synchronously (binary mode).
+// Heartbeats never batch: the liveness verdict depends on the write error
+// surfacing now.
+func (cc *clientConn) writePing() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead {
+		return errConnDead
+	}
+	f := wire.GetEncoder()
+	defer wire.PutEncoder(f)
+	cc.seq++
+	at := f.BeginFrame(wire.KindPing, cc.seq)
+	f.EndFrame(at)
+	_, err := cc.c.Write(f.Bytes())
+	return err
 }
 
 // Listen starts a network listening on the given TCP address ("":0 for an
@@ -239,8 +450,12 @@ func Listen(listen string, resolver Resolver) (*Network, error) {
 	return ListenConfig(listen, resolver, Config{})
 }
 
-// ListenConfig starts a network with explicit resilience tuning.
+// ListenConfig starts a network with explicit wire/resilience tuning.
 func ListenConfig(listen string, resolver Resolver, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Codec != CodecBinary && cfg.Codec != CodecGob {
+		return nil, fmt.Errorf("tcpnet: unknown codec %q (want %q or %q)", cfg.Codec, CodecBinary, CodecGob)
+	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: %w", err)
@@ -248,7 +463,8 @@ func ListenConfig(listen string, resolver Resolver, cfg Config) (*Network, error
 	n := &Network{
 		listener:  l,
 		resolver:  resolver,
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
+		binary:    cfg.Codec == CodecBinary,
 		endpoints: make(map[transport.Addr]*Endpoint),
 		conns:     make(map[string]*clientConn),
 		accepted:  make(map[net.Conn]struct{}),
@@ -277,6 +493,8 @@ func (n *Network) Stats() Stats {
 		ConnDrops:         n.stats.connDrops.Load(),
 		QueueDrops:        n.stats.queueDrops.Load(),
 		PeerDownEvents:    n.stats.peerDownEvents.Load(),
+		BatchFrames:       n.stats.batchFrames.Load(),
+		BatchedMessages:   n.stats.batchedMessages.Load(),
 	}
 }
 
@@ -316,6 +534,12 @@ func (n *Network) Close() error {
 
 	err := n.listener.Close()
 	for _, cc := range conns {
+		cc.mu.Lock()
+		if cc.flush != nil {
+			cc.flush.Stop()
+			cc.flush = nil
+		}
+		cc.mu.Unlock()
 		_ = cc.c.Close()
 	}
 	for _, c := range accepted {
@@ -356,6 +580,10 @@ func (n *Network) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
+	if n.binary {
+		n.readFramesLoop(conn)
+		return
+	}
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn) // pong replies; only this goroutine writes
 	for {
@@ -364,20 +592,87 @@ func (n *Network) readLoop(conn net.Conn) {
 			return
 		}
 		switch env.Kind {
-		case kindPing:
-			if err := enc.Encode(envelope{Kind: kindPong, Seq: env.Seq}); err != nil {
+		case wire.KindPing:
+			if err := enc.Encode(envelope{Kind: wire.KindPong, Seq: env.Seq}); err != nil {
 				return
 			}
-		case kindPong:
+		case wire.KindPong:
 			// Not expected on accepted conns; ignore.
 		default:
-			n.mu.Lock()
-			ep := n.endpoints[env.To]
-			n.mu.Unlock()
-			if ep != nil {
-				ep.offer(func() { ep.handler(env.From, env.Payload) })
-			}
+			n.deliver(env.From, env.To, env.Payload)
 		}
+	}
+}
+
+// readFramesLoop drains one accepted binary-framed connection: data and
+// batch frames are demultiplexed to endpoints, pings are answered with a
+// pong echoing the ping's sequence. Any framing error (oversized length,
+// corrupt body) abandons the connection — stream corruption is not
+// survivable, and the sender's liveness machinery redials.
+func (n *Network) readFramesLoop(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var hdr [4]byte
+	var body []byte
+	var pongSeq uint64
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		ln := binary.LittleEndian.Uint32(hdr[:])
+		if ln > wire.DefaultMaxFrame {
+			return
+		}
+		if cap(body) < int(ln) {
+			body = make([]byte, ln)
+		}
+		body = body[:ln]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return
+		}
+		kind, seq, rest, err := wire.DecodeFrameBody(body)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case wire.KindPing:
+			// Only this goroutine writes to accepted conns.
+			e := wire.GetEncoder()
+			pongSeq++
+			at := e.BeginFrame(wire.KindPong, pongSeq)
+			e.Uvarint(seq)
+			e.EndFrame(at)
+			_, werr := conn.Write(e.Bytes())
+			wire.PutEncoder(e)
+			if werr != nil {
+				return
+			}
+		case wire.KindPong:
+			// Not expected on accepted conns; ignore.
+		case wire.KindData:
+			m, err := wire.DecodeDataRest(rest)
+			if err != nil {
+				return
+			}
+			n.deliver(m.From, m.To, m.Payload)
+		case wire.KindBatch:
+			if err := wire.DecodeBatchRest(rest, func(m wire.DataMsg) {
+				n.deliver(m.From, m.To, m.Payload)
+			}); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// deliver hands one inbound message to its endpoint's dispatch queue.
+func (n *Network) deliver(from, to transport.Addr, payload any) {
+	n.mu.Lock()
+	ep := n.endpoints[to]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.offer(func() { ep.handler(from, payload) })
 	}
 }
 
@@ -417,8 +712,28 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 	if err != nil {
 		return err
 	}
-	env := envelope{To: to, From: from, Payload: msg}
+
+	// Binary mode encodes the payload once, before touching any
+	// connection: an unencodable payload (unregistered type) is the
+	// caller's bug, not the connection's — fail without retries and
+	// without retiring the conn.
+	var rest *wire.Encoder
+	if n.binary {
+		rest = wire.GetEncoder()
+		defer wire.PutEncoder(rest)
+		rest.DataRest(to, from, msg)
+		if err := rest.Err(); err != nil {
+			n.stats.sendFailures.Add(1)
+			return err
+		}
+		if rest.Len() > wire.DefaultMaxFrame-16 {
+			n.stats.sendFailures.Add(1)
+			return fmt.Errorf("tcpnet: message to %v exceeds max frame (%d bytes)", to, rest.Len())
+		}
+	}
+
 	var lastErr error
+	var lastCC *clientConn
 	for attempt := 0; attempt <= n.cfg.SendRetries; attempt++ {
 		if attempt > 0 {
 			n.stats.sendRetries.Add(1)
@@ -430,17 +745,29 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 			lastErr = err
 			break
 		}
-		if err := cc.encode(env); err == nil {
-			return nil
+		if n.binary {
+			err = n.writeData(cc, rest.Bytes())
 		} else {
-			// Stale cached connection (peer restarted, socket reset):
-			// drop it so the next attempt dials fresh. The send path
-			// retries synchronously, so no background reconnect here.
-			lastErr = err
-			n.connDead(cc, false)
+			err = cc.encodeGob(envelope{To: to, From: from, Payload: msg})
 		}
+		if err == nil {
+			return nil
+		}
+		// Stale cached connection (peer restarted, socket reset): drop it
+		// so the next attempt dials fresh and the retry can succeed.
+		lastErr = err
+		lastCC = cc
+		n.connDead(cc, false)
 	}
 	n.stats.sendFailures.Add(1)
+	// The synchronous retry budget is exhausted. If any attempt reached a
+	// connection (write failure, not dial failure), hand the peer to the
+	// background reconnect machinery: the conn's read loop may have lost
+	// the connDead race to the send path above, in which case nothing
+	// else will ever redial or declare the peer down.
+	if lastCC != nil {
+		n.ensureReconnect(hostport, lastCC.peerList(to))
+	}
 	return fmt.Errorf("%w: send to %s: %v", transport.ErrUnreachable, hostport, lastErr)
 }
 
@@ -504,13 +831,7 @@ func (n *Network) dial(hostport string, to transport.Addr) (*clientConn, error) 
 		return existing, nil
 	}
 	delete(n.backoff, hostport)
-	cc := &clientConn{
-		hostport: hostport,
-		c:        c,
-		enc:      gob.NewEncoder(c),
-		peers:    make(map[transport.Addr]struct{}),
-		lastPong: time.Now(),
-	}
+	cc := n.newClientConn(hostport, c)
 	n.conns[hostport] = cc
 	n.wg.Add(1)
 	go n.connReadLoop(cc)
@@ -529,6 +850,40 @@ func (n *Network) dial(hostport string, to transport.Addr) (*clientConn, error) 
 // send.
 func (n *Network) connReadLoop(cc *clientConn) {
 	defer n.wg.Done()
+	if n.binary {
+		r := bufio.NewReaderSize(cc.c, 4096)
+		var hdr [4]byte
+		var body []byte
+		for {
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				n.connDead(cc, true)
+				return
+			}
+			ln := binary.LittleEndian.Uint32(hdr[:])
+			if ln > wire.DefaultMaxFrame {
+				n.connDead(cc, true)
+				return
+			}
+			if cap(body) < int(ln) {
+				body = make([]byte, ln)
+			}
+			body = body[:ln]
+			if _, err := io.ReadFull(r, body); err != nil {
+				n.connDead(cc, true)
+				return
+			}
+			kind, _, _, err := wire.DecodeFrameBody(body)
+			if err != nil {
+				n.connDead(cc, true)
+				return
+			}
+			if kind == wire.KindPong {
+				cc.mu.Lock()
+				cc.lastPong = time.Now()
+				cc.mu.Unlock()
+			}
+		}
+	}
 	dec := gob.NewDecoder(cc.c)
 	for {
 		var env envelope
@@ -536,7 +891,7 @@ func (n *Network) connReadLoop(cc *clientConn) {
 			n.connDead(cc, true)
 			return
 		}
-		if env.Kind == kindPong {
+		if env.Kind == wire.KindPong {
 			cc.mu.Lock()
 			cc.lastPong = time.Now()
 			cc.mu.Unlock()
@@ -548,7 +903,6 @@ func (n *Network) heartbeatLoop(cc *clientConn) {
 	defer n.wg.Done()
 	t := time.NewTicker(n.cfg.HeartbeatInterval)
 	defer t.Stop()
-	var seq uint64
 	for {
 		select {
 		case <-n.done:
@@ -561,16 +915,17 @@ func (n *Network) heartbeatLoop(cc *clientConn) {
 			return
 		}
 		stale := time.Since(cc.lastPong) > time.Duration(n.cfg.HeartbeatMisses)*n.cfg.HeartbeatInterval
-		var err error
-		if !stale {
-			seq++
-			err = cc.enc.Encode(envelope{Kind: kindPing, Seq: seq})
-		}
 		cc.mu.Unlock()
 		if stale {
 			n.stats.heartbeatTimeouts.Add(1)
 			n.connDead(cc, true)
 			return
+		}
+		var err error
+		if n.binary {
+			err = cc.writePing()
+		} else {
+			err = cc.encodeGob(envelope{Kind: wire.KindPing})
 		}
 		if err != nil {
 			n.connDead(cc, true)
@@ -591,6 +946,15 @@ func (n *Network) connDead(cc *clientConn, reconnect bool) {
 		return
 	}
 	cc.dead = true
+	if cc.flush != nil {
+		cc.flush.Stop()
+		cc.flush = nil
+	}
+	if cc.pend != nil {
+		wire.PutEncoder(cc.pend)
+		cc.pend = nil
+		cc.pendCount = 0
+	}
 	peers := make([]transport.Addr, 0, len(cc.peers))
 	for a := range cc.peers {
 		peers = append(peers, a)
@@ -609,6 +973,26 @@ func (n *Network) connDead(cc *clientConn, reconnect bool) {
 		go n.reconnect(cc.hostport, peers)
 	}
 	n.mu.Unlock()
+}
+
+// ensureReconnect starts the background redial loop for a peer unless one
+// is already running or a live connection exists. The send path calls it
+// after exhausting its synchronous retry budget: connDead(cc, false) from
+// a failed send is first-caller-wins against the conn read loop's
+// connDead(cc, true), so winning that race must not suppress reconnect
+// (and ultimately OnPeerDown) for a genuinely dead peer.
+func (n *Network) ensureReconnect(hostport string, peers []transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.redialing[hostport] {
+		return
+	}
+	if _, live := n.conns[hostport]; live {
+		return
+	}
+	n.redialing[hostport] = true
+	n.wg.Add(1)
+	go n.reconnect(hostport, peers)
 }
 
 // reconnect redials a dead peer with capped exponential backoff. Success
@@ -707,6 +1091,7 @@ func (e *Endpoint) offer(fn func()) {
 		e.enqueue(fn)
 	case DropOldest:
 		for {
+			// Fast path: room available (or shutting down).
 			select {
 			case e.queue <- fn:
 				return
@@ -714,10 +1099,17 @@ func (e *Endpoint) offer(fn func()) {
 				return
 			default:
 			}
+			// Full: block until we either evict the oldest entry (count
+			// one real drop, then retry the offer), win a slot freed by
+			// the dispatcher, or shut down. Every arm makes progress, so
+			// racing the dispatch goroutine cannot busy-spin.
 			select {
+			case e.queue <- fn:
+				return
 			case <-e.queue:
 				e.net.stats.queueDrops.Add(1)
-			default:
+			case <-e.done:
+				return
 			}
 		}
 	default: // DropNewest

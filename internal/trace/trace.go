@@ -14,6 +14,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -77,11 +78,13 @@ func (s *Span) Set(key, value string) {
 	s.Attrs[key] = value
 }
 
-// SetInt records an integer attribute.
-func (s *Span) SetInt(key string, v int) { s.Set(key, fmt.Sprintf("%d", v)) }
+// SetInt records an integer attribute. strconv (not fmt) keeps the
+// query-path annotations cheap: small values hit its no-allocation fast
+// path, and nothing is boxed.
+func (s *Span) SetInt(key string, v int) { s.Set(key, strconv.Itoa(v)) }
 
 // SetInt64 records a 64-bit integer attribute.
-func (s *Span) SetInt64(key string, v int64) { s.Set(key, fmt.Sprintf("%d", v)) }
+func (s *Span) SetInt64(key string, v int64) { s.Set(key, strconv.FormatInt(v, 10)) }
 
 // Find returns the first span (depth-first, this span included) with the
 // given name, or nil. Tests and tools use it to assert tree shape.

@@ -1,0 +1,352 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rbay/internal/ids"
+	"rbay/internal/transport"
+)
+
+// testStruct exercises the Register path, including nested any-typed
+// fields that recurse through the tagged-value codec.
+type testStruct struct {
+	Name  string
+	N     int
+	Addrs []transport.Addr
+	Any   any
+}
+
+func init() {
+	Register[testStruct](200,
+		func(e *Encoder, v testStruct) {
+			e.String(v.Name)
+			e.Varint(int64(v.N))
+			e.nilCount(v.Addrs == nil, len(v.Addrs))
+			for _, a := range v.Addrs {
+				e.Addr(a)
+			}
+			e.Value(v.Any)
+		},
+		func(d *Decoder) testStruct {
+			var v testStruct
+			v.Name = d.String()
+			v.N = int(d.Varint())
+			isNil, n := d.nilCount(2)
+			if !isNil {
+				v.Addrs = make([]transport.Addr, 0, n)
+				for i := 0; i < n && d.Err() == nil; i++ {
+					v.Addrs = append(v.Addrs, d.Addr())
+				}
+			}
+			v.Any = d.Value()
+			return v
+		})
+}
+
+// builtinCases covers every builtin shape including the zero values the
+// issue calls out (0, false, "", nil, []string{}, nested maps) and the
+// nil-vs-empty distinction for slices and maps.
+func builtinCases() []any {
+	return []any{
+		nil,
+		false,
+		true,
+		0,
+		1,
+		-1,
+		1 << 40,
+		-(1 << 40),
+		int64(0),
+		int64(-9e15),
+		uint64(0),
+		uint64(1) << 63,
+		0.0,
+		-0.5,
+		3.14159e300,
+		"",
+		"hello",
+		strings.Repeat("x", 5000),
+		"non-ascii é世界 \x00 bytes",
+		[]string(nil),
+		[]string{},
+		[]string{""},
+		[]string{"a", "", "c"},
+		[]float64(nil),
+		[]float64{},
+		[]float64{0, -1.5, 2.25},
+		[]any(nil),
+		[]any{},
+		[]any{nil, 1, "two", []any{3.0}},
+		map[string]any(nil),
+		map[string]any{},
+		map[string]any{"k": nil},
+		map[string]any{"a": 1, "b": map[string]any{"c": []string{"d"}, "e": false}},
+		[]byte(nil),
+		[]byte{},
+		[]byte{0, 255, 7},
+		transport.Addr{},
+		transport.Addr{Site: "s1", Host: "h1"},
+		ids.Zero,
+		ids.HashOf("topic"),
+	}
+}
+
+func TestBuiltinRoundTrip(t *testing.T) {
+	for _, v := range builtinCases() {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("Marshal(%#v): %v", v, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%#v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+func TestRegisteredRoundTrip(t *testing.T) {
+	cases := []testStruct{
+		{},
+		{Name: "n", N: -7, Addrs: []transport.Addr{{Site: "s", Host: "h"}}, Any: uint64(42)},
+		{Any: testStruct{Name: "nested", Any: map[string]any{"k": []any{1, nil}}}},
+		{Addrs: []transport.Addr{}},
+	}
+	for _, v := range cases {
+		got, err := Roundtrip(v)
+		if err != nil {
+			t.Fatalf("Roundtrip(%#v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+func TestUnregisteredTypeFailsEncode(t *testing.T) {
+	type unregistered struct{ X int }
+	if _, err := Marshal(unregistered{1}); err == nil {
+		t.Fatal("expected error encoding unregistered type")
+	}
+	// The error must also surface when nested inside a container.
+	if _, err := Marshal([]any{1, unregistered{}}); err == nil {
+		t.Fatal("expected error encoding nested unregistered type")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	b, err := Marshal("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(b, 0)); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	to := transport.Addr{Site: "s2", Host: "b"}
+	from := transport.Addr{Site: "s1", Host: "a"}
+	e := GetEncoder()
+	defer PutEncoder(e)
+	at := e.BeginFrame(KindData, 7)
+	e.DataRest(to, from, map[string]any{"load": 0.25})
+	e.EndFrame(at)
+	if e.Err() != nil {
+		t.Fatal(e.Err())
+	}
+
+	body, consumed, err := ParseFrame(e.Bytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != e.Len() {
+		t.Fatalf("consumed %d, want %d", consumed, e.Len())
+	}
+	kind, seq, rest, err := DecodeFrameBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindData || seq != 7 {
+		t.Fatalf("kind=%d seq=%d", kind, seq)
+	}
+	m, err := DecodeDataRest(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.To != to || m.From != from {
+		t.Fatalf("addrs %v %v", m.To, m.From)
+	}
+	if !reflect.DeepEqual(m.Payload, map[string]any{"load": 0.25}) {
+		t.Fatalf("payload %#v", m.Payload)
+	}
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	type entry struct {
+		to, from transport.Addr
+		payload  any
+	}
+	entries := []entry{
+		{transport.Addr{Site: "s", Host: "h1"}, transport.Addr{Site: "s", Host: "h0"}, "one"},
+		{transport.Addr{Site: "s", Host: "h2"}, transport.Addr{Site: "s", Host: "h0"}, uint64(2)},
+		{transport.Addr{Site: "s", Host: "h3"}, transport.Addr{Site: "s", Host: "h0"}, nil},
+	}
+
+	// Build the batch the way the transport does: encode each data-rest,
+	// then wrap with count + per-entry length prefixes.
+	var rests [][]byte
+	for _, en := range entries {
+		e := GetEncoder()
+		e.DataRest(en.to, en.from, en.payload)
+		if e.Err() != nil {
+			t.Fatal(e.Err())
+		}
+		rests = append(rests, append([]byte(nil), e.Bytes()...))
+		PutEncoder(e)
+	}
+	e := GetEncoder()
+	defer PutEncoder(e)
+	at := e.BeginFrame(KindBatch, 99)
+	e.Uvarint(uint64(len(rests)))
+	for _, r := range rests {
+		e.Uvarint(uint64(len(r)))
+		e.b = append(e.b, r...)
+	}
+	e.EndFrame(at)
+
+	body, _, err := ParseFrame(e.Bytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, seq, rest, err := DecodeFrameBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindBatch || seq != 99 {
+		t.Fatalf("kind=%d seq=%d", kind, seq)
+	}
+	var got []entry
+	if err := DecodeBatchRest(rest, func(m DataMsg) {
+		got = append(got, entry{m.To, m.From, m.Payload})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("batch %#v, want %#v", got, entries)
+	}
+}
+
+func TestPingPongFrames(t *testing.T) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	at := e.BeginFrame(KindPing, 41)
+	e.EndFrame(at)
+	at = e.BeginFrame(KindPong, 42)
+	e.Uvarint(41)
+	e.EndFrame(at)
+
+	buf := e.Bytes()
+	body, consumed, err := ParseFrame(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, seq, rest, err := DecodeFrameBody(body)
+	if err != nil || kind != KindPing || seq != 41 || len(rest) != 0 {
+		t.Fatalf("ping: kind=%d seq=%d rest=%d err=%v", kind, seq, len(rest), err)
+	}
+	body, _, err = ParseFrame(buf[consumed:], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, seq, rest, err = DecodeFrameBody(body)
+	if err != nil || kind != KindPong || seq != 42 {
+		t.Fatalf("pong: kind=%d seq=%d err=%v", kind, seq, err)
+	}
+	echo, err := DecodePongRest(rest)
+	if err != nil || echo != 41 {
+		t.Fatalf("pong echo=%d err=%v", echo, err)
+	}
+}
+
+func TestParseFrameBoundaries(t *testing.T) {
+	// Valid prefixes of an incomplete frame yield (nil, 0, nil).
+	e := GetEncoder()
+	at := e.BeginFrame(KindData, 1)
+	e.DataRest(transport.Addr{Site: "s", Host: "h"}, transport.Addr{Site: "s", Host: "g"}, "payload")
+	e.EndFrame(at)
+	full := append([]byte(nil), e.Bytes()...)
+	PutEncoder(e)
+	for i := 0; i < len(full); i++ {
+		body, consumed, err := ParseFrame(full[:i], 0)
+		if body != nil || consumed != 0 || err != nil {
+			t.Fatalf("prefix %d: body=%v consumed=%d err=%v", i, body, consumed, err)
+		}
+	}
+
+	// A length prefix beyond maxFrame is an error, not an allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := ParseFrame(huge, 1024); err == nil {
+		t.Fatal("expected oversize error")
+	}
+}
+
+func TestCorruptInputErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                        // empty body
+		{tagString, 0xff, 0xff},   // malformed string length
+		{tagString, 10},           // string length beyond input
+		{tagStrings, 200},         // count beyond input
+		{tagMap, 5, 0},            // map count beyond input
+		{tagID, 1, 2, 3},          // truncated ID
+		{tagFloat64, 0, 0},        // truncated float
+		{250},                     // unknown tag
+		{tagBytes, 0x90, 0x90, 4}, // huge bytes count
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("Unmarshal(% x): expected error", c)
+		}
+	}
+
+	// Truncating a valid encoding anywhere must error, never panic.
+	for _, v := range builtinCases() {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(b); i++ {
+			if _, err := Unmarshal(b[:i]); err == nil {
+				// Some prefixes are themselves valid encodings of a
+				// different value only if they consume all input; with
+				// the trailing-bytes check that cannot happen, but a
+				// shorter valid value can't appear either since tag+body
+				// lengths are exact. So any strict prefix must error...
+				// unless i==len(b) which the loop excludes.
+				t.Errorf("Unmarshal(%#v prefix %d): expected error", v, i)
+			}
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate tag")
+		}
+	}()
+	Register[struct{ Y int }](200, func(*Encoder, struct{ Y int }) {}, func(*Decoder) struct{ Y int } { return struct{ Y int }{} })
+}
+
+func TestBuiltinTagRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on builtin tag")
+		}
+	}()
+	Register[struct{ Z int }](3, func(*Encoder, struct{ Z int }) {}, func(*Decoder) struct{ Z int } { return struct{ Z int }{} })
+}

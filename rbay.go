@@ -171,6 +171,10 @@ type SimOptions struct {
 	// sites.DefaultSiteNoise) that the evaluation harness uses to land in
 	// the paper's absolute latency bands.
 	RealisticAgents bool
+	// WireRoundtrip routes every simulated message through the binary wire
+	// codec (docs/WIRE.md) at send time, so the simulation exercises the
+	// same marshal/unmarshal code as a real TCP deployment.
+	WireRoundtrip bool
 }
 
 // Federation is a fully simulated RBAY deployment.
@@ -187,6 +191,7 @@ func NewSimFederation(reg *Registry, opts SimOptions) (*Federation, error) {
 		Node:           opts.Node,
 		Seed:           opts.Seed,
 		Jitter:         opts.Jitter,
+		WireRoundtrip:  opts.WireRoundtrip,
 	}
 	if opts.RealisticAgents {
 		cfg.SiteNoise = sites.DefaultSiteNoise()
@@ -216,6 +221,21 @@ func (f *Federation) Now() time.Time { return f.inner.Net.Now() }
 // Settle triggers a membership pass everywhere and runs until trees and
 // aggregates converge.
 func (f *Federation) Settle() { f.inner.Settle() }
+
+// SimStats summarizes simulated-network activity. Dropped counts messages
+// lost in flight — with no fault rules armed, any non-zero value means a
+// payload failed the wire codec round-trip (see SimOptions.WireRoundtrip).
+type SimStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// SimStats returns a snapshot of the simulated network's counters.
+func (f *Federation) SimStats() SimStats {
+	st := f.inner.Net.Stats()
+	return SimStats{Sent: st.MessagesSent, Delivered: st.MessagesDelivered, Dropped: st.MessagesDropped}
+}
 
 // ErrQueryTimedOut is returned by QuerySync when the query's callback
 // never fires within the driving window.
@@ -286,6 +306,9 @@ type TCPNode struct {
 // calls Node.Pastry().BootstrapAlone() for the first node.
 func NewTCPNode(addr Addr, opts TCPOptions) (*TCPNode, error) {
 	core.RegisterWire()
+	if opts.Transport.Codec == tcpnet.CodecGob {
+		core.RegisterGob()
+	}
 	if opts.Registry == nil {
 		opts.Registry = NewRegistry()
 	}

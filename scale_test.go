@@ -1,0 +1,83 @@
+// The target-scale scenario from the paper's motivating deployment: ten
+// thousand federated agents holding a million attribute resources, every
+// message round-tripped through the binary wire codec. This is the
+// codec's proof at scale — toy-scale benchmarks can hide quadratic
+// encoders and per-message allocation storms that only matter when the
+// information plane carries real volume.
+//
+// The scenario is too heavy for the default test tier, so it is gated on
+// RBAY_SCALE and run via `make bench-scale`.
+package rbay_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"rbay"
+)
+
+// TestScaleFederation10k stands up 8 sites x 1250 nodes (10k agents),
+// loads 100 attributes per node (1M resources), settles the overlay with
+// the binary wire codec transcoding every simulated message, and then
+// issues cross-site composite queries from every site. It fails if any
+// payload fails the codec round-trip (surfaced as a dropped message on a
+// fault-free network) or if the query plane cannot allocate.
+func TestScaleFederation10k(t *testing.T) {
+	if os.Getenv("RBAY_SCALE") == "" {
+		t.Skip("set RBAY_SCALE=1 (or run `make bench-scale`) to run the 10k-node scale scenario")
+	}
+	const (
+		nodesPerSite = 1250 // 8 EC2 sites x 1250 = 10k agents
+		attrsPerNode = 100  // 10k x 100 = 1M resources
+	)
+	start := time.Now()
+
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name: "GPU", Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true}, Creator: "scale",
+	})
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		NodesPerSite:  nodesPerSite,
+		Seed:          7,
+		WireRoundtrip: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("federation up: %d nodes in %v", len(fed.Nodes()), time.Since(start))
+
+	attrNames := make([]string, attrsPerNode-1)
+	for i := range attrNames {
+		attrNames[i] = "inventory_" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+	}
+	for i, n := range fed.Nodes() {
+		n.SetAttribute("GPU", i%2 == 0)
+		for j, name := range attrNames {
+			n.SetAttribute(name, i*attrsPerNode+j)
+		}
+	}
+	t.Logf("1M resources loaded in %v", time.Since(start))
+
+	fed.Settle()
+	t.Logf("settled in %v (wall); sim stats: %+v", time.Since(start), fed.SimStats())
+
+	for _, site := range fed.Sites() {
+		issuer := fed.Site(site)[3]
+		res, err := fed.QuerySync(issuer, `SELECT 4 FROM * WHERE GPU = true;`)
+		if err != nil {
+			t.Fatalf("query from %s: %v", site, err)
+		}
+		if len(res.Candidates) != 4 {
+			t.Errorf("query from %s: got %d candidates, want 4 (shortfall %d)",
+				site, len(res.Candidates), res.Shortfall)
+		}
+		issuer.Release(res.QueryID, res.Candidates)
+	}
+
+	st := fed.SimStats()
+	if st.Dropped != 0 {
+		t.Errorf("%d messages dropped on a fault-free network: payloads failed the wire codec round-trip", st.Dropped)
+	}
+	t.Logf("done in %v (wall); %d msgs sent, %d delivered", time.Since(start), st.Sent, st.Delivered)
+}
