@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale chaos chaos-restart-smoke
+.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale chaos chaos-restart-smoke chaos-replica-smoke
 
-ci: fmt-check vet build race chaos-restart-smoke bench-smoke
+ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -43,10 +43,19 @@ chaos-restart-smoke:
 		-run 'TestDurableRestartSmoke|TestCrashMidCommitLeaseReArmed|TestCorruptWALTailRestartRecovers' \
 		./internal/chaos/
 
+# Seeded root-replication/view gate: crashing a Scribe tree root must
+# promote a leaf-set replica without a subtree re-join storm, and
+# materialized views must converge to the tree-walk answer afterwards
+# (docs/VIEWS.md).
+chaos-replica-smoke:
+	$(GO) test -short -count=1 \
+		-run 'TestRootCrashReplicaPromotes|TestRootCrashCampaign|TestViewPropertyIncrementalMatchesScratch' \
+		./internal/chaos/ ./internal/core/
+
 # Query/scribe hot-path benchmarks (probe, anycast, cross-site, parser).
 # BENCH_seed.json was produced from this set via `make bench-baseline`;
 # compare against it before landing perf-sensitive changes.
-BENCH_PATTERN ?= 'Query|Probe|Parse|Bootstrap'
+BENCH_PATTERN ?= 'Query|Probe|Parse|Bootstrap|Replica'
 bench:
 	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' .
 
@@ -62,13 +71,13 @@ bench-diff:
 	$(GO) test -bench $(BENCH_PATTERN) -benchtime 20x -count 3 -benchmem -run '^$$' . | \
 		$(GO) run ./cmd/benchjson -diff BENCH_seed.json
 
-# Perf smoke gate (part of `make ci`): the cross-site query hot path must
-# stay within 20% of BENCH_seed.json on ns/op and allocs/op. allocs/op is
-# deterministic; ns/op uses the min of 3 runs so scheduler noise doesn't
-# flag a phantom regression.
+# Perf smoke gate (part of `make ci`): the cross-site query hot path and
+# the view-served recurring query must stay within 20% of BENCH_seed.json
+# on ns/op and allocs/op. allocs/op is deterministic; ns/op uses the min
+# of 3 runs so scheduler noise doesn't flag a phantom regression.
 bench-smoke:
-	$(GO) test -bench QueryCrossSite -benchtime 20x -count 3 -benchmem -run '^$$' . | \
-		$(GO) run ./cmd/benchjson -diff BENCH_seed.json -gate QueryCrossSite -max-regress 20
+	$(GO) test -bench 'QueryCrossSite|QueryViewServed' -benchtime 20x -count 3 -benchmem -run '^$$' . | \
+		$(GO) run ./cmd/benchjson -diff BENCH_seed.json -gate 'QueryCrossSite|QueryViewServed' -max-regress 20
 
 # Target-scale wire-codec scenario: 10k nodes / 1M resources with every
 # simulated message round-tripped through the binary codec (scale_test.go).

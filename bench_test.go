@@ -172,7 +172,10 @@ func BenchmarkAblationChurn(b *testing.B) {
 
 // BenchmarkQueryLocalSite measures end-to-end local-site composite
 // queries against a standing federation (wall time per simulated query).
-func BenchmarkQueryLocalSite(b *testing.B) {
+// benchGPUFed stands up the 50-node single-site federation the query-path
+// benchmarks share: half the nodes carry GPUs, trees settled.
+func benchGPUFed(b *testing.B) *rbay.Federation {
+	b.Helper()
 	reg := rbay.NewRegistry()
 	reg.MustDefine(rbay.TreeDef{
 		Name: "GPU", Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true}, Creator: "bench",
@@ -189,15 +192,85 @@ func BenchmarkQueryLocalSite(b *testing.B) {
 		n.SetAttribute("GPU", i%2 == 0)
 	}
 	fed.Settle()
+	return fed
+}
+
+// queryTight runs one pre-parsed query through QuerySyncParsed
+// (event-stepped driving, see rbay.go) and releases the candidates; the
+// releases drain at the start of the next iteration's stepping.
+func queryTight(b *testing.B, fed *rbay.Federation, issuer *rbay.Node, q *rbay.Query, mode rbay.ViewMode) {
+	b.Helper()
+	res, err := fed.QuerySyncParsed(issuer, q, "bench", nil, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		b.Fatalf("got %d candidates, want 3", len(res.Candidates))
+	}
+	issuer.Release(res.QueryID, res.Candidates)
+}
+
+func BenchmarkQueryLocalSite(b *testing.B) {
+	fed := benchGPUFed(b)
 	issuer := fed.Nodes()[7]
+	q, err := rbay.ParseQuery(`SELECT 3 FROM virginia WHERE GPU = true;`)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fed.QuerySync(issuer, `SELECT 3 FROM virginia WHERE GPU = true;`)
-		if err != nil {
-			b.Fatal(err)
+		queryTight(b, fed, issuer, q, rbay.ViewSkip)
+	}
+}
+
+// benchSparseFed stands up the 200-node federation the view benchmarks
+// share: every node carries a GPU (so the GPU tree spans the site) but
+// only 5 of 200 sit nearly idle. The recurring "find idle GPU hosts"
+// query below matches those 5, which is the workload materialized views
+// exist for — the tree walk must traverse a large slice of the tree to
+// locate the rare matches, while a view holds exactly the matching set.
+func benchSparseFed(b *testing.B) *rbay.Federation {
+	b.Helper()
+	reg := rbay.NewRegistry()
+	reg.MustDefine(rbay.TreeDef{
+		Name: "GPU", Pred: rbay.Pred{Attr: "GPU", Op: rbay.OpEq, Value: true}, Creator: "bench",
+	})
+	fed, err := rbay.NewSimFederation(reg, rbay.SimOptions{
+		Sites:        []string{"virginia"},
+		NodesPerSite: 200,
+		Seed:         2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range fed.Nodes() {
+		n.SetAttribute("GPU", true)
+		util := 0.9
+		if i%40 == 0 {
+			util = 0.01
 		}
-		issuer.Release(res.QueryID, res.Candidates)
-		fed.RunFor(time.Second)
+		n.SetAttribute("CPU_utilization", util)
+	}
+	fed.Settle()
+	return fed
+}
+
+const sparseSQL = `SELECT 3 FROM virginia WHERE GPU = true AND CPU_utilization < 5%;`
+
+// BenchmarkQueryTreeWalk resolves the sparse recurring query through the
+// full five-step protocol every time: probe the GPU tree, then DFS its
+// 200 members until three of the five idle hosts turn up. The per-query
+// baseline BenchmarkQueryViewServed is measured against.
+func BenchmarkQueryTreeWalk(b *testing.B) {
+	fed := benchSparseFed(b)
+	issuer := fed.Nodes()[7]
+	q, err := rbay.ParseQuery(sparseSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queryTight(b, fed, issuer, q, rbay.ViewSkip)
 	}
 }
 
@@ -230,6 +303,53 @@ func BenchmarkQueryCrossSite(b *testing.B) {
 		}
 		issuer.Release(res.QueryID, res.Candidates)
 		fed.RunFor(time.Second)
+	}
+}
+
+// BenchmarkQueryViewServed measures the same sparse recurring query
+// served from a materialized view: candidate selection is a local map
+// read plus the reservation fan-out — no per-query probe, no tree walk.
+// Contrast with BenchmarkQueryTreeWalk, the identical query resolved by
+// the five-step protocol each time.
+func BenchmarkQueryViewServed(b *testing.B) {
+	fed := benchSparseFed(b)
+	issuer := fed.Nodes()[7]
+	q, err := rbay.ParseQuery(sparseSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := issuer.RegisterView(q); err != nil {
+		b.Fatal(err)
+	}
+	// Let the registration multicast reach the tree and the members push
+	// their membership before timing starts.
+	fed.RunFor(3 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queryTight(b, fed, issuer, q, rbay.ViewOnly)
+	}
+}
+
+// BenchmarkRootReplicaSync measures the root replication hot loop: an
+// aggregate-dirtying membership flip followed by the root's fold and the
+// incremental snapshot push to its leaf-set replicas.
+func BenchmarkRootReplicaSync(b *testing.B) {
+	fed := benchGPUFed(b)
+	target := fed.Nodes()[3]
+	on := false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		on = !on
+		target.SetAttribute("GPU", on)
+		fed.RunFor(time.Second)
+	}
+	b.StopTimer()
+	var syncs uint64
+	for _, n := range fed.Nodes() {
+		syncs += n.Metrics().Snapshot().Counters["scribe_replica_syncs_total"]
+	}
+	if syncs == 0 {
+		b.Fatal("no replica sync ever ran: the aggregate flips never reached the root's replication path")
 	}
 }
 

@@ -10,6 +10,11 @@
 //
 //	rbayctl ... treesize GPU
 //	rbayctl ... deliver GPU '{"new_price": 2.5}'
+//	rbayctl ... view register 'SELECT 3 FROM * WHERE GPU = true;'
+//	rbayctl ... view list | drop <sql> | read <sql>
+//
+// View operations run on the seed daemon (views live on long-running
+// nodes, not ephemeral clients); see docs/VIEWS.md.
 package main
 
 import (
@@ -39,8 +44,8 @@ func run(args []string) error {
 	seedFlag := fs.String("seed", "", "peer to join through, site/host (required)")
 	password := fs.String("password", "", "payload presented to onGet handlers")
 	explain := fs.Bool("explain", false, "print the query's trace outline (plan, probes, anycasts, backoff)")
+	viewMode := fs.String("view", "", "view mode for query: auto (default), only, skip")
 	timeout := fs.Duration("timeout", 30*time.Second, "operation timeout")
-	wireFlag := fs.String("wire", "binary", "wire codec: binary, or gob to talk to gob-era daemons (docs/WIRE.md); must match the daemons")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +87,6 @@ func run(args []string) error {
 		// skip heartbeats and background reconnects so a detaching
 		// daemon is not misreported as a failed peer.
 		Transport: rbay.TransportConfig{
-			Codec:             *wireFlag,
 			HeartbeatInterval: -1,
 			ReconnectAttempts: -1,
 		},
@@ -111,7 +115,35 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: rbayctl ... query 'SELECT ...'")
 		}
-		return doQuery(node.Node, rest[1], *password, *explain, *timeout)
+		mode, err := rbay.ParseViewMode(*viewMode)
+		if err != nil {
+			return err
+		}
+		return doQuery(node.Node, rest[1], *password, mode, *explain, *timeout)
+	case "view":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: rbayctl ... view register|drop|read <sql> | view list")
+		}
+		op := rest[1]
+		arg := ""
+		switch op {
+		case "list":
+			if len(rest) != 2 {
+				return fmt.Errorf("usage: rbayctl ... view list")
+			}
+		case "register", "drop", "read":
+			if len(rest) != 3 {
+				return fmt.Errorf("usage: rbayctl ... view %s <sql>", op)
+			}
+			arg = rest[2]
+		default:
+			return fmt.Errorf("unknown view operation %q", op)
+		}
+		var payload any
+		if *password != "" {
+			payload = *password
+		}
+		return doViewAdmin(node.Node, seed, op, arg, payload, *timeout)
 	case "treesize":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: rbayctl ... treesize <tree-name>")
@@ -138,14 +170,14 @@ func run(args []string) error {
 	}
 }
 
-func doQuery(n *rbay.Node, sql, password string, explain bool, timeout time.Duration) error {
+func doQuery(n *rbay.Node, sql, password string, mode rbay.ViewMode, explain bool, timeout time.Duration) error {
 	q, err := rbay.ParseQuery(sql)
 	if err != nil {
 		return err
 	}
 	done := make(chan rbay.Result, 1)
 	n.Do(func() {
-		n.QueryAs(q, "rbayctl", password, func(r rbay.Result) { done <- r })
+		n.QueryVia(q, "rbayctl", password, mode, func(r rbay.Result) { done <- r })
 	})
 	select {
 	case r := <-done:
@@ -170,6 +202,45 @@ func doQuery(n *rbay.Node, sql, password string, explain bool, timeout time.Dura
 		return nil
 	case <-time.After(timeout):
 		return fmt.Errorf("query timed out")
+	}
+}
+
+func doViewAdmin(n *rbay.Node, target rbay.Addr, op, arg string, payload any, timeout time.Duration) error {
+	done := make(chan rbay.ViewAdminResult, 1)
+	n.Do(func() {
+		n.ViewAdmin(target, op, arg, payload, func(r rbay.ViewAdminResult) { done <- r })
+	})
+	select {
+	case r := <-done:
+		if r.Err != "" {
+			return fmt.Errorf("view %s: %s", op, r.Err)
+		}
+		switch op {
+		case "register":
+			fmt.Printf("view registered on %v: %s\n", target, r.Key)
+		case "drop":
+			fmt.Printf("view dropped on %v: %s\n", target, r.Key)
+		case "list":
+			if len(r.Views) == 0 {
+				fmt.Println("no views registered")
+				return nil
+			}
+			for _, v := range r.Views {
+				fmt.Printf("%-60s entries=%-4d staleness=%-8v refreshes=%d served=%d fallbacks=%d\n",
+					v.Key, v.Entries, v.Staleness.Round(time.Millisecond), v.Refreshes, v.Served, v.Fallbacks)
+			}
+		case "read":
+			fmt.Printf("view read %s: %d candidate(s)\n", r.QueryID, len(r.Candidates))
+			for _, c := range r.Candidates {
+				fmt.Printf("  %-28s site=%-12s id=%v\n", c.Addr, c.Site, c.NodeID)
+			}
+			if r.Shortfall > 0 {
+				fmt.Printf("  (%d short of the requested count)\n", r.Shortfall)
+			}
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("view %s timed out", op)
 	}
 }
 

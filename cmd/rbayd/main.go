@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rbayd -addr site/host -listen :7946 -peers peers.txt -registry registry.json
-//	      [-bootstrap | -seed site/host] [-http :8080] [-wire binary|gob]
+//	      [-bootstrap | -seed site/host] [-http :8080]
 //	      [-data-dir /var/lib/rbayd] [-fsync always|interval|never]
 //	      [-attr name=value]... [-policy attr=script.aal]...
 //
@@ -53,7 +53,6 @@ func run(args []string) error {
 	hbInterval := fs.Duration("hb", 2*time.Second, "transport heartbeat interval (negative disables)")
 	hbMisses := fs.Int("hb-misses", 3, "missed heartbeats before a peer conn is declared dead")
 	sendQueue := fs.Int("sendq", 1024, "per-endpoint delivery queue bound")
-	wireFlag := fs.String("wire", "binary", "wire codec: binary, or gob for one release of rolling-upgrade compatibility (docs/WIRE.md); both ends must agree")
 	dataDir := fs.String("data-dir", "", "durable state directory (empty: in-memory only, state dies with the process)")
 	fsyncFlag := fs.String("fsync", "always", "store fsync policy: always, interval, or never")
 	fsyncInterval := fs.Duration("fsync-interval", 2*time.Second, "fsync period under -fsync interval")
@@ -123,7 +122,6 @@ func run(args []string) error {
 			HeartbeatInterval: *hbInterval,
 			HeartbeatMisses:   *hbMisses,
 			QueueLen:          *sendQueue,
-			Codec:             *wireFlag,
 		},
 	})
 	if err != nil {

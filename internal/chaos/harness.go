@@ -111,6 +111,11 @@ func DefaultNodeConfig() core.Config {
 			AggregateInterval: 300 * time.Millisecond,
 			AnycastTimeout:    5 * time.Second,
 			AggQueryTimeout:   2 * time.Second,
+			// The default warmup (3× the aggregate interval) is shorter than
+			// failure detection plus children re-join under the second-scale
+			// probe cadence above; stretch it so a promoted root serves its
+			// snapshot until its own fold has caught up.
+			ReplicaTTL: 2 * time.Second,
 		},
 		MembershipInterval: 500 * time.Millisecond,
 		ReserveTTL:         3 * time.Second,
@@ -376,6 +381,8 @@ func (h *Harness) apply(st Step) {
 		for c := 0; c < count; c++ {
 			h.restartOne(st.Site)
 		}
+	case CrashRoot:
+		h.crashRootOf(st)
 	case Partition:
 		if st.Site == st.Peer || h.net.Partitioned(st.Site, st.Peer) {
 			h.skip(st, "already partitioned or self-pair")
@@ -437,6 +444,52 @@ func (h *Harness) crashOne(site string) {
 	h.down[key] = n.Addr()
 	h.counters.Inc("faults.crash")
 	h.step(fmt.Sprintf("crash node=%s", key))
+}
+
+// crashRootOf crashes the live root of the step's named tree in its site,
+// then immediately watches the tree's aggregate through the promotion
+// window: the root's leaf-set replica must take over with the member
+// count continuous. Safety floors match the random crash path — a root
+// whose loss would sink the site degrades into a recorded skip.
+func (h *Harness) crashRootOf(st Step) {
+	def, ok := h.reg.Lookup(st.Tree)
+	if !ok {
+		h.skip(st, "unknown tree "+st.Tree)
+		return
+	}
+	topic := h.reg.TopicFor(st.Site, def)
+	var root *core.Node
+	for _, n := range h.liveSite(st.Site) {
+		if n.Scribe().Info(topic).IsRoot {
+			root = n
+			break
+		}
+	}
+	if root == nil {
+		h.skip(st, "no live root for tree "+st.Tree)
+		return
+	}
+	eligible := false
+	for _, n := range h.crashEligible(st.Site) {
+		if n == root {
+			eligible = true
+			break
+		}
+	}
+	if !eligible {
+		h.skip(st, "root not crash-eligible")
+		return
+	}
+	key := root.Addr().String()
+	_ = root.Close()
+	if disk := h.disks[key]; disk != nil {
+		disk.Crash()
+	}
+	delete(h.live, key)
+	h.down[key] = root.Addr()
+	h.counters.Inc("faults.crashroot")
+	h.step(fmt.Sprintf("crash-root tree=%s@%s node=%s", st.Tree, st.Site, key))
+	h.watchAggregateContinuity(def, st.Site)
 }
 
 // crashEligible returns the site's live nodes whose crash keeps the site

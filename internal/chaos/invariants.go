@@ -41,6 +41,7 @@ func (h *Harness) checkQuiescent() {
 	h.checkRoutingConvergence()
 	h.checkLeafSymmetry()
 	h.checkTrees()
+	h.checkReplicaConsistency()
 	h.checkAggregates()
 	h.checkNoDoubleAllocation()
 	h.checkQueryable()
@@ -318,6 +319,112 @@ func (h *Harness) checkAggregates() {
 		}
 	}
 	h.logf("check aggregate-correctness ok trees=%d", checked)
+}
+
+// watchAggregateContinuity samples a tree's root aggregate repeatedly
+// through the promotion window right after its root crashed. The
+// replication contract (docs/VIEWS.md): a leaf-set replica promotes and
+// serves the replicated snapshot, so successful probes stay within the
+// staleness slack of the live member count — in particular a populated
+// tree must never read as empty (the subtree re-join storm regression) —
+// and the tree must not go silent for the whole window.
+func (h *Harness) watchAggregateContinuity(def *naming.TreeDef, site string) {
+	h.counters.Inc("checks.continuity")
+	issuers := h.liveSite(site)
+	if len(issuers) == 0 {
+		return
+	}
+	pre := h.groundTruth(def, site)
+	if pre == 0 {
+		return // empty tree: nothing to keep continuous
+	}
+	const samples = 8
+	successes := 0
+	for i := 0; i < samples; i++ {
+		h.net.RunFor(500 * time.Millisecond)
+		issuer := issuers[h.rng.Intn(len(issuers))]
+		var got core.TreeStats
+		var gotErr error
+		done := false
+		err := issuer.TreeStats(def.Name, func(st core.TreeStats, err error) {
+			got, gotErr, done = st, err, true
+		})
+		if err != nil || !h.await(&done, 3*time.Second) || gotErr != nil {
+			// A probe lost mid-repair (routed at the dead root before the
+			// leaf sets healed) is tolerated; total silence is judged below.
+			continue
+		}
+		successes++
+		post := h.groundTruth(def, site)
+		lo, hi := pre, post
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// +2 over the scenario slack: the crashed root's own membership and
+		// one in-flight child update may still be folded into the snapshot.
+		slack := h.scn.AggSlack + 2
+		lo -= slack
+		hi += slack
+		if lo < 1 {
+			lo = 1
+		}
+		if got.Count < lo || got.Count > hi {
+			h.violate("aggregate-continuity",
+				fmt.Sprintf("tree %s@%s: aggregate %d outside %d..%d during promotion window (sample %d/%d)",
+					def.Name, site, got.Count, lo, hi, i+1, samples))
+		}
+		pre = post
+	}
+	if successes == 0 {
+		h.violate("aggregate-continuity",
+			fmt.Sprintf("tree %s@%s: no aggregate probe succeeded across the %d-sample promotion window",
+				def.Name, site, samples))
+		return
+	}
+	h.logf("check aggregate-continuity ok tree=%s@%s samples=%d/%d", def.Name, site, successes, samples)
+}
+
+// checkReplicaConsistency asserts, at quiescence, that every populated
+// tree has exactly one root among its live members: a promotion race or a
+// healed partition must converge — via the epoch/root-claim protocol — to
+// a single root incarnation, never two nodes both answering probes and
+// never none.
+func (h *Harness) checkReplicaConsistency() {
+	h.counters.Inc("checks.replicas")
+	trees := 0
+	for _, def := range h.sortedDefs() {
+		for _, site := range h.sitesSorted() {
+			topic := h.reg.TopicFor(site, def)
+			var roots []string
+			members := 0
+			for _, n := range h.liveSite(site) {
+				if h.planted[n.Addr().String()] {
+					continue
+				}
+				info := n.Scribe().Info(topic)
+				if info.InTree {
+					members++
+				}
+				if info.IsRoot {
+					roots = append(roots, n.Addr().String())
+				}
+			}
+			if members == 0 {
+				continue
+			}
+			trees++
+			switch {
+			case len(roots) == 0:
+				h.violate("replica-consistency",
+					fmt.Sprintf("tree %s@%s: %d members but no live root", def.Name, site, members))
+			case len(roots) > 1:
+				h.violate("replica-consistency",
+					fmt.Sprintf("tree %s@%s: double promotion, %d concurrent roots: %v",
+						def.Name, site, len(roots), roots))
+			}
+		}
+	}
+	h.logf("check replica-consistency ok trees=%d", trees)
 }
 
 // groundTruth counts the site's live nodes whose current attribute values

@@ -41,6 +41,12 @@ const (
 	Degrade
 	// Undegrade removes Site's degradation rule.
 	Undegrade
+	// CrashRoot crashes the current root of the Tree aggregation tree in
+	// Site (safety floors apply), then watches the tree's aggregate through
+	// the promotion window: a leaf-set replica must take over with the
+	// member count continuous — never collapsed to zero, never outside the
+	// staleness slack (docs/VIEWS.md).
+	CrashRoot
 )
 
 // String returns the step kind's log name.
@@ -58,6 +64,8 @@ func (k StepKind) String() string {
 		return "degrade"
 	case Undegrade:
 		return "undegrade"
+	case CrashRoot:
+		return "crash-root"
 	default:
 		return fmt.Sprintf("step(%d)", k)
 	}
@@ -75,6 +83,8 @@ type Step struct {
 	Peer string
 	// Count is how many nodes Crash/Restart affects. Default 1.
 	Count int
+	// Tree names the aggregation tree CrashRoot targets.
+	Tree string
 	// Rule carries Degrade's fault parameters; its Match field is replaced
 	// by the harness with the site's matcher.
 	Rule simnet.Rule
@@ -132,8 +142,13 @@ func RandomScenario(seed int64, steps int, sites []string) Scenario {
 		peer := sites[rng.Intn(len(sites))]
 		st := Step{At: at, Site: site, Count: 1}
 		switch roll := rng.Intn(100); {
-		case roll < 30:
+		case roll < 25:
 			st.Kind = Crash
+		case roll < 30:
+			// Target the root specifically: the promotion path gets coverage
+			// in every random campaign, not just the scripted scenarios.
+			st.Kind = CrashRoot
+			st.Tree = "GPU"
 		case roll < 50:
 			st.Kind = Restart
 		case roll < 65:

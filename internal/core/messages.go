@@ -45,6 +45,11 @@ type queryVisit struct {
 	// Conflicts counts members that matched but were reserved by another
 	// query — the signal that triggers customer backoff.
 	Conflicts int
+	// Exclude lists nodes the origin already holds for this query (view
+	// serves, earlier backoff rounds): a visited member on the list
+	// refreshes its lease but fills no slot, leaving the buffer to fresh
+	// candidates.
+	Exclude []transport.Addr
 }
 
 // siteQueryReq asks a (router) node to resolve a query within its site.
@@ -57,6 +62,9 @@ type siteQueryReq struct {
 	Caller  string
 	Payload any
 	Origin  pastry.Entry
+	// Exclude propagates the origin's held-candidate list into the site's
+	// anycast walk (see queryVisit.Exclude).
+	Exclude []transport.Addr
 }
 
 // siteQueryResp returns one site's candidates.

@@ -53,6 +53,11 @@ type Config struct {
 	MaxAttempts int
 	// SiteQueryTimeout bounds one site's query round. Default 10s.
 	SiteQueryTimeout time.Duration
+	// ViewRefreshInterval is how often a node that owns materialized query
+	// views re-multicasts their registrations down the candidate trees, and
+	// the unit of the view staleness bound: entries not re-confirmed within
+	// 3 × this interval expire. Default 2s.
+	ViewRefreshInterval time.Duration
 
 	// Store, when set, durably records attribute and reservation events so
 	// the node's state survives a crash (see internal/store and Restore).
@@ -82,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SiteQueryTimeout <= 0 {
 		c.SiteQueryTimeout = 10 * time.Second
+	}
+	if c.ViewRefreshInterval <= 0 {
+		c.ViewRefreshInterval = 2 * time.Second
 	}
 	return c
 }
@@ -153,6 +161,15 @@ type Node struct {
 	// on disk.
 	st        Store
 	restoring bool
+
+	// Materialized query views (see view.go): views this node owns, keyed
+	// by canonical query text; subscriptions this node serves as a tree
+	// member, keyed by owner+view; and the in-flight view-reservation and
+	// view-admin round trips.
+	views     map[string]*viewState
+	viewSubs  map[string]*viewSub
+	pendingVR map[uint64]*viewReserveCall
+	pendingVA map[uint64]*viewAdminCall
 }
 
 // QueryRecord is one finished query kept in the node's recent-query ring
@@ -255,6 +272,10 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		predictor:  forecast.NewPredictor(0),
 		metrics:    reg2,
 		idPrefix:   addr.String() + "#",
+		views:      make(map[string]*viewState),
+		viewSubs:   make(map[string]*viewSub),
+		pendingVR:  make(map[uint64]*viewReserveCall),
+		pendingVA:  make(map[uint64]*viewAdminCall),
 	}
 	// Declare the query-path metric surface up front so the first query a
 	// node serves doesn't pay lazy histogram construction mid-request.
@@ -264,6 +285,7 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		"rbay_probe_latency_seconds",
 		"rbay_anycast_latency_seconds",
 		"rbay_backoff_wait_seconds",
+		"rbay_view_staleness_seconds",
 	)
 	reg2.DeclareInt("rbay_query_rounds")
 	seen := map[string]bool{}
@@ -283,9 +305,18 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		AAL:             aalOpts,
 		Metrics:         reg2,
 		QuarantineAfter: cfg.AAQuarantineAfter,
-		OnSet:           n.storeSet,
-		OnDelete:        n.storeDelete,
-		OnAttach:        n.storeAttach,
+		// Every attribute mutation feeds the durable store and re-evaluates
+		// the node's view subscriptions, so materialized views track posts,
+		// withdrawals, and re-posts incrementally.
+		OnSet: func(name string, value any) {
+			n.storeSet(name, value)
+			n.viewsAttrChanged(name)
+		},
+		OnDelete: func(name string) {
+			n.storeDelete(name)
+			n.viewsAttrChanged(name)
+		},
+		OnAttach: n.storeAttach,
 	})
 	p.Register(AppName, n)
 	n.scheduleMembership()
@@ -468,6 +499,7 @@ func (n *Node) scheduleMembership() {
 		n.membershipFn = func() {
 			n.observeChurn()
 			n.evaluateMembership()
+			n.viewMaintenance()
 			if err := n.am.OnTimerAll(); err != nil {
 				// Handler faults must not kill maintenance; the admin sees
 				// the effect through their own attribute state.
@@ -541,6 +573,10 @@ type treeMember struct {
 // OnMulticast implements scribe.Subscriber: admin commands run the
 // attribute's onDeliver handler.
 func (m *treeMember) OnMulticast(topic ids.ID, payload any) {
+	if reg, ok := payload.(viewRegMsg); ok {
+		m.n.handleViewReg(reg)
+		return
+	}
 	cmd, ok := payload.(adminCmd)
 	if !ok {
 		return
@@ -602,7 +638,23 @@ func (m *Node) processVisit(qv queryVisit) (any, bool) {
 		m.metrics.Inc("rbay_visit_denied_total")
 		return qv, false
 	}
-	// (iii) reserve the node for this query.
+	// (iii) reserve the node for this query. A node the origin already
+	// holds — reserved through a view serve, or collected by an earlier
+	// backoff round — is on the visit's exclude list: it refreshes its
+	// lease but must not fill another slot, which would waste anycast
+	// buffer space that rightfully belongs to fresh candidates. Held-ness
+	// is the origin's verdict, not a local queryID match: a fresh query
+	// instance may legitimately reuse an ID (a restarted caller) and must
+	// re-reserve the same nodes.
+	for _, a := range qv.Exclude {
+		if a == m.Addr() {
+			if m.reserved != nil && m.reserved.queryID == qv.QueryID {
+				m.reserve(qv.QueryID) // idempotent lease refresh
+			}
+			m.metrics.Inc("rbay_visit_repeats_total")
+			return qv, false
+		}
+	}
 	if !m.reserve(qv.QueryID) {
 		m.stats.Conflicts++
 		m.metrics.Inc("rbay_visit_conflicts_total")
@@ -708,5 +760,18 @@ func (n *Node) Direct(_ *pastry.Node, from pastry.Entry, payload any) {
 		n.serveSiteQuery(p)
 	case siteQueryResp:
 		n.handleSiteQueryResp(p)
+	case viewSiteReg:
+		n.relayViewReg(p)
+	case viewUpdateMsg:
+		n.handleViewUpdate(p)
+	case viewReserveReq:
+		resp := n.serveViewReserve(p)
+		_ = n.p.SendApp(p.Origin.Addr, AppName, resp)
+	case viewReserveResp:
+		n.handleViewReserveResp(p)
+	case viewAdminReq:
+		n.serveViewAdmin(p)
+	case viewAdminResp:
+		n.handleViewAdminResp(p)
 	}
 }

@@ -67,13 +67,14 @@ type siteQueryCall struct {
 
 // queryRun tracks a multi-round query execution at its query interface.
 type queryRun struct {
-	n       *Node
-	q       *query.Query
-	caller  string
-	payload any
-	id      string
-	started time.Time
-	attempt int
+	n        *Node
+	q        *query.Query
+	caller   string
+	payload  any
+	id       string
+	started  time.Time
+	attempt  int
+	viewMode ViewMode
 
 	acc       map[transport.Addr]Candidate
 	conflicts int
@@ -93,19 +94,28 @@ func (n *Node) Query(q *query.Query, cb func(QueryResult)) {
 // QueryAs is Query with an explicit caller identity and an opaque payload
 // passed to every onGet handler (password, access level, …).
 func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(QueryResult)) {
+	n.QueryVia(q, caller, payload, ViewAuto, cb)
+}
+
+// QueryVia is QueryAs with an explicit view mode: the planner serves a
+// query whose canonical text matches a registered materialized view from
+// the view's candidate set (ViewAuto), exclusively from it (ViewOnly —
+// errors when no view matches, never walks a tree), or never (ViewSkip).
+func (n *Node) QueryVia(q *query.Query, caller string, payload any, mode ViewMode, cb func(QueryResult)) {
 	n.nextQuery++
 	now := n.Now()
 	run := &queryRun{
-		n:       n,
-		q:       q,
-		caller:  caller,
-		payload: payload,
-		id:      n.idPrefix + strconv.FormatUint(n.nextQuery, 10),
-		started: now,
-		acc:     make(map[transport.Addr]Candidate),
-		perSite: make(map[string]SiteStats),
-		root:    trace.New("query", now),
-		cb:      cb,
+		n:        n,
+		q:        q,
+		caller:   caller,
+		payload:  payload,
+		id:       n.idPrefix + strconv.FormatUint(n.nextQuery, 10),
+		started:  now,
+		viewMode: mode,
+		acc:      make(map[transport.Addr]Candidate),
+		perSite:  make(map[string]SiteStats),
+		root:     trace.New("query", now),
+		cb:       cb,
 	}
 	run.root.Set("id", run.id)
 	run.root.Set("caller", caller)
@@ -114,6 +124,16 @@ func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(Query
 	if len(q.Preds) == 0 {
 		run.finish(ErrNoPlan)
 		return
+	}
+	if mode != ViewSkip {
+		if v := n.views[q.String()]; v != nil {
+			run.serveFromView(v)
+			return
+		}
+		if mode == ViewOnly {
+			run.finish(ErrNoView)
+			return
+		}
 	}
 	plan := run.root.Child("plan", now)
 	sites := run.targetSites()
@@ -125,15 +145,7 @@ func (n *Node) QueryAs(q *query.Query, caller string, payload any, cb func(Query
 }
 
 // targetSites resolves the query's FROM clause against the directory.
-func (r *queryRun) targetSites() []string {
-	if len(r.q.Sites) > 0 {
-		return r.q.Sites
-	}
-	if len(r.n.dir.Sites) > 0 {
-		return r.n.dir.Sites
-	}
-	return []string{r.n.Site()}
-}
+func (r *queryRun) targetSites() []string { return targetSitesFor(r.n, r.q) }
 
 // round runs one fan-out across all target sites.
 func (r *queryRun) round() {
@@ -186,6 +198,16 @@ func (r *queryRun) round() {
 			r.roundDone(anyErr)
 		}
 	}
+	// Nodes already held by this query (view serves, earlier rounds) are
+	// excluded from the walk's slot buffer: they would only duplicate what
+	// the origin has accumulated.
+	var exclude []transport.Addr
+	if len(r.acc) > 0 {
+		exclude = make([]transport.Addr, 0, len(r.acc))
+		for a := range r.acc {
+			exclude = append(exclude, a)
+		}
+	}
 	for _, site := range sites {
 		site := site
 		span := roundSpan.Child("site "+site, r.n.Now())
@@ -197,6 +219,7 @@ func (r *queryRun) round() {
 			Caller:  r.caller,
 			Payload: r.payload,
 			Origin:  r.n.p.Self(),
+			Exclude: exclude,
 		}
 		r.n.siteQuery(site, req, func(resp siteQueryResp) { oneDone(site, span, resp) })
 	}
@@ -547,6 +570,7 @@ func (n *Node) anycastSmallest(req siteQueryReq, defs []*naming.TreeDef, probes 
 		TreeAttr: def.Pred.Attr,
 		Caller:   req.Caller,
 		Payload:  req.Payload,
+		Exclude:  req.Exclude,
 	}
 	topic := n.reg.TopicFor(site, def)
 	anycastStart := n.Now()

@@ -1,16 +1,17 @@
 package core
 
 import (
-	"encoding/gob"
 	"sync"
+	"time"
 
 	"rbay/internal/naming"
 	"rbay/internal/pastry"
 	"rbay/internal/scribe"
+	"rbay/internal/transport"
 	"rbay/internal/wire"
 )
 
-// Wire tags 64-73 belong to the RBAY core (see internal/wire for the tag
+// Wire tags 64-80 belong to the RBAY core (see internal/wire for the tag
 // map).
 const (
 	tagQueryVisit byte = 64 + iota
@@ -23,6 +24,13 @@ const (
 	tagTreeStats
 	tagPred
 	tagCandidates
+	tagViewRegMsg
+	tagViewSiteReg
+	tagViewUpdateMsg
+	tagViewReserveReq
+	tagViewReserveResp
+	tagViewAdminReq
+	tagViewAdminResp
 )
 
 var wireOnce sync.Once
@@ -44,6 +52,7 @@ func RegisterWire() {
 				e.Value(v.Payload)
 				encodeCandidates(e, v.Slots)
 				e.Varint(int64(v.Conflicts))
+				encodeAddrs(e, v.Exclude)
 			},
 			func(d *wire.Decoder) queryVisit {
 				var v queryVisit
@@ -56,6 +65,7 @@ func RegisterWire() {
 				v.Payload = d.Value()
 				v.Slots = decodeCandidates(d)
 				v.Conflicts = int(d.Varint())
+				v.Exclude = decodeAddrs(d)
 				return v
 			})
 		wire.Register[siteQueryReq](tagSiteQueryReq,
@@ -68,6 +78,7 @@ func RegisterWire() {
 				e.String(v.Caller)
 				e.Value(v.Payload)
 				pastry.EncodeEntry(e, v.Origin)
+				encodeAddrs(e, v.Exclude)
 			},
 			func(d *wire.Decoder) siteQueryReq {
 				var v siteQueryReq
@@ -79,6 +90,7 @@ func RegisterWire() {
 				v.Caller = d.String()
 				v.Payload = d.Value()
 				v.Origin = pastry.DecodeEntry(d)
+				v.Exclude = decodeAddrs(d)
 				return v
 			})
 		wire.Register[siteQueryResp](tagSiteQueryResp,
@@ -142,7 +154,187 @@ func RegisterWire() {
 			})
 		wire.Register[naming.Pred](tagPred, encodePred, decodePred)
 		wire.Register[[]Candidate](tagCandidates, encodeCandidates, decodeCandidates)
+		wire.Register[viewRegMsg](tagViewRegMsg, encodeViewReg, decodeViewReg)
+		wire.Register[viewSiteReg](tagViewSiteReg,
+			func(e *wire.Encoder, v viewSiteReg) { encodeViewReg(e, v.Reg) },
+			func(d *wire.Decoder) viewSiteReg { return viewSiteReg{Reg: decodeViewReg(d)} })
+		wire.Register[viewUpdateMsg](tagViewUpdateMsg,
+			func(e *wire.Encoder, v viewUpdateMsg) {
+				e.String(v.Key)
+				pastry.EncodeEntry(e, v.Member)
+				e.Bool(v.Match)
+				encodeCandidate(e, v.Cand)
+			},
+			func(d *wire.Decoder) viewUpdateMsg {
+				var v viewUpdateMsg
+				v.Key = d.String()
+				v.Member = pastry.DecodeEntry(d)
+				v.Match = d.Bool()
+				v.Cand = decodeCandidate(d)
+				return v
+			})
+		wire.Register[viewReserveReq](tagViewReserveReq,
+			func(e *wire.Encoder, v viewReserveReq) {
+				e.Uvarint(v.ReqID)
+				e.String(v.QueryID)
+				e.String(v.Key)
+				encodePreds(e, v.Preds)
+				e.String(v.OrderBy)
+				e.String(v.TreeAttr)
+				e.String(v.Caller)
+				e.Value(v.Payload)
+				pastry.EncodeEntry(e, v.Origin)
+			},
+			func(d *wire.Decoder) viewReserveReq {
+				var v viewReserveReq
+				v.ReqID = d.Uvarint()
+				v.QueryID = d.String()
+				v.Key = d.String()
+				v.Preds = decodePreds(d)
+				v.OrderBy = d.String()
+				v.TreeAttr = d.String()
+				v.Caller = d.String()
+				v.Payload = d.Value()
+				v.Origin = pastry.DecodeEntry(d)
+				return v
+			})
+		wire.Register[viewReserveResp](tagViewReserveResp,
+			func(e *wire.Encoder, v viewReserveResp) {
+				e.Uvarint(v.ReqID)
+				e.String(v.QueryID)
+				e.Bool(v.OK)
+				e.Bool(v.Conflict)
+				encodeCandidate(e, v.Cand)
+			},
+			func(d *wire.Decoder) viewReserveResp {
+				var v viewReserveResp
+				v.ReqID = d.Uvarint()
+				v.QueryID = d.String()
+				v.OK = d.Bool()
+				v.Conflict = d.Bool()
+				v.Cand = decodeCandidate(d)
+				return v
+			})
+		wire.Register[viewAdminReq](tagViewAdminReq,
+			func(e *wire.Encoder, v viewAdminReq) {
+				e.Uvarint(v.ReqID)
+				e.String(v.Op)
+				e.String(v.Arg)
+				e.Value(v.Payload)
+				pastry.EncodeEntry(e, v.Origin)
+			},
+			func(d *wire.Decoder) viewAdminReq {
+				var v viewAdminReq
+				v.ReqID = d.Uvarint()
+				v.Op = d.String()
+				v.Arg = d.String()
+				v.Payload = d.Value()
+				v.Origin = pastry.DecodeEntry(d)
+				return v
+			})
+		wire.Register[viewAdminResp](tagViewAdminResp,
+			func(e *wire.Encoder, v viewAdminResp) {
+				e.Uvarint(v.ReqID)
+				e.String(v.Err)
+				e.String(v.Key)
+				encodeViewInfos(e, v.Views)
+				e.String(v.QueryID)
+				encodeCandidates(e, v.Cands)
+				e.Varint(int64(v.Shortfall))
+			},
+			func(d *wire.Decoder) viewAdminResp {
+				var v viewAdminResp
+				v.ReqID = d.Uvarint()
+				v.Err = d.String()
+				v.Key = d.String()
+				v.Views = decodeViewInfos(d)
+				v.QueryID = d.String()
+				v.Cands = decodeCandidates(d)
+				v.Shortfall = int(d.Varint())
+				return v
+			})
 	})
+}
+
+func encodeViewReg(e *wire.Encoder, v viewRegMsg) {
+	e.String(v.Key)
+	pastry.EncodeEntry(e, v.Owner)
+	encodePreds(e, v.Preds)
+	e.String(v.OrderBy)
+	e.String(v.TreeAttr)
+	e.Bool(v.Drop)
+}
+
+func decodeViewReg(d *wire.Decoder) viewRegMsg {
+	var v viewRegMsg
+	v.Key = d.String()
+	v.Owner = pastry.DecodeEntry(d)
+	v.Preds = decodePreds(d)
+	v.OrderBy = d.String()
+	v.TreeAttr = d.String()
+	v.Drop = d.Bool()
+	return v
+}
+
+func encodeViewInfos(e *wire.Encoder, vs []ViewInfo) {
+	if vs == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(vs)) + 1)
+	for _, v := range vs {
+		e.String(v.Key)
+		e.Varint(int64(v.Entries))
+		e.Varint(timeNanos(v.Created))
+		e.Varint(timeNanos(v.LastRefresh))
+		e.Varint(int64(v.Staleness))
+		e.Uvarint(v.Refreshes)
+		e.Uvarint(v.Updates)
+		e.Uvarint(v.Served)
+		e.Uvarint(v.Fallbacks)
+	}
+}
+
+func decodeViewInfos(d *wire.Decoder) []ViewInfo {
+	u := d.Uvarint()
+	if u == 0 {
+		return nil
+	}
+	n := int(u - 1)
+	if maxN := d.Remaining() / 9; n > maxN {
+		n = maxN
+	}
+	out := make([]ViewInfo, 0, n)
+	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
+		var v ViewInfo
+		v.Key = d.String()
+		v.Entries = int(d.Varint())
+		v.Created = nanosTime(d.Varint())
+		v.LastRefresh = nanosTime(d.Varint())
+		v.Staleness = time.Duration(d.Varint())
+		v.Refreshes = d.Uvarint()
+		v.Updates = d.Uvarint()
+		v.Served = d.Uvarint()
+		v.Fallbacks = d.Uvarint()
+		out = append(out, v)
+	}
+	return out
+}
+
+// timeNanos / nanosTime round-trip a time through the wire, preserving
+// the zero value (time.Time's zero would not survive UnixNano).
+func timeNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func nanosTime(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
 }
 
 func encodeCandidate(e *wire.Encoder, c Candidate) {
@@ -185,6 +377,34 @@ func decodeCandidates(d *wire.Decoder) []Candidate {
 	out := make([]Candidate, 0, n)
 	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
 		out = append(out, decodeCandidate(d))
+	}
+	return out
+}
+
+func encodeAddrs(e *wire.Encoder, as []transport.Addr) {
+	if as == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(as)) + 1)
+	for _, a := range as {
+		e.Addr(a)
+	}
+}
+
+func decodeAddrs(d *wire.Decoder) []transport.Addr {
+	u := d.Uvarint()
+	if u == 0 {
+		return nil
+	}
+	n := int(u - 1)
+	// An encoded Addr is at least 2 empty strings.
+	if maxN := d.Remaining() / 2; n > maxN {
+		n = maxN
+	}
+	out := make([]transport.Addr, 0, n)
+	for i := 0; i < int(u-1) && d.Err() == nil; i++ {
+		out = append(out, d.Addr())
 	}
 	return out
 }
@@ -263,27 +483,4 @@ func decodeProbes(d *wire.Decoder) []treeProbe {
 		out = append(out, p)
 	}
 	return out
-}
-
-var gobOnce sync.Once
-
-// RegisterGob registers the RBAY core's message types with encoding/gob.
-//
-// Deprecated: gob framing survives only behind rbayd's -wire=gob
-// compatibility flag for one release; the binary codec (RegisterWire) is
-// the default. Safe to call multiple times.
-func RegisterGob() {
-	scribe.RegisterGob()
-	gobOnce.Do(func() {
-		gob.Register(queryVisit{})
-		gob.Register(siteQueryReq{})
-		gob.Register(siteQueryResp{})
-		gob.Register(commitReq{})
-		gob.Register(releaseReq{})
-		gob.Register(adminCmd{})
-		gob.Register(Candidate{})
-		gob.Register(TreeStats{})
-		gob.Register(naming.Pred{})
-		gob.Register([]Candidate(nil))
-	})
 }

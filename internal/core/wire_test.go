@@ -38,10 +38,12 @@ func TestWireRoundTrip(t *testing.T) {
 			Payload:   map[string]any{"password": "x"},
 			Slots:     []Candidate{cand, {}},
 			Conflicts: 3,
+			Exclude:   []transport.Addr{{Site: "s1", Host: "h9"}},
 		},
 		queryVisit{Slots: []Candidate{}, Preds: []naming.Pred{}},
 		siteQueryReq{},
-		siteQueryReq{ReqID: 5, QueryID: "q2", K: 1, Preds: preds, OrderBy: "mem", Caller: "bob", Payload: nil, Origin: origin},
+		siteQueryReq{ReqID: 5, QueryID: "q2", K: 1, Preds: preds, OrderBy: "mem", Caller: "bob", Payload: nil, Origin: origin,
+			Exclude: []transport.Addr{{Site: "s2", Host: "h1"}, {Site: "s2", Host: "h2"}}},
 		siteQueryResp{},
 		siteQueryResp{
 			ReqID:        5,

@@ -39,6 +39,9 @@ func New(node *core.Node, timeout time.Duration) *Server {
 	}
 	s := &Server{node: node, mux: http.NewServeMux(), timeout: timeout}
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /views", s.handleViewList)
+	s.mux.HandleFunc("POST /views", s.handleViewRegister)
+	s.mux.HandleFunc("DELETE /views", s.handleViewDrop)
 	s.mux.HandleFunc("GET /trees/{name...}", s.handleTreeStats)
 	s.mux.HandleFunc("GET /attrs", s.handleAttrs)
 	s.mux.HandleFunc("PUT /attrs/{name}", s.handleSetAttr)
@@ -131,9 +134,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if pw := r.URL.Query().Get("password"); pw != "" {
 		payload = pw
 	}
+	mode, err := core.ParseViewMode(r.URL.Query().Get("view"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	var res core.QueryResult
 	err = s.onNode(func(done func()) {
-		s.node.QueryAs(q, caller, payload, func(qr core.QueryResult) {
+		s.node.QueryVia(q, caller, payload, mode, func(qr core.QueryResult) {
 			res = qr
 			done()
 		})
@@ -162,6 +170,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleViewList serves the node's registered materialized views.
+func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
+	var views []core.ViewInfo
+	err := s.onNode(func(done func()) {
+		views = s.node.Views()
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if views == nil {
+		views = []core.ViewInfo{}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+// handleViewRegister registers a materialized view for the query in ?q.
+func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("q")
+	if sql == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	q, err := query.Parse(sql)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var regErr error
+	err = s.onNode(func(done func()) {
+		regErr = s.node.RegisterView(q)
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if regErr != nil {
+		writeErr(w, http.StatusBadRequest, regErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"view": q.String()})
+}
+
+// handleViewDrop drops the view for the query in ?q (parsed to its
+// canonical key when possible, raw otherwise).
+func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("q")
+	if sql == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	key := sql
+	if q, err := query.Parse(sql); err == nil {
+		key = q.String()
+	}
+	dropped := false
+	err := s.onNode(func(done func()) {
+		dropped = s.node.DropView(key)
+		done()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	if !dropped {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no view %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": key})
 }
 
 // handleMetrics serves the node's metric registry in Prometheus text

@@ -207,6 +207,31 @@ func (ls *LeafSet) Members() []Entry {
 	return out
 }
 
+// ClosestK returns up to k distinct members ordered by increasing numeric
+// distance to key (ties toward the smaller ID, matching routing). The
+// owner is excluded; the slice is freshly allocated. Scribe uses this to
+// pick a tree root's replica set: the members Pastry would deliver the
+// topic to next if the root died.
+func (ls *LeafSet) ClosestK(key ids.ID, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	members := ls.Members()
+	for i := 1; i < len(members); i++ {
+		e := members[i]
+		j := i
+		for j > 0 && e.ID.CloserToThan(key, members[j-1].ID) {
+			members[j] = members[j-1]
+			j--
+		}
+		members[j] = e
+	}
+	if len(members) > k {
+		members = members[:k:k]
+	}
+	return members
+}
+
 // Extremes returns the farthest members on each side (zero entries when the
 // set is empty), used by repair to fetch a failed neighbor's replacement.
 func (ls *LeafSet) Extremes() (left, right Entry) {

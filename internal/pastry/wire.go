@@ -1,11 +1,9 @@
 package pastry
 
 import (
-	"encoding/gob"
 	"sync"
 
 	"rbay/internal/ids"
-	"rbay/internal/transport"
 	"rbay/internal/wire"
 )
 
@@ -226,40 +224,4 @@ func decodeIDs(d *wire.Decoder) []ids.ID {
 		out = append(out, d.ID())
 	}
 	return out
-}
-
-var gobOnce sync.Once
-
-// RegisterGob registers Pastry's message types (and the scalar types that
-// travel inside interface-typed fields) with encoding/gob.
-//
-// Deprecated: gob framing survives only behind rbayd's -wire=gob
-// compatibility flag for one release; the binary codec (RegisterWire) is
-// the default. Safe to call multiple times.
-func RegisterGob() {
-	gobOnce.Do(func() {
-		gob.Register(&Message{})
-		gob.Register(directEnvelope{})
-		gob.Register(joinStart{})
-		gob.Register(joinPayload{})
-		gob.Register(joinRows{})
-		gob.Register(joinWelcome{})
-		gob.Register(announce{})
-		gob.Register(probe{})
-		gob.Register(probeAck{})
-		gob.Register(repairReq{})
-		gob.Register(repairResp{})
-		gob.Register(rpcRequest{})
-		gob.Register(rpcDirectRequest{})
-		gob.Register(rpcReply{})
-		gob.Register(Entry{})
-		gob.Register(transport.Addr{})
-		gob.Register(float64(0))
-		gob.Register(int64(0))
-		gob.Register("")
-		gob.Register(true)
-		gob.Register([]string(nil))
-		gob.Register([]any(nil))
-		gob.Register(map[string]any(nil))
-	})
 }

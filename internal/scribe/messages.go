@@ -91,3 +91,24 @@ type anycastDone struct {
 	Visits    int
 	Hops      int
 }
+
+// replicaSyncMsg pushes a root's current aggregate snapshot to one of its
+// leaf-set replicas — the nodes Pastry would deliver the topic to next if
+// the root died. Epoch orders snapshots across root promotions.
+type replicaSyncMsg struct {
+	Topic ids.ID
+	Scope string
+	Root  pastry.Entry
+	Epoch uint64
+	Value any
+}
+
+// rootClaimMsg announces that a replica has promoted itself to root for a
+// topic at the given epoch, so sibling replicas holding the same snapshot
+// stand down instead of double-promoting.
+type rootClaimMsg struct {
+	Topic ids.ID
+	Scope string
+	Root  pastry.Entry
+	Epoch uint64
+}

@@ -2,6 +2,7 @@ package scribe
 
 import (
 	"errors"
+	"reflect"
 	"sort"
 	"time"
 
@@ -53,6 +54,18 @@ type Config struct {
 	// nodes of a federation must agree on it. Defaults to Count for every
 	// topic.
 	AggregatorFor func(topic ids.ID) Aggregator
+	// RootReplicas is how many leaf-set neighbors a tree root pushes its
+	// aggregate snapshot to, so a replica can promote with continuous
+	// aggregates when the root crashes. 0 means the default (2); negative
+	// disables replication.
+	RootReplicas int
+	// ReplicaTTL bounds how long a replicated snapshot stays servable: a
+	// freshly promoted root answers probes from the snapshot for at most
+	// this long while its own fold catches up with re-attaching children,
+	// and replicas discard snapshots not refreshed within it. This is the
+	// staleness bound a post-crash probe can observe. Default 3 ×
+	// AggregateInterval (= the default ChildTTL).
+	ReplicaTTL time.Duration
 	// Metrics, when non-nil, receives tree-substrate observability samples
 	// (anycast visits/hops, timeouts, aggregate staleness). Nil disables
 	// recording at zero cost.
@@ -74,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AggregatorFor == nil {
 		c.AggregatorFor = func(ids.ID) Aggregator { return Count{} }
+	}
+	if c.RootReplicas == 0 {
+		c.RootReplicas = 2
+	}
+	if c.ReplicaTTL <= 0 {
+		c.ReplicaTTL = 3 * c.AggregateInterval
 	}
 	return c
 }
@@ -113,6 +132,28 @@ type topicState struct {
 	// maintenance tick folds children in ID order and re-sorting an
 	// unchanged set dominated the tick's allocations.
 	childSorted []pastry.Entry
+
+	// epoch orders root incarnations: a replica promoting itself bumps it
+	// past the snapshot's epoch, and syncs/claims carrying a lower epoch
+	// are from a root that has since been superseded.
+	epoch uint64
+
+	// Root-side replication state: the replica set last synced to, the
+	// value pushed, and when — so the periodic sync is incremental (skipped
+	// while value and replica set are unchanged, modulo a keepalive).
+	replicaPeers []pastry.Entry
+	lastSync     any
+	lastSyncOK   bool
+	lastSyncAt   time.Time
+
+	// Replica-side state: the snapshot the root pushed to us, and — after a
+	// promotion — when we stepped up, bounding how long we serve it.
+	snapVal    any
+	snapOK     bool
+	snapEpoch  uint64
+	snapRoot   pastry.Entry
+	snapAt     time.Time
+	promotedAt time.Time
 }
 
 func (t *topicState) inTree() bool { return t.subscribed || t.forwarder || t.isRoot }
@@ -194,6 +235,7 @@ func New(node *pastry.Node, cfg Config) *Scribe {
 	// Pre-create the anycast metric surface so the first query through this
 	// node doesn't pay lazy histogram construction.
 	s.cfg.Metrics.Declare("scribe_aggregate_staleness_seconds")
+	s.cfg.Metrics.Declare("scribe_replica_staleness_seconds")
 	s.cfg.Metrics.DeclareInt("scribe_anycast_visits", "scribe_anycast_hops")
 	s.tickFn = func() {
 		s.tick()
@@ -267,6 +309,12 @@ func (s *Scribe) maybeDetach(t *topicState) {
 	if t.subscribed || t.isRoot || len(t.children) > 0 {
 		return
 	}
+	if t.snapOK && s.node.Now().Sub(t.snapAt) <= s.cfg.ReplicaTTL {
+		// Not a tree member, but holding a live root's replica snapshot:
+		// stay resident so a crash can promote us. The state expires with
+		// the snapshot once the root stops refreshing it.
+		return
+	}
 	if !t.parent.IsZero() {
 		_ = s.node.SendApp(t.parent.Addr, AppName, leaveMsg{Topic: t.id, Child: s.node.Self()})
 	}
@@ -289,6 +337,15 @@ type TreeInfo struct {
 	IsRoot     bool
 	Parent     pastry.Entry
 	Children   int
+
+	// Replication view: the root incarnation this node knows, whether it
+	// holds a replica snapshot, how many replicas a root is syncing to,
+	// and whether this root is a crash promotion still in its warmup
+	// window (serving the replicated snapshot).
+	Epoch       uint64
+	HasSnapshot bool
+	Replicas    int
+	Promoted    bool
 }
 
 // Info returns this node's view of the topic.
@@ -298,12 +355,16 @@ func (s *Scribe) Info(topic ids.ID) TreeInfo {
 		return TreeInfo{}
 	}
 	return TreeInfo{
-		InTree:     t.inTree(),
-		Subscribed: t.subscribed,
-		Forwarder:  t.forwarder,
-		IsRoot:     t.isRoot,
-		Parent:     t.parent,
-		Children:   len(t.children),
+		InTree:      t.inTree(),
+		Subscribed:  t.subscribed,
+		Forwarder:   t.forwarder,
+		IsRoot:      t.isRoot,
+		Parent:      t.parent,
+		Children:    len(t.children),
+		Epoch:       t.epoch,
+		HasSnapshot: t.snapOK,
+		Replicas:    len(t.replicaPeers),
+		Promoted:    !t.promotedAt.IsZero(),
 	}
 }
 
@@ -537,6 +598,136 @@ func (s *Scribe) aggregate(t *topicState) any {
 	return v
 }
 
+// ---------------------------------------------------------------------------
+// Root replication
+
+// rootAggregate is the aggregate a root serves to probes and aggregate
+// queries. A freshly promoted replica's own fold sees only the children
+// that have re-attached so far; until the promotion warmup window closes
+// the root serves the replicated snapshot instead — bounded staleness in
+// place of the post-crash dip to zero.
+func (s *Scribe) rootAggregate(t *topicState) any {
+	if !t.promotedAt.IsZero() && t.snapOK {
+		now := s.node.Now()
+		if now.Sub(t.promotedAt) <= s.cfg.ReplicaTTL {
+			s.cfg.Metrics.Observe("scribe_replica_staleness_seconds", now.Sub(t.snapAt))
+			return t.snapVal
+		}
+		// Warmup over: the live fold takes over for good.
+		t.promotedAt = time.Time{}
+	}
+	return s.aggregate(t)
+}
+
+// replicaSet picks the root's replicas: the leaf-set members numerically
+// closest to the topic — exactly the nodes Pastry would deliver the topic
+// to next if this root died.
+func (s *Scribe) replicaSet(t *topicState) []pastry.Entry {
+	k := s.cfg.RootReplicas
+	if k <= 0 {
+		return nil
+	}
+	leaf := s.node.Leaf(t.scope)
+	if leaf == nil {
+		return nil
+	}
+	return leaf.ClosestK(t.id, k)
+}
+
+// syncReplicas pushes the root's aggregate snapshot to its replica set.
+// The push is incremental: skipped while both the value and the replica
+// set are unchanged, except for a half-TTL keepalive so replicas can
+// expire snapshots of roots that silently vanish.
+func (s *Scribe) syncReplicas(t *topicState, now time.Time) {
+	if s.cfg.RootReplicas <= 0 {
+		return
+	}
+	v := s.rootAggregate(t)
+	// Fast path first: value unchanged and the last push still fresh —
+	// nothing to send, and no need to recompute the replica set (the
+	// leaf-set sort dominates an idle root's tick otherwise). A closer
+	// neighbor joining during this window waits at most a half-TTL
+	// keepalive for its first snapshot, well inside the bound replicas
+	// enforce before discarding.
+	if t.lastSyncOK && now.Sub(t.lastSyncAt) < s.cfg.ReplicaTTL/2 && valuesEqual(t.lastSync, v) {
+		s.cfg.Metrics.Inc("scribe_replica_sync_skips_total")
+		return
+	}
+	peers := s.replicaSet(t)
+	if len(peers) == 0 {
+		return
+	}
+	t.lastSync, t.lastSyncOK, t.lastSyncAt = v, true, now
+	t.replicaPeers = peers
+	msg := replicaSyncMsg{Topic: t.id, Scope: t.scope, Root: s.node.Self(), Epoch: t.epoch, Value: v}
+	for _, p := range peers {
+		if err := s.node.SendApp(p.Addr, AppName, msg); err == nil {
+			s.cfg.Metrics.Inc("scribe_replica_syncs_total")
+		}
+	}
+}
+
+// becomeRoot marks this node the topic's rendezvous root. A node stepping
+// up while holding another root's fresh snapshot is a crash promotion: it
+// bumps the epoch, claims the root role toward the sibling replicas, and
+// serves the snapshot through the warmup window.
+func (s *Scribe) becomeRoot(t *topicState) {
+	if t.isRoot {
+		return
+	}
+	t.isRoot = true
+	if t.snapOK && !t.snapRoot.IsZero() && t.snapRoot.ID != s.node.ID() &&
+		s.node.Now().Sub(t.snapAt) <= s.cfg.ReplicaTTL {
+		s.promote(t)
+	}
+}
+
+// promote completes a replica's step-up: new epoch past the snapshot's,
+// warmup window opened, and a claim sent to the sibling replicas so only
+// one of them keeps the role.
+func (s *Scribe) promote(t *topicState) {
+	t.isRoot = true
+	if t.snapEpoch > t.epoch {
+		t.epoch = t.snapEpoch
+	}
+	t.epoch++
+	t.promotedAt = s.node.Now()
+	s.cfg.Metrics.Inc("scribe_root_promotions_total")
+	claim := rootClaimMsg{Topic: t.id, Scope: t.scope, Root: s.node.Self(), Epoch: t.epoch}
+	for _, p := range s.replicaSet(t) {
+		_ = s.node.SendApp(p.Addr, AppName, claim)
+	}
+}
+
+// demote strips the root role after losing it to another node (root
+// hand-off via childAck, or an outranking sync/claim after a healed
+// partition) and keeps the subtree connected.
+func (s *Scribe) demote(t *topicState) {
+	t.isRoot = false
+	t.promotedAt = time.Time{}
+	if !t.subscribed && len(t.children) > 0 {
+		t.forwarder = true
+	}
+	if t.inTree() && t.parent.IsZero() && !t.joining {
+		_ = s.sendJoin(t)
+	}
+}
+
+// outranks reports whether a remote root at the given epoch wins the root
+// role over this node for the topic: higher epoch, or — same epoch — the
+// ID Pastry routing would prefer (closer to the topic).
+func (s *Scribe) outranks(t *topicState, root pastry.Entry, epoch uint64) bool {
+	if epoch != t.epoch {
+		return epoch > t.epoch
+	}
+	return root.ID.CloserToThan(t.id, s.node.ID())
+}
+
+// valuesEqual compares two aggregate values structurally; aggregates are
+// small comparable structs or scalars, but DeepEqual keeps the sync path
+// safe for aggregators carrying slices.
+func valuesEqual(a, b any) bool { return reflect.DeepEqual(a, b) }
+
 // scheduleTick arms the periodic aggregation/maintenance timer.
 func (s *Scribe) scheduleTick() {
 	s.node.After(s.cfg.AggregateInterval, s.tickFn)
@@ -589,6 +780,7 @@ func (s *Scribe) tick() {
 			if !t.joining {
 				_ = s.sendJoin(t)
 			}
+			s.syncReplicas(t, now)
 			continue
 		}
 		if t.parent.IsZero() {
@@ -623,6 +815,17 @@ func (s *Scribe) onPeerFailure(e pastry.Entry) {
 			}
 		}
 		t.removeChild(e.ID)
+		if !t.isRoot && t.snapOK && t.snapRoot.ID == e.ID {
+			// The root we replicate died. Step up proactively if routing
+			// would now deliver the topic to us; otherwise hold the
+			// snapshot — the next rendezvous (a sibling replica) promotes,
+			// or a routed message lands here and becomeRoot does.
+			if leaf := s.node.Leaf(t.scope); leaf != nil &&
+				leaf.Closest(t.id).ID == s.node.ID() &&
+				s.node.Now().Sub(t.snapAt) <= s.cfg.ReplicaTTL {
+				s.promote(t)
+			}
+		}
 	}
 }
 
@@ -685,7 +888,7 @@ func (s *Scribe) Deliver(n *pastry.Node, m *pastry.Message) {
 	switch p := m.Payload.(type) {
 	case joinMsg:
 		t := s.topic(m.Key, m.Scope, true)
-		t.isRoot = true
+		s.becomeRoot(t)
 		t.joining = false
 		if p.Child.ID != s.node.ID() {
 			s.addChild(t, p.Child)
@@ -696,7 +899,7 @@ func (s *Scribe) Deliver(n *pastry.Node, m *pastry.Message) {
 		if t == nil {
 			return
 		}
-		t.isRoot = true
+		s.becomeRoot(t)
 		s.treecast(t, p)
 	case anycastMsg:
 		t := s.topics[m.Key]
@@ -706,17 +909,21 @@ func (s *Scribe) Deliver(n *pastry.Node, m *pastry.Message) {
 			s.finishAnycast(p, false)
 			return
 		}
-		t.isRoot = true
+		s.becomeRoot(t)
 		p.Hops = m.Hops
 		s.handleAnycast(t, p)
 	case aggQueryMsg:
 		t := s.topics[m.Key]
-		if t == nil || !t.inTree() {
+		fresh := t != nil && t.snapOK && s.node.Now().Sub(t.snapAt) <= s.cfg.ReplicaTTL
+		if t == nil || (!t.inTree() && !fresh) {
 			_ = s.node.SendApp(p.Origin.Addr, AppName, aggReplyMsg{ReqID: p.ReqID, NoTree: true})
 			return
 		}
-		t.isRoot = true
-		_ = s.node.SendApp(p.Origin.Addr, AppName, aggReplyMsg{ReqID: p.ReqID, Value: s.aggregate(t)})
+		// A bare replica reached here means the old root is gone and we are
+		// the new rendezvous: becomeRoot promotes it on the snapshot, and
+		// rootAggregate answers from it while the subtree re-attaches.
+		s.becomeRoot(t)
+		_ = s.node.SendApp(p.Origin.Addr, AppName, aggReplyMsg{ReqID: p.ReqID, Value: s.rootAggregate(t)})
 	}
 }
 
@@ -736,10 +943,7 @@ func (s *Scribe) Direct(n *pastry.Node, from pastry.Entry, payload any) {
 			// we only stood in the tree as root but still connect children,
 			// we must stay as a forwarder or the subtree's aggregates would
 			// strand here, skipped by every maintenance tick.
-			t.isRoot = false
-			if !t.subscribed && len(t.children) > 0 {
-				t.forwarder = true
-			}
+			s.demote(t)
 		}
 	case leaveMsg:
 		t := s.topics[p.Topic]
@@ -783,6 +987,45 @@ func (s *Scribe) Direct(n *pastry.Node, from pastry.Entry, payload any) {
 			t = &topicState{id: p.Topic, children: map[ids.ID]*child{}}
 		}
 		s.continueAnycast(t, withHop(p))
+	case replicaSyncMsg:
+		if p.Root.ID == s.node.ID() {
+			return
+		}
+		t := s.topic(p.Topic, p.Scope, true)
+		if p.Epoch < t.epoch {
+			return // sync from a superseded root incarnation
+		}
+		if t.isRoot {
+			if !s.outranks(t, p.Root, p.Epoch) {
+				return // we hold the role; our own syncs will demote them
+			}
+			// Healed partition: the other side's root outranks us (higher
+			// epoch, or routing prefers its ID). Stand down and re-attach.
+			s.demote(t)
+		}
+		t.epoch = p.Epoch
+		t.snapVal, t.snapOK = p.Value, true
+		t.snapEpoch = p.Epoch
+		t.snapRoot = p.Root
+		t.snapAt = s.node.Now()
+	case rootClaimMsg:
+		if p.Root.ID == s.node.ID() {
+			return
+		}
+		t := s.topics[p.Topic]
+		if t == nil {
+			return
+		}
+		if !s.outranks(t, p.Root, p.Epoch) {
+			return
+		}
+		t.epoch = p.Epoch
+		t.snapRoot = p.Root
+		if t.isRoot {
+			// Lost the promotion race to a sibling replica: stand down
+			// before both of us answer probes for the same tree.
+			s.demote(t)
+		}
 	case anycastDone:
 		s.handleAnycastDone(p)
 	case aggReplyMsg:

@@ -1,7 +1,6 @@
 package scribe
 
 import (
-	"encoding/gob"
 	"sync"
 
 	"rbay/internal/ids"
@@ -9,7 +8,7 @@ import (
 	"rbay/internal/wire"
 )
 
-// Wire tags 40-50 belong to Scribe (see internal/wire for the tag map).
+// Wire tags 40-52 belong to Scribe (see internal/wire for the tag map).
 const (
 	tagJoinMsg byte = 40 + iota
 	tagChildAckMsg
@@ -22,6 +21,8 @@ const (
 	tagAnycastMsg
 	tagAnycastDone
 	tagMeanValue
+	tagReplicaSyncMsg
+	tagRootClaimMsg
 )
 
 var wireOnce sync.Once
@@ -127,6 +128,38 @@ func RegisterWire() {
 				v.Hops = int(d.Varint())
 				return v
 			})
+		wire.Register[replicaSyncMsg](tagReplicaSyncMsg,
+			func(e *wire.Encoder, v replicaSyncMsg) {
+				e.ID(v.Topic)
+				e.String(v.Scope)
+				pastry.EncodeEntry(e, v.Root)
+				e.Uvarint(v.Epoch)
+				e.Value(v.Value)
+			},
+			func(d *wire.Decoder) replicaSyncMsg {
+				var v replicaSyncMsg
+				v.Topic = d.ID()
+				v.Scope = d.String()
+				v.Root = pastry.DecodeEntry(d)
+				v.Epoch = d.Uvarint()
+				v.Value = d.Value()
+				return v
+			})
+		wire.Register[rootClaimMsg](tagRootClaimMsg,
+			func(e *wire.Encoder, v rootClaimMsg) {
+				e.ID(v.Topic)
+				e.String(v.Scope)
+				pastry.EncodeEntry(e, v.Root)
+				e.Uvarint(v.Epoch)
+			},
+			func(d *wire.Decoder) rootClaimMsg {
+				var v rootClaimMsg
+				v.Topic = d.ID()
+				v.Scope = d.String()
+				v.Root = pastry.DecodeEntry(d)
+				v.Epoch = d.Uvarint()
+				return v
+			})
 		wire.Register[MeanValue](tagMeanValue,
 			func(e *wire.Encoder, v MeanValue) {
 				e.Float64(v.Sum)
@@ -163,29 +196,4 @@ func decodeIDList(d *wire.Decoder) []ids.ID {
 		out = append(out, d.ID())
 	}
 	return out
-}
-
-var gobOnce sync.Once
-
-// RegisterGob registers Scribe's message types with encoding/gob.
-//
-// Deprecated: gob framing survives only behind rbayd's -wire=gob
-// compatibility flag for one release; the binary codec (RegisterWire) is
-// the default. Safe to call multiple times.
-func RegisterGob() {
-	pastry.RegisterGob()
-	gobOnce.Do(func() {
-		gob.Register(joinMsg{})
-		gob.Register(childAckMsg{})
-		gob.Register(leaveMsg{})
-		gob.Register(multicastMsg{})
-		gob.Register(downcastMsg{})
-		gob.Register(aggUpdateMsg{})
-		gob.Register(aggQueryMsg{})
-		gob.Register(aggReplyMsg{})
-		gob.Register(anycastMsg{})
-		gob.Register(anycastDone{})
-		gob.Register(MeanValue{})
-		gob.Register([]float64(nil))
-	})
 }

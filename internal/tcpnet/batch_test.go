@@ -6,8 +6,6 @@ import (
 	"testing"
 	"time"
 
-	"rbay/internal/ids"
-	"rbay/internal/pastry"
 	"rbay/internal/transport"
 )
 
@@ -97,57 +95,6 @@ func TestBatchSizeCapFlush(t *testing.T) {
 		if snap[i] != want[i] {
 			t.Fatalf("message %d = %.20v..., want %.20v...", i, snap[i], want[i])
 		}
-	}
-}
-
-// TestGobCompatMode: the deprecated gob codec must still interoperate
-// end to end when both sides opt in via Config.Codec.
-func TestGobCompatMode(t *testing.T) {
-	pastry.RegisterGob()
-	table := map[transport.Addr]string{}
-	resolver := func(a transport.Addr) (string, error) { return StaticResolver(table)(a) }
-
-	cfg := Config{Codec: CodecGob}
-	n1, err := ListenConfig("127.0.0.1:0", resolver, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer n1.Close()
-	n2, err := ListenConfig("127.0.0.1:0", resolver, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer n2.Close()
-	table[addr("a", "h1")] = n1.ListenAddr()
-	table[addr("b", "h2")] = n2.ListenAddr()
-
-	e1, _ := n1.NewEndpoint(addr("a", "h1"), func(transport.Addr, any) {})
-	var got collect
-	n2.NewEndpoint(addr("b", "h2"), func(_ transport.Addr, m any) { got.add(m) })
-
-	entry := pastry.Entry{ID: ids.HashOf("gob"), Addr: addr("a", "h1")}
-	if err := e1.Send(addr("b", "h2"), "legacy"); err != nil {
-		t.Fatal(err)
-	}
-	if err := e1.Send(addr("b", "h2"), entry); err != nil {
-		t.Fatal(err)
-	}
-	waitFor(t, func() bool { return len(got.snapshot()) == 2 })
-	snap := got.snapshot()
-	if snap[0] != "legacy" {
-		t.Errorf("payload 0 = %v", snap[0])
-	}
-	if e, ok := snap[1].(pastry.Entry); !ok || e != entry {
-		t.Errorf("payload 1 = %#v", snap[1])
-	}
-}
-
-// TestUnknownCodecRejected: a typo'd codec name must fail loudly at
-// startup, not at first send.
-func TestUnknownCodecRejected(t *testing.T) {
-	_, err := ListenConfig("127.0.0.1:0", StaticResolver(nil), Config{Codec: "protobuf"})
-	if err == nil {
-		t.Fatal("unknown codec accepted")
 	}
 }
 

@@ -6,9 +6,7 @@
 // Messages travel as length-prefixed binary frames (internal/wire, see
 // docs/WIRE.md): each cached peer connection coalesces small data frames
 // written within a short flush window into one batch frame — one syscall
-// for a burst of aggregate updates, announces, or probe acks. The previous
-// gob encoding survives one release behind Config.Codec = "gob" for mixed
-// deployments mid-upgrade.
+// for a burst of aggregate updates, announces, or probe acks.
 //
 // Each Network owns one listener; all endpoints attached to it share the
 // listener and are demultiplexed by the frame's To address. Every endpoint
@@ -27,7 +25,6 @@ package tcpnet
 import (
 	"bufio"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -39,30 +36,6 @@ import (
 	"rbay/internal/transport"
 	"rbay/internal/wire"
 )
-
-// Codec names for Config.Codec.
-const (
-	// CodecBinary is the internal/wire length-prefixed binary codec with
-	// per-peer frame batching (the default).
-	CodecBinary = "binary"
-	// CodecGob selects encoding/gob framing.
-	//
-	// Deprecated: kept one release for mixed-version deployments; both
-	// ends of every connection must use the same codec.
-	CodecGob = "gob"
-)
-
-// envelope frames every gob-mode wire message. Seq is the writer's
-// per-connection monotonic frame sequence number (pongs echo the ping's
-// Seq); in binary mode the same sequence lives in the frame header
-// (internal/wire) so batch frames are sequenced too.
-type envelope struct {
-	Kind    uint8
-	Seq     uint64
-	To      transport.Addr
-	From    transport.Addr
-	Payload any
-}
 
 // Resolver maps an overlay address to a TCP "host:port".
 type Resolver func(transport.Addr) (string, error)
@@ -97,15 +70,11 @@ const (
 // zero value means "use the default"; negative values disable the
 // corresponding feature where that is meaningful.
 type Config struct {
-	// Codec selects the wire encoding: CodecBinary (the default) or the
-	// deprecated CodecGob. Both ends of a deployment must agree.
-	Codec string
 	// FlushInterval is the age cap on the per-peer write coalescer: a
 	// data frame may sit in the batch buffer at most this long before it
 	// is written. Default 500µs. Negative disables batching entirely —
 	// every message is written synchronously in its own frame (lowest
-	// latency, one syscall per message). Ignored under CodecGob, which
-	// never batches.
+	// latency, one syscall per message).
 	FlushInterval time.Duration
 	// BatchBytes is the size cap on one batch frame; reaching it flushes
 	// synchronously from the sending goroutine (so write errors feed the
@@ -140,9 +109,6 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Codec == "" {
-		c.Codec = CodecBinary
-	}
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 500 * time.Microsecond
 	}
@@ -233,7 +199,6 @@ type Network struct {
 	listener net.Listener
 	resolver Resolver
 	cfg      Config
-	binary   bool // cfg.Codec == CodecBinary
 
 	mu         sync.Mutex
 	endpoints  map[transport.Addr]*Endpoint
@@ -250,15 +215,14 @@ type Network struct {
 }
 
 // clientConn is one cached outbound connection. Its mutex guards the
-// writer state (gob encoder or batch buffer), the frame sequence counter,
-// and the liveness bookkeeping.
+// writer state (the batch buffer), the frame sequence counter, and the
+// liveness bookkeeping.
 type clientConn struct {
 	hostport string
 
 	mu        sync.Mutex
 	c         net.Conn
-	enc       *gob.Encoder // gob mode only
-	seq       uint64       // per-connection frame sequence (all kinds)
+	seq       uint64 // per-connection frame sequence (all kinds)
 	pend      *wire.Encoder
 	pendCount int
 	flush     *time.Timer
@@ -267,19 +231,15 @@ type clientConn struct {
 	dead      bool
 }
 
-// newClientConn wraps an established socket in a cached connection for
-// the network's codec (the dial path and tests share it).
+// newClientConn wraps an established socket in a cached connection (the
+// dial path and tests share it).
 func (n *Network) newClientConn(hostport string, c net.Conn) *clientConn {
-	cc := &clientConn{
+	return &clientConn{
 		hostport: hostport,
 		c:        c,
 		peers:    make(map[transport.Addr]struct{}),
 		lastPong: time.Now(),
 	}
-	if !n.binary {
-		cc.enc = gob.NewEncoder(c)
-	}
-	return cc
 }
 
 func (cc *clientConn) track(to transport.Addr) {
@@ -310,20 +270,7 @@ func (cc *clientConn) peerList(extra transport.Addr) []transport.Addr {
 
 var errConnDead = errors.New("connection is dead")
 
-// encodeGob writes one gob envelope, stamping the per-connection frame
-// sequence.
-func (cc *clientConn) encodeGob(env envelope) error {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if cc.dead {
-		return errConnDead
-	}
-	cc.seq++
-	env.Seq = cc.seq
-	return cc.enc.Encode(env)
-}
-
-// writeData queues or writes one pre-encoded data-rest (binary mode).
+// writeData queues or writes one pre-encoded data-rest.
 // With batching enabled the message lands in the per-peer batch buffer
 // and nil is returned: the frame is written when the buffer reaches
 // BatchBytes (synchronously, errors returned here) or when the flush
@@ -426,9 +373,8 @@ func (n *Network) flushConn(cc *clientConn) {
 	}
 }
 
-// writePing writes one heartbeat frame synchronously (binary mode).
-// Heartbeats never batch: the liveness verdict depends on the write error
-// surfacing now.
+// writePing writes one heartbeat frame synchronously. Heartbeats never
+// batch: the liveness verdict depends on the write error surfacing now.
 func (cc *clientConn) writePing() error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -453,9 +399,6 @@ func Listen(listen string, resolver Resolver) (*Network, error) {
 // ListenConfig starts a network with explicit wire/resilience tuning.
 func ListenConfig(listen string, resolver Resolver, cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Codec != CodecBinary && cfg.Codec != CodecGob {
-		return nil, fmt.Errorf("tcpnet: unknown codec %q (want %q or %q)", cfg.Codec, CodecBinary, CodecGob)
-	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: %w", err)
@@ -464,7 +407,6 @@ func ListenConfig(listen string, resolver Resolver, cfg Config) (*Network, error
 		listener:  l,
 		resolver:  resolver,
 		cfg:       cfg,
-		binary:    cfg.Codec == CodecBinary,
 		endpoints: make(map[transport.Addr]*Endpoint),
 		conns:     make(map[string]*clientConn),
 		accepted:  make(map[net.Conn]struct{}),
@@ -580,28 +522,7 @@ func (n *Network) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	if n.binary {
-		n.readFramesLoop(conn)
-		return
-	}
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn) // pong replies; only this goroutine writes
-	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			return
-		}
-		switch env.Kind {
-		case wire.KindPing:
-			if err := enc.Encode(envelope{Kind: wire.KindPong, Seq: env.Seq}); err != nil {
-				return
-			}
-		case wire.KindPong:
-			// Not expected on accepted conns; ignore.
-		default:
-			n.deliver(env.From, env.To, env.Payload)
-		}
-	}
+	n.readFramesLoop(conn)
 }
 
 // readFramesLoop drains one accepted binary-framed connection: data and
@@ -713,23 +634,20 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 		return err
 	}
 
-	// Binary mode encodes the payload once, before touching any
-	// connection: an unencodable payload (unregistered type) is the
-	// caller's bug, not the connection's — fail without retries and
-	// without retiring the conn.
-	var rest *wire.Encoder
-	if n.binary {
-		rest = wire.GetEncoder()
-		defer wire.PutEncoder(rest)
-		rest.DataRest(to, from, msg)
-		if err := rest.Err(); err != nil {
-			n.stats.sendFailures.Add(1)
-			return err
-		}
-		if rest.Len() > wire.DefaultMaxFrame-16 {
-			n.stats.sendFailures.Add(1)
-			return fmt.Errorf("tcpnet: message to %v exceeds max frame (%d bytes)", to, rest.Len())
-		}
+	// Encode the payload once, before touching any connection: an
+	// unencodable payload (unregistered type) is the caller's bug, not
+	// the connection's — fail without retries and without retiring the
+	// conn.
+	rest := wire.GetEncoder()
+	defer wire.PutEncoder(rest)
+	rest.DataRest(to, from, msg)
+	if err := rest.Err(); err != nil {
+		n.stats.sendFailures.Add(1)
+		return err
+	}
+	if rest.Len() > wire.DefaultMaxFrame-16 {
+		n.stats.sendFailures.Add(1)
+		return fmt.Errorf("tcpnet: message to %v exceeds max frame (%d bytes)", to, rest.Len())
 	}
 
 	var lastErr error
@@ -745,11 +663,7 @@ func (n *Network) send(from, to transport.Addr, msg any) error {
 			lastErr = err
 			break
 		}
-		if n.binary {
-			err = n.writeData(cc, rest.Bytes())
-		} else {
-			err = cc.encodeGob(envelope{To: to, From: from, Payload: msg})
-		}
+		err = n.writeData(cc, rest.Bytes())
 		if err == nil {
 			return nil
 		}
@@ -850,48 +764,33 @@ func (n *Network) dial(hostport string, to transport.Addr) (*clientConn, error) 
 // send.
 func (n *Network) connReadLoop(cc *clientConn) {
 	defer n.wg.Done()
-	if n.binary {
-		r := bufio.NewReaderSize(cc.c, 4096)
-		var hdr [4]byte
-		var body []byte
-		for {
-			if _, err := io.ReadFull(r, hdr[:]); err != nil {
-				n.connDead(cc, true)
-				return
-			}
-			ln := binary.LittleEndian.Uint32(hdr[:])
-			if ln > wire.DefaultMaxFrame {
-				n.connDead(cc, true)
-				return
-			}
-			if cap(body) < int(ln) {
-				body = make([]byte, ln)
-			}
-			body = body[:ln]
-			if _, err := io.ReadFull(r, body); err != nil {
-				n.connDead(cc, true)
-				return
-			}
-			kind, _, _, err := wire.DecodeFrameBody(body)
-			if err != nil {
-				n.connDead(cc, true)
-				return
-			}
-			if kind == wire.KindPong {
-				cc.mu.Lock()
-				cc.lastPong = time.Now()
-				cc.mu.Unlock()
-			}
-		}
-	}
-	dec := gob.NewDecoder(cc.c)
+	r := bufio.NewReaderSize(cc.c, 4096)
+	var hdr [4]byte
+	var body []byte
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			n.connDead(cc, true)
 			return
 		}
-		if env.Kind == wire.KindPong {
+		ln := binary.LittleEndian.Uint32(hdr[:])
+		if ln > wire.DefaultMaxFrame {
+			n.connDead(cc, true)
+			return
+		}
+		if cap(body) < int(ln) {
+			body = make([]byte, ln)
+		}
+		body = body[:ln]
+		if _, err := io.ReadFull(r, body); err != nil {
+			n.connDead(cc, true)
+			return
+		}
+		kind, _, _, err := wire.DecodeFrameBody(body)
+		if err != nil {
+			n.connDead(cc, true)
+			return
+		}
+		if kind == wire.KindPong {
 			cc.mu.Lock()
 			cc.lastPong = time.Now()
 			cc.mu.Unlock()
@@ -921,13 +820,7 @@ func (n *Network) heartbeatLoop(cc *clientConn) {
 			n.connDead(cc, true)
 			return
 		}
-		var err error
-		if n.binary {
-			err = cc.writePing()
-		} else {
-			err = cc.encodeGob(envelope{Kind: wire.KindPing})
-		}
-		if err != nil {
+		if err := cc.writePing(); err != nil {
 			n.connDead(cc, true)
 			return
 		}

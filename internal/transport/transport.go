@@ -2,7 +2,8 @@
 // component is written against. Two implementations exist: internal/simnet,
 // a deterministic discrete-event network with a virtual clock used for
 // tests, benchmarks, and the paper's experiments; and internal/tcpnet, a
-// gob-over-TCP transport used to deploy a real multi-process federation.
+// TCP transport (binary wire codec, internal/wire) used to deploy a real
+// multi-process federation.
 //
 // All protocol code (Pastry, Scribe, the RBAY core) is event-driven and
 // non-blocking: a node reacts to delivered messages and timer callbacks and

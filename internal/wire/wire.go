@@ -1,8 +1,8 @@
 // Package wire is RBAY's hand-rolled binary wire codec: a length-prefixed
 // frame format plus an explicit, reflection-free Marshal/Unmarshal registry
-// for every protocol message type. It replaces encoding/gob on the TCP
-// transport (internal/tcpnet), where gob's per-message encoder round trip
-// dominated federation messaging cost.
+// for every protocol message type. It is the only encoding the TCP
+// transport (internal/tcpnet) speaks; its predecessor's per-message
+// reflective encoder round trip dominated federation messaging cost.
 //
 // # Frame format
 //

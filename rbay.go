@@ -20,8 +20,9 @@
 //     thousand-node experiments run in milliseconds. All evaluation
 //     figures are regenerated this way.
 //
-//   - Real: NewTCPNode attaches a node over TCP+gob (see cmd/rbayd and
-//     cmd/rbayctl) for multi-process deployments.
+//   - Real: NewTCPNode attaches a node over TCP with the binary wire
+//     codec (see cmd/rbayd and cmd/rbayctl) for multi-process
+//     deployments.
 //
 // A minimal session:
 //
@@ -81,6 +82,37 @@ type (
 	// Addr is a node address: site plus host.
 	Addr = transport.Addr
 )
+
+// Materialized-view re-exports. A recurring query registered with
+// Node.RegisterView is maintained incrementally from tree updates and
+// served locally with a bounded staleness; see docs/VIEWS.md.
+type (
+	// ViewMode selects how a query interacts with materialized views.
+	ViewMode = core.ViewMode
+	// ViewInfo describes one registered view.
+	ViewInfo = core.ViewInfo
+	// ViewAdminResult is the outcome of a remote view-admin operation
+	// (Node.ViewAdmin), used by rbayctl and the HTTP gateway.
+	ViewAdminResult = core.ViewAdminResult
+)
+
+// View modes for Node.QueryVia.
+const (
+	// ViewAuto serves from a matching view and falls back to the probe
+	// protocol when the view cannot fill the request.
+	ViewAuto = core.ViewAuto
+	// ViewOnly serves exclusively from the view (ErrNoView if absent).
+	ViewOnly = core.ViewOnly
+	// ViewSkip bypasses views entirely.
+	ViewSkip = core.ViewSkip
+)
+
+// ErrNoView is returned in ViewOnly mode when no view matches the query.
+var ErrNoView = core.ErrNoView
+
+// ParseViewMode parses the ?view= / -view flag spelling: "auto" (or
+// empty), "only"/"1", "skip"/"0"/"off".
+func ParseViewMode(s string) (ViewMode, error) { return core.ParseViewMode(s) }
 
 // Predicate operators.
 const (
@@ -250,15 +282,37 @@ func (f *Federation) QuerySync(n *Node, sql string) (Result, error) {
 // QuerySyncAs is QuerySync with an explicit caller identity and onGet
 // payload (password, credentials).
 func (f *Federation) QuerySyncAs(n *Node, sql, caller string, payload any) (Result, error) {
+	return f.QuerySyncVia(n, sql, caller, payload, ViewAuto)
+}
+
+// QuerySyncVia is QuerySyncAs with an explicit view mode: ViewOnly serves
+// exclusively from a registered materialized view, ViewSkip always walks
+// the trees, ViewAuto (the QuerySyncAs default) prefers a view and falls
+// back to the walk.
+//
+// The federation is driven one event at a time until the result callback
+// fires, so only events virtually ordered before the query's completion
+// run — the query's own protocol chain plus whatever background
+// maintenance was already due — rather than a fixed slab of virtual time.
+func (f *Federation) QuerySyncVia(n *Node, sql, caller string, payload any, mode ViewMode) (Result, error) {
 	q, err := query.Parse(sql)
 	if err != nil {
 		return Result{}, fmt.Errorf("rbay: %w", err)
 	}
+	return f.QuerySyncParsed(n, q, caller, payload, mode)
+}
+
+// QuerySyncParsed is QuerySyncVia for a pre-parsed query — the form a
+// recurring caller uses, paying the parser once per query text.
+func (f *Federation) QuerySyncParsed(n *Node, q *Query, caller string, payload any, mode ViewMode) (Result, error) {
 	var res Result
 	done := false
-	n.QueryAs(q, caller, payload, func(r Result) { res = r; done = true })
-	for i := 0; i < 1200 && !done; i++ {
-		f.inner.RunFor(100 * time.Millisecond)
+	n.QueryVia(q, caller, payload, mode, func(r Result) { res = r; done = true })
+	deadline := f.inner.Net.Now().Add(2 * time.Minute)
+	for !done && f.inner.Net.Now().Before(deadline) {
+		if !f.inner.Net.Step() {
+			break
+		}
 	}
 	if !done {
 		return Result{}, ErrQueryTimedOut
@@ -306,9 +360,6 @@ type TCPNode struct {
 // calls Node.Pastry().BootstrapAlone() for the first node.
 func NewTCPNode(addr Addr, opts TCPOptions) (*TCPNode, error) {
 	core.RegisterWire()
-	if opts.Transport.Codec == tcpnet.CodecGob {
-		core.RegisterGob()
-	}
 	if opts.Registry == nil {
 		opts.Registry = NewRegistry()
 	}
