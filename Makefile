@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale chaos chaos-restart-smoke chaos-replica-smoke
+.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale bench-churn chaos chaos-restart-smoke chaos-replica-smoke churn-smoke
 
-ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke bench-smoke
+ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke churn-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,19 @@ chaos-replica-smoke:
 		-run 'TestRootCrashReplicaPromotes|TestRootCrashCampaign|TestViewPropertyIncrementalMatchesScratch' \
 		./internal/chaos/ ./internal/core/
 
+# Churn-ingestion gate (part of `make ci`): bounded queue depth with sheds
+# counted under a burst, zero WAL frames for unchanged re-posts, and
+# batched ingest beating the per-Set path on frames per update
+# (docs/INGEST.md).
+churn-smoke:
+	$(GO) test -short -count=1 -run 'TestChurnSmoke' .
+
+# Churn pipeline benchmarks: apply throughput with frames/update and
+# coalescing ratios, the per-Set baseline they're measured against, and
+# staleness/backpressure behavior at 10x churn (docs/INGEST.md).
+bench-churn:
+	$(GO) test -bench 'BenchmarkChurn' -benchtime 1x -benchmem -run '^$$' .
+
 # Query/scribe hot-path benchmarks (probe, anycast, cross-site, parser).
 # BENCH_seed.json was produced from this set via `make bench-baseline`;
 # compare against it before landing perf-sensitive changes.
@@ -74,9 +87,10 @@ bench-diff:
 # Perf smoke gate (part of `make ci`): the cross-site query hot path and
 # the view-served recurring query must stay within 20% of BENCH_seed.json
 # on ns/op and allocs/op. allocs/op is deterministic; ns/op uses the min
-# of 3 runs so scheduler noise doesn't flag a phantom regression.
+# of 3 runs so scheduler noise doesn't flag a phantom regression. The
+# churn apply benchmark runs alongside for visibility (no baseline gate).
 bench-smoke:
-	$(GO) test -bench 'QueryCrossSite|QueryViewServed' -benchtime 20x -count 3 -benchmem -run '^$$' . | \
+	$(GO) test -bench 'QueryCrossSite|QueryViewServed|ChurnApply' -benchtime 20x -count 3 -benchmem -run '^$$' . | \
 		$(GO) run ./cmd/benchjson -diff BENCH_seed.json -gate 'QueryCrossSite|QueryViewServed' -max-regress 20
 
 # Target-scale wire-codec scenario: 10k nodes / 1M resources with every

@@ -1,0 +1,299 @@
+// Churn-ingestion pipeline benchmarks and smoke test (docs/INGEST.md):
+// the apply path under sustained monitor churn, the WAL write-batching
+// win over per-Set recording, and the backpressure/staleness behavior at
+// 10× scaled churn. Run the benchmarks with
+//
+//	make bench-churn
+//
+// and the smoke test (part of make ci) with
+//
+//	go test -short -run TestChurnSmoke .
+package rbay_test
+
+import (
+	"testing"
+	"time"
+
+	"rbay/internal/core"
+	"rbay/internal/monitor"
+	"rbay/internal/naming"
+	"rbay/internal/scribe"
+	"rbay/internal/store"
+	"rbay/internal/transport"
+	"rbay/internal/workload"
+)
+
+// newChurnFed stands up a single-site federation whose nodes carry
+// durable stores, so WAL frame counts are observable per node.
+func newChurnFed(tb testing.TB, nodes, highWater int) *core.Federation {
+	tb.Helper()
+	reg := naming.NewRegistry()
+	reg.MustDefine(naming.TreeDef{
+		Name:    "CPU_utilization<50%",
+		Pred:    naming.Pred{Attr: "CPU_utilization", Op: naming.OpLt, Value: 0.50},
+		Creator: "churn-bench",
+	})
+	fed, err := core.NewFederation(reg, core.FedConfig{
+		Sites:        []string{"virginia"},
+		NodesPerSite: nodes,
+		Seed:         7,
+		Node: core.Config{
+			MembershipInterval: 500 * time.Millisecond,
+			Scribe:             scribe.Config{AggregateInterval: 300 * time.Millisecond},
+			IngestHighWater:    highWater,
+		},
+		StoreFor: func(transport.Addr) core.Store {
+			l, _, err := store.Open(store.NewMemDir(), store.Options{Policy: store.SyncAlways})
+			if err != nil {
+				tb.Fatalf("open store: %v", err)
+			}
+			return l
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fed.Settle()
+	return fed
+}
+
+// drainAll runs the federation until every node's ingest queue is empty.
+func drainAll(tb testing.TB, fed *core.Federation) {
+	tb.Helper()
+	for i := 0; i < 400; i++ {
+		depth := 0
+		for _, n := range fed.Nodes {
+			depth += n.Ingest().Depth()
+		}
+		if depth == 0 {
+			return
+		}
+		fed.RunFor(50 * time.Millisecond)
+	}
+	tb.Fatal("ingest queues never drained")
+}
+
+// counterSum folds one metric counter across the federation.
+func counterSum(fed *core.Federation, name string) uint64 {
+	var total uint64
+	for _, n := range fed.Nodes {
+		total += n.Metrics().Snapshot().Counters[name]
+	}
+	return total
+}
+
+// BenchmarkChurnApply drives every node's monitoring feed through the
+// ingest queue — the durable churn pipeline — and reports WAL frames per
+// raw update and the coalescing ratio. One iteration is one synchronized
+// feed tick across the federation followed by a drain.
+func BenchmarkChurnApply(b *testing.B) {
+	const nodes, attrs = 8, 16
+	fed := newChurnFed(b, nodes, 0)
+	feeds := make([]*monitor.Feed, len(fed.Nodes))
+	for i := range fed.Nodes {
+		feeds[i] = workload.NewChurnFeed(1, i, attrs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, n := range fed.Nodes {
+			node := n
+			feeds[j].TickInto(func(name string, v any) {
+				_ = node.IngestEnqueue(name, v, "monitor", nil)
+			})
+		}
+		fed.RunFor(100 * time.Millisecond)
+	}
+	drainAll(b, fed)
+	b.StopTimer()
+	enq := counterSum(fed, "rbay_ingest_enqueued_total")
+	if enq == 0 {
+		b.Fatal("no updates enqueued")
+	}
+	frames := counterSum(fed, "rbay_wal_set_frames_total")
+	coalesced := counterSum(fed, "rbay_ingest_coalesced_total")
+	b.ReportMetric(float64(frames)/float64(enq), "walframes/update")
+	b.ReportMetric(float64(coalesced)/float64(enq), "coalesced/update")
+}
+
+// BenchmarkChurnPerSetBaseline applies the identical churn via the
+// synchronous per-Set path: every changed value pays its own WAL frame
+// and its own view pass. Its walframes/update is the baseline the ingest
+// pipeline's batching is measured against.
+func BenchmarkChurnPerSetBaseline(b *testing.B) {
+	const nodes, attrs = 8, 16
+	fed := newChurnFed(b, nodes, 0)
+	feeds := make([]*monitor.Feed, len(fed.Nodes))
+	for i := range fed.Nodes {
+		feeds[i] = workload.NewChurnFeed(1, i, attrs)
+	}
+	var updates uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, n := range fed.Nodes {
+			node := n
+			feeds[j].TickInto(func(name string, v any) {
+				updates++
+				node.SetAttribute(name, v)
+			})
+		}
+		fed.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	frames := counterSum(fed, "rbay_wal_set_frames_total")
+	b.ReportMetric(float64(frames)/float64(updates), "walframes/update")
+}
+
+// BenchmarkChurnStaleness10x runs churn at ten times the feed's base
+// rate (ten ticks per virtual second instead of one) and reports the
+// pipeline's health under that load: mean and max enqueue→apply
+// staleness, the deepest any queue got, sheds (updates degraded to
+// per-key sampling by backpressure), and the aggregation tree's member
+// staleness — how far the CPU_utilization<50% tree's folded count lags
+// the instantaneous ground truth.
+func BenchmarkChurnStaleness10x(b *testing.B) {
+	const nodes, attrs, rate = 8, 16, 10
+	fed := newChurnFed(b, nodes, 256)
+	feeds := make([]*monitor.Feed, len(fed.Nodes))
+	for i := range fed.Nodes {
+		feeds[i] = workload.NewChurnFeed(3, i, attrs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for burst := 0; burst < rate; burst++ {
+			for j, n := range fed.Nodes {
+				node := n
+				feeds[j].TickInto(func(name string, v any) {
+					_ = node.IngestEnqueue(name, v, "monitor", nil)
+				})
+			}
+			fed.RunFor(100 * time.Millisecond)
+		}
+	}
+	drainAll(b, fed)
+	fed.RunFor(2 * time.Second) // let the tree fold the final values
+	b.StopTimer()
+
+	var sum, max float64
+	var count uint64
+	maxDepth := 0
+	for _, n := range fed.Nodes {
+		h := n.Metrics().Snapshot().Histograms["rbay_ingest_staleness_seconds"]
+		sum += h.Sum
+		count += h.Count
+		if h.Max > max {
+			max = h.Max
+		}
+		if st := n.Ingest().QueueStats(); st.MaxDepth > maxDepth {
+			maxDepth = st.MaxDepth
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(sum/float64(count), "staleness-mean-s")
+		b.ReportMetric(max, "staleness-max-s")
+	}
+	b.ReportMetric(float64(maxDepth), "queue-depth-max")
+	b.ReportMetric(float64(counterSum(fed, "rbay_ingest_shed_total")), "sheds")
+
+	truth := 0
+	for _, n := range fed.Nodes {
+		if v, ok := n.Attributes().Get("CPU_utilization"); ok {
+			if f, ok := v.(float64); ok && f < 0.50 {
+				truth++
+			}
+		}
+	}
+	var got core.TreeStats
+	done := false
+	if err := fed.Nodes[0].TreeStats("CPU_utilization<50%", func(st core.TreeStats, err error) {
+		if err == nil {
+			got = st
+		}
+		done = true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100 && !done; i++ {
+		fed.RunFor(100 * time.Millisecond)
+	}
+	lag := got.Count - int64(truth)
+	if lag < 0 {
+		lag = -lag
+	}
+	b.ReportMetric(float64(lag), "tree-staleness-members")
+}
+
+// TestChurnSmoke is the CI gate over the churn pipeline's acceptance
+// properties: bounded queue depth with sheds counted under a burst (the
+// event loop is never blocked), zero WAL frames for unchanged re-posts,
+// and fewer WAL frames per update than the per-Set baseline.
+func TestChurnSmoke(t *testing.T) {
+	const highWater = 64
+	fed := newChurnFed(t, 4, highWater)
+	burstNode, setNode := fed.Nodes[0], fed.Nodes[1]
+
+	// Backpressure burst: flood one node far past its high-water mark
+	// without letting the event loop drain. Distinct keys are always
+	// admitted; re-writes above high-water degrade to per-key sampling.
+	const keys = 200
+	for round := 0; round < 5; round++ {
+		for k := 0; k < keys; k++ {
+			if err := burstNode.IngestEnqueue(workload.SyntheticAttrName(k), float64(round), "burst", nil); err != nil {
+				t.Fatalf("enqueue round %d key %d: %v", round, k, err)
+			}
+		}
+	}
+	st := burstNode.Ingest().QueueStats()
+	if st.MaxDepth > highWater+keys {
+		t.Fatalf("queue depth %d exceeded bound %d (high water %d + %d distinct keys)",
+			st.MaxDepth, highWater+keys, highWater, keys)
+	}
+	if st.Shed == 0 {
+		t.Fatal("burst above high water shed nothing — backpressure sampling never engaged")
+	}
+	drainAll(t, fed)
+	if v, _ := burstNode.Attributes().Get(workload.SyntheticAttrName(0)); v != 4.0 {
+		t.Fatalf("attr_00000 = %v after burst, want 4 (latest round)", v)
+	}
+
+	// Unchanged re-posts: re-enqueueing the values already applied must
+	// append zero WAL frames.
+	frames := func(n *core.Node) uint64 {
+		return n.Metrics().Snapshot().Counters["rbay_wal_set_frames_total"]
+	}
+	before := frames(burstNode)
+	for k := 0; k < keys; k++ {
+		_ = burstNode.IngestEnqueue(workload.SyntheticAttrName(k), 4.0, "repost", nil)
+	}
+	drainAll(t, fed)
+	if got := frames(burstNode) - before; got != 0 {
+		t.Fatalf("unchanged re-posts appended %d WAL frames, want 0", got)
+	}
+
+	// Batching: K fresh keys through ingest cost one WAL frame; the same
+	// K through the per-Set path cost K.
+	const fresh = 16
+	ingBefore, setBefore := frames(burstNode), frames(setNode)
+	for k := 0; k < fresh; k++ {
+		name := "fresh_" + workload.SyntheticAttrName(k)
+		_ = burstNode.IngestEnqueue(name, 1.0, "batch", nil)
+		setNode.SetAttribute(name, 1.0)
+	}
+	drainAll(t, fed)
+	fed.RunFor(100 * time.Millisecond)
+	ingFrames, setFrames := frames(burstNode)-ingBefore, frames(setNode)-setBefore
+	if setFrames != fresh {
+		t.Fatalf("per-Set path wrote %d frames for %d keys, want %d", setFrames, fresh, fresh)
+	}
+	if ingFrames >= setFrames {
+		t.Fatalf("ingest path wrote %d frames vs per-Set %d — batching won nothing", ingFrames, setFrames)
+	}
+
+	// Staleness: enqueue→apply latency stays bounded (virtual time).
+	h := burstNode.Metrics().Snapshot().Histograms["rbay_ingest_staleness_seconds"]
+	if h.Count == 0 {
+		t.Fatal("rbay_ingest_staleness_seconds never observed")
+	}
+	if h.Max > 30 {
+		t.Fatalf("max ingest staleness %.2fs — apply loop starved", h.Max)
+	}
+}

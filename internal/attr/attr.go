@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"time"
 
@@ -172,12 +173,18 @@ func NewMap(opts Options) *Map {
 }
 
 // Set creates or updates an attribute's monitored value, preserving any
-// attached handler.
+// attached handler. Writing the value the attribute already holds is a
+// no-op: monitoring substrates re-push unchanged values every tick
+// (Static generators, boundary-clamped walks), and without suppression
+// each of those fired OnSet — one redundant WAL frame plus one view
+// re-evaluation — amplifying churn cost for data that didn't change.
 func (m *Map) Set(name string, value any) {
 	a := m.attrs[name]
 	if a == nil {
 		a = &Attribute{name: name}
 		m.attrs[name] = a
+	} else if valuesEqual(a.value, value) {
+		return
 	}
 	a.value = value
 	if a.rt != nil {
@@ -186,6 +193,76 @@ func (m *Map) Set(name string, value any) {
 	if m.opts.OnSet != nil {
 		m.opts.OnSet(name, value)
 	}
+}
+
+// valuesEqual reports whether an attribute write is a no-op. Fast paths
+// cover the types generators and the store codec produce; anything else
+// falls back to reflect.DeepEqual. NaN compares unequal to itself, so a
+// NaN-valued write is conservatively treated as a change.
+func valuesEqual(a, b any) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case int:
+		y, ok := b.(int)
+		return ok && x == y
+	case int64:
+		y, ok := b.(int64)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case []string:
+		y, ok := b.([]string)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+// BatchEntry is one write in a coalesced apply batch.
+type BatchEntry struct {
+	Name  string
+	Value any
+}
+
+// ApplyBatch sets every entry's value in order, skipping writes the map
+// already holds (same no-op rule as Set), and returns the entries that
+// actually changed. The per-write OnSet hook deliberately does NOT fire:
+// batch callers (the ingest apply loop) record the returned entries as
+// one WAL frame and run a single deferred view pass, instead of paying
+// one frame and one re-evaluation per key.
+func (m *Map) ApplyBatch(entries []BatchEntry) []BatchEntry {
+	changed := entries[:0:0]
+	for _, e := range entries {
+		a := m.attrs[e.Name]
+		if a == nil {
+			a = &Attribute{name: e.Name}
+			m.attrs[e.Name] = a
+		} else if valuesEqual(a.value, e.Value) {
+			continue
+		}
+		a.value = e.Value
+		if a.rt != nil {
+			a.rt.SetGlobal("AttrValue", aal.FromGo(e.Value))
+		}
+		changed = append(changed, e)
+	}
+	return changed
 }
 
 // Get returns an attribute's current value.

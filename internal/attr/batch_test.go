@@ -1,0 +1,135 @@
+package attr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSetSuppressesNoOpWrites(t *testing.T) {
+	var sets []string
+	m := NewMap(Options{OnSet: func(name string, value any) { sets = append(sets, name) }})
+
+	m.Set("cpu", 0.5)
+	m.Set("cpu", 0.5) // unchanged: no hook
+	m.Set("cpu", 0.6)
+	m.Set("gpu_model", "a100")
+	m.Set("gpu_model", "a100") // unchanged
+	m.Set("tags", []string{"x", "y"})
+	m.Set("tags", []string{"x", "y"}) // unchanged slice contents
+	m.Set("tags", []string{"x", "z"})
+
+	want := []string{"cpu", "cpu", "gpu_model", "tags", "tags"}
+	if !reflect.DeepEqual(sets, want) {
+		t.Fatalf("OnSet fired for %v, want %v", sets, want)
+	}
+	// The map still holds the final values.
+	if v, _ := m.Get("cpu"); v != 0.6 {
+		t.Fatalf("cpu = %v, want 0.6", v)
+	}
+}
+
+func TestSetNilAndTypeChangesAreWrites(t *testing.T) {
+	var sets int
+	m := NewMap(Options{OnSet: func(string, any) { sets++ }})
+	m.Set("a", nil)
+	m.Set("a", nil) // no-op
+	m.Set("a", 0.0) // nil → float is a change
+	m.Set("a", 0)   // float64(0) → int(0) is a type change, still a write
+	if sets != 3 {
+		t.Fatalf("OnSet fired %d times, want 3", sets)
+	}
+}
+
+func TestSetSuppressionKeepsAAValueFresh(t *testing.T) {
+	m := NewMap(Options{})
+	script := `
+AA = {}
+function onGet(caller, payload)
+  return AttrValue
+end
+`
+	if err := m.Attach("cpu", script); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	m.Set("cpu", 0.25)
+	m.Set("cpu", 0.25)
+	v, err := m.OnGet("cpu", "caller", nil)
+	if err != nil {
+		t.Fatalf("onGet: %v", err)
+	}
+	if v != 0.25 {
+		t.Fatalf("AttrValue = %v, want 0.25", v)
+	}
+}
+
+func TestApplyBatchReturnsChangedOnly(t *testing.T) {
+	var hookFired bool
+	m := NewMap(Options{OnSet: func(string, any) { hookFired = true }})
+	m.Set("static", "v100")
+	hookFired = false
+
+	changed := m.ApplyBatch([]BatchEntry{
+		{Name: "cpu", Value: 0.5},
+		{Name: "static", Value: "v100"}, // unchanged: filtered out
+		{Name: "mem", Value: 0.3},
+	})
+	want := []BatchEntry{{Name: "cpu", Value: 0.5}, {Name: "mem", Value: 0.3}}
+	if !reflect.DeepEqual(changed, want) {
+		t.Fatalf("changed = %v, want %v", changed, want)
+	}
+	if hookFired {
+		t.Fatal("ApplyBatch must not fire the per-write OnSet hook")
+	}
+	if v, ok := m.Get("cpu"); !ok || v != 0.5 {
+		t.Fatalf("cpu = %v (%v), want 0.5", v, ok)
+	}
+}
+
+func TestApplyBatchUpdatesAARuntime(t *testing.T) {
+	m := NewMap(Options{})
+	script := `
+AA = {}
+function onGet(caller, payload)
+  return AttrValue
+end
+`
+	if err := m.Attach("cpu", script); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	m.ApplyBatch([]BatchEntry{{Name: "cpu", Value: 0.75}})
+	v, err := m.OnGet("cpu", "caller", nil)
+	if err != nil {
+		t.Fatalf("onGet: %v", err)
+	}
+	if v != 0.75 {
+		t.Fatalf("AttrValue = %v, want 0.75 after batch apply", v)
+	}
+}
+
+func TestValuesEqual(t *testing.T) {
+	cases := []struct {
+		a, b any
+		eq   bool
+	}{
+		{nil, nil, true},
+		{nil, 0, false},
+		{true, true, true},
+		{true, false, false},
+		{1, 1, true},
+		{1, int64(1), false}, // type change is a write
+		{int64(7), int64(7), true},
+		{0.5, 0.5, true},
+		{0.5, 0.6, false},
+		{"a", "a", true},
+		{"a", "b", false},
+		{[]string{"x"}, []string{"x"}, true},
+		{[]string{"x"}, []string{"y"}, false},
+		{[]string{"x"}, []string{"x", "y"}, false},
+		{map[string]int{"k": 1}, map[string]int{"k": 1}, true}, // DeepEqual fallback
+	}
+	for _, c := range cases {
+		if got := valuesEqual(c.a, c.b); got != c.eq {
+			t.Errorf("valuesEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+	}
+}

@@ -189,6 +189,13 @@ type Harness struct {
 
 	probeGot  map[uint64]ids.ID
 	nextProbe uint64
+
+	// churnOff silences the armed monitor feeds for the quiescent phase:
+	// the invariant suite itself advances virtual time (routing probes,
+	// aggregate queries), and live churn during those runs would keep
+	// flapping tree membership — a node mid-join when checkTrees looks is
+	// ongoing churn, not a violation.
+	churnOff bool
 }
 
 // New builds the federation and settles it, ready for Run.
@@ -331,8 +338,9 @@ func (h *Harness) Run() *Result {
 		h.checkPassive()
 	}
 
-	// Quiescence: remove every standing fault, let the plane converge, then
-	// run the full invariant suite.
+	// Quiescence: stop churn, remove every standing fault, let the plane
+	// converge, then run the full invariant suite.
+	h.churnOff = true
 	h.net.HealAllPartitions()
 	for site, id := range h.degrade {
 		h.net.RemoveRule(id)
@@ -686,13 +694,20 @@ func (h *Harness) applyLayout(n *core.Node, site string, i int) {
 
 // armChurn drives the node's utilization with a seeded random walk ticking
 // once per virtual second, like a site monitoring agent. The walk dies with
-// the node's endpoint and is re-armed on restart.
+// the node's endpoint and is re-armed on restart. Updates go through the
+// node's ingest queue — the same durable pipeline real monitor feeds use —
+// so chaos scenarios exercise coalescing and batched WAL appends too.
 func (h *Harness) armChurn(n *core.Node, idx int) {
 	feed := monitor.NewFeed(h.scn.Seed*1000003 + int64(idx)*7)
 	feed.Track("CPU_utilization", &monitor.Walk{Cur: float64(idx%20) / 20.0, Min: 0, Max: 1, Step: 0.1})
 	var tick func()
 	tick = func() {
-		feed.Tick(n.Attributes())
+		if h.churnOff {
+			return
+		}
+		feed.TickInto(func(name string, v any) {
+			_ = n.IngestEnqueue(name, v, "monitor", nil)
+		})
 		n.Pastry().After(time.Second, tick)
 	}
 	n.Pastry().After(time.Second, tick)

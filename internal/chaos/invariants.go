@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"rbay/internal/naming"
 	"rbay/internal/pastry"
 	"rbay/internal/query"
+	"rbay/internal/scribe"
 )
 
 // checkPassive runs the cheap structural checks that are safe to assert
@@ -298,12 +300,20 @@ func (h *Harness) checkAggregates() {
 					fmt.Sprintf("tree %s@%s: aggregate query never completed", def.Name, site))
 				continue
 			}
+			post := h.groundTruth(def, site)
 			if gotErr != nil {
+				// A tree whose membership drained away is torn down
+				// everywhere, so its rendezvous correctly answers "no such
+				// tree" — that is the right outcome when ground truth is
+				// (within slack of) empty, not a violation.
+				if errors.Is(gotErr, scribe.ErrNoTree) && min(pre, post) <= h.scn.AggSlack {
+					checked++
+					continue
+				}
 				h.violate("aggregate-correctness",
 					fmt.Sprintf("tree %s@%s: aggregate query failed: %v", def.Name, site, gotErr))
 				continue
 			}
-			post := h.groundTruth(def, site)
 			lo, hi := pre, post
 			if lo > hi {
 				lo, hi = hi, lo
@@ -325,9 +335,9 @@ func (h *Harness) checkAggregates() {
 // through the promotion window right after its root crashed. The
 // replication contract (docs/VIEWS.md): a leaf-set replica promotes and
 // serves the replicated snapshot, so successful probes stay within the
-// staleness slack of the live member count — in particular a populated
-// tree must never read as empty (the subtree re-join storm regression) —
-// and the tree must not go silent for the whole window.
+// staleness slack of the live member count — in particular a solidly
+// populated tree must never read as empty (the subtree re-join storm
+// regression) — and the tree must not go silent for the whole window.
 func (h *Harness) watchAggregateContinuity(def *naming.TreeDef, site string) {
 	h.counters.Inc("checks.continuity")
 	issuers := h.liveSite(site)
@@ -365,8 +375,15 @@ func (h *Harness) watchAggregateContinuity(def *naming.TreeDef, site string) {
 		slack := h.scn.AggSlack + 2
 		lo -= slack
 		hi += slack
-		if lo < 1 {
-			lo = 1
+		// The never-reads-as-empty assertion only holds for a tree that is
+		// solidly populated through the window (lo still ≥ 1 after slack).
+		// A near-empty tree under threshold churn can legitimately fold to
+		// zero: its last member unsubscribes when its utilization crosses
+		// the predicate, and ground truth re-admitting it is visible to the
+		// tree only after the membership lag — no snapshot can report a
+		// member that left.
+		if lo < 0 {
+			lo = 0
 		}
 		if got.Count < lo || got.Count > hi {
 			h.violate("aggregate-continuity",

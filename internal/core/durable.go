@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"rbay/internal/attr"
 	"rbay/internal/ids"
 	"rbay/internal/store"
 )
@@ -14,6 +15,10 @@ import (
 // (no store — simnet tests stay pure in-memory and pay nothing).
 type Store interface {
 	RecordSet(name string, value any)
+	// RecordSetBatch records a coalesced batch of attribute updates as a
+	// single WAL frame with all-or-nothing crash semantics (the ingest
+	// apply path).
+	RecordSetBatch(entries []store.BatchSet)
 	RecordDelete(name string)
 	RecordAttach(name, script string)
 	RecordReserve(queryID string, expires time.Time)
@@ -46,7 +51,24 @@ func (n *Node) scheduleStoreSync(interval time.Duration) {
 func (n *Node) storeSet(name string, value any) {
 	if n.st != nil && !n.restoring {
 		n.st.RecordSet(name, value)
+		n.metrics.Inc("rbay_wal_set_frames_total")
 	}
+}
+
+// storeSetBatch records a whole coalesced apply batch as one WAL frame —
+// the ingest pipeline's amortization of per-Set append cost. The frame
+// counter advances by one however many keys the batch carries, which is
+// what `make bench-churn` measures against the per-Set baseline.
+func (n *Node) storeSetBatch(entries []attr.BatchEntry) {
+	if len(entries) == 0 || n.st == nil || n.restoring {
+		return
+	}
+	batch := make([]store.BatchSet, len(entries))
+	for i, e := range entries {
+		batch[i] = store.BatchSet{Name: e.Name, Value: e.Value}
+	}
+	n.st.RecordSetBatch(batch)
+	n.metrics.Inc("rbay_wal_set_frames_total")
 }
 
 func (n *Node) storeDelete(name string) {

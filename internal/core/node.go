@@ -10,6 +10,7 @@ import (
 	"rbay/internal/attr"
 	"rbay/internal/forecast"
 	"rbay/internal/ids"
+	"rbay/internal/ingest"
 	"rbay/internal/metrics"
 	"rbay/internal/naming"
 	"rbay/internal/pastry"
@@ -63,6 +64,14 @@ type Config struct {
 	// the node's state survives a crash (see internal/store and Restore).
 	// Nil — the default — keeps everything in memory.
 	Store Store
+	// IngestHighWater, IngestBatch and IngestErrorCap tune the node's
+	// churn-ingestion queue (internal/ingest, docs/INGEST.md): the depth
+	// at which enqueues degrade to per-key sampling, the max raw updates
+	// per apply batch, and the error-queue bound. Zero values take the
+	// ingest package defaults.
+	IngestHighWater int
+	IngestBatch     int
+	IngestErrorCap  int
 	// AAQuarantineAfter is the consecutive AA handler-failure threshold
 	// after which an attribute's handlers are quarantined. 0 uses
 	// attr.DefaultQuarantineAfter; negative disables quarantine.
@@ -161,6 +170,11 @@ type Node struct {
 	// on disk.
 	st        Store
 	restoring bool
+
+	// ing is the churn-ingestion queue (docs/INGEST.md); applyIngestFn is
+	// the drain closure, allocated once and re-armed while updates remain.
+	ing           *ingest.Queue
+	applyIngestFn func()
 
 	// Materialized query views (see view.go): views this node owns, keyed
 	// by canonical query text; subscriptions this node serves as a tree
@@ -318,6 +332,19 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		},
 		OnAttach: n.storeAttach,
 	})
+	n.applyIngestFn = n.applyIngest
+	n.ing = ingest.NewQueue(ingest.Config{
+		HighWater: cfg.IngestHighWater,
+		BatchSize: cfg.IngestBatch,
+		ErrorCap:  cfg.IngestErrorCap,
+		Metrics:   reg2,
+		Now:       p.Now,
+		// Wake runs on the producer's goroutine; After(0, ...) marshals the
+		// drain onto the node's single event context.
+		Wake: func() { n.p.After(0, n.applyIngestFn) },
+	})
+	reg2.Declare("rbay_ingest_apply_seconds", "rbay_ingest_staleness_seconds")
+	reg2.DeclareInt("rbay_ingest_queue_depth", "rbay_ingest_batch_raw")
 	p.Register(AppName, n)
 	n.scheduleMembership()
 	if n.st != nil {

@@ -401,25 +401,59 @@ func (n *Node) viewsAttrChanged(name string) {
 	if len(n.viewSubs) == 0 {
 		return
 	}
+	for _, k := range n.sortedViewSubKeys() {
+		sub := n.viewSubs[k]
+		if subWatches(sub, name) {
+			n.evalViewSub(sub, true)
+		}
+	}
+}
+
+// viewsAttrChangedBatch is the apply-batch debounce: each subscription
+// is re-evaluated AT MOST ONCE for a whole coalesced batch, however many
+// of its watched attributes changed. Results are identical to calling
+// viewsAttrChanged once per write after the batch has landed, because
+// evalViewSub recomputes from current attribute state — one pass over
+// the final values sees exactly what N per-write passes would have
+// converged to.
+func (n *Node) viewsAttrChangedBatch(names []string) {
+	if len(n.viewSubs) == 0 || len(names) == 0 {
+		return
+	}
+	for _, k := range n.sortedViewSubKeys() {
+		sub := n.viewSubs[k]
+		for _, name := range names {
+			if subWatches(sub, name) {
+				n.evalViewSub(sub, true)
+				break
+			}
+		}
+	}
+}
+
+// sortedViewSubKeys orders the subscription keys for a deterministic
+// send order under the simulator.
+func (n *Node) sortedViewSubKeys() []string {
 	keys := make([]string, 0, len(n.viewSubs))
 	for k := range n.viewSubs {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys) // deterministic send order for the simulator
-	for _, k := range keys {
-		sub := n.viewSubs[k]
-		relevant := sub.orderBy == name ||
-			strings.TrimPrefix(sub.orderBy, StabilityPrefix) == name
-		for _, p := range sub.preds {
-			if p.Attr == name {
-				relevant = true
-				break
-			}
-		}
-		if relevant {
-			n.evalViewSub(sub, true)
+	sort.Strings(keys)
+	return keys
+}
+
+// subWatches reports whether the subscription predicates or orders over
+// the attribute.
+func subWatches(sub *viewSub, name string) bool {
+	if sub.orderBy == name || strings.TrimPrefix(sub.orderBy, StabilityPrefix) == name {
+		return true
+	}
+	for _, p := range sub.preds {
+		if p.Attr == name {
+			return true
 		}
 	}
+	return false
 }
 
 // evalViewSub recomputes the member's match state; transitions — and,

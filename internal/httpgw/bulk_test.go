@@ -1,0 +1,133 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postBulk(t *testing.T, f *gwFixture, body string) (int, bulkResponse) {
+	t.Helper()
+	resp, err := http.Post(f.ts.URL+"/attrs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bulkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode bulk response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestGatewayBulkPostThroughIngest(t *testing.T) {
+	f := newFixture(t)
+	node := f.nodes[0]
+
+	code, out := postBulk(t, f, `{"updates":[
+		{"name":"CPU_utilization","value":0.42},
+		{"name":"CPU_utilization","value":0.17},
+		{"name":"gpu_model","value":"a100"},
+		{"name":"maintenance","value":true},
+		{"name":"tags","value":["gpu","infiniband"]},
+		{"name":"","value":1},
+		{"name":"bad","value":{"nested":"object"}}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("bulk post = %d, want 200", code)
+	}
+	if out.Accepted != 7 || out.Applied != 5 {
+		t.Fatalf("response = %+v, want 7 accepted / 5 applied", out)
+	}
+	if len(out.Failed) != 2 {
+		t.Fatalf("failed = %+v, want empty-name and nested-object rejects", out.Failed)
+	}
+	failedNames := map[string]bool{}
+	for _, fo := range out.Failed {
+		if fo.Error == "" {
+			t.Fatalf("failed outcome without error: %+v", fo)
+		}
+		failedNames[fo.Name] = true
+	}
+	if !failedNames[""] || !failedNames["bad"] {
+		t.Fatalf("failed names = %v, want \"\" and \"bad\"", failedNames)
+	}
+
+	node.DoWait(func() {
+		am := node.Attributes()
+		if v, _ := am.Get("CPU_utilization"); v != 0.17 {
+			t.Errorf("CPU_utilization = %v, want 0.17 (last write wins)", v)
+		}
+		if v, _ := am.Get("gpu_model"); v != "a100" {
+			t.Errorf("gpu_model = %v", v)
+		}
+		if v, _ := am.Get("maintenance"); v != true {
+			t.Errorf("maintenance = %v", v)
+		}
+		v, _ := am.Get("tags")
+		tags, ok := v.([]string)
+		if !ok || len(tags) != 2 || tags[0] != "gpu" {
+			t.Errorf("tags = %#v, want []string{gpu, infiniband}", v)
+		}
+		if _, ok := am.Get("bad"); ok {
+			t.Error("rejected update applied anyway")
+		}
+	})
+
+	// The rejects are parked on the node's ingest error queue.
+	errs := node.Ingest().Errors()
+	if len(errs) != 2 {
+		t.Fatalf("error queue = %+v, want 2 entries", errs)
+	}
+
+	// The bulk path coalesced the two CPU_utilization writes.
+	if st := node.Ingest().QueueStats(); st.Coalesced < 1 {
+		t.Fatalf("stats = %+v, want at least one coalesced write", st)
+	}
+}
+
+func TestGatewayBulkPostRejectsEmptyBody(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Post(f.ts.URL+"/attrs", "application/json", strings.NewReader(`{"updates":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty bulk post = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(f.ts.URL+"/attrs", "application/json", strings.NewReader(`not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed bulk post = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGatewayBulkPostLargeBatchOneWALFrame(t *testing.T) {
+	f := newFixture(t)
+	node := f.nodes[0]
+	var sb strings.Builder
+	sb.WriteString(`{"updates":[`)
+	for i := 0; i < 50; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"name":"bulk_%02d","value":%d}`, i, i)
+	}
+	sb.WriteString(`]}`)
+	code, out := postBulk(t, f, sb.String())
+	if code != http.StatusOK {
+		t.Fatalf("bulk post = %d (%+v)", code, out)
+	}
+	if out.Applied != 50 {
+		t.Fatalf("applied = %d, want 50", out.Applied)
+	}
+	if depth := node.Ingest().Depth(); depth != 0 {
+		t.Fatalf("queue depth = %d after acked post", depth)
+	}
+}

@@ -44,6 +44,7 @@ func New(node *core.Node, timeout time.Duration) *Server {
 	s.mux.HandleFunc("DELETE /views", s.handleViewDrop)
 	s.mux.HandleFunc("GET /trees/{name...}", s.handleTreeStats)
 	s.mux.HandleFunc("GET /attrs", s.handleAttrs)
+	s.mux.HandleFunc("POST /attrs", s.handleBulkAttrs)
 	s.mux.HandleFunc("PUT /attrs/{name}", s.handleSetAttr)
 	s.mux.HandleFunc("POST /policies/{name}", s.handleAttachPolicy)
 	s.mux.HandleFunc("POST /deliver/{name...}", s.handleDeliver)
@@ -347,6 +348,111 @@ func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// bulkUpdate is one attribute write in a bulk post.
+type bulkUpdate struct {
+	Name  string `json:"name"`
+	Value any    `json:"value"`
+}
+
+// bulkRequest is the POST /attrs body.
+type bulkRequest struct {
+	Updates []bulkUpdate `json:"updates"`
+}
+
+// bulkOutcome reports one rejected or nacked update.
+type bulkOutcome struct {
+	Name  string `json:"name"`
+	Error string `json:"error"`
+}
+
+// bulkResponse summarizes a bulk post: applied counts durably-landed
+// updates, failed lists validation/quarantine nacks (also parked on the
+// node's ingest error queue), and pending counts acks that had not fired
+// when the gateway timeout expired (202) — the updates stay queued.
+type bulkResponse struct {
+	Accepted int           `json:"accepted"`
+	Applied  int           `json:"applied"`
+	Failed   []bulkOutcome `json:"failed,omitempty"`
+	Pending  int           `json:"pending,omitempty"`
+}
+
+// handleBulkAttrs routes a batch of attribute updates through the node's
+// churn-ingestion queue (docs/INGEST.md) instead of one synchronous Set
+// per key: the whole batch coalesces into one WAL frame and one view
+// pass, and the response carries per-update ack/nack outcomes.
+func (s *Server) handleBulkAttrs(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req bulkRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no updates in body"))
+		return
+	}
+	source := "httpgw@" + r.RemoteAddr
+	type outcome struct {
+		idx int
+		err error
+	}
+	// Acks fire on the node's event context (applies) or synchronously on
+	// this goroutine (validation rejects); the buffer holds them all so
+	// neither side ever blocks.
+	acks := make(chan outcome, len(req.Updates))
+	for i, u := range req.Updates {
+		idx := i
+		_ = s.node.IngestEnqueue(u.Name, normalizeJSONValue(u.Value), source, func(err error) {
+			acks <- outcome{idx: idx, err: err}
+		})
+	}
+	resp := bulkResponse{Accepted: len(req.Updates)}
+	deadline := time.After(s.timeout)
+	got := 0
+	for got < len(req.Updates) {
+		select {
+		case o := <-acks:
+			got++
+			if o.err == nil {
+				resp.Applied++
+			} else {
+				resp.Failed = append(resp.Failed, bulkOutcome{Name: req.Updates[o.idx].Name, Error: o.err.Error()})
+			}
+		case <-deadline:
+			// Still-queued updates will apply eventually; report them as
+			// pending rather than holding the client.
+			resp.Pending = len(req.Updates) - got
+			writeJSON(w, http.StatusAccepted, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// normalizeJSONValue maps decoded JSON shapes onto the attribute value
+// types the store codec round-trips: homogeneous string arrays become
+// []string; everything else passes through (and non-scalar leftovers are
+// rejected by ingest validation into the error queue).
+func normalizeJSONValue(v any) any {
+	arr, ok := v.([]any)
+	if !ok {
+		return v
+	}
+	out := make([]string, len(arr))
+	for i, e := range arr {
+		s, ok := e.(string)
+		if !ok {
+			return v
+		}
+		out[i] = s
+	}
+	return out
 }
 
 func (s *Server) handleSetAttr(w http.ResponseWriter, r *http.Request) {

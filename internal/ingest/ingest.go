@@ -1,0 +1,333 @@
+// Package ingest is the bounded, durable churn-ingestion stage between
+// update producers (monitor feeds, gateway bulk posts) and a node's
+// attribute store. Producers on any goroutine enqueue validated update
+// messages; the owning node's apply loop drains them in batches with
+// per-key last-write-wins coalescing, applies each batch through one WAL
+// frame and one deferred view pass, and acks. Malformed or
+// quarantined-handler updates are nacked onto a bounded error queue
+// instead of poisoning the pipeline, and when queue depth crosses the
+// high-water mark the queue degrades to per-key sampling (keep latest,
+// count sheds) rather than blocking the producer or the node event loop.
+// See docs/INGEST.md.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rbay/internal/metrics"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultHighWater is the queue depth above which enqueues degrade to
+	// per-key sampling.
+	DefaultHighWater = 4096
+	// DefaultBatchSize is the maximum raw updates drained per apply batch.
+	DefaultBatchSize = 256
+	// DefaultErrorCap bounds the error queue ring.
+	DefaultErrorCap = 128
+	// maxNameLen rejects absurd attribute names before they reach the
+	// store layer.
+	maxNameLen = 256
+)
+
+// ErrEmptyName rejects updates without an attribute name.
+var ErrEmptyName = errors.New("ingest: empty attribute name")
+
+// Config tunes a Queue. Zero values take the defaults above; Metrics,
+// Now and Wake may be nil.
+type Config struct {
+	// HighWater is the queue depth at which backpressure switches from
+	// keep-all to per-key sampling.
+	HighWater int
+	// BatchSize caps raw updates per DrainBatch.
+	BatchSize int
+	// ErrorCap bounds the error queue.
+	ErrorCap int
+	// Metrics receives the rbay_ingest_* counters and histograms
+	// (nil-safe).
+	Metrics *metrics.Registry
+	// Now supplies the (virtual) clock for staleness accounting. Default
+	// time.Now.
+	Now func() time.Time
+	// Wake is called — outside the queue lock — when an enqueue makes the
+	// queue non-empty, so the owner can schedule an apply pass. Spurious
+	// wakes are fine: draining an empty queue is a no-op.
+	Wake func()
+	// Validate vets an update before it is queued; a non-nil error nacks
+	// it straight to the error queue. Default ValidateUpdate.
+	Validate func(name string, value any) error
+}
+
+// pending is one queued raw update (possibly subsuming earlier sampled
+// writes to the same key).
+type pending struct {
+	name   string
+	value  any
+	source string
+	at     time.Time
+	raw    int // producer updates this entry subsumes (≥1)
+	acks   []func(error)
+}
+
+// Apply is one coalesced update handed to the apply loop: the latest
+// value for a key plus the acks of every raw update it subsumes.
+type Apply struct {
+	Name   string
+	Value  any
+	Source string
+	// At is the enqueue time of the newest subsumed update — the apply
+	// loop's staleness measurement point.
+	At time.Time
+	// Raw is how many producer updates this apply covers.
+	Raw int
+
+	acks []func(error)
+	q    *Queue
+}
+
+// Ack reports the apply as durably applied: every subsumed producer ack
+// fires with nil.
+func (a *Apply) Ack() {
+	a.q.noteApplied(a.Raw)
+	for _, f := range a.acks {
+		f(nil)
+	}
+}
+
+// Failed is one update parked on the error queue.
+type Failed struct {
+	Name   string
+	Value  any
+	Source string
+	At     time.Time
+	Reason string
+}
+
+// Stats is a point-in-time snapshot of the queue's counters.
+type Stats struct {
+	Depth     int    // queued entries right now
+	MaxDepth  int    // high-water mark observed since creation
+	Enqueued  uint64 // raw updates accepted onto the queue
+	Applied   uint64 // raw updates covered by acked applies
+	Coalesced uint64 // queued entries collapsed at drain time
+	Shed      uint64 // raw updates subsumed by sampling above high water
+	Nacked    uint64 // updates parked on the error queue
+	Batches   uint64 // apply batches drained
+}
+
+// Queue is the bounded ingestion queue for one node. Enqueue is safe
+// from any goroutine; DrainBatch and Nack are called by the owning apply
+// loop.
+type Queue struct {
+	cfg Config
+
+	mu     sync.Mutex
+	q      []*pending
+	byKey  map[string]*pending
+	errs   []Failed
+	errOff int // ring start when len(errs) == ErrorCap
+
+	depth    int // == len(q), kept for Stats without re-deriving
+	maxDepth int
+	stats    Stats
+}
+
+// NewQueue creates an ingestion queue.
+func NewQueue(cfg Config) *Queue {
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = DefaultHighWater
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.ErrorCap <= 0 {
+		cfg.ErrorCap = DefaultErrorCap
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Validate == nil {
+		cfg.Validate = ValidateUpdate
+	}
+	return &Queue{cfg: cfg, byKey: make(map[string]*pending)}
+}
+
+// ValidateUpdate is the default message validation: a non-empty, bounded
+// attribute name and a value type the store's tagged codec can
+// round-trip. Anything else belongs on the error queue, not in the WAL.
+func ValidateUpdate(name string, value any) error {
+	if name == "" {
+		return ErrEmptyName
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("ingest: attribute name %d bytes exceeds %d", len(name), maxNameLen)
+	}
+	switch value.(type) {
+	case nil, bool, int, int32, int64, float32, float64, string, []string:
+		return nil
+	}
+	return fmt.Errorf("ingest: unsupported value type %T for %q", value, name)
+}
+
+// Enqueue validates and queues one update. ack, if non-nil, fires
+// exactly once: with nil when the update (or a newer write to the same
+// key that subsumed it) is durably applied, or with the rejection error.
+// Above the high-water mark, writes to already-queued keys sample in
+// place (latest value wins, shed counted) so depth stays bounded and the
+// producer never blocks. The returned error is non-nil only for
+// validation rejections.
+func (q *Queue) Enqueue(name string, value any, source string, ack func(error)) error {
+	if err := q.cfg.Validate(name, value); err != nil {
+		q.reject(Failed{Name: name, Value: value, Source: source, At: q.cfg.Now(), Reason: err.Error()})
+		if ack != nil {
+			ack(err)
+		}
+		return err
+	}
+	now := q.cfg.Now()
+	q.mu.Lock()
+	wasEmpty := len(q.q) == 0
+	if len(q.q) >= q.cfg.HighWater {
+		if p := q.byKey[name]; p != nil {
+			// Sampling mode: keep the latest value, drop the superseded one,
+			// chain the ack so the producer still learns the key landed.
+			p.value, p.source, p.at = value, source, now
+			p.raw++
+			if ack != nil {
+				p.acks = append(p.acks, ack)
+			}
+			q.stats.Shed++
+			q.mu.Unlock()
+			q.cfg.Metrics.Inc("rbay_ingest_shed_total")
+			return nil
+		}
+		// A key not yet queued is always admitted — sampling bounds depth
+		// by HighWater plus the distinct-key count, never losing a key's
+		// only pending value.
+	}
+	p := &pending{name: name, value: value, source: source, at: now, raw: 1}
+	if ack != nil {
+		p.acks = append(p.acks, ack)
+	}
+	q.q = append(q.q, p)
+	q.byKey[name] = p
+	q.stats.Enqueued++
+	if len(q.q) > q.maxDepth {
+		q.maxDepth = len(q.q)
+	}
+	q.mu.Unlock()
+	q.cfg.Metrics.Inc("rbay_ingest_enqueued_total")
+	if wasEmpty && q.cfg.Wake != nil {
+		q.cfg.Wake()
+	}
+	return nil
+}
+
+// DrainBatch removes up to BatchSize raw updates from the head of the
+// queue and collapses them per key (last write wins, first-occurrence
+// order preserved). raw is the raw update count drained; zero means the
+// queue was empty.
+func (q *Queue) DrainBatch() (applies []*Apply, raw int) {
+	q.mu.Lock()
+	n := len(q.q)
+	if n == 0 {
+		q.mu.Unlock()
+		return nil, 0
+	}
+	if n > q.cfg.BatchSize {
+		n = q.cfg.BatchSize
+	}
+	q.cfg.Metrics.ObserveInt("rbay_ingest_queue_depth", len(q.q))
+	head := q.q[:n]
+	// Copy the remainder into a fresh slice so drained pendings are not
+	// pinned by the old backing array.
+	q.q = append([]*pending(nil), q.q[n:]...)
+	for _, p := range head {
+		if q.byKey[p.name] == p {
+			delete(q.byKey, p.name)
+		}
+	}
+	byName := make(map[string]*Apply, len(head))
+	for _, p := range head {
+		raw += p.raw
+		if a := byName[p.name]; a != nil {
+			a.Value, a.Source, a.At = p.value, p.source, p.at
+			a.Raw += p.raw
+			a.acks = append(a.acks, p.acks...)
+			q.stats.Coalesced++
+			continue
+		}
+		a := &Apply{Name: p.name, Value: p.value, Source: p.source, At: p.at, Raw: p.raw, acks: p.acks, q: q}
+		byName[p.name] = a
+		applies = append(applies, a)
+	}
+	coalesced := len(head) - len(applies)
+	q.stats.Batches++
+	q.mu.Unlock()
+	q.cfg.Metrics.Add("rbay_ingest_coalesced_total", uint64(coalesced))
+	q.cfg.Metrics.ObserveInt("rbay_ingest_batch_raw", raw)
+	return applies, raw
+}
+
+// Nack parks a drained apply on the error queue — the apply loop calls
+// it for updates whose target attribute is quarantined or whose apply
+// failed. Every subsumed producer ack fires with the reason.
+func (q *Queue) Nack(a *Apply, reason string) {
+	err := errors.New(reason)
+	q.reject(Failed{Name: a.Name, Value: a.Value, Source: a.Source, At: a.At, Reason: reason})
+	for _, f := range a.acks {
+		f(err)
+	}
+}
+
+// reject records one failed update on the bounded error ring.
+func (q *Queue) reject(f Failed) {
+	q.mu.Lock()
+	if len(q.errs) < q.cfg.ErrorCap {
+		q.errs = append(q.errs, f)
+	} else {
+		q.errs[q.errOff] = f
+		q.errOff = (q.errOff + 1) % q.cfg.ErrorCap
+	}
+	q.stats.Nacked++
+	q.mu.Unlock()
+	q.cfg.Metrics.Inc("rbay_ingest_nacked_total")
+}
+
+func (q *Queue) noteApplied(raw int) {
+	q.mu.Lock()
+	q.stats.Applied += uint64(raw)
+	q.mu.Unlock()
+	q.cfg.Metrics.Add("rbay_ingest_applied_total", uint64(raw))
+}
+
+// Depth returns the current queued-entry count.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.q)
+}
+
+// Errors returns the error queue's contents, oldest first.
+func (q *Queue) Errors() []Failed {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Failed, 0, len(q.errs))
+	out = append(out, q.errs[q.errOff:]...)
+	out = append(out, q.errs[:q.errOff]...)
+	return out
+}
+
+// QueueStats returns a snapshot of the queue's counters.
+func (q *Queue) QueueStats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.Depth = len(q.q)
+	s.MaxDepth = q.maxDepth
+	return s
+}

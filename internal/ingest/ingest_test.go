@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rbay/internal/metrics"
+)
+
+func newTestQueue(cfg Config) *Queue {
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return NewQueue(cfg)
+}
+
+func drainAll(q *Queue) []*Apply {
+	var out []*Apply
+	for {
+		applies, raw := q.DrainBatch()
+		if raw == 0 {
+			return out
+		}
+		out = append(out, applies...)
+	}
+}
+
+func TestCoalescingLastWriteWins(t *testing.T) {
+	q := newTestQueue(Config{})
+	for i := 0; i < 5; i++ {
+		if err := q.Enqueue("cpu", float64(i), "test", nil); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	if err := q.Enqueue("mem", 0.5, "test", nil); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	applies, raw := q.DrainBatch()
+	if raw != 6 {
+		t.Fatalf("raw = %d, want 6", raw)
+	}
+	if len(applies) != 2 {
+		t.Fatalf("applies = %d, want 2 (cpu coalesced)", len(applies))
+	}
+	// First-occurrence order preserved; cpu carries the last value.
+	if applies[0].Name != "cpu" || applies[1].Name != "mem" {
+		t.Fatalf("order = %s,%s, want cpu,mem", applies[0].Name, applies[1].Name)
+	}
+	if got := applies[0].Value.(float64); got != 4 {
+		t.Fatalf("cpu value = %v, want 4 (last write wins)", got)
+	}
+	if applies[0].Raw != 5 {
+		t.Fatalf("cpu raw = %d, want 5", applies[0].Raw)
+	}
+	st := q.QueueStats()
+	if st.Coalesced != 4 {
+		t.Fatalf("coalesced = %d, want 4", st.Coalesced)
+	}
+	if st.Depth != 0 {
+		t.Fatalf("depth = %d, want 0 after drain", st.Depth)
+	}
+}
+
+func TestAckFiresOncePerProducer(t *testing.T) {
+	q := newTestQueue(Config{})
+	acks := 0
+	var got error
+	for i := 0; i < 3; i++ {
+		q.Enqueue("cpu", i, "test", func(err error) { acks++; got = err })
+	}
+	applies, _ := q.DrainBatch()
+	if len(applies) != 1 {
+		t.Fatalf("applies = %d, want 1", len(applies))
+	}
+	if acks != 0 {
+		t.Fatalf("acks fired before apply: %d", acks)
+	}
+	applies[0].Ack()
+	if acks != 3 || got != nil {
+		t.Fatalf("acks = %d (err %v), want 3 nil acks — coalesced producers all learn their key landed", acks, got)
+	}
+	if st := q.QueueStats(); st.Applied != 3 {
+		t.Fatalf("applied = %d, want 3 raw updates", st.Applied)
+	}
+}
+
+func TestValidationNackToErrorQueue(t *testing.T) {
+	q := newTestQueue(Config{})
+	var ackErr error
+	err := q.Enqueue("", 1.0, "gw", func(e error) { ackErr = e })
+	if !errors.Is(err, ErrEmptyName) {
+		t.Fatalf("err = %v, want ErrEmptyName", err)
+	}
+	if ackErr == nil {
+		t.Fatal("ack not fired with rejection error")
+	}
+	if err := q.Enqueue("bad", map[string]int{"x": 1}, "gw", nil); err == nil {
+		t.Fatal("unsupported value type accepted")
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d, rejected updates must not be queued", q.Depth())
+	}
+	errs := q.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("error queue = %d entries, want 2", len(errs))
+	}
+	if errs[0].Name != "" || errs[1].Name != "bad" {
+		t.Fatalf("error queue order wrong: %+v", errs)
+	}
+	if st := q.QueueStats(); st.Nacked != 2 {
+		t.Fatalf("nacked = %d, want 2", st.Nacked)
+	}
+}
+
+func TestNackDrainedApply(t *testing.T) {
+	q := newTestQueue(Config{})
+	var ackErr error
+	q.Enqueue("quarantined", 1.0, "test", func(e error) { ackErr = e })
+	applies, _ := q.DrainBatch()
+	q.Nack(applies[0], "attribute quarantined")
+	if ackErr == nil || ackErr.Error() != "attribute quarantined" {
+		t.Fatalf("ack err = %v, want quarantine reason", ackErr)
+	}
+	errs := q.Errors()
+	if len(errs) != 1 || errs[0].Reason != "attribute quarantined" {
+		t.Fatalf("error queue = %+v", errs)
+	}
+}
+
+func TestErrorQueueRingBounded(t *testing.T) {
+	q := newTestQueue(Config{ErrorCap: 4})
+	for i := 0; i < 10; i++ {
+		q.Enqueue(fmt.Sprintf("k%d", i), struct{}{}, "test", nil)
+	}
+	errs := q.Errors()
+	if len(errs) != 4 {
+		t.Fatalf("error queue = %d, want capped at 4", len(errs))
+	}
+	// Oldest-first: entries 6..9 survive.
+	for i, f := range errs {
+		if want := fmt.Sprintf("k%d", i+6); f.Name != want {
+			t.Fatalf("errs[%d] = %q, want %q", i, f.Name, want)
+		}
+	}
+}
+
+func TestBackpressureShedsToSampling(t *testing.T) {
+	q := newTestQueue(Config{HighWater: 8})
+	// Fill to the high-water mark with distinct keys.
+	for i := 0; i < 8; i++ {
+		q.Enqueue(fmt.Sprintf("k%d", i), 0.0, "test", nil)
+	}
+	// Burst: repeated writes to queued keys must sample in place, not grow
+	// the queue.
+	for round := 1; round <= 10; round++ {
+		for i := 0; i < 8; i++ {
+			q.Enqueue(fmt.Sprintf("k%d", i), float64(round), "test", nil)
+		}
+	}
+	st := q.QueueStats()
+	if st.Depth != 8 {
+		t.Fatalf("depth = %d, want 8 (bounded by sampling)", st.Depth)
+	}
+	if st.Shed != 80 {
+		t.Fatalf("shed = %d, want 80", st.Shed)
+	}
+	// New keys are still admitted above high water (a key's only pending
+	// value is never dropped).
+	q.Enqueue("fresh", 1.0, "test", nil)
+	if d := q.Depth(); d != 9 {
+		t.Fatalf("depth = %d, want 9 — new key admitted", d)
+	}
+	applies := drainAll(q)
+	if len(applies) != 9 {
+		t.Fatalf("applies = %d, want 9", len(applies))
+	}
+	// Sampled keys carry the latest burst value.
+	for _, a := range applies[:8] {
+		if got := a.Value.(float64); got != 10 {
+			t.Fatalf("%s = %v, want 10 (keep-latest sampling)", a.Name, got)
+		}
+	}
+}
+
+func TestWakeOnEmptyToNonEmpty(t *testing.T) {
+	wakes := 0
+	q := newTestQueue(Config{Wake: func() { wakes++ }})
+	q.Enqueue("a", 1.0, "test", nil)
+	q.Enqueue("b", 2.0, "test", nil)
+	if wakes != 1 {
+		t.Fatalf("wakes = %d, want 1 (only the empty→non-empty edge)", wakes)
+	}
+	drainAll(q)
+	q.Enqueue("c", 3.0, "test", nil)
+	if wakes != 2 {
+		t.Fatalf("wakes = %d, want 2 after drain", wakes)
+	}
+}
+
+func TestDrainBatchSizeBound(t *testing.T) {
+	q := newTestQueue(Config{BatchSize: 4})
+	for i := 0; i < 10; i++ {
+		q.Enqueue(fmt.Sprintf("k%d", i), i, "test", nil)
+	}
+	applies, raw := q.DrainBatch()
+	if raw != 4 || len(applies) != 4 {
+		t.Fatalf("first drain = %d applies / %d raw, want 4/4", len(applies), raw)
+	}
+	if q.Depth() != 6 {
+		t.Fatalf("depth = %d, want 6", q.Depth())
+	}
+	rest := drainAll(q)
+	if len(rest) != 6 {
+		t.Fatalf("rest = %d, want 6", len(rest))
+	}
+}
+
+func TestStalenessClock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := newTestQueue(Config{Now: func() time.Time { return now }})
+	q.Enqueue("a", 1.0, "test", nil)
+	now = now.Add(3 * time.Second)
+	q.Enqueue("a", 2.0, "test", nil)
+	applies, _ := q.DrainBatch()
+	if got := applies[0].At; !got.Equal(time.Unix(1003, 0)) {
+		t.Fatalf("At = %v, want the newest subsumed update's enqueue time", got)
+	}
+}

@@ -1,0 +1,165 @@
+package monitor
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rbay/internal/attr"
+	"rbay/internal/store"
+)
+
+// collectStreams ticks the feed n times, recording every emitted value
+// per attribute in order.
+func collectStreams(f *Feed, ticks int) map[string][]any {
+	out := make(map[string][]any)
+	for i := 0; i < ticks; i++ {
+		f.TickInto(func(name string, v any) { out[name] = append(out[name], v) })
+	}
+	return out
+}
+
+// TestTrackReplaceDoesNotPerturbOtherStreams is the determinism
+// regression test for the mid-run generator-replacement bug: with one
+// shared random stream, swapping a generator for one with a different
+// per-tick draw count (Walk draws one, Static draws zero) shifted every
+// later draw and silently changed the OTHER attributes' streams. With
+// per-attribute streams the untouched attributes must be byte-identical
+// whether or not the replacement happened.
+func TestTrackReplaceDoesNotPerturbOtherStreams(t *testing.T) {
+	build := func() *Feed {
+		f := NewFeed(99)
+		f.Track("a", &Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.1})
+		f.Track("b", Uniform{Min: 0, Max: 10})
+		f.Track("c", &Flip{Cur: false, P: 0.5})
+		return f
+	}
+
+	baseline := build()
+	want := collectStreams(baseline, 40)
+
+	replaced := build()
+	got := collectStreams(replaced, 20)
+	// Mid-run: a's Walk becomes a Static (zero draws per tick from here on).
+	replaced.Track("a", Static{V: 0.0})
+	rest := collectStreams(replaced, 20)
+	for name, vs := range rest {
+		got[name] = append(got[name], vs...)
+	}
+
+	for _, name := range []string{"b", "c"} {
+		if !reflect.DeepEqual(want[name], got[name]) {
+			t.Fatalf("stream %q perturbed by replacing %q's generator:\n want %v\n  got %v",
+				name, "a", want[name], got[name])
+		}
+	}
+	// The first half of a's own stream is unaffected too.
+	if !reflect.DeepEqual(want["a"][:20], got["a"][:20]) {
+		t.Fatalf("a's pre-replacement stream changed: want %v, got %v", want["a"][:20], got["a"][:20])
+	}
+}
+
+// TestTickMatchesTickInto: both tick paths draw identical streams for
+// the same seed — the ingest producer route cannot change simulation
+// determinism.
+func TestTickMatchesTickInto(t *testing.T) {
+	build := func() *Feed {
+		f := NewFeed(7)
+		f.Track("x", &Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.05})
+		f.Track("y", Uniform{Min: 0, Max: 1})
+		return f
+	}
+	direct := build()
+	m := attr.NewMap(attr.Options{})
+	var viaTick []any
+	for i := 0; i < 30; i++ {
+		direct.Tick(m)
+		x, _ := m.Get("x")
+		y, _ := m.Get("y")
+		viaTick = append(viaTick, x, y)
+	}
+	emitted := collectStreams(build(), 30)
+	var viaInto []any
+	for i := 0; i < 30; i++ {
+		viaInto = append(viaInto, emitted["x"][i], emitted["y"][i])
+	}
+	if !reflect.DeepEqual(viaTick, viaInto) {
+		t.Fatal("Tick and TickInto draw different streams for the same seed")
+	}
+}
+
+// TestUnchangedTickWritesNoWALFrames is the no-op write regression test:
+// a tick whose generators all re-emit the value already stored must
+// append ZERO WAL frames (store.Log sequence numbers count one per
+// frame), while changed values still record.
+func TestUnchangedTickWritesNoWALFrames(t *testing.T) {
+	dir := store.NewMemDir()
+	l, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	m := attr.NewMap(attr.Options{OnSet: func(name string, v any) { l.RecordSet(name, v) }})
+
+	f := NewFeed(3)
+	f.Track("gpu_model", Static{V: "a100"})
+	f.Track("cores", Static{V: 64})
+	f.Tick(m) // first tick posts the values: 2 frames
+	if seq := l.LogStats().Seq; seq != 2 {
+		t.Fatalf("first tick wrote %d frames, want 2", seq)
+	}
+	for i := 0; i < 25; i++ {
+		f.Tick(m)
+	}
+	if seq := l.LogStats().Seq; seq != 2 {
+		t.Fatalf("unchanged-value ticks appended %d extra WAL frames, want 0", seq-2)
+	}
+
+	// A boundary-pinned walk (Step 0 keeps Cur constant) is the other
+	// shape of redundant churn the suppression must absorb.
+	f.Track("pinned", &Walk{Cur: 1.0, Min: 1, Max: 1, Step: 0.5})
+	f.Tick(m)
+	seqAfterPin := l.LogStats().Seq
+	if seqAfterPin != 3 {
+		t.Fatalf("pinned walk's first tick wrote %d frames, want 1", seqAfterPin-2)
+	}
+	for i := 0; i < 25; i++ {
+		f.Tick(m)
+	}
+	if seq := l.LogStats().Seq; seq != seqAfterPin {
+		t.Fatalf("boundary-clamped walk appended %d redundant frames", seq-seqAfterPin)
+	}
+
+	// Changing values still record: a real walk appends frames.
+	f.Track("cpu", &Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.1})
+	before := l.LogStats().Seq
+	for i := 0; i < 5; i++ {
+		f.Tick(m)
+	}
+	if l.LogStats().Seq == before {
+		t.Fatal("changing values recorded no WAL frames — suppression too aggressive")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPerAttributeStreamsAreSeedStable pins the per-attribute stream
+// derivation: same seed and names → same streams regardless of tracking
+// order.
+func TestPerAttributeStreamsAreSeedStable(t *testing.T) {
+	names := []string{"cpu", "mem", "net"}
+	forward := NewFeed(11)
+	for _, n := range names {
+		forward.Track(n, Uniform{Min: 0, Max: 1})
+	}
+	backward := NewFeed(11)
+	for i := len(names) - 1; i >= 0; i-- {
+		backward.Track(names[i], Uniform{Min: 0, Max: 1})
+	}
+	a, b := collectStreams(forward, 10), collectStreams(backward, 10)
+	for _, n := range names {
+		if fmt.Sprint(a[n]) != fmt.Sprint(b[n]) {
+			t.Fatalf("stream %q depends on tracking order: %v vs %v", n, a[n], b[n])
+		}
+	}
+}

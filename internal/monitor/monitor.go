@@ -85,35 +85,66 @@ func (s Spike) Next(r *rand.Rand) any {
 }
 
 // Feed drives one node's attribute map from a set of generators.
-// Generators tick in registration order, keeping the random stream — and
-// therefore the whole simulation — reproducible.
+// Generators tick in registration order. Every attribute draws from its
+// OWN seeded random stream (seed ⊕ FNV-1a(name)), so streams are
+// independent: replacing one generator mid-run — or generators that
+// consume different draw counts per tick (Static draws zero, the others
+// one) — cannot perturb the deterministic value streams of the other
+// tracked attributes. A shared stream did not have that property: any
+// change to one generator's draw pattern shifted every later draw.
 type Feed struct {
-	rng   *rand.Rand
+	seed  int64
 	names []string
 	gens  map[string]Generator
+	rngs  map[string]*rand.Rand
 }
 
 // NewFeed creates a deterministic feed for one node.
 func NewFeed(seed int64) *Feed {
-	return &Feed{rng: rand.New(rand.NewSource(seed)), gens: make(map[string]Generator)}
+	return &Feed{seed: seed, gens: make(map[string]Generator), rngs: make(map[string]*rand.Rand)}
 }
 
 // Track registers a generator for an attribute, replacing any previous
-// one.
+// one. The attribute's random stream is created on first registration
+// and retained across replacement, so the replacement generator
+// continues the same stream instead of restarting it.
 func (f *Feed) Track(attrName string, g Generator) {
 	if _, dup := f.gens[attrName]; !dup {
 		f.names = append(f.names, attrName)
+		f.rngs[attrName] = rand.New(rand.NewSource(f.seed ^ int64(fnv1a(attrName))))
 	}
 	f.gens[attrName] = g
+}
+
+// fnv1a hashes an attribute name (FNV-1a 64) to derive its per-stream
+// seed offset.
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // Len returns the number of tracked attributes.
 func (f *Feed) Len() int { return len(f.gens) }
 
 // Tick advances every generator once and writes the new values into the
-// map, as the site's monitoring agent would.
+// map, as the site's monitoring agent would. Unchanged values are
+// suppressed by attr.Map.Set, so a tick of Static generators costs no
+// WAL frames or view work.
 func (f *Feed) Tick(m *attr.Map) {
+	f.TickInto(func(name string, value any) { m.Set(name, value) })
+}
+
+// TickInto advances every generator once and hands each value to emit
+// instead of mutating a map synchronously — the producer half of the
+// churn-ingestion pipeline (docs/INGEST.md): callers route the values
+// into a node's ingest queue from the monitoring goroutine.
+func (f *Feed) TickInto(emit func(attrName string, value any)) {
 	for _, name := range f.names {
-		m.Set(name, f.gens[name].Next(f.rng))
+		emit(name, f.gens[name].Next(f.rngs[name]))
 	}
 }

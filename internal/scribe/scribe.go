@@ -123,6 +123,7 @@ type topicState struct {
 	isRoot     bool
 	parent     pastry.Entry
 	joining    bool
+	joinAt     time.Time // when the outstanding join was sent
 
 	children map[ids.ID]*child
 	sub      Subscriber
@@ -288,7 +289,16 @@ func (t *topicState) inTreeAlready() bool { return t.forwarder || t.isRoot || !t
 
 func (s *Scribe) sendJoin(t *topicState) error {
 	t.joining = true
+	t.joinAt = s.node.Now()
 	return s.node.RouteScoped(AppName, t.scope, t.id, joinMsg{Child: s.node.Self()}, false)
+}
+
+// joinStale reports whether an outstanding join has gone unanswered long
+// enough to retry. A join routed through a node that crashes before
+// forwarding it is lost outright — no failure notice reaches the joiner —
+// so waiting on t.joining alone would leave the node parentless forever.
+func (s *Scribe) joinStale(t *topicState) bool {
+	return !t.joining || s.node.Now().Sub(t.joinAt) > s.cfg.ChildTTL
 }
 
 // Unsubscribe leaves the topic. The node remains a silent forwarder while
@@ -784,8 +794,9 @@ func (s *Scribe) tick() {
 			continue
 		}
 		if t.parent.IsZero() {
-			// Still joining, or the parent died: (re-)join.
-			if !t.joining {
+			// Still joining, or the parent died: (re-)join, retrying a
+			// lost join once it has gone unanswered past the TTL.
+			if s.joinStale(t) {
 				_ = s.sendJoin(t)
 			}
 			continue

@@ -106,12 +106,13 @@ func (o Options) withDefaults() Options {
 
 // Record operations.
 const (
-	opSet     = "set"     // attribute value posted/updated
-	opDelete  = "del"     // attribute withdrawn
-	opAttach  = "attach"  // AA policy script attached
-	opReserve = "reserve" // reservation taken or its lease extended
-	opCommit  = "commit"  // reservation committed (leased)
-	opRelease = "release" // reservation released
+	opSet      = "set"     // attribute value posted/updated
+	opSetBatch = "setb"    // coalesced attribute batch (one frame, many keys)
+	opDelete   = "del"     // attribute withdrawn
+	opAttach   = "attach"  // AA policy script attached
+	opReserve  = "reserve" // reservation taken or its lease extended
+	opCommit   = "commit"  // reservation committed (leased)
+	opRelease  = "release" // reservation released
 )
 
 // record is one WAL entry. Values travel through the tagged codec in
@@ -125,6 +126,22 @@ type record struct {
 	Query  string       `json:"id,omitempty"`
 	// Exp is a reservation's expiry as Unix nanoseconds.
 	Exp int64 `json:"exp,omitempty"`
+	// Batch is an opSetBatch record's key/value list. The whole batch
+	// shares one frame, so a crash mid-write tears the frame's CRC and the
+	// batch is dropped atomically on replay — all or nothing.
+	Batch []batchKV `json:"b,omitempty"`
+}
+
+// batchKV is one key/value pair inside an opSetBatch record.
+type batchKV struct {
+	Attr string       `json:"a"`
+	Val  *taggedValue `json:"v,omitempty"`
+}
+
+// BatchSet is one attribute write in a RecordSetBatch call.
+type BatchSet struct {
+	Name  string
+	Value any
 }
 
 // StoredAttr is one recovered attribute: its value and, when an AA policy
@@ -187,6 +204,13 @@ func (s *State) apply(r record) {
 		a.Name = r.Attr
 		a.Value = r.Val.Go()
 		s.Attrs[r.Attr] = a
+	case opSetBatch:
+		for _, kv := range r.Batch {
+			a := s.Attrs[kv.Attr]
+			a.Name = kv.Attr
+			a.Value = kv.Val.Go()
+			s.Attrs[kv.Attr] = a
+		}
 	case opDelete:
 		delete(s.Attrs, r.Attr)
 	case opAttach:
@@ -394,6 +418,22 @@ func (l *Log) noteErr(err error) {
 // RecordSet records an attribute post/update.
 func (l *Log) RecordSet(name string, value any) {
 	l.append(record{Op: opSet, Attr: name, Val: tagValue(value)})
+}
+
+// RecordSetBatch records a coalesced batch of attribute updates as ONE
+// WAL frame — the ingest apply loop's amortization of per-Set append
+// cost. Durability is all-or-nothing: the frame's CRC covers the whole
+// batch, so a torn write drops every entry in it on replay, never a
+// prefix. An empty batch records nothing.
+func (l *Log) RecordSetBatch(entries []BatchSet) {
+	if len(entries) == 0 {
+		return
+	}
+	batch := make([]batchKV, len(entries))
+	for i, e := range entries {
+		batch[i] = batchKV{Attr: e.Name, Val: tagValue(e.Value)}
+	}
+	l.append(record{Op: opSetBatch, Batch: batch})
 }
 
 // RecordDelete records an attribute withdrawal.

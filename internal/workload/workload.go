@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"rbay/internal/attr"
+	"rbay/internal/monitor"
 	"rbay/internal/naming"
 	"rbay/internal/query"
 )
@@ -213,4 +214,27 @@ func (g *Gen) pickSites(origin string, numSites int) []string {
 		out = append(out, g.sites[idx])
 	}
 	return out
+}
+
+// NewChurnFeed builds the monitoring feed of one evaluation node: the
+// utilization walks and availability flips a site agent would stream,
+// plus attrs synthetic attributes. Every fourth synthetic attribute is
+// static — a value the agent re-posts each tick without change — so the
+// churn pipeline's no-op suppression is exercised under load, as real
+// monitoring feeds repost hardware properties alongside moving metrics.
+func NewChurnFeed(seed int64, nodeIdx, attrs int) *monitor.Feed {
+	f := monitor.NewFeed(seed ^ int64(nodeIdx)*0x5851f42d4c957f2d)
+	f.Track("CPU_utilization", &monitor.Walk{Cur: float64(nodeIdx%20) / 20.0, Min: 0, Max: 1, Step: 0.08})
+	f.Track("mem_utilization", &monitor.Walk{Cur: float64(nodeIdx%10) / 10.0, Min: 0, Max: 1, Step: 0.05})
+	f.Track("GPU_available", &monitor.Flip{Cur: nodeIdx%4 == 0, P: 0.05})
+	f.Track("load_spike", monitor.Spike{Base: 0.1, High: 0.95, P: 0.02})
+	for i := 0; i < attrs; i++ {
+		name := SyntheticAttrName(i)
+		if i%4 == 0 {
+			f.Track(name, monitor.Static{V: float64(i)})
+		} else {
+			f.Track(name, &monitor.Walk{Cur: 0.5, Min: 0, Max: 1, Step: 0.1})
+		}
+	}
+	return f
 }
