@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale bench-churn chaos chaos-restart-smoke chaos-replica-smoke churn-smoke
+.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale bench-churn chaos chaos-restart-smoke chaos-replica-smoke churn-smoke gateway-smoke
 
-ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke churn-smoke bench-smoke
+ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke churn-smoke gateway-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,19 @@ chaos-replica-smoke:
 # (docs/INGEST.md).
 churn-smoke:
 	$(GO) test -short -count=1 -run 'TestChurnSmoke' .
+
+# Async-gateway gate (part of `make ci`): a 50-seed crash campaign must
+# leave zero orphaned reservations (every committed lease maps to a done
+# commit op), a burst at 4x the per-tenant rate limit must shed with 429s
+# while accepted-op latency stays bounded, and idempotency keys must
+# dedupe concurrent and replayed submissions (docs/GATEWAY.md).
+gateway-smoke:
+	$(GO) test -short -count=1 \
+		-run 'TestGatewayCrashSmoke|TestGatewayCrashCampaign' ./internal/chaos/
+	$(GO) test -short -count=1 \
+		-run 'TestGatewayBurstShed|TestGatewayQueueFullSheds|TestGatewayIdempotencyKey' ./internal/httpgw/
+	$(GO) test -short -count=1 \
+		-run 'TestIdempotencyKeyDedupesConcurrentSubmits|TestRestoreReplaysIncompleteOps' ./internal/ops/
 
 # Churn pipeline benchmarks: apply throughput with frames/update and
 # coalescing ratios, the per-Set baseline they're measured against, and

@@ -178,9 +178,10 @@ end
 		})
 		return cmd
 	}
-	queryBoth := func(what string) {
+	queryN := func(what string, want int) {
 		t.Helper()
 		deadline := time.Now().Add(60 * time.Second)
+		wanted := fmt.Sprintf("%d candidate(s)", want)
 		var lastOut []byte
 		var err error
 		for time.Now().Before(deadline) {
@@ -189,27 +190,76 @@ end
 				"-seed", "lab/n1", "-password", "pw", "-timeout", "20s",
 				"query", "SELECT * FROM lab WHERE GPU = true;")
 			lastOut, err = cmd.CombinedOutput()
-			if err == nil && strings.Contains(string(lastOut), "2 candidate(s)") {
+			if err == nil && strings.Contains(string(lastOut), wanted) {
 				return
 			}
 			time.Sleep(2 * time.Second)
 		}
-		t.Fatalf("%s: rbayctl never saw both GPUs; last output:\n%s (err=%v)", what, lastOut, err)
+		t.Fatalf("%s: rbayctl never saw %d GPU(s); last output:\n%s (err=%v)", what, want, lastOut, err)
+	}
+
+	gwAddr := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := l.Addr().String()
+		l.Close()
+		return a
+	}()
+	gwURL := "http://" + gwAddr
+	gwCtl := func(args ...string) (string, error) {
+		all := append([]string{"-gw", gwURL, "-timeout", "60s", "-password", "pw"}, args...)
+		out, err := exec.Command(rbayctl, all...).CombinedOutput()
+		return string(out), err
+	}
+	// "op <id> accepted" / "op <id> already submitted ..." / "op <id>: ..."
+	opID := func(out string) string {
+		t.Helper()
+		fields := strings.Fields(out)
+		for i, f := range fields {
+			if f == "op" && i+1 < len(fields) {
+				return strings.TrimSuffix(fields[i+1], ":")
+			}
+		}
+		t.Fatalf("no op ID in output:\n%s", out)
+		return ""
 	}
 
 	n1Dir, n2Dir := filepath.Join(dir, "n1-data"), filepath.Join(dir, "n2-data")
 	spawn("-addr", "lab/n1", "-listen", ports[0], "-peers", peers, "-registry", registry,
 		"-bootstrap", "-data-dir", n1Dir, "-attr", "GPU=true")
 	waitListening(t, ports[0])
-	n2 := spawn("-addr", "lab/n2", "-listen", ports[1], "-peers", peers, "-registry", registry,
-		"-seed", "lab/n1", "-data-dir", n2Dir, "-fsync", "always",
-		"-attr", "GPU=true", "-policy", "GPU="+policy)
+	n2Args := []string{"-addr", "lab/n2", "-listen", ports[1], "-peers", peers, "-registry", registry,
+		"-seed", "lab/n1", "-data-dir", n2Dir, "-fsync", "always", "-http", gwAddr}
+	n2 := spawn(append(n2Args, "-attr", "GPU=true", "-policy", "GPU="+policy)...)
 	waitListening(t, ports[1])
-	queryBoth("before restart")
+	queryN("before restart", 2)
+
+	// The probe query above left uncommitted holds on both nodes; wait
+	// out the ReserveTTL (5s default) so the gateway reserve below finds
+	// free inventory.
+	time.Sleep(7 * time.Second)
+
+	// Async gateway round under an idempotency key: reserve one GPU and
+	// commit it, both driven to terminal state through GET /ops polling.
+	out, err := gwCtl("-idem", "e2e-ticket", "-tenant", "e2e", "-wait",
+		"reserve", "SELECT 1 FROM lab WHERE GPU = true;")
+	if err != nil {
+		t.Fatalf("gateway reserve: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "site=lab") {
+		t.Fatalf("gateway reserve returned no candidates:\n%s", out)
+	}
+	reserveID := opID(out)
+	out, err = gwCtl("-wait", "commit", reserveID)
+	if err != nil {
+		t.Fatalf("gateway commit: %v\n%s", err, out)
+	}
 
 	// Graceful departure, then revive from disk alone: no -attr, no
 	// -policy — if the WAL didn't capture the inventory, the query below
-	// can never find two candidates again.
+	// can never find the surviving candidate again.
 	if err := n2.Process.Signal(os.Interrupt); err != nil {
 		t.Fatal(err)
 	}
@@ -223,10 +273,27 @@ end
 	case <-time.After(20 * time.Second):
 		t.Fatal("n2 did not exit on SIGINT")
 	}
-	spawn("-addr", "lab/n2", "-listen", ports[1], "-peers", peers, "-registry", registry,
-		"-seed", "lab/n1", "-data-dir", n2Dir, "-fsync", "always")
+	spawn(n2Args...)
 	waitListening(t, ports[1])
-	queryBoth("after restart")
+	waitListening(t, gwAddr)
+
+	// Resubmitting the reserve under the same idempotency key must hit
+	// the WAL-restored op record — same op ID, no second reservation.
+	out, err = gwCtl("-idem", "e2e-ticket", "-tenant", "e2e",
+		"reserve", "SELECT 1 FROM lab WHERE GPU = true;")
+	if err != nil {
+		t.Fatalf("gateway reserve replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "already submitted") {
+		t.Fatalf("replayed key not deduped after restart:\n%s", out)
+	}
+	if got := opID(out); got != reserveID {
+		t.Fatalf("replayed key mapped to op %s, want %s", got, reserveID)
+	}
+
+	// Exactly one reservation: one of the two GPUs stays committed, so a
+	// fresh query finds exactly one free candidate after refederation.
+	queryN("after restart", 1)
 }
 
 func waitListening(t *testing.T, hostport string) {

@@ -15,6 +15,10 @@
 //
 // View operations run on the seed daemon (views live on long-running
 // nodes, not ephemeral clients); see docs/VIEWS.md.
+//
+// With -gw the client skips the overlay entirely and drives an rbayd
+// HTTP gateway's async operations API (reserve/commit/release/op/ops);
+// see gw.go and docs/GATEWAY.md.
 package main
 
 import (
@@ -46,10 +50,17 @@ func run(args []string) error {
 	explain := fs.Bool("explain", false, "print the query's trace outline (plan, probes, anycasts, backoff)")
 	viewMode := fs.String("view", "", "view mode for query: auto (default), only, skip")
 	timeout := fs.Duration("timeout", 30*time.Second, "operation timeout")
+	gwURL := fs.String("gw", "", "HTTP gateway base URL (e.g. http://host:8080); switches to async gateway mode")
+	idemKey := fs.String("idem", "", "idempotency key for gateway submissions (retries dedupe under it)")
+	tenant := fs.String("tenant", "", "tenant name sent as X-RBAY-Tenant (gateway mode)")
+	waitFlag := fs.Bool("wait", false, "gateway mode: poll the submitted op until it reaches a terminal state")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
+	if *gwURL != "" {
+		return runGateway(*gwURL, *tenant, *idemKey, *password, *waitFlag, *timeout, rest)
+	}
 	if *addrFlag == "" || *seedFlag == "" || len(rest) < 1 {
 		return fmt.Errorf("usage: rbayctl -addr site/host -seed site/host [flags] query|treesize|deliver ...")
 	}

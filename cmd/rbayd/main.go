@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -27,6 +28,7 @@ import (
 	"rbay"
 	"rbay/internal/fedcfg"
 	"rbay/internal/httpgw"
+	"rbay/internal/ops"
 )
 
 func main() {
@@ -56,6 +58,11 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable state directory (empty: in-memory only, state dies with the process)")
 	fsyncFlag := fs.String("fsync", "always", "store fsync policy: always, interval, or never")
 	fsyncInterval := fs.Duration("fsync-interval", 2*time.Second, "fsync period under -fsync interval")
+	opsWorkers := fs.Int("ops-workers", 8, "gateway async-op worker pool size")
+	opsQueue := fs.Int("ops-queue", 256, "gateway async-op queue bound (submissions above it get 429)")
+	gwRate := fs.Float64("gw-rate", 0, "per-tenant gateway admission rate, ops/sec (0 disables rate limiting)")
+	gwBurst := fs.Int("gw-burst", 0, "per-tenant gateway burst allowance (0: ceil of -gw-rate)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight gateway ops")
 	var attrFlags, policyFlags repeated
 	fs.Var(&attrFlags, "attr", "attribute to publish, name=value (repeatable)")
 	fs.Var(&policyFlags, "policy", "AA policy to attach, attr=script-path (repeatable)")
@@ -90,6 +97,7 @@ func run(args []string) error {
 	var (
 		nodeCfg  rbay.NodeConfig
 		restored rbay.StoreState
+		opsStore ops.Store
 	)
 	if *dataDir != "" {
 		policy, err := rbay.ParseSyncPolicy(*fsyncFlag)
@@ -102,6 +110,9 @@ func run(args []string) error {
 		}
 		nodeCfg.Store = st
 		restored = state
+		// The concrete log also persists gateway op records; the ops
+		// engine shares the node's WAL so one fsync covers both.
+		opsStore, _ = st.(ops.Store)
 		if len(state.Attrs) > 0 || state.Reservation != nil {
 			fmt.Printf("rbayd: recovered %d attributes from %s\n", len(state.Attrs), *dataDir)
 		}
@@ -203,9 +214,33 @@ func run(args []string) error {
 	// matching tree and push aggregates without waiting an interval.
 	node.Node.DoWait(func() { node.Node.Refederate() })
 
+	var (
+		gw  *httpgw.Server
+		srv *http.Server
+	)
 	if *httpAddr != "" {
-		gw := httpgw.New(node.Node, 30*time.Second)
-		srv := &http.Server{Addr: *httpAddr, Handler: gw, ReadHeaderTimeout: 5 * time.Second}
+		gw = httpgw.NewGateway(node.Node, httpgw.Options{
+			Timeout:  30 * time.Second,
+			OpsStore: opsStore,
+			OpsConfig: ops.Config{
+				Workers:  *opsWorkers,
+				QueueMax: *opsQueue,
+			},
+			RateLimit: httpgw.RateLimit{Rate: *gwRate, Burst: *gwBurst},
+		})
+		// Replay op records recovered from the WAL: operations the
+		// previous process accepted but never finished resume (or roll
+		// back) now that the node has rejoined the overlay.
+		if requeued := gw.Engine().Restore(restored.Ops); requeued > 0 {
+			fmt.Printf("rbayd: requeued %d incomplete gateway ops from %s\n", requeued, *dataDir)
+		}
+		srv = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           gw,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "rbayd: http gateway:", err)
@@ -218,10 +253,22 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	// Graceful departure: release releasable reservations, leave every
-	// tree so parents prune us immediately, flush and close the store.
-	// The deferred Close after this is a no-op on the already-closed net.
+	// Graceful departure: stop accepting HTTP work, drain in-flight
+	// gateway ops (incomplete ones stay in the WAL and resume on the next
+	// boot), release releasable reservations, leave every tree so parents
+	// prune us immediately, then flush and close the store. The deferred
+	// Close after this is a no-op on the already-closed net.
 	fmt.Printf("rbayd: %v received, shutting down gracefully\n", s)
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rbayd: http shutdown:", err)
+		}
+		cancel()
+		if left := gw.Engine().Drain(*drainTimeout); left > 0 {
+			fmt.Printf("rbayd: %d gateway ops still pending at drain deadline; they will resume on restart\n", left)
+		}
+	}
 	if err := node.Shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "rbayd: shutdown:", err)
 	}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestGatewayCrashSmoke runs one gateway-crash scenario and prints the
+// terminal op log on failure. Short-mode: this is the gateway smoke tier.
+func TestGatewayCrashSmoke(t *testing.T) {
+	res, err := RunGatewayCrash(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Submitted == 0 {
+		t.Fatal("workload submitted no ops")
+	}
+	if res.Requeued == 0 {
+		t.Error("crash landed after every op finished; requeued = 0 (seed no longer cuts mid-flight)")
+	}
+	if res.Failed() {
+		for _, op := range res.Ops {
+			t.Logf("op %s %s state=%s query=%s err=%s", op.ID, op.Kind, op.State, op.QueryID, op.Error)
+		}
+		for _, line := range res.Log {
+			t.Log(line)
+		}
+	}
+}
+
+// TestGatewayCrashCampaign sweeps the gateway-crash scenario across 50
+// seeds: the crash point slides through every phase of the op lifecycle,
+// and the no-orphaned-reservation invariant must hold on all of them.
+func TestGatewayCrashCampaign(t *testing.T) {
+	const seeds = 50
+	requeuedTotal, committedTotal := 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		res, err := RunGatewayCrash(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		requeuedTotal += res.Requeued
+		committedTotal += res.Committed
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+		if t.Failed() {
+			for _, op := range res.Ops {
+				t.Logf("seed %d: op %s %s state=%s query=%s err=%s", seed, op.ID, op.Kind, op.State, op.QueryID, op.Error)
+			}
+			t.FailNow()
+		}
+	}
+	// The sweep is only meaningful if crashes actually interrupt work and
+	// some commits survive to hold leases.
+	if requeuedTotal == 0 {
+		t.Error("no seed requeued an op after its crash — the campaign stopped cutting mid-flight")
+	}
+	if committedTotal == 0 {
+		t.Error("no seed ended with a committed lease — the campaign stopped exercising the success path")
+	}
+	t.Logf("campaign: %d seeds, %d ops requeued after crash, %d committed leases at quiescence",
+		seeds, requeuedTotal, committedTotal)
+}

@@ -179,6 +179,10 @@ type Harness struct {
 	logs        map[string]*store.Log
 	durableBase map[string]map[string]any
 	leased      map[string]string // addr → committed query ID
+	// restoredState keeps the store state each durable restart recovered,
+	// keyed by node address; gateway scenarios feed State.Ops back into a
+	// rebuilt ops engine the way cmd/rbayd does on boot.
+	restoredState map[string]store.State
 
 	counters   *metrics.CounterSet
 	violations []Violation
@@ -203,20 +207,21 @@ func New(scn Scenario, opts Options) (*Harness, error) {
 	scn = scn.withDefaults()
 	opts = opts.withDefaults()
 	h := &Harness{
-		scn:         scn,
-		opts:        opts,
-		reg:         opts.Registry,
-		rng:         rand.New(rand.NewSource(scn.Seed)),
-		live:        make(map[string]*core.Node),
-		down:        make(map[string]transport.Addr),
-		planted:     make(map[string]bool),
-		degrade:     make(map[string]simnet.RuleID),
-		disks:       make(map[string]*store.MemDir),
-		logs:        make(map[string]*store.Log),
-		durableBase: make(map[string]map[string]any),
-		leased:      make(map[string]string),
-		counters:    metrics.NewCounterSet(),
-		probeGot:    make(map[uint64]ids.ID),
+		scn:           scn,
+		opts:          opts,
+		reg:           opts.Registry,
+		rng:           rand.New(rand.NewSource(scn.Seed)),
+		live:          make(map[string]*core.Node),
+		down:          make(map[string]transport.Addr),
+		planted:       make(map[string]bool),
+		degrade:       make(map[string]simnet.RuleID),
+		disks:         make(map[string]*store.MemDir),
+		logs:          make(map[string]*store.Log),
+		durableBase:   make(map[string]map[string]any),
+		leased:        make(map[string]string),
+		restoredState: make(map[string]store.State),
+		counters:      metrics.NewCounterSet(),
+		probeGot:      make(map[uint64]ids.ID),
 	}
 	fedCfg := core.FedConfig{
 		Sites:        opts.Sites,
@@ -556,6 +561,7 @@ func (h *Harness) restartOne(site string) {
 		}
 		cfg.Store = l
 		h.logs[key] = l
+		h.restoredState[key] = st
 		state = st
 	}
 	n, err := core.New(h.net, addr, h.reg, cfg)

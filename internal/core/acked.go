@@ -1,0 +1,127 @@
+package core
+
+import (
+	"time"
+
+	"rbay/internal/transport"
+)
+
+// Acked commit/release: the resumable entry points the async operations
+// gateway (internal/ops) drives reservations through. Unlike Commit and
+// Release, which fire and forget, the acked variants tag every request
+// with a ReqID and collect per-owner opAck responses under a deadline,
+// so the caller learns which owners actually honored the request — the
+// information a durable operation needs to decide between done, retry,
+// and rollback.
+
+// AckResult summarizes one acked commit/release fan-out.
+type AckResult struct {
+	// Matched owners held (or re-confirmed) the reservation for the query.
+	Matched int
+	// Unmatched owners no longer held it — expired or superseded. For a
+	// commit that is a permanent failure; for a release it means
+	// already-free.
+	Unmatched int
+	// Lost requests got no ack before the deadline (or the send failed) —
+	// the transient-transport case worth retrying.
+	Lost int
+}
+
+// AllMatched reports whether every owner honored the request.
+func (r AckResult) AllMatched() bool { return r.Unmatched == 0 && r.Lost == 0 }
+
+// ackGroup tracks one fan-out's outstanding acks.
+type ackGroup struct {
+	remaining int
+	ids       []uint64
+	res       AckResult
+	cb        func(AckResult)
+	cancel    transport.CancelFunc
+	done      bool
+}
+
+// CommitAcked leases the candidates to the query like Commit, but
+// confirms each owner's decision. Must run on the node's event context;
+// cb fires there exactly once, when every owner answered or the timeout
+// expired.
+func (n *Node) CommitAcked(queryID string, cands []Candidate, timeout time.Duration, cb func(AckResult)) {
+	n.metrics.Add("rbay_commits_sent_total", uint64(len(cands)))
+	n.ackedSend(queryID, cands, true, timeout, cb)
+}
+
+// ReleaseAcked frees the candidates' reservations or leases like
+// Release, with per-owner confirmation. Same context rules as
+// CommitAcked.
+func (n *Node) ReleaseAcked(queryID string, cands []Candidate, timeout time.Duration, cb func(AckResult)) {
+	n.metrics.Add("rbay_releases_sent_total", uint64(len(cands)))
+	n.ackedSend(queryID, cands, false, timeout, cb)
+}
+
+func (n *Node) ackedSend(queryID string, cands []Candidate, commit bool, timeout time.Duration, cb func(AckResult)) {
+	if timeout <= 0 {
+		timeout = n.cfg.SiteQueryTimeout
+	}
+	g := &ackGroup{remaining: len(cands), cb: cb}
+	for _, c := range cands {
+		n.nextReq++
+		id := n.nextReq
+		var msg any
+		if commit {
+			msg = commitReq{QueryID: queryID, ReqID: id}
+		} else {
+			msg = releaseReq{QueryID: queryID, ReqID: id}
+		}
+		if err := n.p.SendApp(c.Addr, AppName, msg); err != nil {
+			g.res.Lost++
+			g.remaining--
+			continue
+		}
+		n.pendingAck[id] = g
+		g.ids = append(g.ids, id)
+	}
+	if g.remaining == 0 {
+		// Nothing in flight (empty candidate list or every send failed):
+		// report synchronously.
+		g.done = true
+		cb(g.res)
+		return
+	}
+	g.cancel = n.p.After(timeout, func() {
+		if g.done {
+			return
+		}
+		for _, id := range g.ids {
+			if n.pendingAck[id] == g {
+				delete(n.pendingAck, id)
+				g.res.Lost++
+			}
+		}
+		g.done = true
+		n.metrics.Add("rbay_op_acks_lost_total", uint64(g.res.Lost))
+		g.cb(g.res)
+	})
+}
+
+func (n *Node) handleOpAck(a opAck) {
+	g, ok := n.pendingAck[a.ReqID]
+	if !ok {
+		// Late ack after the group's deadline; the caller already counted
+		// this owner as lost and will retry idempotently.
+		n.metrics.Inc("rbay_op_acks_late_total")
+		return
+	}
+	delete(n.pendingAck, a.ReqID)
+	if a.Matched {
+		g.res.Matched++
+	} else {
+		g.res.Unmatched++
+	}
+	g.remaining--
+	if g.remaining == 0 && !g.done {
+		g.done = true
+		if g.cancel != nil {
+			g.cancel()
+		}
+		g.cb(g.res)
+	}
+}

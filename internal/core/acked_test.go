@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rbay/internal/transport"
+)
+
+func TestCommitAckedAllMatched(t *testing.T) {
+	fed := newTestFed(t, []string{"virginia"}, 40)
+	n := fed.BySite["virginia"][5]
+	res := runQuery(t, fed, n, `SELECT 2 FROM virginia WHERE GPU = true;`)
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	var got *AckResult
+	n.CommitAcked(res.QueryID, res.Candidates, 2*time.Second, func(r AckResult) { got = &r })
+	fed.RunFor(time.Second)
+	if got == nil {
+		t.Fatal("CommitAcked callback never fired")
+	}
+	if !got.AllMatched() || got.Matched != 2 {
+		t.Fatalf("AckResult = %+v, want 2 matched", *got)
+	}
+	// Leases must actually be held past TTL.
+	fed.RunFor(10 * time.Second)
+	committed := 0
+	for _, node := range fed.BySite["virginia"] {
+		if _, c, ok := node.Reserved(); ok && c {
+			committed++
+		}
+	}
+	if committed != 2 {
+		t.Fatalf("committed = %d, want 2", committed)
+	}
+
+	// ReleaseAcked frees them with confirmation.
+	got = nil
+	n.ReleaseAcked(res.QueryID, res.Candidates, 2*time.Second, func(r AckResult) { got = &r })
+	fed.RunFor(time.Second)
+	if got == nil || got.Matched != 2 {
+		t.Fatalf("release AckResult = %+v, want 2 matched", got)
+	}
+	for _, node := range fed.BySite["virginia"] {
+		if _, _, ok := node.Reserved(); ok {
+			t.Fatal("node still reserved after acked release")
+		}
+	}
+}
+
+func TestCommitAckedExpiredReservationUnmatched(t *testing.T) {
+	fed := newTestFed(t, []string{"virginia"}, 40)
+	n := fed.BySite["virginia"][5]
+	res := runQuery(t, fed, n, `SELECT 2 FROM virginia WHERE GPU = true;`)
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	// Let the reservations expire before committing: every owner must
+	// answer unmatched so the caller can roll back instead of assuming
+	// it holds the lease.
+	fed.RunFor(10 * time.Second)
+	var got *AckResult
+	n.CommitAcked(res.QueryID, res.Candidates, 2*time.Second, func(r AckResult) { got = &r })
+	fed.RunFor(time.Second)
+	if got == nil {
+		t.Fatal("CommitAcked callback never fired")
+	}
+	if got.Unmatched != 2 || got.Matched != 0 {
+		t.Fatalf("AckResult = %+v, want 2 unmatched", *got)
+	}
+}
+
+func TestCommitAckedUnreachableOwnerLost(t *testing.T) {
+	fed := newTestFed(t, []string{"virginia"}, 40)
+	n := fed.BySite["virginia"][5]
+	bogus := []Candidate{{NodeID: "ghost", Site: "virginia", Addr: transport.Addr{Site: "virginia", Host: "no-such-host"}}}
+	var got *AckResult
+	n.CommitAcked("virginia/n5#99", bogus, time.Second, func(r AckResult) { got = &r })
+	fed.RunFor(3 * time.Second)
+	if got == nil {
+		t.Fatal("CommitAcked callback never fired")
+	}
+	if got.Lost != 1 || got.Matched != 0 {
+		t.Fatalf("AckResult = %+v, want 1 lost", *got)
+	}
+}
+
+func TestCommitAckedEmptyCandidates(t *testing.T) {
+	fed := newTestFed(t, []string{"virginia"}, 4)
+	n := fed.BySite["virginia"][0]
+	fired := false
+	n.CommitAcked("virginia/n0#1", nil, time.Second, func(r AckResult) {
+		fired = true
+		if r != (AckResult{}) {
+			t.Fatalf("AckResult = %+v, want zero", r)
+		}
+	})
+	if !fired {
+		t.Fatal("empty-candidate CommitAcked must call back synchronously")
+	}
+}

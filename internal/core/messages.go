@@ -99,13 +99,27 @@ type treeProbe struct {
 }
 
 // commitReq asks a reserved node to commit (lease) itself to the query.
+// A non-zero ReqID requests an opAck back to the sender — the async ops
+// engine's acked path; zero keeps the classic fire-and-forget behavior.
 type commitReq struct {
 	QueryID string
+	ReqID   uint64
 }
 
-// releaseReq frees a reservation or lease early.
+// releaseReq frees a reservation or lease early. ReqID as in commitReq.
 type releaseReq struct {
 	QueryID string
+	ReqID   uint64
+}
+
+// opAck confirms a commit/release back to its origin. Matched reports
+// whether the owner still held a reservation for the query — an
+// unmatched commit means the lease expired before the commit landed, so
+// the origin must roll the operation back rather than assume the
+// resource is held.
+type opAck struct {
+	ReqID   uint64
+	Matched bool
 }
 
 // adminCmd is multicast down a tree by a site admin; each member runs its

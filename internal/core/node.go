@@ -135,9 +135,10 @@ type Node struct {
 	reserved *reservation
 
 	// Query-interface state.
-	nextReq   uint64
-	nextQuery uint64
-	pendingSQ map[uint64]*siteQueryCall
+	nextReq    uint64
+	nextQuery  uint64
+	pendingSQ  map[uint64]*siteQueryCall
+	pendingAck map[uint64]*ackGroup
 	// idPrefix is the node's pre-rendered "site/host#" query-ID prefix, so
 	// minting a query ID is one small-int format plus one concat.
 	idPrefix string
@@ -282,6 +283,7 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 		rng:        rand.New(rand.NewSource(int64(p.ID().Leading64()))),
 		subscribed: make(map[ids.ID]*naming.TreeDef),
 		pendingSQ:  make(map[uint64]*siteQueryCall),
+		pendingAck: make(map[uint64]*ackGroup),
 		admin:      addr.Site + "-admin",
 		predictor:  forecast.NewPredictor(0),
 		metrics:    reg2,
@@ -740,14 +742,25 @@ func (n *Node) Reserved() (queryID string, committed, ok bool) {
 	return r.queryID, r.committed, true
 }
 
-func (n *Node) handleCommit(q commitReq) {
+func (n *Node) handleCommit(q commitReq) bool {
 	if r := n.reserved; r != nil && r.queryID == q.QueryID {
+		if !r.committed && n.Now().After(r.expires) {
+			// The lease expired before the commit arrived. Refuse and free
+			// the node: other queries already see it as available, so
+			// honoring the commit could double-book it. The committer gets
+			// an unmatched ack and rolls its operation back.
+			n.reserved = nil
+			n.recordRelease(q.QueryID)
+			n.metrics.Inc("rbay_commit_expired_total")
+			return false
+		}
 		r.committed = true
 		n.recordCommit(q.QueryID)
 		n.metrics.Inc("rbay_commits_total")
-		return
+		return true
 	}
 	n.metrics.Inc("rbay_commit_unknown_total")
+	return false
 }
 
 // handleRelease frees this node's reservation for the query. It is
@@ -755,14 +768,15 @@ func (n *Node) handleCommit(q commitReq) {
 // released, expired, or superseded) is a counted no-op, so duplicate
 // releases — surplus trimming across rounds, late-response cleanup racing
 // TTL expiry — are always safe.
-func (n *Node) handleRelease(q releaseReq) {
+func (n *Node) handleRelease(q releaseReq) bool {
 	if r := n.reserved; r != nil && r.queryID == q.QueryID {
 		n.reserved = nil
 		n.recordRelease(q.QueryID)
 		n.metrics.Inc("rbay_releases_total")
-		return
+		return true
 	}
 	n.metrics.Inc("rbay_release_unknown_total")
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -780,9 +794,17 @@ func (n *Node) Forward(_ *pastry.Node, _ *pastry.Message, _ pastry.Entry) bool {
 func (n *Node) Direct(_ *pastry.Node, from pastry.Entry, payload any) {
 	switch p := payload.(type) {
 	case commitReq:
-		n.handleCommit(p)
+		matched := n.handleCommit(p)
+		if p.ReqID != 0 {
+			_ = n.p.SendApp(from.Addr, AppName, opAck{ReqID: p.ReqID, Matched: matched})
+		}
 	case releaseReq:
-		n.handleRelease(p)
+		matched := n.handleRelease(p)
+		if p.ReqID != 0 {
+			_ = n.p.SendApp(from.Addr, AppName, opAck{ReqID: p.ReqID, Matched: matched})
+		}
+	case opAck:
+		n.handleOpAck(p)
 	case siteQueryReq:
 		n.serveSiteQuery(p)
 	case siteQueryResp:

@@ -11,7 +11,7 @@ import (
 	"rbay/internal/wire"
 )
 
-// Wire tags 64-80 belong to the RBAY core (see internal/wire for the tag
+// Wire tags 64-81 belong to the RBAY core (see internal/wire for the tag
 // map).
 const (
 	tagQueryVisit byte = 64 + iota
@@ -31,6 +31,7 @@ const (
 	tagViewReserveResp
 	tagViewAdminReq
 	tagViewAdminResp
+	tagOpAck // 81
 )
 
 var wireOnce sync.Once
@@ -123,11 +124,29 @@ func RegisterWire() {
 				return v
 			})
 		wire.Register[commitReq](tagCommitReq,
-			func(e *wire.Encoder, v commitReq) { e.String(v.QueryID) },
-			func(d *wire.Decoder) commitReq { return commitReq{QueryID: d.String()} })
+			func(e *wire.Encoder, v commitReq) {
+				e.String(v.QueryID)
+				e.Uvarint(v.ReqID)
+			},
+			func(d *wire.Decoder) commitReq {
+				return commitReq{QueryID: d.String(), ReqID: d.Uvarint()}
+			})
 		wire.Register[releaseReq](tagReleaseReq,
-			func(e *wire.Encoder, v releaseReq) { e.String(v.QueryID) },
-			func(d *wire.Decoder) releaseReq { return releaseReq{QueryID: d.String()} })
+			func(e *wire.Encoder, v releaseReq) {
+				e.String(v.QueryID)
+				e.Uvarint(v.ReqID)
+			},
+			func(d *wire.Decoder) releaseReq {
+				return releaseReq{QueryID: d.String(), ReqID: d.Uvarint()}
+			})
+		wire.Register[opAck](tagOpAck,
+			func(e *wire.Encoder, v opAck) {
+				e.Uvarint(v.ReqID)
+				e.Bool(v.Matched)
+			},
+			func(d *wire.Decoder) opAck {
+				return opAck{ReqID: d.Uvarint(), Matched: d.Bool()}
+			})
 		wire.Register[adminCmd](tagAdminCmd,
 			func(e *wire.Encoder, v adminCmd) {
 				e.String(v.Attr)

@@ -1,0 +1,88 @@
+package httpgw
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimit is per-tenant token-bucket admission control for the
+// gateway's mutating endpoints: each tenant accrues Rate tokens per
+// second up to Burst, and every accepted submission spends one. A zero
+// Rate disables limiting.
+type RateLimit struct {
+	Rate  float64
+	Burst int
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// limiter tracks one bucket per tenant. Buckets are lazily created and
+// pruned once idle long enough to be full again, so the map stays
+// bounded by the set of recently active tenants.
+type limiter struct {
+	mu      sync.Mutex
+	cfg     RateLimit
+	buckets map[string]*bucket
+	sweep   time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(cfg RateLimit) *limiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.Rate))
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &limiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// take spends one token for the tenant. When the bucket is empty it
+// returns limited=true and the whole-second Retry-After hint until the
+// next token accrues. A nil limiter admits everything.
+func (l *limiter) take(tenant string) (retryAfter int, limited bool) {
+	if l == nil {
+		return 0, false
+	}
+	now := l.cfg.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: float64(l.cfg.Burst), last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens = math.Min(float64(l.cfg.Burst), b.tokens+now.Sub(b.last).Seconds()*l.cfg.Rate)
+	b.last = now
+	l.sweepLocked(now)
+	if b.tokens < 1 {
+		wait := (1 - b.tokens) / l.cfg.Rate
+		return int(math.Max(1, math.Ceil(wait))), true
+	}
+	b.tokens--
+	return 0, false
+}
+
+// sweepLocked drops buckets idle long enough to have refilled
+// completely — admitting them fresh is indistinguishable from keeping
+// the bucket. Runs at most once per refill period.
+func (l *limiter) sweepLocked(now time.Time) {
+	if now.Before(l.sweep) {
+		return
+	}
+	full := time.Duration(float64(l.cfg.Burst) / l.cfg.Rate * float64(time.Second))
+	l.sweep = now.Add(full)
+	for tenant, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, tenant)
+		}
+	}
+}

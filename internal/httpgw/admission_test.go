@@ -1,0 +1,56 @@
+package httpgw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	lim := newLimiter(RateLimit{Rate: 2, Burst: 2, now: func() time.Time { return now }})
+
+	for i := 0; i < 2; i++ {
+		if _, limited := lim.take("acme"); limited {
+			t.Fatalf("take %d limited within burst", i)
+		}
+	}
+	retry, limited := lim.take("acme")
+	if !limited || retry < 1 {
+		t.Fatalf("empty bucket: limited=%v retry=%d, want limited with retry>=1", limited, retry)
+	}
+	// Other tenants have their own bucket.
+	if _, limited := lim.take("globex"); limited {
+		t.Fatal("fresh tenant limited by acme's empty bucket")
+	}
+	// Half a second accrues one token at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if _, limited := lim.take("acme"); limited {
+		t.Fatal("accrued token not granted")
+	}
+	if _, limited := lim.take("acme"); !limited {
+		t.Fatal("second take after one accrued token must be limited")
+	}
+	// Idle long enough to refill completely: the bucket is pruned and
+	// re-admitted at full burst.
+	now = now.Add(time.Minute)
+	lim.take("sweeper")
+	lim.mu.Lock()
+	n := len(lim.buckets)
+	lim.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("buckets after sweep = %d, want only the active tenant", n)
+	}
+	if _, limited := lim.take("acme"); limited {
+		t.Fatal("refilled tenant still limited")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if lim := newLimiter(RateLimit{}); lim != nil {
+		t.Fatal("zero rate must disable the limiter")
+	}
+	var lim *limiter
+	if _, limited := lim.take("anyone"); limited {
+		t.Fatal("nil limiter must admit everything")
+	}
+}

@@ -1,58 +1,37 @@
 package httpgw
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"testing"
-)
 
-func postBulk(t *testing.T, f *gwFixture, body string) (int, bulkResponse) {
-	t.Helper()
-	resp, err := http.Post(f.ts.URL+"/attrs", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out bulkResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decode bulk response: %v", err)
-	}
-	return resp.StatusCode, out
-}
+	"rbay/internal/ops"
+)
 
 func TestGatewayBulkPostThroughIngest(t *testing.T) {
 	f := newFixture(t)
 	node := f.nodes[0]
 
-	code, out := postBulk(t, f, `{"updates":[
+	code, op, _ := f.postOp(t, "/attrs", `{"updates":[
 		{"name":"CPU_utilization","value":0.42},
 		{"name":"CPU_utilization","value":0.17},
 		{"name":"gpu_model","value":"a100"},
 		{"name":"maintenance","value":true},
 		{"name":"tags","value":["gpu","infiniband"]},
-		{"name":"","value":1},
 		{"name":"bad","value":{"nested":"object"}}
-	]}`)
-	if code != http.StatusOK {
-		t.Fatalf("bulk post = %d, want 200", code)
+	]}`, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("bulk post = %d, want 202", code)
 	}
-	if out.Accepted != 7 || out.Applied != 5 {
-		t.Fatalf("response = %+v, want 7 accepted / 5 applied", out)
+	final := f.waitOp(t, op.ID)
+	// One update is rejected by ingest validation; the batch still lands,
+	// with the reject reported on the terminal record.
+	if final.State != ops.StateDone {
+		t.Fatalf("attrs op ended %s: %s", final.State, final.Error)
 	}
-	if len(out.Failed) != 2 {
-		t.Fatalf("failed = %+v, want empty-name and nested-object rejects", out.Failed)
-	}
-	failedNames := map[string]bool{}
-	for _, fo := range out.Failed {
-		if fo.Error == "" {
-			t.Fatalf("failed outcome without error: %+v", fo)
-		}
-		failedNames[fo.Name] = true
-	}
-	if !failedNames[""] || !failedNames["bad"] {
-		t.Fatalf("failed names = %v, want \"\" and \"bad\"", failedNames)
+	if !strings.Contains(final.Error, "1/6 updates rejected") || !strings.Contains(final.Error, "bad") {
+		t.Fatalf("terminal record error = %q, want the nested-object reject", final.Error)
 	}
 
 	node.DoWait(func() {
@@ -76,10 +55,10 @@ func TestGatewayBulkPostThroughIngest(t *testing.T) {
 		}
 	})
 
-	// The rejects are parked on the node's ingest error queue.
+	// The reject is parked on the node's ingest error queue.
 	errs := node.Ingest().Errors()
-	if len(errs) != 2 {
-		t.Fatalf("error queue = %+v, want 2 entries", errs)
+	if len(errs) != 1 {
+		t.Fatalf("error queue = %+v, want 1 entry", errs)
 	}
 
 	// The bulk path coalesced the two CPU_utilization writes.
@@ -88,23 +67,20 @@ func TestGatewayBulkPostThroughIngest(t *testing.T) {
 	}
 }
 
-func TestGatewayBulkPostRejectsEmptyBody(t *testing.T) {
+func TestGatewayBulkPostRejectsBadBatches(t *testing.T) {
 	f := newFixture(t)
-	resp, err := http.Post(f.ts.URL+"/attrs", "application/json", strings.NewReader(`{"updates":[]}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty bulk post = %d, want 400", resp.StatusCode)
-	}
-	resp, err = http.Post(f.ts.URL+"/attrs", "application/json", strings.NewReader(`not json`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed bulk post = %d, want 400", resp.StatusCode)
+	for _, body := range []string{
+		`{"updates":[]}`,
+		`not json`,
+		`{"updates":[{"name":"","value":1}]}`,
+	} {
+		code, _, ej := f.postOp(t, "/attrs", body, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("bulk post %q = %d, want 400", body, code)
+		}
+		if ej.Code != codeBadRequest || ej.Error == "" {
+			t.Fatalf("bulk post %q error = %+v, want structured bad_request", body, ej)
+		}
 	}
 }
 
@@ -120,14 +96,20 @@ func TestGatewayBulkPostLargeBatchOneWALFrame(t *testing.T) {
 		fmt.Fprintf(&sb, `{"name":"bulk_%02d","value":%d}`, i, i)
 	}
 	sb.WriteString(`]}`)
-	code, out := postBulk(t, f, sb.String())
-	if code != http.StatusOK {
-		t.Fatalf("bulk post = %d (%+v)", code, out)
+	code, op, _ := f.postOp(t, "/attrs", sb.String(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("bulk post = %d (%+v)", code, op)
 	}
-	if out.Applied != 50 {
-		t.Fatalf("applied = %d, want 50", out.Applied)
+	final := f.waitOp(t, op.ID)
+	if final.State != ops.StateDone || final.Error != "" {
+		t.Fatalf("attrs op ended %s: %s", final.State, final.Error)
 	}
+	node.DoWait(func() {
+		if v, _ := node.Attributes().Get("bulk_49"); v != 49.0 {
+			t.Fatalf("bulk_49 = %v, want 49", v)
+		}
+	})
 	if depth := node.Ingest().Depth(); depth != 0 {
-		t.Fatalf("queue depth = %d after acked post", depth)
+		t.Fatalf("queue depth = %d after terminal op", depth)
 	}
 }

@@ -6,6 +6,11 @@
 // The gateway is for real (tcpnet) deployments: it injects work onto the
 // node's single dispatch context via the transport's timer queue, so node
 // state is never touched from HTTP goroutines.
+//
+// Mutating calls (reserve, commit, release, bulk attrs) are asynchronous:
+// each accepted submission becomes a durable pending operation
+// (internal/ops) and answers 202 with the op snapshot; clients poll
+// GET /ops/{id} to its terminal state. See docs/GATEWAY.md.
 package httpgw
 
 import (
@@ -14,42 +19,87 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"time"
 
 	"rbay/internal/core"
 	"rbay/internal/fedcfg"
+	"rbay/internal/ops"
 	"rbay/internal/query"
 	"rbay/internal/trace"
-	"rbay/internal/transport"
 )
 
 // Server is an http.Handler over one RBAY node.
 type Server struct {
 	node *core.Node
+	eng  *ops.Engine
 	mux  *http.ServeMux
-	// timeout bounds every gateway operation.
+	// timeout bounds every synchronous gateway operation.
 	timeout time.Duration
+	maxBody int64
+	lim     *limiter
 }
 
-// New creates a gateway for the node.
+// Options tunes a gateway.
+type Options struct {
+	// Timeout bounds synchronous handlers (query, views, attrs reads).
+	// Default 30s.
+	Timeout time.Duration
+	// MaxBody caps request bodies (http.MaxBytesReader). Default 1 MiB.
+	MaxBody int64
+	// Ops supplies the pending-operations engine. Nil creates a
+	// memory-only engine (OpsStore/OpsConfig then apply).
+	Ops *ops.Engine
+	// OpsStore/OpsConfig configure the engine NewGateway creates when
+	// Ops is nil.
+	OpsStore  ops.Store
+	OpsConfig ops.Config
+	// RateLimit is the per-tenant admission rate for mutating calls.
+	// Zero Rate disables limiting.
+	RateLimit RateLimit
+}
+
+// New creates a gateway for the node with default options and a
+// memory-only ops engine.
 func New(node *core.Node, timeout time.Duration) *Server {
-	if timeout <= 0 {
-		timeout = 30 * time.Second
+	return NewGateway(node, Options{Timeout: timeout})
+}
+
+// NewGateway creates a gateway for the node.
+func NewGateway(node *core.Node, o Options) *Server {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
 	}
-	s := &Server{node: node, mux: http.NewServeMux(), timeout: timeout}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+	eng := o.Ops
+	if eng == nil {
+		eng = ops.NewEngine(node, o.OpsStore, o.OpsConfig)
+	}
+	s := &Server{
+		node:    node,
+		eng:     eng,
+		mux:     http.NewServeMux(),
+		timeout: o.Timeout,
+		maxBody: o.MaxBody,
+		lim:     newLimiter(o.RateLimit),
+	}
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /views", s.handleViewList)
 	s.mux.HandleFunc("POST /views", s.handleViewRegister)
 	s.mux.HandleFunc("DELETE /views", s.handleViewDrop)
 	s.mux.HandleFunc("GET /trees/{name...}", s.handleTreeStats)
 	s.mux.HandleFunc("GET /attrs", s.handleAttrs)
-	s.mux.HandleFunc("POST /attrs", s.handleBulkAttrs)
 	s.mux.HandleFunc("PUT /attrs/{name}", s.handleSetAttr)
 	s.mux.HandleFunc("POST /policies/{name}", s.handleAttachPolicy)
 	s.mux.HandleFunc("POST /deliver/{name...}", s.handleDeliver)
+	// Async mutating surface: every POST below lands a durable op.
+	s.mux.HandleFunc("POST /reserve", s.handleReserve)
 	s.mux.HandleFunc("POST /commit", s.handleCommitRelease)
 	s.mux.HandleFunc("POST /release", s.handleCommitRelease)
+	s.mux.HandleFunc("POST /attrs", s.handleBulkAttrs)
+	s.mux.HandleFunc("GET /ops", s.handleOpsList)
+	s.mux.HandleFunc("GET /ops/{id...}", s.handleOpGet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("GET /debug/queries/{id...}", s.handleDebugQueryTrace)
@@ -58,6 +108,10 @@ func New(node *core.Node, timeout time.Duration) *Server {
 	})
 	return s
 }
+
+// Engine returns the gateway's pending-operations engine (for Restore on
+// startup and Drain on shutdown).
+func (s *Server) Engine() *ops.Engine { return s.eng }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -90,8 +144,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Machine-readable error codes; every error response is
+// {"error": ..., "code": ..., "opId"?: ...}.
+const (
+	codeBadRequest     = "bad_request"
+	codeNotFound       = "not_found"
+	codeBodyTooLarge   = "body_too_large"
+	codeGatewayTimeout = "gateway_timeout"
+	codeRateLimited    = "rate_limited"
+	codeQueueFull      = "queue_full"
+	codeDraining       = "draining"
+	codeInternal       = "internal"
+)
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	OpID  string `json:"opId,omitempty"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error(), Code: code})
 }
 
 // candidateJSON is the wire shape of a discovered resource.
@@ -119,12 +193,12 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sql := r.URL.Query().Get("q")
 	if sql == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		writeErr(w, http.StatusBadRequest, codeBadRequest, errors.New("missing q parameter"))
 		return
 	}
 	q, err := query.Parse(sql)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	caller := r.URL.Query().Get("caller")
@@ -137,7 +211,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	mode, err := core.ParseViewMode(r.URL.Query().Get("view"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	var res core.QueryResult
@@ -148,7 +222,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	resp := queryResponse{
@@ -181,7 +255,7 @@ func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if views == nil {
@@ -194,12 +268,12 @@ func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 	sql := r.URL.Query().Get("q")
 	if sql == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		writeErr(w, http.StatusBadRequest, codeBadRequest, errors.New("missing q parameter"))
 		return
 	}
 	q, err := query.Parse(sql)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	var regErr error
@@ -208,11 +282,11 @@ func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if regErr != nil {
-		writeErr(w, http.StatusBadRequest, regErr)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, regErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"view": q.String()})
@@ -223,7 +297,7 @@ func (s *Server) handleViewRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
 	sql := r.URL.Query().Get("q")
 	if sql == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		writeErr(w, http.StatusBadRequest, codeBadRequest, errors.New("missing q parameter"))
 		return
 	}
 	key := sql
@@ -236,11 +310,11 @@ func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if !dropped {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no view %q", key))
+		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no view %q", key))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"dropped": key})
@@ -264,7 +338,7 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	list := make([]core.QueryRecord, len(recs))
@@ -291,11 +365,11 @@ func (s *Server) handleDebugQueryTrace(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if !found {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no recent query %q", id))
+		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no recent query %q", id))
 		return
 	}
 	if r.URL.Query().Get("format") == "text" && rec.Trace != nil {
@@ -321,11 +395,11 @@ func (s *Server) handleTreeStats(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if statErr != nil {
-		writeErr(w, http.StatusNotFound, statErr)
+		writeErr(w, http.StatusNotFound, codeNotFound, statErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -344,122 +418,17 @@ func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-// bulkUpdate is one attribute write in a bulk post.
-type bulkUpdate struct {
-	Name  string `json:"name"`
-	Value any    `json:"value"`
-}
-
-// bulkRequest is the POST /attrs body.
-type bulkRequest struct {
-	Updates []bulkUpdate `json:"updates"`
-}
-
-// bulkOutcome reports one rejected or nacked update.
-type bulkOutcome struct {
-	Name  string `json:"name"`
-	Error string `json:"error"`
-}
-
-// bulkResponse summarizes a bulk post: applied counts durably-landed
-// updates, failed lists validation/quarantine nacks (also parked on the
-// node's ingest error queue), and pending counts acks that had not fired
-// when the gateway timeout expired (202) — the updates stay queued.
-type bulkResponse struct {
-	Accepted int           `json:"accepted"`
-	Applied  int           `json:"applied"`
-	Failed   []bulkOutcome `json:"failed,omitempty"`
-	Pending  int           `json:"pending,omitempty"`
-}
-
-// handleBulkAttrs routes a batch of attribute updates through the node's
-// churn-ingestion queue (docs/INGEST.md) instead of one synchronous Set
-// per key: the whole batch coalesces into one WAL frame and one view
-// pass, and the response carries per-update ack/nack outcomes.
-func (s *Server) handleBulkAttrs(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	var req bulkRequest
-	if err := json.Unmarshal([]byte(body), &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Updates) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("no updates in body"))
-		return
-	}
-	source := "httpgw@" + r.RemoteAddr
-	type outcome struct {
-		idx int
-		err error
-	}
-	// Acks fire on the node's event context (applies) or synchronously on
-	// this goroutine (validation rejects); the buffer holds them all so
-	// neither side ever blocks.
-	acks := make(chan outcome, len(req.Updates))
-	for i, u := range req.Updates {
-		idx := i
-		_ = s.node.IngestEnqueue(u.Name, normalizeJSONValue(u.Value), source, func(err error) {
-			acks <- outcome{idx: idx, err: err}
-		})
-	}
-	resp := bulkResponse{Accepted: len(req.Updates)}
-	deadline := time.After(s.timeout)
-	got := 0
-	for got < len(req.Updates) {
-		select {
-		case o := <-acks:
-			got++
-			if o.err == nil {
-				resp.Applied++
-			} else {
-				resp.Failed = append(resp.Failed, bulkOutcome{Name: req.Updates[o.idx].Name, Error: o.err.Error()})
-			}
-		case <-deadline:
-			// Still-queued updates will apply eventually; report them as
-			// pending rather than holding the client.
-			resp.Pending = len(req.Updates) - got
-			writeJSON(w, http.StatusAccepted, resp)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// normalizeJSONValue maps decoded JSON shapes onto the attribute value
-// types the store codec round-trips: homogeneous string arrays become
-// []string; everything else passes through (and non-scalar leftovers are
-// rejected by ingest validation into the error queue).
-func normalizeJSONValue(v any) any {
-	arr, ok := v.([]any)
-	if !ok {
-		return v
-	}
-	out := make([]string, len(arr))
-	for i, e := range arr {
-		s, ok := e.(string)
-		if !ok {
-			return v
-		}
-		out[i] = s
-	}
-	return out
 }
 
 func (s *Server) handleSetAttr(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	raw := r.URL.Query().Get("value")
 	if raw == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing value parameter"))
+		writeErr(w, http.StatusBadRequest, codeBadRequest, errors.New("missing value parameter"))
 		return
 	}
 	err := s.onNode(func(done func()) {
@@ -467,7 +436,7 @@ func (s *Server) handleSetAttr(w http.ResponseWriter, r *http.Request) {
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"set": name})
@@ -475,22 +444,21 @@ func (s *Server) handleSetAttr(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAttachPolicy(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body, err := readBody(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	var attachErr error
-	err = s.onNode(func(done func()) {
+	err := s.onNode(func(done func()) {
 		attachErr = s.node.AttachPolicy(name, body)
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if attachErr != nil {
-		writeErr(w, http.StatusBadRequest, attachErr)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, attachErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"policy": name})
@@ -498,9 +466,8 @@ func (s *Server) handleAttachPolicy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body, err := readBody(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	var payload any
@@ -508,69 +475,35 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 		payload = body
 	}
 	var delErr error
-	err = s.onNode(func(done func()) {
+	err := s.onNode(func(done func()) {
 		delErr = s.node.DeliverCommand(name, payload)
 		done()
 	})
 	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
+		writeErr(w, http.StatusGatewayTimeout, codeGatewayTimeout, err)
 		return
 	}
 	if delErr != nil {
-		writeErr(w, http.StatusBadRequest, delErr)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, delErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"delivered": name})
 }
 
-// commitRequest is the wire shape of commit/release calls.
-type commitRequest struct {
-	QueryID    string          `json:"queryId"`
-	Candidates []candidateJSON `json:"candidates"`
-}
-
-func (s *Server) handleCommitRelease(w http.ResponseWriter, r *http.Request) {
-	var req commitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	cands := make([]core.Candidate, 0, len(req.Candidates))
-	for _, c := range req.Candidates {
-		cands = append(cands, core.Candidate{
-			NodeID: c.NodeID,
-			Site:   c.Site,
-			Addr:   transport.Addr{Site: c.Site, Host: c.Host},
-		})
-	}
-	commit := strings.HasSuffix(r.URL.Path, "/commit")
-	err := s.onNode(func(done func()) {
-		if commit {
-			s.node.Commit(req.QueryID, cands)
+// readBody reads a request body under the gateway's size cap
+// (http.MaxBytesReader). On failure the error response has already been
+// written; callers just return.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (string, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
 		} else {
-			s.node.Release(req.QueryID, cands)
+			writeErr(w, http.StatusBadRequest, codeBadRequest, err)
 		}
-		done()
-	})
-	if err != nil {
-		writeErr(w, http.StatusGatewayTimeout, err)
-		return
+		return "", false
 	}
-	verb := "released"
-	if commit {
-		verb = "committed"
-	}
-	writeJSON(w, http.StatusOK, map[string]any{verb: len(cands), "queryId": req.QueryID})
-}
-
-// readBody reads a request body with a 1 MiB cap.
-func readBody(r *http.Request) (string, error) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20+1))
-	if err != nil {
-		return "", err
-	}
-	if len(data) > 1<<20 {
-		return "", errors.New("body too large")
-	}
-	return string(data), nil
+	return string(data), true
 }

@@ -3,6 +3,7 @@ package httpgw
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -12,6 +13,7 @@ import (
 
 	"rbay/internal/core"
 	"rbay/internal/naming"
+	"rbay/internal/ops"
 	"rbay/internal/scribe"
 	"rbay/internal/tcpnet"
 	"rbay/internal/transport"
@@ -20,11 +22,19 @@ import (
 // gwFixture is a two-node TCP federation with a gateway on the first node.
 type gwFixture struct {
 	ts    *httptest.Server
+	gw    *Server
 	nodes []*core.Node
 }
 
 func newFixture(t *testing.T) *gwFixture {
+	return newFixtureOpts(t, 0, Options{Timeout: 15 * time.Second})
+}
+
+func newFixtureOpts(t *testing.T, ttl time.Duration, opts Options) *gwFixture {
 	t.Helper()
+	if ttl <= 0 {
+		ttl = time.Second
+	}
 	core.RegisterWire()
 	reg := naming.NewRegistry()
 	reg.MustDefine(naming.TreeDef{
@@ -41,7 +51,7 @@ func newFixture(t *testing.T) *gwFixture {
 	cfg := core.Config{
 		Scribe:             scribe.Config{AggregateInterval: 200 * time.Millisecond},
 		MembershipInterval: 300 * time.Millisecond,
-		ReserveTTL:         time.Second,
+		ReserveTTL:         ttl,
 	}
 	var nodes []*core.Node
 	for i := 0; i < 2; i++ {
@@ -80,12 +90,12 @@ func newFixture(t *testing.T) *gwFixture {
 	}
 	nodes[1].DoWait(func() { _ = nodes[1].Pastry().JoinSite(nodes[0].Addr(), nil) })
 
-	gw := New(nodes[0], 15*time.Second)
+	gw := NewGateway(nodes[0], opts)
 	ts := httptest.NewServer(gw)
 	t.Cleanup(ts.Close)
 
 	// Wait until the GPU tree holds both members.
-	f := &gwFixture{ts: ts, nodes: nodes}
+	f := &gwFixture{ts: ts, gw: gw, nodes: nodes}
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
 		var stats struct {
@@ -113,6 +123,49 @@ func (f *gwFixture) getJSON(t *testing.T, path string, out any) int {
 		}
 	}
 	return resp.StatusCode
+}
+
+// postOp submits one async operation and decodes whatever comes back —
+// an op snapshot on accept, an errorJSON on rejection.
+func (f *gwFixture) postOp(t *testing.T, path, body string, hdr map[string]string) (int, ops.Op, errorJSON) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, f.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op ops.Op
+	var ej errorJSON
+	_ = json.Unmarshal(raw, &op)
+	_ = json.Unmarshal(raw, &ej)
+	return resp.StatusCode, op, ej
+}
+
+// waitOp polls GET /ops/{id} until the op reaches a terminal state.
+func (f *gwFixture) waitOp(t *testing.T, id string) ops.Op {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		var op ops.Op
+		if f.getJSON(t, "/ops/"+id, &op) == http.StatusOK && op.State.Terminal() {
+			return op
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("op %s never reached a terminal state", id)
+	return ops.Op{}
 }
 
 func TestGatewayEndToEnd(t *testing.T) {
@@ -158,7 +211,9 @@ func TestGatewayEndToEnd(t *testing.T) {
 		t.Fatalf("candidates = %d", len(qr.Candidates))
 	}
 
-	// Release through the gateway.
+	// Release through the gateway: the mutating surface is async, so the
+	// submission lands a pending op (202) that we poll to its terminal
+	// state.
 	body, _ := json.Marshal(map[string]any{
 		"queryId": qr.QueryID,
 		"candidates": []map[string]string{
@@ -166,13 +221,12 @@ func TestGatewayEndToEnd(t *testing.T) {
 			{"site": qr.Candidates[1].Site, "host": qr.Candidates[1].Host},
 		},
 	})
-	resp, err := http.Post(f.ts.URL+"/release", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		t.Fatal(err)
+	code, relOp, _ := f.postOp(t, "/release", string(body), nil)
+	if code != http.StatusAccepted || relOp.ID == "" {
+		t.Fatalf("release submit = %d (%+v)", code, relOp)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("release = %d", resp.StatusCode)
+	if final := f.waitOp(t, relOp.ID); final.State != ops.StateDone {
+		t.Fatalf("release op ended %s: %s", final.State, final.Error)
 	}
 
 	// Attributes view and update.
@@ -198,7 +252,7 @@ func TestGatewayEndToEnd(t *testing.T) {
 	}
 
 	// Policy attach (bad script rejected, good accepted).
-	resp, _ = http.Post(f.ts.URL+"/policies/GPU", "text/plain", strings.NewReader("not a script ("))
+	resp, _ := http.Post(f.ts.URL+"/policies/GPU", "text/plain", strings.NewReader("not a script ("))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad policy = %d", resp.StatusCode)

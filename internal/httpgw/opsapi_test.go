@@ -1,0 +1,292 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rbay/internal/ops"
+)
+
+// TestGatewayAsyncReserveCommitRelease drives the full async lifecycle
+// over HTTP: reserve lands a pending op, commit pins the leases via the
+// reserve op's ID, release frees them — each a 202 polled to done.
+func TestGatewayAsyncReserveCommitRelease(t *testing.T) {
+	f := newFixtureOpts(t, 10*time.Second, Options{Timeout: 15 * time.Second})
+
+	code, rop, _ := f.postOp(t, "/reserve", `{"query":"SELECT 2 FROM lab WHERE GPU = true;"}`, nil)
+	if code != http.StatusAccepted || rop.ID == "" {
+		t.Fatalf("reserve submit = %d (%+v)", code, rop)
+	}
+	if rop.State.Terminal() {
+		t.Fatalf("submission answered terminal state %s", rop.State)
+	}
+	res := f.waitOp(t, rop.ID)
+	if res.State != ops.StateDone {
+		t.Fatalf("reserve ended %s: %s", res.State, res.Error)
+	}
+	if len(res.Candidates) != 2 || res.QueryID == "" {
+		t.Fatalf("reserve result = %+v, want 2 candidates", res)
+	}
+
+	code, cop, _ := f.postOp(t, "/commit", `{"fromOp":"`+rop.ID+`"}`, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("commit submit = %d", code)
+	}
+	if fin := f.waitOp(t, cop.ID); fin.State != ops.StateDone {
+		t.Fatalf("commit ended %s: %s", fin.State, fin.Error)
+	}
+	committed := 0
+	for _, n := range f.nodes {
+		n.DoWait(func() {
+			if _, c, ok := n.Reserved(); ok && c {
+				committed++
+			}
+		})
+	}
+	if committed != 2 {
+		t.Fatalf("committed leases = %d, want 2", committed)
+	}
+
+	code, relop, _ := f.postOp(t, "/release", `{"fromOp":"`+rop.ID+`"}`, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("release submit = %d", code)
+	}
+	if fin := f.waitOp(t, relop.ID); fin.State != ops.StateDone {
+		t.Fatalf("release ended %s: %s", fin.State, fin.Error)
+	}
+	for _, n := range f.nodes {
+		n.DoWait(func() {
+			if _, _, ok := n.Reserved(); ok {
+				t.Error("node still reserved after released op")
+			}
+		})
+	}
+
+	// The op log lists all three, and ?state= filters.
+	var list []ops.Op
+	if code := f.getJSON(t, "/ops", &list); code != http.StatusOK || len(list) != 3 {
+		t.Fatalf("/ops = %d with %d entries, want 3", code, len(list))
+	}
+	var done []ops.Op
+	if code := f.getJSON(t, "/ops?state=done", &done); code != http.StatusOK || len(done) != 3 {
+		t.Fatalf("/ops?state=done = %d with %d entries, want 3", code, len(done))
+	}
+}
+
+// TestGatewayIdempotencyKey replays a reserve submission under the same
+// Idempotency-Key and asserts exactly one op record — and exactly one
+// reservation — exists, while a different tenant with the same key gets
+// its own op.
+func TestGatewayIdempotencyKey(t *testing.T) {
+	f := newFixtureOpts(t, 10*time.Second, Options{Timeout: 15 * time.Second})
+	body := `{"query":"SELECT 1 FROM lab WHERE GPU = true;"}`
+	hdr := map[string]string{"Idempotency-Key": "ticket-42", "X-RBAY-Tenant": "acme"}
+
+	code, first, _ := f.postOp(t, "/reserve", body, hdr)
+	if code != http.StatusAccepted || first.ID == "" {
+		t.Fatalf("first submit = %d (%+v)", code, first)
+	}
+	code, replay, _ := f.postOp(t, "/reserve", body, hdr)
+	if code != http.StatusOK {
+		t.Fatalf("replayed submit = %d, want 200", code)
+	}
+	if replay.ID != first.ID || !replay.Dedup {
+		t.Fatalf("replay = %+v, want dedup of %s", replay, first.ID)
+	}
+	if fin := f.waitOp(t, first.ID); fin.State != ops.StateDone {
+		t.Fatalf("reserve ended %s: %s", fin.State, fin.Error)
+	}
+	// Replay after the terminal transition still answers the same record.
+	code, replay, _ = f.postOp(t, "/reserve", body, hdr)
+	if code != http.StatusOK || replay.ID != first.ID || !replay.Dedup || replay.State != ops.StateDone {
+		t.Fatalf("post-terminal replay = %d (%+v)", code, replay)
+	}
+	reserved := 0
+	for _, n := range f.nodes {
+		n.DoWait(func() {
+			if _, _, ok := n.Reserved(); ok {
+				reserved++
+			}
+		})
+	}
+	if reserved != 1 {
+		t.Fatalf("reservations = %d, want exactly 1 despite three submissions", reserved)
+	}
+
+	// Idempotency keys are tenant-scoped: another tenant's identical key
+	// creates a fresh op.
+	code, other, _ := f.postOp(t, "/reserve", body, map[string]string{
+		"Idempotency-Key": "ticket-42", "X-RBAY-Tenant": "globex",
+	})
+	if code != http.StatusAccepted || other.ID == first.ID {
+		t.Fatalf("cross-tenant submit = %d (%+v), want a new op", code, other)
+	}
+}
+
+// TestGatewayErrorShapes asserts every rejection carries the structured
+// {"error","code"} body.
+func TestGatewayErrorShapes(t *testing.T) {
+	f := newFixture(t)
+
+	cases := []struct {
+		path, body string
+		status     int
+		code       string
+	}{
+		{"/reserve", `{"query":"SELEKT nope"}`, http.StatusBadRequest, codeBadRequest},
+		{"/reserve", `not json`, http.StatusBadRequest, codeBadRequest},
+		{"/commit", `{}`, http.StatusBadRequest, codeBadRequest},
+		{"/release", `{"queryId":"x"}`, http.StatusBadRequest, codeBadRequest},
+	}
+	for _, c := range cases {
+		code, _, ej := f.postOp(t, c.path, c.body, nil)
+		if code != c.status || ej.Code != c.code || ej.Error == "" {
+			t.Fatalf("POST %s %q = %d %+v, want %d %s", c.path, c.body, code, ej, c.status, c.code)
+		}
+	}
+
+	var ej errorJSON
+	if code := f.getJSON(t, "/ops/no-such-op", &ej); code != http.StatusNotFound || ej.Code != codeNotFound {
+		t.Fatalf("GET /ops/no-such-op = %d %+v", code, ej)
+	}
+	ej = errorJSON{}
+	if code := f.getJSON(t, "/trees/nonexistent", &ej); code != http.StatusNotFound || ej.Code != codeNotFound {
+		t.Fatalf("GET /trees/nonexistent = %d %+v", code, ej)
+	}
+	ej = errorJSON{}
+	if code := f.getJSON(t, "/query", &ej); code != http.StatusBadRequest || ej.Code != codeBadRequest {
+		t.Fatalf("GET /query = %d %+v", code, ej)
+	}
+
+	// Oversized bodies are refused by the MaxBytesReader cap.
+	huge := `{"updates":[{"name":"big","value":"` + strings.Repeat("x", 1<<20) + `"}]}`
+	code, _, ej2 := f.postOp(t, "/attrs", huge, nil)
+	if code != http.StatusRequestEntityTooLarge || ej2.Code != codeBodyTooLarge {
+		t.Fatalf("oversized post = %d %+v, want 413 %s", code, ej2, codeBodyTooLarge)
+	}
+}
+
+// TestGatewayBurstShed fires a burst at 4x the per-tenant rate limit and
+// asserts the overflow sheds with structured 429s and Retry-After while
+// every accepted op still reaches done with bounded latency.
+func TestGatewayBurstShed(t *testing.T) {
+	f := newFixtureOpts(t, 0, Options{
+		Timeout:   15 * time.Second,
+		RateLimit: RateLimit{Rate: 5, Burst: 5},
+	})
+	hdr := map[string]string{"X-RBAY-Tenant": "burst"}
+	const total = 40 // 4x the burst+rate headroom of a sub-second volley
+	var accepted []string
+	shed := 0
+	for i := 0; i < total; i++ {
+		req, err := http.NewRequest(http.MethodPost, f.ts.URL+"/attrs",
+			strings.NewReader(`{"updates":[{"name":"burst_attr","value":1}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var op ops.Op
+		var ej errorJSON
+		decodeBoth(t, resp, &op, &ej)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted = append(accepted, op.ID)
+		case http.StatusTooManyRequests:
+			shed++
+			if ej.Code != codeRateLimited {
+				t.Fatalf("429 code = %+v, want %s", ej, codeRateLimited)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("burst submit = %d (%+v / %+v)", resp.StatusCode, op, ej)
+		}
+	}
+	if len(accepted) < 5 {
+		t.Fatalf("accepted = %d, want at least the burst allowance", len(accepted))
+	}
+	if shed < total/2 {
+		t.Fatalf("shed = %d of %d, want most of a 4x burst rejected", shed, total)
+	}
+	// Everything admitted still completes promptly: the limiter sheds
+	// load instead of letting the queue absorb it.
+	var worst time.Duration
+	for _, id := range accepted {
+		fin := f.waitOp(t, id)
+		if fin.State != ops.StateDone {
+			t.Fatalf("accepted op %s ended %s: %s", id, fin.State, fin.Error)
+		}
+		if lat := fin.Updated.Sub(fin.Created); lat > worst {
+			worst = lat
+		}
+	}
+	if worst > 10*time.Second {
+		t.Fatalf("worst accepted-op latency %v, want bounded", worst)
+	}
+
+	// A fresh tenant is not penalized by the burst tenant's empty bucket.
+	code, op, _ := f.postOp(t, "/attrs", `{"updates":[{"name":"calm_attr","value":2}]}`,
+		map[string]string{"X-RBAY-Tenant": "calm"})
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh-tenant submit = %d", code)
+	}
+	if fin := f.waitOp(t, op.ID); fin.State != ops.StateDone {
+		t.Fatalf("fresh-tenant op ended %s", fin.State)
+	}
+}
+
+// TestGatewayQueueFullSheds saturates a tiny op queue with commits to an
+// unreachable owner and asserts the overflow submission sheds with a
+// structured queue_full 429.
+func TestGatewayQueueFullSheds(t *testing.T) {
+	f := newFixtureOpts(t, 0, Options{
+		Timeout: 15 * time.Second,
+		OpsConfig: ops.Config{
+			QueueMax:    2,
+			StepTimeout: 300 * time.Millisecond,
+			RetryBase:   50 * time.Millisecond,
+			RetryCap:    200 * time.Millisecond,
+		},
+	})
+	body := `{"queryId":"gw-test#1","candidates":[{"nodeId":"ghost","site":"lab","host":"no-such-host"}]}`
+	var ids []string
+	for i := 0; i < 2; i++ {
+		code, op, _ := f.postOp(t, "/commit", body, nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("commit submit %d = %d", i, code)
+		}
+		ids = append(ids, op.ID)
+	}
+	code, _, ej := f.postOp(t, "/commit", body, nil)
+	if code != http.StatusTooManyRequests || ej.Code != codeQueueFull {
+		t.Fatalf("overflow submit = %d %+v, want 429 %s", code, ej, codeQueueFull)
+	}
+	// The stuck commits terminate as rolled-back once retries exhaust.
+	for _, id := range ids {
+		if fin := f.waitOp(t, id); fin.State != ops.StateRolledBack {
+			t.Fatalf("unreachable commit %s ended %s: %s", id, fin.State, fin.Error)
+		}
+	}
+}
+
+func decodeBoth(t *testing.T, resp *http.Response, op *ops.Op, ej *errorJSON) {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = json.Unmarshal(raw, op)
+	_ = json.Unmarshal(raw, ej)
+}

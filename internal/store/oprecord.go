@@ -1,0 +1,77 @@
+package store
+
+import "sort"
+
+// StoredOp is one durable gateway operation record (internal/ops). The
+// async gateway persists every accepted mutating call as a pending op
+// before acknowledging it, then rewrites the record at each terminal
+// transition, so a crash between accept and completion is always
+// recoverable: replay hands the op back to the engine, which re-drives
+// it to done or durably rolls it back.
+type StoredOp struct {
+	ID      string `json:"id"`
+	Kind    string `json:"k"`
+	State   string `json:"st"`
+	IdemKey string `json:"ik,omitempty"`
+	Tenant  string `json:"tn,omitempty"`
+	// Query, Payload, Caller and Mode are a reserve op's SQL text, onGet
+	// payload, caller identity and view mode — everything a restart
+	// needs to re-run the query.
+	Query   string `json:"q,omitempty"`
+	Payload string `json:"pw,omitempty"`
+	Caller  string `json:"cl,omitempty"`
+	Mode    string `json:"vm,omitempty"`
+	// FromOp names the reserve op a commit/release op resolves its
+	// query ID and candidates from.
+	FromOp string `json:"fo,omitempty"`
+	// QueryID and Candidates are the reservation being committed or
+	// released; a done reserve op records its result here in the same
+	// frame as the state transition.
+	QueryID    string        `json:"qid,omitempty"`
+	Candidates []OpCandidate `json:"c,omitempty"`
+	// Updates is an attrs op's JSON-encoded update list ([{name,value}]).
+	Updates   string `json:"u,omitempty"`
+	Error     string `json:"e,omitempty"`
+	Shortfall int    `json:"sf,omitempty"`
+	// CreatedNanos/UpdatedNanos are Unix nanoseconds on the owning
+	// node's clock (virtual under simulation).
+	CreatedNanos int64 `json:"cr,omitempty"`
+	UpdatedNanos int64 `json:"up,omitempty"`
+}
+
+// OpCandidate is one reserved resource inside an op record — the store's
+// codec-free mirror of core.Candidate (NodeID plus the owner's address).
+type OpCandidate struct {
+	NodeID string `json:"n,omitempty"`
+	Site   string `json:"s,omitempty"`
+	Host   string `json:"h,omitempty"`
+}
+
+// RecordOp records an operation upsert: the full op record travels in
+// one frame, so a state transition plus its result (query ID,
+// candidates) lands atomically or not at all.
+func (l *Log) RecordOp(op StoredOp) {
+	l.append(record{Op: opOpUpsert, OpRec: &op})
+}
+
+// RecordOpDelete records the retirement of a terminal op record
+// (retention pruning).
+func (l *Log) RecordOpDelete(id string) {
+	l.append(record{Op: opOpDelete, Query: id})
+}
+
+// SortedOps returns the recovered op records in creation order (ID as
+// tiebreak), for deterministic restoration.
+func (s State) SortedOps() []StoredOp {
+	out := make([]StoredOp, 0, len(s.Ops))
+	for _, op := range s.Ops {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CreatedNanos != out[j].CreatedNanos {
+			return out[i].CreatedNanos < out[j].CreatedNanos
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

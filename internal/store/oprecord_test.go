@@ -1,0 +1,121 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleOp(id, state string) StoredOp {
+	return StoredOp{
+		ID:      id,
+		Kind:    "reserve",
+		State:   state,
+		IdemKey: "key-" + id,
+		Tenant:  "acme",
+		Query:   "SELECT 1 node WITH GPU",
+		QueryID: "lab/n0#1",
+		Candidates: []OpCandidate{
+			{NodeID: "n1", Site: "lab", Host: "n1"},
+			{NodeID: "n2", Site: "lab", Host: "n2"},
+		},
+		CreatedNanos: 100,
+		UpdatedNanos: 200,
+	}
+}
+
+func TestOpRecordReplay(t *testing.T) {
+	dir := NewMemDir()
+	l, st := openOrDie(t, dir, Options{Policy: SyncAlways})
+	if len(st.Ops) != 0 {
+		t.Fatalf("fresh store has ops: %+v", st.Ops)
+	}
+	l.RecordOp(sampleOp("op-1", "pending"))
+	l.RecordOp(sampleOp("op-2", "pending"))
+	// Transition op-1: the upsert replaces the whole record.
+	done := sampleOp("op-1", "done")
+	done.UpdatedNanos = 300
+	l.RecordOp(done)
+	l.RecordOpDelete("op-2")
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, st2 := openOrDie(t, dir, Options{Policy: SyncAlways})
+	if len(st2.Ops) != 1 {
+		t.Fatalf("replayed ops = %+v, want only op-1", st2.Ops)
+	}
+	got := st2.Ops["op-1"]
+	if !reflect.DeepEqual(got, done) {
+		t.Fatalf("replayed op-1 = %+v, want %+v", got, done)
+	}
+}
+
+func TestOpRecordSurvivesCompaction(t *testing.T) {
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncAlways})
+	l.RecordOp(sampleOp("op-1", "pending"))
+	l.RecordSet("GPU", true)
+	if err := l.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	// A post-snapshot transition must replay over the snapshotted record.
+	rolled := sampleOp("op-1", "rolled-back")
+	rolled.Error = "commit incomplete"
+	l.RecordOp(rolled)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, st := openOrDie(t, dir, Options{Policy: SyncAlways})
+	got, ok := st.Ops["op-1"]
+	if !ok {
+		t.Fatalf("op-1 missing after compaction: %+v", st.Ops)
+	}
+	if !reflect.DeepEqual(got, rolled) {
+		t.Fatalf("op-1 = %+v, want %+v", got, rolled)
+	}
+	if v, ok := st.Attrs["GPU"]; !ok || v.Value != true {
+		t.Fatalf("GPU attr lost across compaction: %+v", st.Attrs)
+	}
+}
+
+func TestOpRecordTornTailDropped(t *testing.T) {
+	dir := NewMemDir()
+	l, _ := openOrDie(t, dir, Options{Policy: SyncAlways})
+	l.RecordOp(sampleOp("op-1", "pending"))
+	l.RecordOp(sampleOp("op-2", "pending"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Tear the last frame: op-2's record must vanish atomically.
+	raw, ok, err := dir.ReadFile(WALName)
+	if err != nil || !ok {
+		t.Fatalf("read wal: %v %v", ok, err)
+	}
+	if err := dir.WriteFile(WALName, raw[:len(raw)-3]); err != nil {
+		t.Fatalf("tear wal: %v", err)
+	}
+
+	_, st := openOrDie(t, dir, Options{Policy: SyncAlways})
+	if _, ok := st.Ops["op-1"]; !ok {
+		t.Fatalf("op-1 missing: %+v", st.Ops)
+	}
+	if _, ok := st.Ops["op-2"]; ok {
+		t.Fatalf("torn op-2 survived: %+v", st.Ops)
+	}
+}
+
+func TestSortedOpsDeterministic(t *testing.T) {
+	st := State{Ops: map[string]StoredOp{
+		"b": {ID: "b", CreatedNanos: 100},
+		"a": {ID: "a", CreatedNanos: 100},
+		"c": {ID: "c", CreatedNanos: 50},
+	}}
+	got := st.SortedOps()
+	want := []string{"c", "a", "b"}
+	for i, op := range got {
+		if op.ID != want[i] {
+			t.Fatalf("SortedOps order = %v, want %v", got, want)
+		}
+	}
+}

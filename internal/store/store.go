@@ -113,6 +113,8 @@ const (
 	opReserve  = "reserve" // reservation taken or its lease extended
 	opCommit   = "commit"  // reservation committed (leased)
 	opRelease  = "release" // reservation released
+	opOpUpsert = "op"      // gateway operation record created or transitioned
+	opOpDelete = "opdel"   // terminal operation record retired (retention)
 )
 
 // record is one WAL entry. Values travel through the tagged codec in
@@ -130,6 +132,9 @@ type record struct {
 	// shares one frame, so a crash mid-write tears the frame's CRC and the
 	// batch is dropped atomically on replay — all or nothing.
 	Batch []batchKV `json:"b,omitempty"`
+	// OpRec is an opOpUpsert record's full operation state; opOpDelete
+	// carries the retired op's ID in Query.
+	OpRec *StoredOp `json:"o,omitempty"`
 }
 
 // batchKV is one key/value pair inside an opSetBatch record.
@@ -166,6 +171,8 @@ type State struct {
 	Seq         uint64
 	Attrs       map[string]StoredAttr
 	Reservation *StoredReservation
+	// Ops holds the gateway's durable operation records by ID.
+	Ops map[string]StoredOp
 }
 
 // SortedAttrs returns the attributes ordered by name, for deterministic
@@ -189,6 +196,13 @@ func (s State) clone() State {
 	if s.Reservation != nil {
 		r := *s.Reservation
 		out.Reservation = &r
+	}
+	if s.Ops != nil {
+		out.Ops = make(map[string]StoredOp, len(s.Ops))
+		for k, v := range s.Ops {
+			v.Candidates = append([]OpCandidate(nil), v.Candidates...)
+			out.Ops[k] = v
+		}
 	}
 	return out
 }
@@ -232,6 +246,15 @@ func (s *State) apply(r record) {
 		if rsv := s.Reservation; rsv != nil && rsv.QueryID == r.Query {
 			s.Reservation = nil
 		}
+	case opOpUpsert:
+		if r.OpRec != nil {
+			if s.Ops == nil {
+				s.Ops = make(map[string]StoredOp)
+			}
+			s.Ops[r.OpRec.ID] = *r.OpRec
+		}
+	case opOpDelete:
+		delete(s.Ops, r.Query)
 	}
 }
 
@@ -243,6 +266,7 @@ type snapshot struct {
 	Seq         uint64           `json:"seq"`
 	Attrs       []snapAttr       `json:"attrs"`
 	Reservation *snapReservation `json:"reservation,omitempty"`
+	Ops         []StoredOp       `json:"ops,omitempty"`
 }
 
 type snapReservation struct {
@@ -308,6 +332,12 @@ func Open(dir Dir, opts Options) (*Log, State, error) {
 				QueryID:   r.QueryID,
 				Expires:   time.Unix(0, r.Exp),
 				Committed: r.Committed,
+			}
+		}
+		if len(snap.Ops) > 0 {
+			l.state.Ops = make(map[string]StoredOp, len(snap.Ops))
+			for _, op := range snap.Ops {
+				l.state.Ops[op.ID] = op
 			}
 		}
 	}
@@ -514,6 +544,7 @@ func (l *Log) compactLocked() {
 	for _, a := range l.state.SortedAttrs() {
 		snap.Attrs = append(snap.Attrs, snapAttr{Name: a.Name, Val: tagValue(a.Value), Script: a.Script})
 	}
+	snap.Ops = l.state.SortedOps()
 	raw, err := json.Marshal(snap)
 	if err != nil {
 		l.noteErr(err)
