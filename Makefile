@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale bench-churn chaos chaos-restart-smoke chaos-replica-smoke churn-smoke gateway-smoke
+.PHONY: ci vet fmt-check build test race bench bench-all bench-baseline bench-diff bench-smoke bench-scale bench-churn bench-wal fuzz-store fuzz-store-smoke chaos chaos-restart-smoke chaos-replica-smoke churn-smoke gateway-smoke
 
-ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke churn-smoke gateway-smoke bench-smoke
+ci: fmt-check vet build race chaos-restart-smoke chaos-replica-smoke churn-smoke gateway-smoke fuzz-store-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,33 +78,56 @@ gateway-smoke:
 bench-churn:
 	$(GO) test -bench 'BenchmarkChurn' -benchtime 1x -benchmem -run '^$$' .
 
-# Query/scribe hot-path benchmarks (probe, anycast, cross-site, parser).
-# BENCH_seed.json was produced from this set via `make bench-baseline`;
-# compare against it before landing perf-sensitive changes.
-BENCH_PATTERN ?= 'Query|Probe|Parse|Bootstrap|Replica'
+# WAL codec and group-commit benchmarks: binary vs legacy-JSON frame
+# encoding, and fsync coalescing at 1/8/64 concurrent appenders
+# (docs/RECOVERY.md).
+bench-wal:
+	$(GO) test -bench 'BenchmarkWAL' -benchtime 1000x -benchmem -run '^$$' .
+
+# Binary WAL frame decoder fuzzing: torn tails, bit flips, and truncated
+# length prefixes must error — never panic or over-allocate. Override
+# FUZZ_TIME for longer runs. fuzz-store-smoke is the short `make ci` leg;
+# the tight minimize budget keeps interesting-input shrinking from eating
+# the wall clock.
+FUZZ_TIME ?= 30s
+fuzz-store:
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime $(FUZZ_TIME) \
+		-test.fuzzminimizetime=2s ./internal/store/
+
+fuzz-store-smoke:
+	$(MAKE) fuzz-store FUZZ_TIME=5s
+
+# Hot-path benchmarks (probe, anycast, cross-site, parser, WAL append,
+# churn apply, ops-engine submit). BENCH_seed.json was produced from this
+# set via `make bench-baseline`; compare against it before landing
+# perf-sensitive changes. BenchmarkOpsSubmit lives in ./internal/ops, so
+# the bench targets run both packages.
+BENCH_PATTERN ?= 'Query|Probe|Parse|Bootstrap|Replica|WALAppend|ChurnApply|OpsSubmit'
 bench:
-	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' .
+	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' . ./internal/ops/
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 bench-baseline:
-	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_seed.json
+	$(GO) test -bench $(BENCH_PATTERN) -benchtime 1x -benchmem -run '^$$' . ./internal/ops/ | $(GO) run ./cmd/benchjson > BENCH_seed.json
 
 # Compare a fresh run against the recorded baseline. 3 runs folded to
 # their per-metric minimum denoise wall clock (benchjson picks the min).
 bench-diff:
-	$(GO) test -bench $(BENCH_PATTERN) -benchtime 20x -count 3 -benchmem -run '^$$' . | \
+	$(GO) test -bench $(BENCH_PATTERN) -benchtime 20x -count 3 -benchmem -run '^$$' . ./internal/ops/ | \
 		$(GO) run ./cmd/benchjson -diff BENCH_seed.json
 
-# Perf smoke gate (part of `make ci`): the cross-site query hot path and
-# the view-served recurring query must stay within 20% of BENCH_seed.json
-# on ns/op and allocs/op. allocs/op is deterministic; ns/op uses the min
-# of 3 runs so scheduler noise doesn't flag a phantom regression. The
-# churn apply benchmark runs alongside for visibility (no baseline gate).
+# Perf smoke gate (part of `make ci`): the cross-site query hot path, the
+# view-served recurring query, and the binary WAL append path must stay
+# within 20% of BENCH_seed.json on ns/op and allocs/op. allocs/op is
+# deterministic; ns/op uses the min of 3 runs so scheduler noise doesn't
+# flag a phantom regression. The churn apply and group-commit benchmarks
+# run alongside for visibility (no baseline gate: their wall clock is
+# fsync- and window-bound, not CPU-bound).
 bench-smoke:
-	$(GO) test -bench 'QueryCrossSite|QueryViewServed|ChurnApply' -benchtime 20x -count 3 -benchmem -run '^$$' . | \
-		$(GO) run ./cmd/benchjson -diff BENCH_seed.json -gate 'QueryCrossSite|QueryViewServed' -max-regress 20
+	$(GO) test -bench 'QueryCrossSite|QueryViewServed|ChurnApply|WALAppend' -benchtime 20x -count 3 -benchmem -run '^$$' . | \
+		$(GO) run ./cmd/benchjson -diff BENCH_seed.json -gate 'QueryCrossSite|QueryViewServed|WALAppendBinary' -max-regress 20
 
 # Target-scale wire-codec scenario: 10k nodes / 1M resources with every
 # simulated message round-tripped through the binary codec (scale_test.go).

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	rbayd -addr site/host -listen :7946 -peers peers.txt -registry registry.json
-//	      [-bootstrap | -seed site/host] [-http :8080]
-//	      [-data-dir /var/lib/rbayd] [-fsync always|interval|never]
+//	      [-bootstrap | -seed site/host] [-http :8080] [-debug-addr localhost:6060]
+//	      [-data-dir /var/lib/rbayd] [-fsync always|group|interval|never]
+//	      [-fsync-group-window 500us]
 //	      [-attr name=value]... [-policy attr=script.aal]...
 //
 // peers.txt maps node addresses to TCP endpoints ("virginia/n1 10.0.0.5:7946");
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,8 +58,10 @@ func run(args []string) error {
 	hbMisses := fs.Int("hb-misses", 3, "missed heartbeats before a peer conn is declared dead")
 	sendQueue := fs.Int("sendq", 1024, "per-endpoint delivery queue bound")
 	dataDir := fs.String("data-dir", "", "durable state directory (empty: in-memory only, state dies with the process)")
-	fsyncFlag := fs.String("fsync", "always", "store fsync policy: always, interval, or never")
+	fsyncFlag := fs.String("fsync", "always", "store fsync policy: always, group, interval, or never")
 	fsyncInterval := fs.Duration("fsync-interval", 2*time.Second, "fsync period under -fsync interval")
+	fsyncGroupWindow := fs.Duration("fsync-group-window", 0, "group-commit flush window under -fsync group (0: store default, negative: flush immediately)")
+	debugAddr := fs.String("debug-addr", "", "net/http/pprof listen address (e.g. localhost:6060; empty disables)")
 	opsWorkers := fs.Int("ops-workers", 8, "gateway async-op worker pool size")
 	opsQueue := fs.Int("ops-queue", 256, "gateway async-op queue bound (submissions above it get 429)")
 	gwRate := fs.Float64("gw-rate", 0, "per-tenant gateway admission rate, ops/sec (0 disables rate limiting)")
@@ -78,6 +82,19 @@ func run(args []string) error {
 	}
 	if !*bootstrap && *seedFlag == "" {
 		return fmt.Errorf("either -bootstrap or -seed is required")
+	}
+
+	// Debug/profiling server (off by default): net/http/pprof registers
+	// its handlers on the default mux at import, so serving nil here
+	// exposes /debug/pprof/* — including the WAL writer's CPU and heap
+	// profiles (docs/OBSERVABILITY.md) — without touching the gateway mux.
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rbayd: debug server:", err)
+			}
+		}()
+		fmt.Printf("rbayd: pprof debug server on http://%s/debug/pprof/\n", *debugAddr)
 	}
 
 	peers, err := fedcfg.LoadPeers(*peersPath)
@@ -104,7 +121,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		st, state, err := rbay.OpenStore(*dataDir, policy, *fsyncInterval)
+		st, state, err := rbay.OpenStoreOptions(*dataDir, policy, rbay.StoreOptions{
+			Interval:    *fsyncInterval,
+			GroupWindow: *fsyncGroupWindow,
+		})
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
 		}

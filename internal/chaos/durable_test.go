@@ -33,6 +33,10 @@ func TestDurableRestartSmoke(t *testing.T) {
 		{"always", Options{Durable: true, Fsync: store.SyncAlways}},
 		{"interval", Options{Durable: true, Fsync: store.SyncInterval, FsyncInterval: 200 * time.Millisecond}},
 		{"never", Options{Durable: true, Fsync: store.SyncNever}},
+		{"group", Options{Durable: true, Fsync: store.SyncGroup, FsyncGroupWindow: 100 * time.Microsecond}},
+		// Legacy-format dirs must survive the same crash schedule: the
+		// binary decoder's per-frame JSON fallback is what restarts read.
+		{"json-legacy", Options{Durable: true, Fsync: store.SyncAlways, StoreFormat: store.FormatJSON}},
 	}
 	for _, p := range policies {
 		p := p

@@ -65,6 +65,14 @@ type Options struct {
 	Fsync store.SyncPolicy
 	// FsyncInterval is the SyncInterval period (see store.Options).
 	FsyncInterval time.Duration
+	// FsyncGroupWindow is the SyncGroup flush window (see store.Options).
+	// Crash cuts stay on group boundaries regardless of the window: the
+	// MemDir synced watermark only advances at the group's write+fsync.
+	FsyncGroupWindow time.Duration
+	// StoreFormat selects the WAL frame encoding (default binary). The
+	// durable campaign also runs it as FormatJSON to prove crash
+	// recovery of legacy-format dirs keeps working.
+	StoreFormat store.Format
 }
 
 func (o Options) withDefaults() Options {
@@ -278,7 +286,12 @@ func New(scn Scenario, opts Options) (*Harness, error) {
 
 // storeOpts maps the harness options onto the store's.
 func (h *Harness) storeOpts() store.Options {
-	return store.Options{Policy: h.opts.Fsync, Interval: h.opts.FsyncInterval}
+	return store.Options{
+		Policy:      h.opts.Fsync,
+		Interval:    h.opts.FsyncInterval,
+		GroupWindow: h.opts.FsyncGroupWindow,
+		Format:      h.opts.StoreFormat,
+	}
 }
 
 // recordDurableBase snapshots the node's stable layout attributes — the

@@ -314,6 +314,12 @@ func New(net transport.Network, addr transport.Addr, reg *naming.Registry, cfg C
 	n.s = scribe.New(p, cfg.Scribe)
 	aalOpts := cfg.AAL
 	n.st = cfg.Store
+	// Wire the WAL's write-path series (fsync count, group size, flush
+	// latency, bytes) into the node's registry when the store exposes
+	// them (store.Log does; test fakes need not).
+	if sm, ok := n.st.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		sm.SetMetrics(reg2)
+	}
 	n.am = attr.NewMap(attr.Options{
 		NodeID:          addr.String(),
 		Site:            addr.Site,

@@ -1,0 +1,42 @@
+package ops
+
+import (
+	"fmt"
+	"testing"
+
+	"rbay/internal/store"
+)
+
+// BenchmarkOpsSubmit measures the gateway's accept path — validate,
+// dedup, create, WAL-persist — the work done on the HTTP goroutine
+// before a 202. The store runs group commit with an immediate flush
+// window, so concurrent submits coalesce their op-record fsyncs exactly
+// as rbayd's -fsync=group does.
+func BenchmarkOpsSubmit(b *testing.B) {
+	fed := newFed(b)
+	l, _, err := store.Open(store.NewMemDir(), store.Options{
+		Policy:       store.SyncGroup,
+		GroupWindow:  -1, // flush immediately; coalesce only natural pile-up
+		CompactEvery: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	e := testEngine(fed, l, Config{QueueMax: 1 << 30})
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := e.Submit(Request{
+				Kind:    KindAttrs,
+				Tenant:  "bench",
+				Updates: []Update{{Name: fmt.Sprintf("load%d", i%64), Value: float64(i)}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

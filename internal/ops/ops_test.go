@@ -13,7 +13,7 @@ import (
 	"rbay/internal/store"
 )
 
-func testRegistry(t *testing.T) *naming.Registry {
+func testRegistry(t testing.TB) *naming.Registry {
 	t.Helper()
 	r := naming.NewRegistry()
 	r.MustDefine(naming.TreeDef{Name: "GPU", Pred: naming.Pred{Attr: "GPU", Op: naming.OpEq, Value: true}, Creator: "rbay"})
@@ -30,7 +30,7 @@ func fastConfig() core.Config {
 }
 
 // newFed builds one 12-node site where nodes 0,4,8 have GPUs.
-func newFed(t *testing.T) *core.Federation {
+func newFed(t testing.TB) *core.Federation {
 	t.Helper()
 	fed, err := core.NewFederation(testRegistry(t), core.FedConfig{
 		Sites:        []string{"lab"},

@@ -1,0 +1,393 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"rbay/internal/wire"
+)
+
+// Binary WAL format. Each frame keeps the PR-4 outer envelope —
+// [u32 LE length][u32 LE crc32-IEEE][body] — but the body is now a
+// wire-codec record instead of JSON text:
+//
+//	body := kind(byte) seq(uvarint) payload
+//
+// with one registered kind per record operation. The two formats coexist
+// per-frame: a JSON body always starts with '{' (0x7B) and no binary kind
+// byte is ever 0x7B, so the decoder dispatches on the first body byte and
+// a data dir written by an older build replays transparently. New appends
+// are always binary (unless Options.Format forces JSON); compaction
+// rewrites the snapshot and truncates the WAL, so a mixed dir converges
+// to pure binary without any explicit migration step (docs/RECOVERY.md).
+const (
+	kindSet      byte = 1
+	kindSetBatch byte = 2
+	kindDelete   byte = 3
+	kindAttach   byte = 4
+	kindReserve  byte = 5
+	kindCommit   byte = 6
+	kindRelease  byte = 7
+	kindOpUpsert byte = 8
+	kindOpDelete byte = 9
+	kindSnapshot byte = 10
+)
+
+// snapMagic prefixes a binary snapshot file. A legacy JSON snapshot
+// starts with '{'; anything else carrying this magic is one binary
+// kindSnapshot frame. (WAL frames need no magic — they dispatch on the
+// body's first byte — but the snapshot is a whole file, and its first
+// byte is a length octet that could collide with '{'.)
+var snapMagic = []byte("rbaysnap\x01")
+
+var (
+	recCodec  = wire.NewCodec[record]()
+	snapCodec = wire.NewCodec[snapshot]()
+)
+
+func init() {
+	recCodec.Register(kindSet, opSet,
+		func(e *wire.Encoder, r record) { e.String(r.Attr); encValue(e, r.Val) },
+		func(d *wire.Decoder) record { return record{Op: opSet, Attr: d.String(), Val: decValue(d)} })
+	recCodec.Register(kindSetBatch, opSetBatch,
+		func(e *wire.Encoder, r record) {
+			e.Uvarint(uint64(len(r.Batch)))
+			for _, kv := range r.Batch {
+				e.String(kv.Attr)
+				encValue(e, kv.Val)
+			}
+		},
+		func(d *wire.Decoder) record {
+			r := record{Op: opSetBatch}
+			if n := d.Count(2); n > 0 {
+				r.Batch = make([]batchKV, n)
+				for i := range r.Batch {
+					r.Batch[i] = batchKV{Attr: d.String(), Val: decValue(d)}
+				}
+			}
+			return r
+		})
+	recCodec.Register(kindDelete, opDelete,
+		func(e *wire.Encoder, r record) { e.String(r.Attr) },
+		func(d *wire.Decoder) record { return record{Op: opDelete, Attr: d.String()} })
+	recCodec.Register(kindAttach, opAttach,
+		func(e *wire.Encoder, r record) { e.String(r.Attr); e.String(r.Script) },
+		func(d *wire.Decoder) record { return record{Op: opAttach, Attr: d.String(), Script: d.String()} })
+	recCodec.Register(kindReserve, opReserve,
+		func(e *wire.Encoder, r record) { e.String(r.Query); e.Varint(r.Exp) },
+		func(d *wire.Decoder) record { return record{Op: opReserve, Query: d.String(), Exp: d.Varint()} })
+	recCodec.Register(kindCommit, opCommit,
+		func(e *wire.Encoder, r record) { e.String(r.Query) },
+		func(d *wire.Decoder) record { return record{Op: opCommit, Query: d.String()} })
+	recCodec.Register(kindRelease, opRelease,
+		func(e *wire.Encoder, r record) { e.String(r.Query) },
+		func(d *wire.Decoder) record { return record{Op: opRelease, Query: d.String()} })
+	recCodec.Register(kindOpUpsert, opOpUpsert,
+		func(e *wire.Encoder, r record) {
+			if r.OpRec == nil {
+				e.Fail(errors.New("store: op upsert record without op"))
+				return
+			}
+			encStoredOp(e, *r.OpRec)
+		},
+		func(d *wire.Decoder) record {
+			op := decStoredOp(d)
+			return record{Op: opOpUpsert, OpRec: &op}
+		})
+	recCodec.Register(kindOpDelete, opOpDelete,
+		func(e *wire.Encoder, r record) { e.String(r.Query) },
+		func(d *wire.Decoder) record { return record{Op: opOpDelete, Query: d.String()} })
+
+	snapCodec.Register(kindSnapshot, "snapshot", encSnapshot, decSnapshot)
+}
+
+// kindForOp maps a record operation to its binary kind byte (0 = unknown).
+func kindForOp(op string) byte {
+	switch op {
+	case opSet:
+		return kindSet
+	case opSetBatch:
+		return kindSetBatch
+	case opDelete:
+		return kindDelete
+	case opAttach:
+		return kindAttach
+	case opReserve:
+		return kindReserve
+	case opCommit:
+		return kindCommit
+	case opRelease:
+		return kindRelease
+	case opOpUpsert:
+		return kindOpUpsert
+	case opOpDelete:
+		return kindOpDelete
+	default:
+		return 0
+	}
+}
+
+// Value tag bytes. These mirror taggedValue's one-letter JSON tags; the
+// JSON blob escape (vtJSON) carries the same raw text the legacy codec
+// stored, so exotic values decode to the identical generic shapes either
+// way — and encoding/json sorts map keys, keeping WAL bytes deterministic
+// where a direct map encoding would not be.
+const (
+	vtNilPtr byte = 0 // no value at all (nil *taggedValue)
+	vtNil    byte = 1 // explicit nil value ("z")
+	vtBool   byte = 2
+	vtInt    byte = 3
+	vtFloat  byte = 4
+	vtString byte = 5
+	vtStrs   byte = 6
+	vtJSON   byte = 7
+)
+
+func encValue(e *wire.Encoder, t *taggedValue) {
+	if t == nil {
+		e.Byte(vtNilPtr)
+		return
+	}
+	switch t.T {
+	case "z":
+		e.Byte(vtNil)
+	case "b":
+		e.Byte(vtBool)
+		e.Bool(t.B)
+	case "i":
+		e.Byte(vtInt)
+		e.Varint(t.I)
+	case "n":
+		e.Byte(vtFloat)
+		e.Float64(t.N)
+	case "s":
+		e.Byte(vtString)
+		e.String(t.S)
+	case "ss":
+		e.Byte(vtStrs)
+		e.Uvarint(uint64(len(t.SS)))
+		for _, s := range t.SS {
+			e.String(s)
+		}
+	case "j":
+		e.Byte(vtJSON)
+		e.RawBytes(t.J)
+	default:
+		e.Fail(fmt.Errorf("store: unknown value tag %q", t.T))
+	}
+}
+
+func decValue(d *wire.Decoder) *taggedValue {
+	switch b := d.Byte(); b {
+	case vtNilPtr:
+		return nil
+	case vtNil:
+		return &taggedValue{T: "z"}
+	case vtBool:
+		return &taggedValue{T: "b", B: d.Bool()}
+	case vtInt:
+		return &taggedValue{T: "i", I: d.Varint()}
+	case vtFloat:
+		return &taggedValue{T: "n", N: d.Float64()}
+	case vtString:
+		return &taggedValue{T: "s", S: d.String()}
+	case vtStrs:
+		t := &taggedValue{T: "ss"}
+		if n := d.Count(1); n > 0 {
+			t.SS = make([]string, n)
+			for i := range t.SS {
+				t.SS[i] = d.String()
+			}
+		}
+		return t
+	case vtJSON:
+		return &taggedValue{T: "j", J: append([]byte(nil), d.RawBytes()...)}
+	default:
+		d.Fail(fmt.Errorf("store: unknown value tag byte %d", b))
+		return nil
+	}
+}
+
+func encStoredOp(e *wire.Encoder, op StoredOp) {
+	e.String(op.ID)
+	e.String(op.Kind)
+	e.String(op.State)
+	e.String(op.IdemKey)
+	e.String(op.Tenant)
+	e.String(op.Query)
+	e.String(op.Payload)
+	e.String(op.Caller)
+	e.String(op.Mode)
+	e.String(op.FromOp)
+	e.String(op.QueryID)
+	e.Uvarint(uint64(len(op.Candidates)))
+	for _, c := range op.Candidates {
+		e.String(c.NodeID)
+		e.String(c.Site)
+		e.String(c.Host)
+	}
+	e.String(op.Updates)
+	e.String(op.Error)
+	e.Varint(int64(op.Shortfall))
+	e.Varint(op.CreatedNanos)
+	e.Varint(op.UpdatedNanos)
+}
+
+func decStoredOp(d *wire.Decoder) StoredOp {
+	var op StoredOp
+	op.ID = d.String()
+	op.Kind = d.String()
+	op.State = d.String()
+	op.IdemKey = d.String()
+	op.Tenant = d.String()
+	op.Query = d.String()
+	op.Payload = d.String()
+	op.Caller = d.String()
+	op.Mode = d.String()
+	op.FromOp = d.String()
+	op.QueryID = d.String()
+	if n := d.Count(3); n > 0 {
+		op.Candidates = make([]OpCandidate, n)
+		for i := range op.Candidates {
+			op.Candidates[i] = OpCandidate{NodeID: d.String(), Site: d.String(), Host: d.String()}
+		}
+	}
+	op.Updates = d.String()
+	op.Error = d.String()
+	op.Shortfall = int(d.Varint())
+	op.CreatedNanos = d.Varint()
+	op.UpdatedNanos = d.Varint()
+	return op
+}
+
+func encSnapshot(e *wire.Encoder, s snapshot) {
+	e.Uvarint(uint64(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		e.String(a.Name)
+		encValue(e, a.Val)
+		e.String(a.Script)
+	}
+	if r := s.Reservation; r != nil {
+		e.Byte(1)
+		e.String(r.QueryID)
+		e.Varint(r.Exp)
+		e.Bool(r.Committed)
+	} else {
+		e.Byte(0)
+	}
+	e.Uvarint(uint64(len(s.Ops)))
+	for _, op := range s.Ops {
+		encStoredOp(e, op)
+	}
+}
+
+func decSnapshot(d *wire.Decoder) snapshot {
+	var s snapshot
+	if n := d.Count(3); n > 0 {
+		s.Attrs = make([]snapAttr, n)
+		for i := range s.Attrs {
+			s.Attrs[i] = snapAttr{Name: d.String(), Val: decValue(d), Script: d.String()}
+		}
+	}
+	if d.Byte() != 0 {
+		s.Reservation = &snapReservation{QueryID: d.String(), Exp: d.Varint(), Committed: d.Bool()}
+	}
+	if n := d.Count(17); n > 0 {
+		s.Ops = make([]StoredOp, n)
+		for i := range s.Ops {
+			s.Ops[i] = decStoredOp(d)
+		}
+	}
+	return s
+}
+
+// appendFrame appends one outer frame — [len][crc32][body] — to buf.
+func appendFrame(buf, body []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// appendRecordBinary appends r's framed binary encoding to buf, using a
+// pooled wire encoder for the body.
+func appendRecordBinary(buf []byte, r record) ([]byte, error) {
+	kind := kindForOp(r.Op)
+	if kind == 0 {
+		return buf, fmt.Errorf("store: unknown record op %q", r.Op)
+	}
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	recCodec.Append(e, kind, r.Seq, r)
+	if err := e.Err(); err != nil {
+		return buf, err
+	}
+	return appendFrame(buf, e.Bytes()), nil
+}
+
+// decodeRecord parses one frame body in either format: JSON text (legacy
+// dirs, Options.Format == FormatJSON) or a binary wire-codec record.
+func decodeRecord(body []byte) (record, error) {
+	if len(body) == 0 {
+		return record{}, errors.New("store: empty record body")
+	}
+	if body[0] == '{' {
+		var r record
+		if err := json.Unmarshal(body, &r); err != nil {
+			return record{}, err
+		}
+		return r, nil
+	}
+	_, seq, r, err := recCodec.Decode(body)
+	if err != nil {
+		return record{}, err
+	}
+	r.Seq = seq
+	return r, nil
+}
+
+// encodeSnapshotBinary renders the whole snapshot file: magic plus one
+// framed kindSnapshot record whose header seq is the snapshot sequence.
+func encodeSnapshotBinary(snap snapshot) ([]byte, error) {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	snapCodec.Append(e, kindSnapshot, snap.Seq, snap)
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return appendFrame(append([]byte(nil), snapMagic...), e.Bytes()), nil
+}
+
+// decodeSnapshot parses a snapshot file in either format.
+func decodeSnapshot(raw []byte) (snapshot, error) {
+	if !bytes.HasPrefix(raw, snapMagic) {
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return snapshot{}, fmt.Errorf("store: decode snapshot: %w", err)
+		}
+		return snap, nil
+	}
+	body := raw[len(snapMagic):]
+	if len(body) < 8 {
+		return snapshot{}, errors.New("store: binary snapshot truncated")
+	}
+	n := binary.LittleEndian.Uint32(body)
+	sum := binary.LittleEndian.Uint32(body[4:])
+	if int64(n) != int64(len(body)-8) {
+		return snapshot{}, fmt.Errorf("store: binary snapshot length %d does not match %d body bytes", n, len(body)-8)
+	}
+	payload := body[8:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return snapshot{}, errors.New("store: binary snapshot checksum mismatch")
+	}
+	_, seq, snap, err := snapCodec.Decode(payload)
+	if err != nil {
+		return snapshot{}, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	snap.Seq = seq
+	return snap, nil
+}

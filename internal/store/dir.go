@@ -108,11 +108,15 @@ func (d *OSDir) Remove(name string) error {
 // ---------------------------------------------------------------------------
 // MemDir
 
-// memFile is one in-memory file: the live content plus the content as of
-// the last sync (what survives a crash).
+// memFile is one in-memory file: the live content plus the watermark of
+// how much of it was durable as of the last sync (what survives a
+// crash). The watermark — rather than a full copy of the synced bytes —
+// makes Sync O(1), which matters now that group commit fsyncs on every
+// blocked append batch; it is sound because live content only ever
+// grows between WriteFile replacements.
 type memFile struct {
-	live   []byte
-	synced []byte
+	live      []byte
+	syncedLen int
 	// everSynced distinguishes an empty synced file from one never synced:
 	// a file that was never made durable disappears entirely on crash.
 	everSynced bool
@@ -151,7 +155,7 @@ func (d *MemDir) WriteFile(name string, data []byte) error {
 	defer d.mu.Unlock()
 	d.files[name] = &memFile{
 		live:       append([]byte(nil), data...),
-		synced:     append([]byte(nil), data...),
+		syncedLen:  len(data),
 		everSynced: true,
 	}
 	return nil
@@ -200,7 +204,7 @@ func (d *MemDir) Crash() {
 			delete(d.files, name)
 			continue
 		}
-		f.live = append([]byte(nil), f.synced...)
+		f.live = append([]byte(nil), f.live[:f.syncedLen]...)
 	}
 }
 
@@ -222,7 +226,7 @@ func (d *MemDir) AppendSynced(name string, data []byte) {
 		d.files[name] = f
 	}
 	f.live = append(f.live, data...)
-	f.synced = append([]byte(nil), f.live...)
+	f.syncedLen = len(f.live)
 	f.everSynced = true
 }
 
@@ -262,7 +266,7 @@ func (a *memAppend) Sync() error {
 	a.dir.mu.Lock()
 	defer a.dir.mu.Unlock()
 	if f, ok := a.dir.files[a.name]; ok {
-		f.synced = append([]byte(nil), f.live...)
+		f.syncedLen = len(f.live)
 		f.everSynced = true
 	}
 	return nil

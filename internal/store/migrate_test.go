@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// writeEvents drives one of every record kind through l, covering every
+// value tag the codec knows.
+func writeEvents(l *Log) {
+	l.RecordSet("GPU", true)
+	l.RecordSet("mem_gb", 8)
+	l.RecordSet("load", 0.75)
+	l.RecordSet("zone", "us-east")
+	l.RecordSet("tags", []string{"a", "b"})
+	l.RecordSet("nothing", nil)
+	l.RecordSet("meta", map[string]any{"k": float64(1), "j": "x"})
+	l.RecordSetBatch([]BatchSet{{Name: "b1", Value: 1}, {Name: "b2", Value: "two"}, {Name: "gone", Value: true}})
+	l.RecordDelete("gone")
+	l.RecordAttach("GPU", "function read() return 1 end")
+	l.RecordReserve("q1", time.Unix(100, 500))
+	l.RecordCommit("q1")
+	l.RecordOp(StoredOp{
+		ID: "op1", Kind: "reserve", State: "done", IdemKey: "ik", Tenant: "t",
+		Query: "select *", Payload: "p", Caller: "c", Mode: "m",
+		QueryID: "q1", Candidates: []OpCandidate{{NodeID: "n1", Site: "s1", Host: "h1"}, {NodeID: "n2"}},
+		Shortfall: 2, CreatedNanos: 10, UpdatedNanos: 20,
+	})
+	l.RecordOp(StoredOp{ID: "op2", Kind: "attrs", State: "pending", Updates: `[{"name":"x","value":1}]`, CreatedNanos: 30})
+	l.RecordOpDelete("op2")
+}
+
+// TestBinaryJSONReplayEquivalence replays the same event sequence through
+// a binary-format store and a JSON-format store and requires identical
+// recovered state: the binary codec is a drop-in encoding, not a new
+// semantics.
+func TestBinaryJSONReplayEquivalence(t *testing.T) {
+	bin, js := NewMemDir(), NewMemDir()
+	lb, _ := openOrDie(t, bin, Options{Policy: SyncAlways})
+	writeEvents(lb)
+	lb.Close()
+	lj, _ := openOrDie(t, js, Options{Policy: SyncAlways, Format: FormatJSON})
+	writeEvents(lj)
+	lj.Close()
+
+	_, stB := openOrDie(t, bin, Options{})
+	_, stJ := openOrDie(t, js, Options{})
+	if !reflect.DeepEqual(stB, stJ) {
+		t.Fatalf("binary and JSON replay diverge:\nbinary: %+v\njson:   %+v", stB, stJ)
+	}
+	// Sanity: the two logs really did write different bytes.
+	if bytes.Equal(bin.Bytes(WALName), js.Bytes(WALName)) {
+		t.Fatal("binary WAL is byte-identical to JSON WAL; format option ignored")
+	}
+}
+
+// TestMixedFormatRecovery is the migration story: a data dir whose WAL
+// starts with legacy JSON frames and continues with binary frames must
+// replay as one continuous sequence, and the next compaction must
+// rewrite it to pure binary without disturbing state.
+func TestMixedFormatRecovery(t *testing.T) {
+	dir := NewMemDir()
+
+	// An "old build" writes JSON frames and a JSON snapshot.
+	lj, _ := openOrDie(t, dir, Options{Policy: SyncAlways, Format: FormatJSON, CompactEvery: 4})
+	for i := 0; i < 6; i++ {
+		lj.RecordSet("old", i)
+	}
+	lj.RecordReserve("q", time.Unix(9, 0))
+	lj.Close()
+	if b := dir.Bytes(SnapName); len(b) == 0 || b[0] != '{' {
+		t.Fatalf("expected a legacy JSON snapshot, got %q...", b[:min(len(b), 8)])
+	}
+
+	// The "new build" opens the same dir and appends binary frames.
+	lb, st := openOrDie(t, dir, Options{Policy: SyncAlways, CompactEvery: 1 << 20})
+	if st.Attrs["old"].Value != 5 || st.Reservation == nil {
+		t.Fatalf("legacy dir replayed wrong: %+v", st)
+	}
+	lb.RecordSet("new", "binary")
+	lb.RecordSetBatch([]BatchSet{{Name: "nb", Value: 1.5}})
+	lb.Close()
+
+	// The WAL now holds both formats.
+	recs, good := decodeWAL(dir.Bytes(WALName))
+	if good != len(dir.Bytes(WALName)) {
+		t.Fatalf("mixed WAL has undecodable tail: %d of %d bytes", good, len(dir.Bytes(WALName)))
+	}
+	var sawJSON, sawBinary bool
+	raw := dir.Bytes(WALName)
+	for off := 0; off+8 <= len(raw); {
+		n := int(uint32(raw[off]) | uint32(raw[off+1])<<8 | uint32(raw[off+2])<<16 | uint32(raw[off+3])<<24)
+		if raw[off+8] == '{' {
+			sawJSON = true
+		} else {
+			sawBinary = true
+		}
+		off += 8 + n
+	}
+	if !sawJSON || !sawBinary {
+		t.Fatalf("WAL should hold both formats (json=%v binary=%v), %d recs", sawJSON, sawBinary, len(recs))
+	}
+
+	// Replay across the boundary, then compact: the dir converges to pure
+	// binary and state is untouched.
+	l2, st2 := openOrDie(t, dir, Options{})
+	if st2.Attrs["new"].Value != "binary" || st2.Attrs["nb"].Value != 1.5 || st2.Attrs["old"].Value != 5 {
+		t.Fatalf("mixed replay lost records: %+v", st2.Attrs)
+	}
+	if err := l2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l2.Close()
+	if snap := dir.Bytes(SnapName); !bytes.HasPrefix(snap, snapMagic) {
+		t.Fatalf("compaction did not rewrite snapshot to binary: %q...", snap[:min(len(snap), 12)])
+	}
+	if wal := dir.Bytes(WALName); len(wal) != 0 {
+		t.Fatalf("compaction left %d WAL bytes", len(wal))
+	}
+
+	// Double-restart idempotency holds across the migrated dir.
+	_, stA := openOrDie(t, dir, Options{})
+	walA, snapA := dir.Bytes(WALName), dir.Bytes(SnapName)
+	_, stB := openOrDie(t, dir, Options{})
+	if !reflect.DeepEqual(stA, stB) {
+		t.Fatalf("double restart diverged: %+v vs %+v", stA, stB)
+	}
+	if !bytes.Equal(walA, dir.Bytes(WALName)) || !bytes.Equal(snapA, dir.Bytes(SnapName)) {
+		t.Fatal("restart without writes mutated migrated store files")
+	}
+	if !reflect.DeepEqual(stA.Attrs, st2.Attrs) {
+		t.Fatalf("compaction changed state: %+v vs %+v", stA.Attrs, st2.Attrs)
+	}
+}
+
+// TestBinarySnapshotRoundTrip drives every record kind through a
+// compacting binary store and requires the snapshot replay to match the
+// WAL replay exactly, op records and reservation included.
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	walOnly, compacting := NewMemDir(), NewMemDir()
+	l1, _ := openOrDie(t, walOnly, Options{Policy: SyncAlways, CompactEvery: 1 << 20})
+	writeEvents(l1)
+	l1.Close()
+	l2, _ := openOrDie(t, compacting, Options{Policy: SyncAlways, CompactEvery: 1 << 20})
+	writeEvents(l2)
+	if err := l2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l2.Close()
+
+	if !bytes.HasPrefix(compacting.Bytes(SnapName), snapMagic) {
+		t.Fatal("snapshot is not binary")
+	}
+	_, st1 := openOrDie(t, walOnly, Options{})
+	_, st2 := openOrDie(t, compacting, Options{})
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("snapshot replay diverges from WAL replay:\nwal:  %+v\nsnap: %+v", st1, st2)
+	}
+	if op := st2.Ops["op1"]; len(op.Candidates) != 2 || op.Candidates[0].Host != "h1" || op.Shortfall != 2 {
+		t.Fatalf("op record lost detail through binary snapshot: %+v", op)
+	}
+	if _, ok := st2.Ops["op2"]; ok {
+		t.Fatal("retired op resurrected by binary snapshot")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"rbay/internal/metrics"
 )
 
 // File names inside a store directory.
@@ -53,6 +55,13 @@ const (
 	SyncInterval
 	// SyncNever leaves fsync entirely to explicit Sync calls and Close.
 	SyncNever
+	// SyncGroup is group commit: concurrent appenders hand frames to a
+	// single writer goroutine that coalesces them into one buffered write
+	// plus one fsync per flush window. Each appender blocks until its
+	// frame's group is durable, so callers keep SyncAlways's
+	// durable-before-return contract while concurrent appends share the
+	// fsync cost.
+	SyncGroup
 )
 
 // String returns the policy's flag spelling.
@@ -64,6 +73,8 @@ func (p SyncPolicy) String() string {
 		return "interval"
 	case SyncNever:
 		return "never"
+	case SyncGroup:
+		return "group"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -78,10 +89,25 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 		return SyncInterval, nil
 	case "never":
 		return SyncNever, nil
+	case "group":
+		return SyncGroup, nil
 	default:
-		return SyncAlways, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+		return SyncAlways, fmt.Errorf("store: unknown fsync policy %q (want always, group, interval, or never)", s)
 	}
 }
+
+// Format selects the WAL frame and snapshot encoding a Log writes.
+// Reading always understands both (per-frame dispatch, see codec.go).
+type Format int
+
+const (
+	// FormatBinary writes wire-codec frames (the default).
+	FormatBinary Format = iota
+	// FormatJSON writes the legacy JSON frames. It exists so tests can
+	// fabricate pre-binary data dirs and benchmarks can measure the old
+	// encode path; new deployments have no reason to choose it.
+	FormatJSON
+)
 
 // Options tunes a Log.
 type Options struct {
@@ -92,6 +118,14 @@ type Options struct {
 	// CompactEvery is how many appended records trigger a
 	// snapshot+truncate compaction. Default 4096.
 	CompactEvery int
+	// Format selects the frame encoding for new writes. Default
+	// FormatBinary.
+	Format Format
+	// GroupWindow is how long the SyncGroup writer waits after the first
+	// frame of a group before flushing, letting concurrent appenders pile
+	// on. Default 500µs; negative flushes immediately (coalescing only
+	// what arrived while the previous flush was in progress).
+	GroupWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactEvery <= 0 {
 		o.CompactEvery = 4096
+	}
+	if o.GroupWindow == 0 {
+		o.GroupWindow = 500 * time.Microsecond
 	}
 	return o
 }
@@ -281,20 +318,46 @@ type snapAttr struct {
 	Script string       `json:"script,omitempty"`
 }
 
+// flushThreshold bounds the pending-frame buffer for the non-blocking
+// policies (SyncInterval/SyncNever): once this many encoded bytes pile
+// up they are written (not fsynced) so the buffer cannot grow without
+// bound between timer syncs. Durability is unchanged — only fsync makes
+// bytes survive a crash.
+const flushThreshold = 256 << 10
+
+// group is one group-commit flush unit: every appender whose frame
+// entered the buffer while this group was open waits on done, and err
+// carries the store's sticky error state as of the flush.
+type group struct {
+	done chan struct{}
+	err  error
+}
+
 // Log is one node's durable store: WAL + snapshot over a Dir. It is safe
 // for concurrent use (rbayd syncs from a timer goroutine while the node's
-// event loop appends).
+// event loop appends; under SyncGroup the gateway's HTTP goroutines and
+// the node event loop append concurrently).
 type Log struct {
 	mu   sync.Mutex
 	dir  Dir
 	opts Options
+	met  *metrics.Registry // nil-safe; set via SetMetrics
 
 	w        File
 	state    State
-	unsynced int // records appended since the last sync
-	sinceCpt int // records appended since the last compaction
+	buf      []byte // encoded frames accepted but not yet written to w
+	unsynced int    // records appended since the last sync
+	sinceCpt int    // records appended since the last compaction
 	closed   bool
 	firstErr error
+
+	// Group-commit state (SyncGroup only). grp is the currently open
+	// group; grpWake nudges the writer goroutine (capacity 1, lossy);
+	// grpQuit stops it on Close.
+	grp     *group
+	grpWake chan struct{}
+	grpQuit chan struct{}
+	grpDone sync.WaitGroup
 }
 
 // Stats reports a Log's write-path counters.
@@ -319,9 +382,9 @@ func Open(dir Dir, opts Options) (*Log, State, error) {
 	if raw, ok, err := dir.ReadFile(SnapName); err != nil {
 		return nil, State{}, fmt.Errorf("store: read snapshot: %w", err)
 	} else if ok {
-		var snap snapshot
-		if err := json.Unmarshal(raw, &snap); err != nil {
-			return nil, State{}, fmt.Errorf("store: decode snapshot: %w", err)
+		snap, err := decodeSnapshot(raw)
+		if err != nil {
+			return nil, State{}, err
 		}
 		l.state.Seq = snap.Seq
 		for _, a := range snap.Attrs {
@@ -370,13 +433,33 @@ func Open(dir Dir, opts Options) (*Log, State, error) {
 		return nil, State{}, fmt.Errorf("store: open wal: %w", err)
 	}
 	l.w = w
+	if l.opts.Policy == SyncGroup {
+		l.grpWake = make(chan struct{}, 1)
+		l.grpQuit = make(chan struct{})
+		l.grpDone.Add(1)
+		go l.groupLoop()
+	}
 	return l, l.state.clone(), nil
+}
+
+// SetMetrics attaches a registry for the WAL write-path series
+// (rbay_wal_fsync_total, rbay_wal_group_size, rbay_wal_flush_seconds,
+// rbay_wal_bytes_total). The node wires this right after Open; a nil
+// registry (or never calling this) keeps the store metric-free.
+func (l *Log) SetMetrics(reg *metrics.Registry) {
+	reg.Declare("rbay_wal_flush_seconds")
+	reg.DeclareInt("rbay_wal_group_size")
+	l.mu.Lock()
+	l.met = reg
+	l.mu.Unlock()
 }
 
 // decodeWAL parses framed records from raw, returning the records and the
 // byte offset of the last fully valid frame. Parsing stops at the first
 // truncated or checksum-failing frame: everything after it is treated as
-// the torn tail of the final (interrupted) write.
+// the torn tail of the final (interrupted) write. Each frame's body may
+// be JSON or binary independently — a dir written by an older build and
+// appended to by this one replays as one continuous sequence.
 func decodeWAL(raw []byte) (recs []record, good int) {
 	off := 0
 	for off+8 <= len(raw) {
@@ -385,12 +468,12 @@ func decodeWAL(raw []byte) (recs []record, good int) {
 		if n == 0 || n > maxRecordLen || off+8+int(n) > len(raw) {
 			break
 		}
-		payload := raw[off+8 : off+8+int(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
+		body := raw[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(body) != sum {
 			break
 		}
-		var r record
-		if err := json.Unmarshal(payload, &r); err != nil {
+		r, err := decodeRecord(body)
+		if err != nil {
 			break
 		}
 		recs = append(recs, r)
@@ -399,44 +482,132 @@ func decodeWAL(raw []byte) (recs []record, good int) {
 	return recs, off
 }
 
-// encodeFrame frames one record payload: u32 length, u32 CRC32, payload.
-func encodeFrame(payload []byte) []byte {
-	out := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
-	copy(out[8:], payload)
-	return out
+// encodeRecordLocked appends r's framed encoding to the pending buffer.
+func (l *Log) encodeRecordLocked(r record) error {
+	if l.opts.Format == FormatJSON {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		l.buf = appendFrame(l.buf, payload)
+		return nil
+	}
+	buf, err := appendRecordBinary(l.buf, r)
+	if err != nil {
+		return err
+	}
+	l.buf = buf
+	return nil
 }
 
-// append writes one record under the lock, applying the sync and
-// compaction policies. Append errors are sticky: the first one is kept
-// and surfaced by Sync/Close/Err so the node can report a dying disk.
+// append accepts one record, applying the sync and compaction policies.
+// The sequence number, state fold, and buffer position are all assigned
+// under one critical section, so buffer order is sequence order no
+// matter how many goroutines append. Append errors are sticky: the
+// first one is kept and surfaced by Sync/Close/Err so the node can
+// report a dying disk.
 func (l *Log) append(r record) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return
 	}
 	l.state.Seq++
 	r.Seq = l.state.Seq
 	l.state.apply(r)
-	payload, err := json.Marshal(r)
-	if err != nil {
+	if err := l.encodeRecordLocked(r); err != nil {
 		l.noteErr(err)
-		return
-	}
-	if _, err := l.w.Write(encodeFrame(payload)); err != nil {
-		l.noteErr(err)
+		l.mu.Unlock()
 		return
 	}
 	l.unsynced++
 	l.sinceCpt++
-	if l.opts.Policy == SyncAlways {
+	switch l.opts.Policy {
+	case SyncAlways:
 		l.syncLocked()
+		l.maybeCompactLocked()
+		l.mu.Unlock()
+	case SyncGroup:
+		// Join (or open) the current flush group, then release the lock
+		// BEFORE waiting so other appenders can pile into the group and
+		// the writer goroutine can take the lock to flush it.
+		g := l.joinGroupLocked()
+		l.maybeCompactLocked()
+		l.mu.Unlock()
+		<-g.done
+	default:
+		if len(l.buf) >= flushThreshold {
+			l.writeBufLocked()
+		}
+		l.maybeCompactLocked()
+		l.mu.Unlock()
 	}
+}
+
+func (l *Log) maybeCompactLocked() {
 	if l.sinceCpt >= l.opts.CompactEvery {
 		l.compactLocked()
 	}
+}
+
+// joinGroupLocked returns the open flush group, creating it (and waking
+// the writer goroutine) when this frame is the group's first.
+func (l *Log) joinGroupLocked() *group {
+	if l.grp == nil {
+		l.grp = &group{done: make(chan struct{})}
+		select {
+		case l.grpWake <- struct{}{}:
+		default:
+		}
+	}
+	return l.grp
+}
+
+// finishGroupLocked completes the open group, if any: waiters observe
+// the store's sticky error as their append outcome.
+func (l *Log) finishGroupLocked() {
+	if l.grp == nil {
+		return
+	}
+	l.grp.err = l.firstErr
+	close(l.grp.done)
+	l.grp = nil
+}
+
+// groupLoop is the SyncGroup writer goroutine: woken by a group's first
+// appender, it waits out the flush window so concurrent appenders can
+// join, then flushes the whole group with one write and one fsync.
+func (l *Log) groupLoop() {
+	defer l.grpDone.Done()
+	for {
+		select {
+		case <-l.grpQuit:
+			return
+		case <-l.grpWake:
+		}
+		if w := l.opts.GroupWindow; w > 0 {
+			time.Sleep(w)
+		}
+		l.mu.Lock()
+		l.syncLocked()
+		l.mu.Unlock()
+	}
+}
+
+// writeBufLocked hands the pending frame buffer to the WAL file handle
+// (write, not fsync) and resets it.
+func (l *Log) writeBufLocked() {
+	if len(l.buf) == 0 || l.w == nil {
+		return
+	}
+	n := len(l.buf)
+	_, err := l.w.Write(l.buf)
+	l.buf = l.buf[:0]
+	if err != nil {
+		l.noteErr(err)
+		return
+	}
+	l.met.Add("rbay_wal_bytes_total", uint64(n))
 }
 
 func (l *Log) noteErr(err error) {
@@ -445,9 +616,24 @@ func (l *Log) noteErr(err error) {
 	}
 }
 
+// tagPool recycles the transient taggedValues the hot append paths box
+// caller values into. A record's Val lives only for the append call —
+// apply unwraps it via Go() and the codec copies its bytes out — so the
+// wrappers go straight back to the pool, keeping RecordSet and the churn
+// pipeline's RecordSetBatch off the allocator.
+var tagPool = sync.Pool{New: func() any { return new(taggedValue) }}
+
+// batchPool recycles RecordSetBatch's internal []batchKV, which is
+// likewise dead once append returns.
+var batchPool sync.Pool
+
 // RecordSet records an attribute post/update.
 func (l *Log) RecordSet(name string, value any) {
-	l.append(record{Op: opSet, Attr: name, Val: tagValue(value)})
+	tv := tagPool.Get().(*taggedValue)
+	tv.set(value)
+	l.append(record{Op: opSet, Attr: name, Val: tv})
+	*tv = taggedValue{}
+	tagPool.Put(tv)
 }
 
 // RecordSetBatch records a coalesced batch of attribute updates as ONE
@@ -459,11 +645,24 @@ func (l *Log) RecordSetBatch(entries []BatchSet) {
 	if len(entries) == 0 {
 		return
 	}
-	batch := make([]batchKV, len(entries))
+	var batch []batchKV
+	if p, _ := batchPool.Get().(*[]batchKV); p != nil && cap(*p) >= len(entries) {
+		batch = (*p)[:len(entries)]
+	} else {
+		batch = make([]batchKV, len(entries))
+	}
 	for i, e := range entries {
-		batch[i] = batchKV{Attr: e.Name, Val: tagValue(e.Value)}
+		tv := tagPool.Get().(*taggedValue)
+		tv.set(e.Value)
+		batch[i] = batchKV{Attr: e.Name, Val: tv}
 	}
 	l.append(record{Op: opSetBatch, Batch: batch})
+	for i := range batch {
+		*batch[i].Val = taggedValue{}
+		tagPool.Put(batch[i].Val)
+		batch[i] = batchKV{}
+	}
+	batchPool.Put(&batch)
 }
 
 // RecordDelete records an attribute withdrawal.
@@ -500,15 +699,24 @@ func (l *Log) Sync() error {
 	return l.firstErr
 }
 
+// syncLocked flushes the pending buffer and fsyncs in one shot — the
+// group-commit flush unit — then completes the open group so blocked
+// appenders return. One call, one fsync, however many frames piled up.
 func (l *Log) syncLocked() {
-	if l.unsynced == 0 || l.w == nil {
-		return
+	l.writeBufLocked()
+	if l.unsynced > 0 && l.w != nil && l.firstErr == nil {
+		frames := l.unsynced
+		start := time.Now()
+		if err := l.w.Sync(); err != nil {
+			l.noteErr(err)
+		} else {
+			l.unsynced = 0
+			l.met.Inc("rbay_wal_fsync_total")
+			l.met.ObserveInt("rbay_wal_group_size", frames)
+			l.met.Observe("rbay_wal_flush_seconds", time.Since(start))
+		}
 	}
-	if err := l.w.Sync(); err != nil {
-		l.noteErr(err)
-		return
-	}
-	l.unsynced = 0
+	l.finishGroupLocked()
 }
 
 // SyncInterval returns the period the owner should call Sync at, or 0
@@ -545,7 +753,13 @@ func (l *Log) compactLocked() {
 		snap.Attrs = append(snap.Attrs, snapAttr{Name: a.Name, Val: tagValue(a.Value), Script: a.Script})
 	}
 	snap.Ops = l.state.SortedOps()
-	raw, err := json.Marshal(snap)
+	var raw []byte
+	var err error
+	if l.opts.Format == FormatJSON {
+		raw, err = json.Marshal(snap)
+	} else {
+		raw, err = encodeSnapshotBinary(snap)
+	}
 	if err != nil {
 		l.noteErr(err)
 		return
@@ -600,9 +814,10 @@ func (l *Log) LogStats() Stats {
 // Close syncs and closes the WAL handle. Further records are dropped.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
-		return l.firstErr
+		err := l.firstErr
+		l.mu.Unlock()
+		return err
 	}
 	l.closed = true
 	l.syncLocked()
@@ -612,5 +827,12 @@ func (l *Log) Close() error {
 		}
 		l.w = nil
 	}
-	return l.firstErr
+	quit := l.grpQuit
+	err := l.firstErr
+	l.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		l.grpDone.Wait()
+	}
+	return err
 }

@@ -296,7 +296,7 @@ func TestOSDirRoundTrip(t *testing.T) {
 }
 
 func TestParseSyncPolicy(t *testing.T) {
-	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever, "group": SyncGroup} {
 		got, err := ParseSyncPolicy(s)
 		if err != nil || got != want {
 			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)

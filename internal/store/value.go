@@ -21,31 +21,43 @@ type taggedValue struct {
 // tagValue wraps a Go value for storage. Unmarshalable values degrade to
 // nil rather than poisoning the WAL record.
 func tagValue(v any) *taggedValue {
+	t := new(taggedValue)
+	t.set(v)
+	return t
+}
+
+// set fills t from a Go value, overwriting every field. Split out from
+// tagValue so the hot append paths can reuse pooled taggedValues: the
+// record's Val is transient — apply unwraps it with Go() and the codec
+// reads it synchronously — so RecordSet/RecordSetBatch return theirs to
+// tagPool as soon as append comes back.
+func (t *taggedValue) set(v any) {
 	switch x := v.(type) {
 	case nil:
-		return &taggedValue{T: "z"}
+		*t = taggedValue{T: "z"}
 	case bool:
-		return &taggedValue{T: "b", B: x}
+		*t = taggedValue{T: "b", B: x}
 	case int:
-		return &taggedValue{T: "i", I: int64(x)}
+		*t = taggedValue{T: "i", I: int64(x)}
 	case int32:
-		return &taggedValue{T: "i", I: int64(x)}
+		*t = taggedValue{T: "i", I: int64(x)}
 	case int64:
-		return &taggedValue{T: "i", I: x}
+		*t = taggedValue{T: "i", I: x}
 	case float32:
-		return &taggedValue{T: "n", N: float64(x)}
+		*t = taggedValue{T: "n", N: float64(x)}
 	case float64:
-		return &taggedValue{T: "n", N: x}
+		*t = taggedValue{T: "n", N: x}
 	case string:
-		return &taggedValue{T: "s", S: x}
+		*t = taggedValue{T: "s", S: x}
 	case []string:
-		return &taggedValue{T: "ss", SS: x}
+		*t = taggedValue{T: "ss", SS: x}
 	default:
 		raw, err := json.Marshal(v)
 		if err != nil {
-			return &taggedValue{T: "z"}
+			*t = taggedValue{T: "z"}
+			return
 		}
-		return &taggedValue{T: "j", J: raw}
+		*t = taggedValue{T: "j", J: raw}
 	}
 }
 

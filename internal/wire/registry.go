@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Codec is a standalone kind-byte registry for length-delimited record
+// formats that live OUTSIDE the transport's value-tag space — the durable
+// store's WAL frames (internal/store) are the in-repo user. Where the
+// global Register table binds Go message types to tags inside a data
+// frame's payload, a Codec binds *record kinds* of one owning package to
+// explicit encode/decode functions over a shared record type T, producing
+// the body layout
+//
+//	body := kind(byte) seq(uvarint) payload
+//
+// which the owner wraps in whatever outer framing it needs (the store
+// adds [len][crc32]). Decoding inherits the Decoder's strictness: every
+// length is validated against the bytes remaining before any allocation,
+// so torn or corrupt bodies error out and can neither panic nor
+// over-allocate.
+type Codec[T any] struct {
+	mu    sync.RWMutex
+	names [256]string
+	encs  [256]func(*Encoder, T)
+	decs  [256]func(*Decoder) T
+}
+
+// NewCodec returns an empty kind registry.
+func NewCodec[T any]() *Codec[T] {
+	return &Codec[T]{}
+}
+
+// Register binds one kind byte to a name (for diagnostics) and an
+// explicit encode/decode pair. Kind 0 is reserved (it is the natural
+// value of a zeroed byte, so a truncated body must never decode as a
+// valid kind); registering it, or registering a kind twice, panics —
+// registration is a process-wide init-time act, so a collision is a
+// programming error. The decode function reads from a sticky-error
+// Decoder and should return the zero value once d.Err() is set.
+func (c *Codec[T]) Register(kind byte, name string, enc func(*Encoder, T), dec func(*Decoder) T) {
+	if kind == 0 {
+		panic("wire: codec kind 0 is reserved")
+	}
+	if name == "" {
+		panic("wire: codec kind needs a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.names[kind] != "" {
+		panic(fmt.Sprintf("wire: codec kind %d registered twice (%s, %s)", kind, c.names[kind], name))
+	}
+	c.names[kind] = name
+	c.encs[kind] = enc
+	c.decs[kind] = dec
+}
+
+// Known reports whether a kind byte is registered.
+func (c *Codec[T]) Known(kind byte) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.names[kind] != ""
+}
+
+// Name returns a registered kind's name, or "" for an unknown kind.
+func (c *Codec[T]) Name(kind byte) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.names[kind]
+}
+
+// Append encodes one record body — kind, seq, payload — onto e. An
+// unregistered kind sets the encoder's sticky error.
+func (c *Codec[T]) Append(e *Encoder, kind byte, seq uint64, v T) {
+	c.mu.RLock()
+	enc := c.encs[kind]
+	c.mu.RUnlock()
+	if enc == nil {
+		e.Fail(fmt.Errorf("wire: codec kind %d not registered", kind))
+		return
+	}
+	e.Byte(kind)
+	e.Uvarint(seq)
+	enc(e, v)
+}
+
+// Decode parses one record body produced by Append, requiring the body be
+// fully consumed. Unknown kinds, truncation, and trailing bytes are all
+// errors; the zero T rides along with them.
+func (c *Codec[T]) Decode(body []byte) (kind byte, seq uint64, v T, err error) {
+	d := NewDecoder(body)
+	kind = d.Byte()
+	seq = d.Uvarint()
+	if d.err != nil {
+		return 0, 0, v, d.err
+	}
+	c.mu.RLock()
+	dec := c.decs[kind]
+	c.mu.RUnlock()
+	if dec == nil {
+		return 0, 0, v, fmt.Errorf("wire: codec kind %d not registered", kind)
+	}
+	v = dec(d)
+	if d.err != nil {
+		var zero T
+		return 0, 0, zero, d.err
+	}
+	if d.Remaining() != 0 {
+		var zero T
+		return 0, 0, zero, fmt.Errorf("wire: %d trailing bytes after %s record", d.Remaining(), c.names[kind])
+	}
+	return kind, seq, v, nil
+}

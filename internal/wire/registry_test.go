@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+type regRec struct {
+	Name string
+	N    int64
+}
+
+func newTestCodec(t *testing.T) *Codec[regRec] {
+	t.Helper()
+	c := NewCodec[regRec]()
+	c.Register(1, "rec",
+		func(e *Encoder, r regRec) {
+			e.String(r.Name)
+			e.Varint(r.N)
+		},
+		func(d *Decoder) regRec {
+			return regRec{Name: d.String(), N: d.Varint()}
+		})
+	return c
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := newTestCodec(t)
+	e := GetEncoder()
+	c.Append(e, 1, 42, regRec{Name: "cpu", N: -7})
+	if err := e.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	kind, seq, v, err := c.Decode(e.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if kind != 1 || seq != 42 || v.Name != "cpu" || v.N != -7 {
+		t.Fatalf("round trip mismatch: kind=%d seq=%d v=%+v", kind, seq, v)
+	}
+}
+
+func TestCodecUnknownKind(t *testing.T) {
+	c := newTestCodec(t)
+	e := GetEncoder()
+	c.Append(e, 9, 1, regRec{})
+	if e.Err() == nil {
+		t.Fatal("append of unregistered kind should set encoder error")
+	}
+	if _, _, _, err := c.Decode([]byte{9, 0}); err == nil {
+		t.Fatal("decode of unregistered kind should error")
+	}
+}
+
+func TestCodecTruncatedAndTrailing(t *testing.T) {
+	c := newTestCodec(t)
+	e := GetEncoder()
+	c.Append(e, 1, 5, regRec{Name: "mem", N: 3})
+	body := e.Bytes()
+
+	for cut := 0; cut < len(body); cut++ {
+		if _, _, _, err := c.Decode(body[:cut]); err == nil {
+			t.Fatalf("truncated body at %d/%d decoded without error", cut, len(body))
+		}
+	}
+
+	withTrailing := append(append([]byte(nil), body...), 0xff)
+	_, _, _, err := c.Decode(withTrailing)
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing byte should error, got %v", err)
+	}
+}
+
+func TestCodecRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	c := newTestCodec(t)
+	mustPanic("dup kind", func() { c.Register(1, "other", nil, nil) })
+	mustPanic("kind zero", func() { c.Register(0, "zero", nil, nil) })
+	mustPanic("empty name", func() { c.Register(2, "", nil, nil) })
+}
+
+func TestCodecKnownName(t *testing.T) {
+	c := newTestCodec(t)
+	if !c.Known(1) || c.Known(2) || c.Known(0) {
+		t.Fatal("Known reports wrong kinds")
+	}
+	if c.Name(1) != "rec" || c.Name(2) != "" {
+		t.Fatal("Name reports wrong names")
+	}
+}

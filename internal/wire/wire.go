@@ -192,6 +192,12 @@ func (e *Encoder) fail(err error) {
 	}
 }
 
+// Fail records err as the encoder's sticky error (first error wins).
+// External marshal functions — e.g. Codec registrations — use this to
+// surface domain-level encode failures through the same channel as the
+// encoder's own.
+func (e *Encoder) Fail(err error) { e.fail(err) }
+
 // Byte appends one raw byte.
 func (e *Encoder) Byte(b byte) { e.b = append(e.b, b) }
 
@@ -345,6 +351,15 @@ func (d *Decoder) Err() error { return d.err }
 
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+// Fail records err as the decoder's sticky error (first error wins).
+// External unmarshal functions — e.g. Codec registrations — use this to
+// reject structurally valid bytes that are semantically corrupt.
+func (d *Decoder) Fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
 
 func (d *Decoder) fail(format string, args ...any) {
 	if d.err == nil {

@@ -144,11 +144,23 @@ const (
 	SyncAlways   = store.SyncAlways
 	SyncInterval = store.SyncInterval
 	SyncNever    = store.SyncNever
+	SyncGroup    = store.SyncGroup
 )
 
-// ParseSyncPolicy parses the -fsync flag spelling: "always", "interval",
-// or "never".
+// ParseSyncPolicy parses the -fsync flag spelling: "always", "group",
+// "interval", or "never".
 func ParseSyncPolicy(s string) (SyncPolicy, error) { return store.ParseSyncPolicy(s) }
+
+// StoreOptions tunes OpenStore beyond the fsync policy.
+type StoreOptions struct {
+	// Interval is the SyncInterval period (0 means the store default).
+	Interval time.Duration
+	// GroupWindow is the SyncGroup flush window — how long the WAL
+	// writer waits for concurrent appends to pile onto a group before
+	// the shared fsync (0 means the store default, negative flushes
+	// immediately).
+	GroupWindow time.Duration
+}
 
 // OpenStore opens (creating as needed) the snapshot+WAL store under dir
 // and replays it. Wire the returned Store into NodeConfig.Store, feed the
@@ -158,11 +170,20 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) { return store.ParseSyncPolic
 // and every record before it recovered. interval only applies under
 // SyncInterval (0 means the store default).
 func OpenStore(dir string, policy SyncPolicy, interval time.Duration) (Store, StoreState, error) {
+	return OpenStoreOptions(dir, policy, StoreOptions{Interval: interval})
+}
+
+// OpenStoreOptions is OpenStore with the full option set.
+func OpenStoreOptions(dir string, policy SyncPolicy, opts StoreOptions) (Store, StoreState, error) {
 	d, err := store.OpenOSDir(dir)
 	if err != nil {
 		return nil, StoreState{}, err
 	}
-	l, state, err := store.Open(d, store.Options{Policy: policy, Interval: interval})
+	l, state, err := store.Open(d, store.Options{
+		Policy:      policy,
+		Interval:    opts.Interval,
+		GroupWindow: opts.GroupWindow,
+	})
 	if err != nil {
 		return nil, StoreState{}, err
 	}
